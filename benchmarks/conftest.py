@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each table/figure benchmark prints its paper-style report to stdout and
+persists it under ``benchmarks/reports/`` so the regenerated rows/series
+survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def save_report():
+    """Print a report and persist it to benchmarks/reports/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

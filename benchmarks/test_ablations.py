@@ -1,0 +1,48 @@
+"""Ablation benchmarks: each CFP design choice isolated (DESIGN.md §5)."""
+
+from functools import lru_cache
+
+from repro.experiments import ablations
+
+
+@lru_cache(maxsize=None)
+def _result(dataset, relative_support):
+    return ablations.run(dataset, relative_support)
+
+
+def test_ablations_webdocs(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: _result("webdocs", 0.01), rounds=1, iterations=1
+    )
+    # 1. delta coding of item ids saves payload bytes (§3.2).
+    assert result.delta_item_bytes <= result.raw_item_bytes
+    # 2. partial counts compress far better than cumulative counts (§3.2).
+    assert result.cumulative_count_bytes > 5 * result.pcount_bytes
+    # 4. chains are the dominant saving on long-transaction data (§4.2).
+    assert result.tree_no_chains > 2 * result.tree_full
+    # 5. varint beats zero suppression for the mostly-small array fields.
+    assert result.array_zero_suppression > result.array_varint
+    # 6. item clustering removes a 5-byte nodelink per node (§3.4).
+    assert result.array_with_nodelinks > 1.5 * result.array_varint
+    save_report("ablations_webdocs", ablations.format_report(result))
+
+
+def test_ablations_chain_length_monotone(benchmark):
+    result = benchmark.pedantic(
+        lambda: _result("webdocs", 0.01), rounds=1, iterations=1
+    )
+    # Longer chains monotonically shrink the tree on chain-friendly data;
+    # the paper fixes 15 as the cap (§4.1).
+    sizes = [size for __, size in sorted(result.tree_by_chain_length.items())]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_ablations_retail(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: _result("retail", 0.002), rounds=1, iterations=1
+    )
+    # 3. §3.3: embedding pays on short-transaction data.
+    assert result.tree_no_embedding >= result.tree_full
+    # The combined design always beats the plain ternary layout.
+    assert result.tree_plain > result.tree_full
+    save_report("ablations_retail", ablations.format_report(result))

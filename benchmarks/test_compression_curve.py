@@ -1,0 +1,31 @@
+"""Compression-curve benchmark: §4.2's support trend on one dataset."""
+
+from functools import lru_cache
+
+from repro.experiments import compression_curve
+
+
+@lru_cache(maxsize=1)
+def _result():
+    return compression_curve.run()
+
+
+def test_compression_curve_band(benchmark, save_report):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    sizes = [p.tree_bytes_per_node for p in result.points]
+    # Every point sits inside the paper's 1.5-6 B band once the tree has
+    # real chains (skip the tiniest tree).
+    for point in result.points[1:]:
+        assert 1.5 <= point.tree_bytes_per_node <= 6.0, point
+    # §4.2's trend: node size falls as chains form, then rises again when
+    # the tree "branches out more" at low support.
+    minimum = min(sizes)
+    assert sizes[0] > minimum
+    assert sizes[-1] > minimum
+    save_report("compression_curve", compression_curve.format_report(result))
+
+
+def test_chaining_dominates_at_low_support(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    low = result.points[-1]
+    assert low.chain_entries > 0.9 * low.nodes

@@ -1,0 +1,35 @@
+"""Distributed FP-growth benchmark: group-count sweep (§5 class 4)."""
+
+from functools import lru_cache
+
+from repro.experiments import distributed
+
+
+@lru_cache(maxsize=1)
+def _result():
+    return distributed.run()
+
+
+def test_distributed_group_sweep(benchmark, save_report):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    # All configurations find the identical itemset count.
+    counts = {p.itemsets for p in result.points}
+    assert len(counts) == 1
+    # Memory balancing: more groups -> smaller largest shard tree.
+    shards = [p.max_shard_bytes for p in result.points]
+    assert shards == sorted(shards, reverse=True)
+    save_report("distributed", distributed.format_report(result))
+
+
+def test_distributed_duplication_cost(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    # The paper's caveat: partitioning "may or may not be effective" —
+    # shard duplication and shuffle volume grow with the group count.
+    duplication = [p.duplication for p in result.points]
+    shuffle = [p.shuffle_bytes for p in result.points]
+    assert duplication == sorted(duplication)
+    assert shuffle == sorted(shuffle)
+    assert duplication[0] == 1.0  # one group = no duplication
+    # Duplication is bounded by min(groups, avg transaction length).
+    for point in result.points:
+        assert point.duplication <= point.n_groups

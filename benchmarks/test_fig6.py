@@ -1,0 +1,40 @@
+"""Figure 6 benchmark: average node size of CFP-tree and CFP-array."""
+
+from functools import lru_cache
+
+from repro.experiments import fig6
+from repro.fptree.ternary import PAPER_BASELINE_NODE_SIZE
+
+
+@lru_cache(maxsize=1)
+def _result():
+    return fig6.run()
+
+
+def test_fig6a(benchmark, save_report):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    for cell in result.cells:
+        if cell.nodes < 100:
+            continue
+        # Every measured tree must beat the 40 B baseline severalfold.
+        assert cell.tree_bytes_per_node < PAPER_BASELINE_NODE_SIZE / 4, cell
+    # The paper's headline range: roughly 1.5-7 bytes per node.
+    measured = [c.tree_bytes_per_node for c in result.cells if c.nodes >= 100]
+    assert min(measured) < 3.0
+    assert max(measured) < 8.0
+    # webdocs benefits most from chaining (§4.2): it must sit near the low
+    # end at medium support.
+    webdocs = result.cell("webdocs", "medium")
+    assert webdocs.tree_bytes_per_node < 2.5
+    save_report("fig6a", fig6.format_report(result).split("\n\n")[0])
+
+
+def test_fig6b(benchmark, save_report):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    for cell in result.cells:
+        if cell.nodes < 100:
+            continue
+        # §4.2: "For all datasets, the average node size is below 5 bytes."
+        assert cell.array_bytes_per_node < 5.0, cell
+        assert cell.array_reduction > 8.0, cell
+    save_report("fig6b", fig6.format_report(result).split("\n\n")[1])

@@ -1,0 +1,91 @@
+"""Figure 7 benchmark: FP-growth vs CFP-growth under memory pressure.
+
+One metered sweep feeds all four panels; each panel test verifies the
+paper's qualitative claims and regenerates its series.
+"""
+
+from functools import lru_cache
+
+from repro.experiments import fig7
+from repro.experiments.fig7 import build_memory, build_seconds
+
+
+@lru_cache(maxsize=1)
+def _result():
+    return fig7.run()
+
+
+def _largest(result):
+    return result.points[-1]
+
+
+def test_fig7_sweep(benchmark, save_report):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    assert len(result.points) >= 5
+    # The x-axis (initial tree size) must grow as support falls.
+    nodes = [p.tree_nodes for p in result.points]
+    assert nodes == sorted(nodes)
+    save_report("fig7", fig7.format_report(result))
+
+
+def test_fig7a_build_time(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    point = _largest(result)
+    fp = build_seconds(point.runs["fp-growth"])
+    cfp = build_seconds(point.runs["cfp-growth"])
+    # §4.3: the FP-tree build explodes under memory pressure while
+    # CFP-growth's build+conversion stays near the scan floor.
+    assert fp > 10 * cfp
+    assert cfp < 100 * point.scan_seconds
+    # At small trees the two builds are comparable (§4.3: "similar for
+    # small prefix trees").
+    small = result.points[0]
+    fp_small = build_seconds(small.runs["fp-growth"])
+    cfp_small = build_seconds(small.runs["cfp-growth"])
+    assert fp_small < 50 * cfp_small
+
+
+def test_fig7b_build_memory(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    for point in result.points:
+        if point.tree_nodes < 1000:
+            continue
+        fp = build_memory(point.runs["fp-growth"])
+        cfp = build_memory(point.runs["cfp-growth"])
+        # About an order of magnitude less build memory (abstract, §1).
+        assert fp > 5 * cfp, point.tree_nodes
+
+
+def test_fig7c_total_time(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    # §4.4: CFP-growth outperforms FP-growth for all problem sizes, and by
+    # an order of magnitude or more once FP-growth thrashes (paper: 20x).
+    for point in result.points:
+        fp = point.runs["fp-growth"].total_seconds
+        cfp = point.runs["cfp-growth"].total_seconds
+        assert fp >= 0.99 * cfp, point.tree_nodes
+    point = _largest(result)
+    ratio = (
+        point.runs["fp-growth"].total_seconds
+        / point.runs["cfp-growth"].total_seconds
+    )
+    assert ratio > 10
+
+
+def test_fig7d_memory(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    physical = result.spec.physical_memory
+    fp_crossing = None
+    cfp_crossing = None
+    for point in result.points:
+        if fp_crossing is None and point.runs["fp-growth"].peak_bytes > physical:
+            fp_crossing = point.tree_nodes
+        if cfp_crossing is None and point.runs["cfp-growth"].peak_bytes > physical:
+            cfp_crossing = point.tree_nodes
+        # Average CFP memory sits below its peak.
+        cfp = point.runs["cfp-growth"]
+        assert cfp.avg_bytes <= cfp.peak_bytes
+    # §4.4: CFP-growth performs in-core processing for a ~7.5x larger tree.
+    assert fp_crossing is not None, "FP-growth never crossed the limit"
+    if cfp_crossing is not None:
+        assert cfp_crossing > 4 * fp_crossing

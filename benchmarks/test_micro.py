@@ -1,0 +1,140 @@
+"""Microbenchmarks of the performance-critical primitives.
+
+These wall-clock numbers are real (not simulated): codec throughput, arena
+allocation, CFP-tree insertion, conversion, and mining on a fixed workload.
+"""
+
+import random
+
+import pytest
+
+from repro.compress import varint
+from repro.compress.zero_suppression import decode_3bit, encode_3bit
+from repro.core.cfp_growth import mine_rank_transactions
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.fptree.growth import CountCollector
+from repro.fptree.tree import FPTree
+from repro.memman import Arena
+from repro.util.items import prepare_transactions
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(99)
+    database = []
+    for __ in range(2_000):
+        length = rng.randint(2, 20)
+        database.append(sorted({int(300 * rng.random() ** 2.5) for _ in range(length)}))
+    table, transactions = prepare_transactions(database, 4)
+    return len(table), transactions
+
+
+def test_varint_encode(benchmark):
+    values = [((i * 2_654_435_761) % (1 << 28)) for i in range(1_000)]
+    benchmark(lambda: [varint.encode(v) for v in values])
+
+
+def test_varint_decode(benchmark):
+    buf = b"".join(varint.encode((i * 37) % (1 << 21)) for i in range(1_000))
+
+    def decode_all():
+        offset = 0
+        while offset < len(buf):
+            __, offset = varint.decode_from(buf, offset)
+
+    benchmark(decode_all)
+
+
+def test_zero_suppression_roundtrip(benchmark):
+    values = [(i * 977) % (1 << 24) for i in range(1_000)]
+
+    def roundtrip():
+        for value in values:
+            mask, payload = encode_3bit(value)
+            decode_3bit(mask, payload)
+
+    benchmark(roundtrip)
+
+
+def test_arena_alloc_free(benchmark):
+    def churn():
+        arena = Arena()
+        chunks = [arena.alloc(7 + (i % 18)) for i in range(2_000)]
+        for i, addr in enumerate(chunks):
+            arena.free(addr, 7 + (i % 18))
+
+    benchmark(churn)
+
+
+def test_fp_tree_build(benchmark, workload):
+    n_ranks, transactions = workload
+    benchmark(lambda: FPTree.from_rank_transactions(transactions, n_ranks))
+
+
+def test_cfp_tree_build(benchmark, workload):
+    n_ranks, transactions = workload
+    benchmark(lambda: TernaryCfpTree.from_rank_transactions(transactions, n_ranks))
+
+
+def test_cfp_conversion(benchmark, workload):
+    n_ranks, transactions = workload
+    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+    benchmark(lambda: convert(tree))
+
+
+def test_cfp_growth_mine(benchmark, workload):
+    n_ranks, transactions = workload
+
+    def mine():
+        return mine_rank_transactions(
+            list(transactions), n_ranks, 40, CountCollector()
+        ).count
+
+    count = benchmark(mine)
+    assert count > 0
+
+
+def test_bufferpool_sequential_read(benchmark, tmp_path):
+    from repro.storage import BufferPool, PageFile
+    from repro.storage.pagefile import PAGE_SIZE
+
+    path = tmp_path / "bench.pf"
+    with PageFile.create(path) as pagefile:
+        pagefile.append_blob(bytes(64 * PAGE_SIZE))
+
+        def scan():
+            pool = BufferPool(pagefile, capacity_pages=8)
+            pool.read(0, 64 * PAGE_SIZE)
+            return pool.stats.faults
+
+        faults = benchmark(scan)
+        assert faults == 64
+
+
+def test_cfp_tree_checkpoint_roundtrip(benchmark, workload, tmp_path):
+    from repro.storage import load_cfp_tree, save_cfp_tree
+
+    n_ranks, transactions = workload
+    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+    path = tmp_path / "bench.cfpt"
+
+    def roundtrip():
+        save_cfp_tree(tree, path)
+        return load_cfp_tree(path).node_count
+
+    assert benchmark(roundtrip) == tree.node_count
+
+
+def test_chain_split_heavy_inserts(benchmark):
+    # Stress the restructure paths: long shared runs with divergences.
+    def build():
+        tree = TernaryCfpTree(64)
+        base = list(range(1, 33))
+        for divergence in range(2, 32, 2):
+            ranks = base[:divergence] + [base[divergence] + 32]
+            tree.insert(sorted(set(ranks)))
+            tree.insert(base)
+        return tree.node_count
+
+    assert benchmark(build) > 0

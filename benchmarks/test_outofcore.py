@@ -1,0 +1,33 @@
+"""Out-of-core benchmark: real page faults vs buffer-pool size (§4.3)."""
+
+from functools import lru_cache
+
+from repro.experiments import outofcore
+
+
+@lru_cache(maxsize=1)
+def _result():
+    return outofcore.run()
+
+
+def test_outofcore_pool_sweep(benchmark, save_report):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    faults = [p.mine_faults for p in result.points]
+    # Faults never increase with a bigger pool.
+    assert faults == sorted(faults, reverse=True)
+    # Once the pool covers the array, mining faults once per page.
+    assert faults[-1] == result.array_pages
+    # A pool far smaller than the array thrashes by orders of magnitude.
+    assert faults[0] > 50 * result.array_pages
+    save_report("outofcore", outofcore.format_report(result))
+
+
+def test_outofcore_sequential_pattern(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    for point in result.points:
+        # §4.3: sequential subarray access needs only one fault per page,
+        # independent of pool size — the conversion-friendly pattern.
+        assert point.sequential_faults == result.array_pages
+    # Results are identical at every pool size.
+    counts = {p.itemsets for p in result.points}
+    assert len(counts) == 1

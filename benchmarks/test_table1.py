@@ -1,0 +1,16 @@
+"""Table 1 benchmark: FP-tree field zero-byte accounting (webdocs proxy)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, save_report):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    # §3.1's qualitative claims must hold on the proxy.
+    left = result.distributions["left"].fractions()
+    right = result.distributions["right"].fractions()
+    assert left[4] > 0.5, "left pointers should be mostly null"
+    assert right[4] > 0.5, "right pointers should be mostly null"
+    item = result.distributions["item"].fractions()
+    assert item[3] + item[2] > 0.9, "item ids should be small"
+    assert result.zero_fraction > 0.4, "roughly half the bytes are zeros"
+    save_report("table1", table1.format_report(result))

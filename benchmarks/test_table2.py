@@ -1,0 +1,15 @@
+"""Table 2 benchmark: CFP-tree field zero-byte accounting (webdocs proxy)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, save_report):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    pcount = result.distributions["pcount"].fractions()
+    delta = result.distributions["delta_item"].fractions()
+    # §3.2: pcount is zero for the vast majority of nodes; delta_item is
+    # never zero and almost always one byte.
+    assert pcount[4] > 0.5
+    assert delta[3] > 0.9
+    assert delta[4] == 0.0
+    save_report("table2", table2.format_report(result))

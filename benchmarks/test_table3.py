@@ -1,0 +1,13 @@
+"""Table 3 benchmark: synthetic dataset summary (Quest1/Quest2)."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, save_report):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    quest1, quest2 = result.stats
+    assert quest2.n_transactions == 2 * quest1.n_transactions
+    # Both instances share the Quest1 item/length regime (§4.1 Table 3).
+    assert 20 < quest1.avg_item_cardinality < 80
+    assert abs(quest1.avg_item_cardinality - quest2.avg_item_cardinality) < 5
+    save_report("table3", table3.format_report(result))

@@ -1,0 +1,53 @@
+"""Ablation bench: §2.2's count-based near-optimal sibling BSTs."""
+
+import random
+
+import pytest
+
+from repro.fptree.ternary import TernaryFPTree
+from repro.util.items import prepare_transactions
+from repro.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def workload():
+    database = make_dataset("retail", n_transactions=2500, seed=4)
+    table, transactions = prepare_transactions(database, 5)
+    return table, transactions
+
+
+def _lookup_load(table, transactions, tree, repeats=3):
+    """Search the tree for every transaction prefix, weighted by data."""
+    tree.comparisons = 0
+    rng = random.Random(0)
+    sample = rng.sample(transactions, min(len(transactions), 800))
+    for __ in range(repeats):
+        for ranks in sample:
+            tree.find(ranks)
+    return tree.comparisons
+
+
+def test_weighted_bst_reduces_comparisons(benchmark, workload):
+    table, transactions = workload
+    tree = TernaryFPTree.from_rank_transactions(transactions, len(table))
+    before = _lookup_load(table, transactions, tree)
+    benchmark.pedantic(tree.rebuild_weight_balanced, rounds=1, iterations=1)
+    after = _lookup_load(table, transactions, tree)
+    # The rebuild must not make the data-weighted search load worse, and
+    # on skewed data it should help measurably.
+    assert after <= before
+    print(
+        f"\nBST comparisons for the same lookup load: {before:,} before, "
+        f"{after:,} after rebuild ({before / max(after, 1):.2f}x)\n"
+    )
+
+
+def test_weighted_bst_preserves_content(benchmark, workload):
+    table, transactions = workload
+    tree = TernaryFPTree.from_rank_transactions(transactions, len(table))
+    supports_before = [tree.count[n] for rank in range(1, len(table) + 1) for n in tree.nodes_of(rank)]
+    benchmark.pedantic(tree.rebuild_weight_balanced, rounds=1, iterations=1)
+    supports_after = [tree.count[n] for rank in range(1, len(table) + 1) for n in tree.nodes_of(rank)]
+    assert sorted(supports_before) == sorted(supports_after)
+    for ranks in transactions[:200]:
+        assert tree.find(ranks) != 0

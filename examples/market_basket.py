@@ -1,0 +1,49 @@
+"""Market-basket analysis on retail-like data (the paper's §1 motivation).
+
+Mines a retail-shaped dataset with CFP-growth, then derives
+"customers who bought X also bought Y" association rules from the
+frequent-itemset supports (confidence = support(X ∪ Y) / support(X)).
+
+Run with::
+
+    python examples/market_basket.py
+"""
+
+from repro import mine_frequent_itemsets
+from repro.datasets import make_dataset
+
+MIN_SUPPORT = 40
+MIN_CONFIDENCE = 0.4
+
+
+def main() -> None:
+    baskets = make_dataset("retail", n_transactions=3000, seed=5)
+    print(f"mining {len(baskets)} baskets (min support {MIN_SUPPORT})...")
+    result = mine_frequent_itemsets(baskets, MIN_SUPPORT)
+    print(f"found {len(result)} frequent itemsets\n")
+
+    supports = {frozenset(itemset): s for itemset, s in result}
+
+    # Rules X -> y from every frequent pair/triple.
+    rules = []
+    for itemset, support in result:
+        if len(itemset) < 2:
+            continue
+        for consequent in itemset:
+            antecedent = frozenset(itemset) - {consequent}
+            confidence = support / supports[antecedent]
+            if confidence >= MIN_CONFIDENCE:
+                rules.append((confidence, support, sorted(antecedent), consequent))
+
+    rules.sort(reverse=True)
+    print(f"top rules (confidence >= {MIN_CONFIDENCE:.0%}):")
+    for confidence, support, antecedent, consequent in rules[:15]:
+        basket = ", ".join(f"item{i}" for i in antecedent)
+        print(
+            f"  bought {{{basket}}} -> also buys item{consequent} "
+            f"(confidence {confidence:.0%}, {support} baskets)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Quickstart: mine frequent itemsets from a handful of baskets.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import mine_frequent_itemsets
+
+BASKETS = [
+    ["bread", "milk"],
+    ["bread", "diapers", "beer", "eggs"],
+    ["milk", "diapers", "beer", "cola"],
+    ["bread", "milk", "diapers", "beer"],
+    ["bread", "milk", "diapers", "cola"],
+]
+
+
+def main() -> None:
+    result = mine_frequent_itemsets(BASKETS, min_support=3)
+
+    print(f"{len(result)} itemsets appear in at least 3 of {len(BASKETS)} baskets:\n")
+    for itemset, support in sorted(result, key=lambda r: (-r[1], len(r[0]))):
+        print(f"  {{{', '.join(sorted(itemset))}}}  support={support}")
+
+    print("\nLookups:")
+    print(f"  support of {{beer, diapers}} = {result.support_of({'beer', 'diapers'})}")
+    print(f"  pairs: {len(result.of_size(2))}, triples: {len(result.of_size(3))}")
+
+
+if __name__ == "__main__":
+    main()

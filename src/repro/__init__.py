@@ -1,0 +1,75 @@
+"""Memory-efficient frequent-itemset mining (CFP-growth).
+
+A from-scratch reproduction of
+
+    Benjamin Schlegel, Rainer Gemulla, Wolfgang Lehner.
+    *Memory-Efficient Frequent-Itemset Mining.* EDBT 2011.
+
+The package provides:
+
+* the **CFP-tree** and **CFP-array** — byte-level compressed prefix-tree
+  representations that shrink FP-growth's working set by roughly an order of
+  magnitude (:mod:`repro.core`),
+* the **CFP-growth** miner built on them (:class:`repro.core.CfpGrowth`),
+* a reference FP-tree/FP-growth implementation and the ternary physical
+  design of the paper's §2 (:mod:`repro.fptree`),
+* the comparison algorithms of the paper's evaluation — Apriori, Eclat,
+  nonordfp, LCM, AFOPT, FP-array, FP-growth-Tiny, CT-PRO and more
+  (:mod:`repro.algorithms`),
+* dataset tooling: a FIMI-format reader/writer, an IBM Quest-style generator
+  and proxies for the FIMI real-world datasets (:mod:`repro.datasets`),
+* a simulated machine with a paging model used to reproduce the paper's
+  out-of-core experiments on laptop-scale inputs (:mod:`repro.machine`),
+* one experiment driver per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import mine_frequent_itemsets
+
+    transactions = [[1, 2, 3], [1, 2], [2, 3], [1, 2, 3, 4]]
+    for itemset, support in mine_frequent_itemsets(transactions, min_support=2):
+        print(sorted(itemset), support)
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "mine_frequent_itemsets",
+    "build_cfp_tree",
+    "build_cfp_array",
+    "MiningResult",
+    "mine_rules",
+    "mine_with_budget",
+    "closed_itemsets",
+    "maximal_itemsets",
+    "top_k_itemsets",
+    "ReproError",
+    "__version__",
+]
+
+# The convenience APIs pull in the full core/dataset machinery, so they
+# are loaded lazily (PEP 562) to keep `import repro.compress` and friends
+# lightweight. Maps exported name -> defining submodule.
+_LAZY_EXPORTS = {
+    "mine_frequent_itemsets": "repro.api",
+    "build_cfp_tree": "repro.api",
+    "build_cfp_array": "repro.api",
+    "MiningResult": "repro.api",
+    "mine_rules": "repro.rules",
+    "mine_with_budget": "repro.budget",
+    "closed_itemsets": "repro.mining",
+    "maximal_itemsets": "repro.mining",
+    "top_k_itemsets": "repro.mining",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,72 @@
+"""Frequent-itemset miners used in the paper's evaluation (§4.5, §5).
+
+Every miner implements the same interface (:class:`repro.algorithms.Miner`):
+``mine(database, min_support)`` returning ``(itemset, support)`` pairs, plus
+an optional instrumented entry point used by the simulated-machine
+experiments. The registry maps the paper's algorithm names to classes.
+
+Implemented miners:
+
+* ``brute-force`` — levelwise reference used only to validate the others.
+* ``apriori`` — classic bottom-up candidate generation [1, 3].
+* ``topdown`` — top-down largest-first mining [32].
+* ``eclat`` — vertical tidset intersection (common FIMI baseline).
+* ``fp-growth`` — the reference prefix-tree miner (§2.1).
+* ``fp-growth-tiny`` — mines the one big initial tree without conditional
+  trees [20].
+* ``nonordfp`` — count/parent parallel-array representation [23].
+* ``lcm`` — LCM v2-style occurrence-deliver backtracking [29].
+* ``afopt`` — ascending-frequency adaptive prefix-tree mining [18].
+* ``fp-array`` — PARSEC-style cache-conscious FP-array [16]; loads the whole
+  dataset in memory first.
+* ``ct-pro`` — compressed FP-tree (CT) with an item-index table [27].
+* ``patricia`` — Patricia-trie representation of the base data [21].
+* ``cfp-growth`` — the paper's contribution (re-exported from repro.core).
+"""
+
+from repro.algorithms.base import Miner, MinerStats, get_miner, iter_miners, register
+from repro.algorithms.bruteforce import BruteForceMiner, brute_force
+
+__all__ = [
+    "Miner",
+    "MinerStats",
+    "register",
+    "get_miner",
+    "iter_miners",
+    "BruteForceMiner",
+    "brute_force",
+]
+
+
+def _register_builtin() -> None:
+    """Import every miner module so registration side effects run."""
+    import importlib
+
+    # Modules are added here as they are implemented; each registers its
+    # miner class on import.
+    for module in (
+        "afopt",
+        "apriori",
+        "ctpro",
+        "eclat",
+        "fparray",
+        "fpgrowth_ref",
+        "fpgrowth_tiny",
+        "lcm",
+        "nonordfp",
+        "patricia",
+        "sampling",
+        "topdown",
+    ):
+        try:
+            importlib.import_module(f"repro.algorithms.{module}")
+        except ModuleNotFoundError as exc:
+            # Only tolerate the module itself being absent (partial builds);
+            # a missing dependency inside an existing module must propagate.
+            if exc.name != f"repro.algorithms.{module}":
+                raise
+    # CFP-growth (the paper's contribution) registers from repro.core.
+    importlib.import_module("repro.core.cfp_growth")
+
+
+_register_builtin()

@@ -1,0 +1,133 @@
+"""AFOPT: ascending-frequency ordered prefix tree with push-right (ref [18]).
+
+AFOPT inverts FP-growth's item order: transactions are sorted by *ascending*
+item frequency, so the least frequent items sit at the top of the prefix
+tree. Mining is top-down: the first item in order occurs only among the
+root's children; its subtree *is* its conditional database. After a branch
+is mined, its subtree is merged into the remaining siblings ("push right"),
+which restores the invariant for the next item. No conditional trees are
+rebuilt from prefix paths — subtrees are reused and merged instead.
+
+Ranks are processed from ``n`` (least frequent) down to 1; along any path
+ranks strictly decrease.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+class AfoptNode:
+    """Prefix-tree node of the ascending-frequency tree."""
+
+    __slots__ = ("count", "children")
+
+    def __init__(self, count: int = 0):
+        self.count = count
+        self.children: dict[int, AfoptNode] = {}
+
+    def copy(self) -> "AfoptNode":
+        clone = AfoptNode(self.count)
+        clone.children = {rank: child.copy() for rank, child in self.children.items()}
+        return clone
+
+
+def build_afopt_tree(transactions: list[list[int]]) -> AfoptNode:
+    """Build the tree over transactions sorted by ascending frequency."""
+    root = AfoptNode()
+    for ranks in transactions:
+        node = root
+        # Prepared transactions are ascending-rank; AFOPT wants ascending
+        # frequency, i.e. descending rank.
+        for rank in reversed(ranks):
+            child = node.children.get(rank)
+            if child is None:
+                child = AfoptNode()
+                node.children[rank] = child
+            child.count += 1
+            node = child
+    return root
+
+
+def _merge(target: dict[int, AfoptNode], source: dict[int, AfoptNode]) -> None:
+    """Push-right: fold ``source`` subtrees into ``target`` (consuming them)."""
+    for rank, node in source.items():
+        existing = target.get(rank)
+        if existing is None:
+            target[rank] = node
+        else:
+            existing.count += node.count
+            _merge(existing.children, node.children)
+
+
+#: Modeled bytes per AFOPT trie node (count + child-map overhead).
+AFOPT_NODE_BYTES = 32
+
+
+def subtree_size(children: dict[int, AfoptNode]) -> int:
+    """Node count of a forest (for footprint accounting)."""
+    total = 0
+    stack = list(children.values())
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.children.values())
+    return total
+
+
+def _mine(
+    children: dict[int, AfoptNode],
+    prefix: tuple[int, ...],
+    min_support: int,
+    results: list,
+    meter=None,
+) -> None:
+    # Ascending frequency = descending rank. Push-right merges add new
+    # (always smaller) ranks while the loop runs, so the next item is
+    # re-selected dynamically instead of from a snapshot.
+    while children:
+        rank = max(children)
+        node = children.pop(rank)
+        if node.count >= min_support:
+            results.append((prefix + (rank,), node.count))
+            # The subtree is both the conditional database (mined on a copy,
+            # since mining consumes it) and the push-right source.
+            conditional = {r: c.copy() for r, c in node.children.items()}
+            size = 0
+            if meter is not None:
+                size = subtree_size(conditional) * AFOPT_NODE_BYTES
+                meter.on_structure_built(size)
+                meter.add_ops(size // AFOPT_NODE_BYTES + 1, size)
+            _mine(conditional, prefix + (rank,), min_support, results, meter)
+            if meter is not None:
+                meter.on_structure_freed(size)
+        _merge(children, node.children)
+
+
+def afopt_ranks(
+    transactions: list[list[int]], n_ranks: int, min_support: int, meter=None
+) -> list[tuple[tuple[int, ...], int]]:
+    root = build_afopt_tree(transactions)
+    if meter is not None:
+        meter.on_structure_built(subtree_size(root.children) * AFOPT_NODE_BYTES)
+    results: list[tuple[tuple[int, ...], int]] = []
+    _mine(root.children, (), min_support, results, meter)
+    # Normalize itemsets to ascending rank order for callers.
+    return [(tuple(sorted(ranks)), support) for ranks, support in results]
+
+
+@register
+class AfoptMiner:
+    """Ascending-frequency prefix-tree miner with push-right merging."""
+
+    name = "afopt"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        table, transactions = prepare_transactions(database, min_support)
+        return [
+            (table.ranks_to_items(ranks), support)
+            for ranks, support in afopt_ranks(transactions, len(table), min_support)
+        ]

@@ -1,0 +1,94 @@
+"""Apriori: bottom-up candidate generation (paper §1, refs [1, 3]).
+
+The classic levelwise algorithm: frequent 1-itemsets seed candidate
+2-itemsets, counted with a full database scan; survivors seed level 3, and
+so on. Its cost profile — one scan per level plus candidate storage — is
+why the paper classes it below the prefix-tree algorithms.
+
+Candidates are generated with the standard sorted-prefix join and pruned by
+the downward-closure property before counting. Transactions are stored as
+rank lists; counting enumerates each transaction's k-subsets only while the
+candidate set is comparatively large, otherwise probes candidates directly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+def apriori_ranks(
+    transactions: list[list[int]], n_ranks: int, min_support: int
+) -> list[tuple[tuple[int, ...], int]]:
+    """Apriori over prepared rank transactions; returns rank itemsets."""
+    results: list[tuple[tuple[int, ...], int]] = [
+        ((rank,), sum(1 for t in transactions if rank in set(t)))
+        for rank in range(1, n_ranks + 1)
+    ]
+    results = [(itemset, s) for itemset, s in results if s >= min_support]
+    frequent: list[tuple[int, ...]] = [itemset for itemset, __ in results]
+    size = 1
+    while frequent:
+        size += 1
+        candidates = _generate_candidates(frequent, size)
+        if not candidates:
+            break
+        counts = dict.fromkeys(candidates, 0)
+        for transaction in transactions:
+            if len(transaction) < size:
+                continue
+            if len(candidates) > len(transaction) ** 2:
+                # Few long transactions: enumerate the transaction's subsets.
+                for subset in combinations(transaction, size):
+                    if subset in counts:
+                        counts[subset] += 1
+            else:
+                items = set(transaction)
+                for candidate in candidates:
+                    if items.issuperset(candidate):
+                        counts[candidate] += 1
+        frequent = sorted(c for c, n in counts.items() if n >= min_support)
+        results.extend((c, counts[c]) for c in frequent)
+    return results
+
+
+def _generate_candidates(
+    frequent: list[tuple[int, ...]], size: int
+) -> set[tuple[int, ...]]:
+    """Sorted-prefix join plus downward-closure pruning."""
+    frequent_set = set(frequent)
+    by_prefix: dict[tuple[int, ...], list[int]] = {}
+    for itemset in frequent:
+        by_prefix.setdefault(itemset[:-1], []).append(itemset[-1])
+    candidates = set()
+    for prefix, tails in by_prefix.items():
+        tails.sort()
+        for i, a in enumerate(tails):
+            for b in tails[i + 1 :]:
+                candidate = prefix + (a, b)
+                if all(
+                    candidate[:j] + candidate[j + 1 :] in frequent_set
+                    for j in range(size)
+                ):
+                    candidates.add(candidate)
+    return candidates
+
+
+@register
+class AprioriMiner:
+    """Classic Apriori."""
+
+    name = "apriori"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        table, transactions = prepare_transactions(database, min_support)
+        return [
+            (table.ranks_to_items(ranks), support)
+            for ranks, support in apriori_ranks(
+                transactions, len(table), min_support
+            )
+        ]

@@ -1,0 +1,89 @@
+"""Common miner interface and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Protocol, runtime_checkable
+
+from repro.errors import ExperimentError
+from repro.util.items import TransactionDatabase
+
+#: One mining result: itemset (original items) and its absolute support.
+ItemsetResult = tuple[tuple[Hashable, ...], int]
+
+
+@dataclass
+class MinerStats:
+    """Operation counts and footprint trace reported by instrumented miners.
+
+    These feed the simulated machine (:mod:`repro.machine`): the *footprint
+    samples* record (structure, live bytes, access pattern) over the run, the
+    op counters are converted to time by the cost model.
+    """
+
+    node_allocations: int = 0
+    """Prefix-tree (or equivalent) nodes created."""
+
+    node_visits: int = 0
+    """Nodes touched during build searches and mine traversals."""
+
+    bytes_written: int = 0
+    """Bytes materialized into long-lived data structures."""
+
+    bytes_read: int = 0
+    """Bytes re-read from long-lived data structures during mining."""
+
+    peak_bytes: int = 0
+    """Peak simultaneous footprint of all structures, in physical bytes."""
+
+    avg_bytes: float = 0.0
+    """Time-averaged footprint (weighted by op counts at sample times)."""
+
+    itemset_count: int = 0
+    """Number of frequent itemsets produced."""
+
+    phase_ops: dict[str, int] = field(default_factory=dict)
+    """Per-phase operation counts (scan/build/convert/mine)."""
+
+    random_access_fraction: float = 0.5
+    """Fraction of structure bytes touched with random (non-sequential)
+    access during the phases that dominate when memory overflows."""
+
+
+@runtime_checkable
+class Miner(Protocol):
+    """The interface every algorithm implements."""
+
+    name: str
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        """Return all frequent itemsets with their supports."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: register a miner under its ``name`` attribute."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ExperimentError(f"miner class {cls.__name__} has no name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_miner(name: str) -> Miner:
+    """Instantiate the registered miner called ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown miner {name!r}; known: {known}") from None
+    return cls()
+
+
+def iter_miners() -> list[str]:
+    """Names of all registered miners, sorted."""
+    return sorted(_REGISTRY)

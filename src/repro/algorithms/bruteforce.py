@@ -1,0 +1,75 @@
+"""Levelwise brute-force miner — the correctness oracle for all others.
+
+Intentionally simple: candidates of size ``k`` are counted by scanning every
+transaction. Only suitable for the small databases used in tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Hashable
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.util.items import TransactionDatabase, build_item_table
+
+
+def brute_force(
+    database: TransactionDatabase, min_support: int
+) -> list[ItemsetResult]:
+    """Enumerate every frequent itemset by direct counting."""
+    table = build_item_table(database, min_support)
+    frequent_items = set(table.supports)
+    transactions = [frozenset(t) & frequent_items for t in database]
+    results: list[ItemsetResult] = [
+        ((item,), support) for item, support in table.supports.items()
+    ]
+    current = [frozenset([item]) for item in frequent_items]
+    size = 1
+    while current:
+        size += 1
+        candidates = _join(current, size)
+        counts: Counter = Counter()
+        for transaction in transactions:
+            if len(transaction) < size:
+                continue
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        current = [c for c in candidates if counts[c] >= min_support]
+        results.extend((tuple(sorted(c, key=repr)), counts[c]) for c in current)
+    return results
+
+
+def _join(previous: list[frozenset], size: int) -> list[frozenset]:
+    """Generate size-``size`` candidates whose every subset was frequent."""
+    previous_set = set(previous)
+    items = sorted({item for itemset in previous for item in itemset}, key=repr)
+    candidates = []
+    seen = set()
+    for itemset in previous:
+        for item in items:
+            if item in itemset:
+                continue
+            candidate = itemset | {item}
+            if candidate in seen or len(candidate) != size:
+                continue
+            seen.add(candidate)
+            if all(
+                frozenset(sub) in previous_set
+                for sub in combinations(candidate, size - 1)
+            ):
+                candidates.append(candidate)
+    return candidates
+
+
+@register
+class BruteForceMiner:
+    """Miner-interface wrapper around :func:`brute_force`."""
+
+    name = "brute-force"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[tuple[tuple[Hashable, ...], int]]:
+        return brute_force(database, min_support)

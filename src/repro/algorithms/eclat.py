@@ -1,0 +1,65 @@
+"""Eclat: vertical tidset intersection (a standard FIMI baseline).
+
+The database is pivoted into one transaction-id set per item; the support
+of an itemset is the size of the intersection of its members' tidsets.
+Depth-first search extends each prefix with larger ranks, intersecting the
+running tidset — no prefix tree is built, but tidset memory is proportional
+to the database's item occurrences and grows with recursion depth.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+def eclat_ranks(
+    transactions: list[list[int]], n_ranks: int, min_support: int
+) -> list[tuple[tuple[int, ...], int]]:
+    """Eclat over prepared rank transactions."""
+    tidsets: dict[int, set[int]] = {rank: set() for rank in range(1, n_ranks + 1)}
+    for tid, ranks in enumerate(transactions):
+        for rank in ranks:
+            tidsets[rank].add(tid)
+    items = [
+        (rank, tids)
+        for rank, tids in sorted(tidsets.items())
+        if len(tids) >= min_support
+    ]
+    results: list[tuple[tuple[int, ...], int]] = []
+    _extend((), items, min_support, results)
+    return results
+
+
+def _extend(
+    prefix: tuple[int, ...],
+    items: list[tuple[int, set[int]]],
+    min_support: int,
+    results: list,
+) -> None:
+    for i, (rank, tids) in enumerate(items):
+        itemset = prefix + (rank,)
+        results.append((itemset, len(tids)))
+        extensions = []
+        for other_rank, other_tids in items[i + 1 :]:
+            joined = tids & other_tids
+            if len(joined) >= min_support:
+                extensions.append((other_rank, joined))
+        if extensions:
+            _extend(itemset, extensions, min_support, results)
+
+
+@register
+class EclatMiner:
+    """Vertical-format Eclat."""
+
+    name = "eclat"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        table, transactions = prepare_transactions(database, min_support)
+        return [
+            (table.ranks_to_items(ranks), support)
+            for ranks, support in eclat_ranks(transactions, len(table), min_support)
+        ]

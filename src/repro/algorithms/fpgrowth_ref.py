@@ -1,0 +1,8 @@
+"""Registry entry for the reference FP-growth miner (lives in repro.fptree)."""
+
+from repro.algorithms.base import register
+from repro.fptree.growth import FPGrowthMiner
+
+register(FPGrowthMiner)
+
+__all__ = ["FPGrowthMiner"]

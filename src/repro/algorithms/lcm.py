@@ -1,0 +1,110 @@
+"""LCM (ver. 2)-style backtracking with conditional databases (ref [29]).
+
+LCM enumerates frequent itemsets depth-first, extending each prefix with
+items larger than its tail. Two of LCM v2's signature techniques are
+implemented:
+
+* **occurrence deliver** — one sweep over the current conditional database
+  buckets every extension item's support (instead of per-item scans);
+* **database reduction** — the conditional database passed down a branch
+  keeps only items greater than the extension and merges transactions that
+  became identical, summing their weights.
+
+The working set is the (repeatedly projected) transaction database itself —
+no prefix tree — which is why the paper observes LCM's memory scaling with
+the *number of transactions* and its early breakdown on Quest2 (§4.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+def database_bytes(database: list[tuple[tuple[int, ...], int]]) -> int:
+    """Modeled footprint of a (projected) transaction database.
+
+    4 B per item occurrence plus 8 B per transaction record — this is the
+    structure whose size scales with the *number of transactions*, LCM's
+    limiting factor on Quest2 (§4.5).
+    """
+    return sum(len(ranks) * 4 + 8 for ranks, __ in database)
+
+
+def lcm_ranks(
+    transactions: list[list[int]], n_ranks: int, min_support: int, meter=None
+) -> list[tuple[tuple[int, ...], int]]:
+    """LCM-style mining over prepared rank transactions."""
+    database = _reduce(
+        (tuple(ranks), 1) for ranks in transactions
+    )
+    if meter is not None:
+        meter.on_structure_built(database_bytes(database))
+    results: list[tuple[tuple[int, ...], int]] = []
+    _backtrack((), database, min_support, results, meter)
+    return results
+
+
+def _backtrack(
+    prefix: tuple[int, ...],
+    database: list[tuple[tuple[int, ...], int]],
+    min_support: int,
+    results: list,
+    meter=None,
+) -> None:
+    # Occurrence deliver: one pass buckets supports of all extensions.
+    supports: dict[int, int] = defaultdict(int)
+    occurrences = 0
+    for ranks, weight in database:
+        occurrences += len(ranks)
+        for rank in ranks:
+            supports[rank] += weight
+    if meter is not None:
+        meter.add_ops(occurrences, occurrences * 4)
+    for rank in sorted(supports):
+        support = supports[rank]
+        if support < min_support:
+            continue
+        itemset = prefix + (rank,)
+        results.append((itemset, support))
+        # Conditional database: transactions containing rank, reduced to
+        # items beyond it, merged by identity.
+        projected = _reduce(
+            (tuple(r for r in ranks if r > rank), weight)
+            for ranks, weight in database
+            if rank in ranks
+        )
+        if projected:
+            size = database_bytes(projected)
+            if meter is not None:
+                meter.on_structure_built(size)
+            _backtrack(itemset, projected, min_support, results, meter)
+            if meter is not None:
+                meter.on_structure_freed(size)
+
+
+def _reduce(entries) -> list[tuple[tuple[int, ...], int]]:
+    """Database reduction: merge identical transactions, drop empties."""
+    merged: Counter = Counter()
+    for ranks, weight in entries:
+        if ranks:
+            merged[ranks] += weight
+    return list(merged.items())
+
+
+@register
+class LcmMiner:
+    """LCM v2-style conditional-database backtracking."""
+
+    name = "lcm"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        table, transactions = prepare_transactions(database, min_support)
+        return [
+            (table.ranks_to_items(ranks), support)
+            for ranks, support in lcm_ranks(transactions, len(table), min_support)
+        ]

@@ -1,0 +1,181 @@
+"""Patricia-Mine: Patricia-trie representation of the base data (ref [21]).
+
+Pietracaprina & Zandolin store the (rank-sorted) transactions in a Patricia
+trie: maximal single-child chains collapse into one node carrying the whole
+rank run as its label — the idea the paper credits for the CFP-tree's chain
+nodes, minus the byte-level compression.
+
+This module implements the Patricia trie with full insert-time splitting
+(label divergence mid-run, label exhaustion, prefix termination) and mines
+it directly: prefix paths per item are collected by walking the trie once,
+then the usual conditional recursion applies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.fptree.growth import ListCollector
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+#: Bytes per Patricia node header (count, child map ref, label ref/len).
+PATRICIA_HEADER_BYTES = 16
+
+#: Bytes per label element (one 4-byte rank).
+PATRICIA_LABEL_BYTES = 4
+
+
+class PatriciaNode:
+    """A trie node holding a run of ranks as its edge label."""
+
+    __slots__ = ("label", "pcount", "children")
+
+    def __init__(self, label: tuple[int, ...], pcount: int = 0):
+        self.label = label
+        self.pcount = pcount  # transactions ending exactly at this node
+        self.children: dict[int, PatriciaNode] = {}  # keyed by first label rank
+
+
+class PatriciaTrie:
+    """Patricia trie over rank-sorted transactions."""
+
+    def __init__(self, n_ranks: int):
+        self.n_ranks = n_ranks
+        self.root = PatriciaNode(())
+        self.node_count = 0
+
+    @classmethod
+    def from_rank_transactions(
+        cls, transactions: list[list[int]], n_ranks: int
+    ) -> "PatriciaTrie":
+        trie = cls(n_ranks)
+        for ranks in transactions:
+            trie.insert(ranks)
+        return trie
+
+    def insert(self, ranks: list[int], count: int = 1) -> None:
+        if not ranks:
+            return
+        node = self.root
+        i = 0
+        while True:
+            child = node.children.get(ranks[i])
+            if child is None:
+                new = PatriciaNode(tuple(ranks[i:]), count)
+                node.children[ranks[i]] = new
+                self.node_count += 1
+                return
+            label = child.label
+            j = 0
+            while j < len(label) and i < len(ranks) and label[j] == ranks[i]:
+                i += 1
+                j += 1
+            if j == len(label):
+                if i == len(ranks):
+                    child.pcount += count
+                    return
+                node = child
+                continue
+            # Split the child's label at position j.
+            tail = PatriciaNode(label[j:], child.pcount)
+            tail.children = child.children
+            child.label = label[:j]
+            child.children = {tail.label[0]: tail}
+            self.node_count += 1
+            if i == len(ranks):
+                # The transaction ends exactly at the split point.
+                child.pcount = count
+                return
+            child.pcount = 0
+            new = PatriciaNode(tuple(ranks[i:]), count)
+            child.children[ranks[i]] = new
+            self.node_count += 1
+            return
+
+    @property
+    def memory_bytes(self) -> int:
+        total = 0
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            total += PATRICIA_HEADER_BYTES + len(node.label) * PATRICIA_LABEL_BYTES
+            stack.extend(node.children.values())
+        return total
+
+    def prefix_paths(self) -> dict[int, list[tuple[tuple[int, ...], int]]]:
+        """Per rank: ``(ancestor_ranks, count)`` of every occurrence.
+
+        One DFS computes, for every rank position in every label, the path
+        of ranks before it and the cumulative count of the node.
+        """
+        paths: dict[int, list[tuple[tuple[int, ...], int]]] = defaultdict(list)
+
+        def count_of(node: PatriciaNode) -> int:
+            return node.pcount + sum(count_of(c) for c in node.children.values())
+
+        def walk(node: PatriciaNode, prefix: tuple[int, ...]) -> None:
+            count = count_of(node)
+            running = prefix
+            for rank in node.label:
+                paths[rank].append((running, count))
+                running = running + (rank,)
+            for child in node.children.values():
+                walk(child, running)
+
+        for child in self.root.children.values():
+            walk(child, ())
+        return paths
+
+
+def _mine(paths_by_rank, n_ranks, min_support, suffix, collector) -> None:
+    for rank in sorted(paths_by_rank, reverse=True):
+        entries = paths_by_rank[rank]
+        support = sum(count for __, count in entries)
+        if support < min_support:
+            continue
+        itemset = (rank,) + suffix
+        collector.emit(itemset, support)
+        item_counts: dict[int, int] = defaultdict(int)
+        for path, count in entries:
+            for path_rank in path:
+                item_counts[path_rank] += count
+        frequent = {r for r, c in item_counts.items() if c >= min_support}
+        if not frequent:
+            continue
+        conditional = PatriciaTrie(n_ranks)
+        for path, count in entries:
+            filtered = [r for r in path if r in frequent]
+            if filtered:
+                conditional.insert(filtered, count)
+        if conditional.node_count:
+            _mine(
+                conditional.prefix_paths(), n_ranks, min_support, itemset, collector
+            )
+
+
+def patricia_ranks(
+    transactions: list[list[int]], n_ranks: int, min_support: int
+) -> list[tuple[tuple[int, ...], int]]:
+    trie = PatriciaTrie.from_rank_transactions(transactions, n_ranks)
+    collector = ListCollector()
+    _mine(trie.prefix_paths(), n_ranks, min_support, (), collector)
+    return collector.itemsets
+
+
+@register
+class PatriciaMiner:
+    """Patricia-trie miner."""
+
+    name = "patricia"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        table, transactions = prepare_transactions(database, min_support)
+        return [
+            (table.ranks_to_items(ranks), support)
+            for ranks, support in patricia_ranks(
+                transactions, len(table), min_support
+            )
+        ]

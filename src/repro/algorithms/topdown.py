@@ -1,0 +1,68 @@
+"""TopDown: largest-itemsets-first mining (paper §1, ref [32]).
+
+Top-down algorithms construct the largest frequent itemsets first and work
+downwards, re-scanning the database per level. This implementation captures
+that cost profile directly: for ``k`` from the longest transaction down to
+1, it gathers every k-subset occurring in the (prepared) database, counts
+it, and reports the frequent ones.
+
+The per-level subset enumeration is exponential in transaction length —
+which is exactly why the paper's Figure-8 class of prefix-tree algorithms
+superseded this family. The miner guards against pathological inputs with
+``max_transaction_length``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro.algorithms.base import ItemsetResult, register
+from repro.errors import ExperimentError
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+#: Above this transaction length the level-wise subset enumeration is
+#: hopeless; the miner refuses rather than appearing to hang.
+DEFAULT_MAX_TRANSACTION_LENGTH = 24
+
+
+def topdown_ranks(
+    transactions: list[list[int]],
+    min_support: int,
+    max_transaction_length: int = DEFAULT_MAX_TRANSACTION_LENGTH,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Top-down mining over prepared rank transactions."""
+    longest = max((len(t) for t in transactions), default=0)
+    if longest > max_transaction_length:
+        raise ExperimentError(
+            f"topdown cannot handle transactions of length {longest} "
+            f"(limit {max_transaction_length})"
+        )
+    results: list[tuple[tuple[int, ...], int]] = []
+    for size in range(longest, 0, -1):
+        counts: Counter = Counter()
+        for transaction in transactions:
+            if len(transaction) >= size:
+                counts.update(combinations(transaction, size))
+        results.extend(
+            (itemset, count)
+            for itemset, count in counts.items()
+            if count >= min_support
+        )
+    return results
+
+
+@register
+class TopDownMiner:
+    """Largest-first levelwise miner."""
+
+    name = "topdown"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[ItemsetResult]:
+        table, transactions = prepare_transactions(database, min_support)
+        return [
+            (table.ranks_to_items(ranks), support)
+            for ranks, support in topdown_ranks(transactions, min_support)
+        ]

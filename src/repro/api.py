@@ -1,0 +1,79 @@
+"""Top-level convenience API.
+
+These helpers wrap the CFP-growth pipeline for users who just want frequent
+itemsets or the intermediate structures, without touching ranks or arenas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.core.cfp_array import CfpArray
+from repro.core.cfp_growth import cfp_growth
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.util.items import ItemTable, TransactionDatabase, prepare_transactions
+
+
+@dataclass
+class MiningResult:
+    """All frequent itemsets of a database, with lookup helpers."""
+
+    min_support: int
+    itemsets: list[tuple[tuple[Hashable, ...], int]]
+
+    def __len__(self) -> int:
+        return len(self.itemsets)
+
+    def __iter__(self) -> Iterator[tuple[tuple[Hashable, ...], int]]:
+        return iter(self.itemsets)
+
+    def support_of(self, itemset) -> int:
+        """Support of one itemset, or 0 if it is not frequent."""
+        wanted = frozenset(itemset)
+        for items, support in self.itemsets:
+            if frozenset(items) == wanted:
+                return support
+        return 0
+
+    def of_size(self, size: int) -> list[tuple[tuple[Hashable, ...], int]]:
+        """All frequent itemsets of a given cardinality."""
+        return [(items, s) for items, s in self.itemsets if len(items) == size]
+
+
+def mine_frequent_itemsets(
+    database: TransactionDatabase, min_support: int
+) -> MiningResult:
+    """Mine all frequent itemsets with CFP-growth.
+
+    ``min_support`` is the absolute support threshold (number of
+    transactions). Example::
+
+        result = mine_frequent_itemsets([[1, 2], [1, 2, 3], [2, 3]], 2)
+        result.support_of({1, 2})  # -> 2
+    """
+    return MiningResult(min_support, cfp_growth(database, min_support))
+
+
+def build_cfp_tree(
+    database: TransactionDatabase, min_support: int, **tree_options
+) -> tuple[ItemTable, TernaryCfpTree]:
+    """Run only the build phase; returns the item table and the CFP-tree.
+
+    ``tree_options`` pass through to :class:`repro.core.TernaryCfpTree`
+    (``enable_chains``, ``enable_embedding``, ``max_chain_length``).
+    """
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryCfpTree.from_rank_transactions(
+        transactions, len(table), **tree_options
+    )
+    return table, tree
+
+
+def build_cfp_array(
+    database: TransactionDatabase, min_support: int
+) -> tuple[ItemTable, CfpArray]:
+    """Build a CFP-tree and convert it; returns the item table and array."""
+    table, tree = build_cfp_tree(database, min_support)
+    return table, convert(tree)

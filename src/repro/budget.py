@@ -1,0 +1,102 @@
+"""Memory-budgeted mining: pick in-core or out-of-core automatically.
+
+The paper's conclusion: stay in core when the compressed structures fit,
+fall back to disk with CFP-friendly access patterns when they do not.
+:func:`mine_with_budget` operationalizes that decision — it builds the
+CFP-tree, converts it, and then either mines the in-memory CFP-array
+(when tree + array stayed within the budget) or spills the array to disk
+and mines through a buffer pool sized to the remaining budget.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.cfp_growth import mine_array
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import ExperimentError
+from repro.fptree.growth import ListCollector
+from repro.storage import DiskCfpArray, save_cfp_array
+from repro.storage.pagefile import PAGE_SIZE
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+#: Below this many pool pages out-of-core mining cannot make progress
+#: sensibly; the budget must at least cover them.
+MIN_POOL_PAGES = 2
+
+
+@dataclass
+class BudgetReport:
+    """How the budget decision played out."""
+
+    budget_bytes: int
+    tree_bytes: int
+    array_bytes: int
+    went_out_of_core: bool
+    pool_pages: int = 0
+    page_faults: int = 0
+
+
+def mine_with_budget(
+    database: TransactionDatabase,
+    min_support: int,
+    memory_budget: int,
+    spill_dir: str | os.PathLike | None = None,
+) -> tuple[list[tuple[tuple[Hashable, ...], int]], BudgetReport]:
+    """Mine within ``memory_budget`` bytes for the *initial* structures.
+
+    Conditional structures during mining are not charged against the
+    budget (they are transient and small relative to the initial array;
+    §3.5). Returns the itemsets and a report of the decision.
+    """
+    if memory_budget < MIN_POOL_PAGES * PAGE_SIZE:
+        raise ExperimentError(
+            f"budget {memory_budget} below the minimum of "
+            f"{MIN_POOL_PAGES * PAGE_SIZE} bytes"
+        )
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+    tree_bytes = tree.memory_bytes
+    array = convert(tree)
+    array_bytes = array.memory_bytes
+    del tree
+    collector = ListCollector()
+    if array_bytes <= memory_budget:
+        mine_array(array, min_support, collector)
+        report = BudgetReport(
+            budget_bytes=memory_budget,
+            tree_bytes=tree_bytes,
+            array_bytes=array_bytes,
+            went_out_of_core=False,
+        )
+    else:
+        pool_pages = max(MIN_POOL_PAGES, memory_budget // PAGE_SIZE)
+        handle, path = tempfile.mkstemp(
+            suffix=".cfpa", dir=os.fspath(spill_dir) if spill_dir else None
+        )
+        os.close(handle)
+        try:
+            save_cfp_array(array, path)
+            del array
+            with DiskCfpArray(path, pool_pages=pool_pages) as disk:
+                mine_array(disk, min_support, collector)
+                faults = disk.pool.stats.faults
+        finally:
+            os.unlink(path)
+        report = BudgetReport(
+            budget_bytes=memory_budget,
+            tree_bytes=tree_bytes,
+            array_bytes=array_bytes,
+            went_out_of_core=True,
+            pool_pages=pool_pages,
+            page_faults=faults,
+        )
+    itemsets = [
+        (table.ranks_to_items(ranks), support)
+        for ranks, support in collector.itemsets
+    ]
+    return itemsets, report

@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+Usage (after installation)::
+
+    python -m repro mine data.fimi --min-support 100
+    python -m repro mine data.fimi --min-support 100 --algorithm lcm --closed
+    python -m repro stats data.fimi
+    python -m repro convert data.fimi data.bin
+    python -m repro experiment table1
+
+``mine`` accepts FIMI text (default) or the binary format (``.bin``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.algorithms import get_miner, iter_miners
+from repro.datasets.binary import read_binary, write_binary
+from repro.datasets.fimi import read_fimi, write_fimi
+from repro.datasets.stats import dataset_stats
+from repro.errors import ReproError
+from repro.mining import closed_itemsets, maximal_itemsets, top_k_itemsets
+
+#: Experiment modules runnable via `repro experiment <name>`.
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablations",
+    "outofcore",
+    "distributed",
+    "compression_curve",
+)
+
+
+def _load(path: str) -> list[list[int]]:
+    if path.endswith(".bin"):
+        return read_binary(path)
+    return read_fimi(path)
+
+
+def _cmd_mine(args) -> int:
+    database = _load(args.file)
+    started = time.perf_counter()
+    if args.top_k:
+        results = top_k_itemsets(database, args.top_k)
+        kind = f"top-{args.top_k}"
+    elif args.closed:
+        results = closed_itemsets(database, args.min_support)
+        kind = "closed"
+    elif args.maximal:
+        results = maximal_itemsets(database, args.min_support)
+        kind = "maximal"
+    else:
+        results = get_miner(args.algorithm).mine(database, args.min_support)
+        kind = "frequent"
+    elapsed = time.perf_counter() - started
+    results = sorted(results, key=lambda r: (-r[1], len(r[0])))
+    limit = args.limit if args.limit else len(results)
+    for itemset, support in results[:limit]:
+        items = " ".join(str(i) for i in sorted(itemset, key=repr))
+        print(f"{support}\t{items}")
+    print(
+        f"# {len(results)} {kind} itemsets in {elapsed:.2f}s "
+        f"({args.algorithm})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    database = _load(args.file)
+    stats = dataset_stats(args.file, database)
+    print(f"transactions:     {stats.n_transactions:,}")
+    print(f"distinct items:   {stats.distinct_items:,}")
+    print(f"avg. cardinality: {stats.avg_item_cardinality:.2f}")
+    print(f"FIMI text size:   {stats.fimi_bytes:,} bytes")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    database = _load(args.source)
+    if args.target.endswith(".bin"):
+        size = write_binary(args.target, database)
+    else:
+        write_fimi(args.target, database)
+        import os
+
+        size = os.stat(args.target).st_size
+    print(f"wrote {len(database)} transactions, {size:,} bytes")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    print(module.format_report(module.run()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-efficient frequent-itemset mining (CFP-growth)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine frequent itemsets from a dataset")
+    mine.add_argument("file", help="FIMI text file (or .bin binary)")
+    mine.add_argument("--min-support", type=int, default=2)
+    mine.add_argument(
+        "--algorithm", choices=iter_miners(), default="cfp-growth"
+    )
+    mine.add_argument("--closed", action="store_true", help="closed itemsets only")
+    mine.add_argument("--maximal", action="store_true", help="maximal itemsets only")
+    mine.add_argument("--top-k", type=int, default=0, help="k best itemsets")
+    mine.add_argument("--limit", type=int, default=0, help="print at most N rows")
+    mine.set_defaults(func=_cmd_mine)
+
+    stats = sub.add_parser("stats", help="dataset summary statistics")
+    stats.add_argument("file")
+    stats.set_defaults(func=_cmd_stats)
+
+    convert = sub.add_parser("convert", help="convert between text and binary")
+    convert.add_argument("source")
+    convert.add_argument("target")
+    convert.set_defaults(func=_cmd_convert)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Lightweight byte-level compression codecs (paper §2.3).
+
+The CFP structures rely on three static, byte-aligned encodings chosen for
+their very low (de)compression cost:
+
+* :mod:`repro.compress.varint` — variable byte encoding (varint128): an
+  integer is split into 7-bit blocks, each stored in one byte whose high bit
+  signals continuation. Used for every field of the CFP-array.
+* :mod:`repro.compress.zero_suppression` — leading zero-byte suppression for
+  32-bit integers, with a 3-bit mask variant (0-4 bytes suppressed) and a
+  2-bit mask variant (0-3 bytes suppressed, least significant byte always
+  stored). Used for the ``pcount`` and ``delta_item`` fields of the ternary
+  CFP-tree, respectively.
+* :mod:`repro.compress.masks` — packing of the per-node compression mask
+  byte (2 bits for ``delta_item``, 3 bits for ``pcount``, 3 presence bits for
+  the ``left``/``right``/``suffix`` pointers).
+
+All codecs operate on plain ``bytearray``/``bytes`` buffers so that encoded
+sizes are exact physical byte counts.
+"""
+
+from repro.compress.masks import (
+    NodeMask,
+    pack_node_mask,
+    unpack_node_mask,
+)
+from repro.compress.varint import (
+    decode_from,
+    encode,
+    encode_into,
+    encoded_size,
+    skip,
+)
+from repro.compress.zero_suppression import (
+    decode_2bit,
+    decode_3bit,
+    encode_2bit,
+    encode_3bit,
+    leading_zero_bytes,
+    payload_size_2bit,
+    payload_size_3bit,
+)
+
+__all__ = [
+    "NodeMask",
+    "pack_node_mask",
+    "unpack_node_mask",
+    "encode",
+    "encode_into",
+    "encoded_size",
+    "decode_from",
+    "skip",
+    "leading_zero_bytes",
+    "encode_3bit",
+    "decode_3bit",
+    "encode_2bit",
+    "decode_2bit",
+    "payload_size_3bit",
+    "payload_size_2bit",
+]

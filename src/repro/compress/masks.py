@@ -1,0 +1,78 @@
+"""Per-node compression-mask byte of the ternary CFP-tree (paper §3.3).
+
+Every standard node starts with one mask byte that describes how the rest of
+the node is laid out:
+
+* bits 7-6 — 2-bit zero-suppression mask for ``delta_item`` (0-3 suppressed
+  leading zero bytes; the least significant byte is always stored),
+* bits 5-3 — 3-bit zero-suppression mask for ``pcount`` (0-4 suppressed
+  bytes; the value 0 stores no payload),
+* bits 2-0 — presence bits for the ``left``, ``right`` and ``suffix``
+  pointers (1 = a 40-bit pointer follows, 0 = null pointer, nothing stored).
+
+This is the paper's Figure 4 layout: e.g. ``delta_item = 3`` (mask ``11``),
+``pcount = 0`` (mask ``100``), only the suffix pointer present (``001``)
+packs to ``0b11100001``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import CodecError
+
+
+class NodeMask(NamedTuple):
+    """Decoded contents of a compression-mask byte."""
+
+    item_mask: int
+    """2-bit zero-suppression mask for ``delta_item`` (0-3)."""
+
+    pcount_mask: int
+    """3-bit zero-suppression mask for ``pcount`` (0-4)."""
+
+    left_present: bool
+    """Whether a left-sibling pointer is stored."""
+
+    right_present: bool
+    """Whether a right-sibling pointer is stored."""
+
+    suffix_present: bool
+    """Whether a suffix (first-child) pointer is stored."""
+
+
+def pack_node_mask(
+    item_mask: int,
+    pcount_mask: int,
+    left_present: bool,
+    right_present: bool,
+    suffix_present: bool,
+) -> int:
+    """Pack the five mask components into one byte."""
+    if not 0 <= item_mask <= 3:
+        raise CodecError(f"item mask out of range: {item_mask}")
+    if not 0 <= pcount_mask <= 4:
+        raise CodecError(f"pcount mask out of range: {pcount_mask}")
+    return (
+        (item_mask << 6)
+        | (pcount_mask << 3)
+        | (bool(left_present) << 2)
+        | (bool(right_present) << 1)
+        | bool(suffix_present)
+    )
+
+
+def unpack_node_mask(byte: int) -> NodeMask:
+    """Unpack a compression-mask byte into its components."""
+    if not 0 <= byte <= 0xFF:
+        raise CodecError(f"mask byte out of range: {byte}")
+    pcount_mask = (byte >> 3) & 0x7
+    if pcount_mask > 4:
+        raise CodecError(f"corrupt mask byte {byte:#04x}: pcount mask {pcount_mask} > 4")
+    return NodeMask(
+        item_mask=(byte >> 6) & 0x3,
+        pcount_mask=pcount_mask,
+        left_present=bool(byte & 0x4),
+        right_present=bool(byte & 0x2),
+        suffix_present=bool(byte & 0x1),
+    )

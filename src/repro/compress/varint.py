@@ -1,0 +1,147 @@
+"""Variable byte encoding (varint128, paper §2.3).
+
+An unsigned integer is split into 7-bit blocks stored in successive bytes.
+The *low* 7 bits of each byte carry the block; the high bit is a continuation
+flag (1 = another block follows, 0 = last byte). Blocks are stored least
+significant first, matching the classic varint128 layout.
+
+Example from the paper: ``0x00000090`` (144) encodes to two bytes
+``10010000 00000001`` — first byte carries the low 7 bits (``0010000``) with
+the continuation bit set, second byte carries the remaining bit.
+
+Compared to leading zero-byte suppression this codec needs no separate
+compression mask and is one byte for all values below 128, but the encoded
+length cannot be looked up without scanning the continuation bits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptBufferError, ValueOutOfRangeError
+
+#: Largest value the codecs accept. The paper's fields are 32-bit; we allow
+#: the full 64-bit range so positions in large CFP-arrays always fit.
+MAX_VALUE = (1 << 64) - 1
+
+#: Longest possible encoding we accept when decoding (64 bits / 7 per byte).
+MAX_ENCODED_LENGTH = 10
+
+
+def encoded_size(value: int) -> int:
+    """Return the number of bytes ``value`` occupies when varint-encoded.
+
+    >>> encoded_size(0), encoded_size(127), encoded_size(128)
+    (1, 1, 2)
+    """
+    _check_value(value)
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+def encode(value: int) -> bytes:
+    """Encode ``value`` and return the bytes.
+
+    >>> encode(0x90).hex()
+    '9001'
+    """
+    _check_value(value)
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def encode_into(buf: bytearray, offset: int, value: int) -> int:
+    """Encode ``value`` into ``buf`` starting at ``offset``.
+
+    The buffer must already be large enough. Returns the offset just past the
+    encoded value.
+    """
+    _check_value(value)
+    while value >= 0x80:
+        buf[offset] = (value & 0x7F) | 0x80
+        value >>= 7
+        offset += 1
+    buf[offset] = value
+    return offset + 1
+
+
+def decode_from(buf, offset: int = 0) -> tuple[int, int]:
+    """Decode one varint from ``buf`` at ``offset``.
+
+    Returns ``(value, new_offset)`` where ``new_offset`` points just past the
+    encoded value. Raises :class:`CorruptBufferError` if the buffer ends
+    mid-value or the encoding exceeds :data:`MAX_ENCODED_LENGTH` bytes.
+    """
+    value = 0
+    shift = 0
+    end = len(buf)
+    start = offset
+    while True:
+        if offset >= end:
+            raise CorruptBufferError(
+                f"varint truncated at offset {offset} (started at {start})"
+            )
+        if offset - start >= MAX_ENCODED_LENGTH:
+            raise CorruptBufferError(
+                f"varint longer than {MAX_ENCODED_LENGTH} bytes at offset {start}"
+            )
+        byte = buf[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def skip(buf, offset: int = 0) -> int:
+    """Return the offset just past the varint starting at ``offset``.
+
+    Equivalent to ``decode_from(buf, offset)[1]`` but does not build the
+    value; used on hot traversal paths where a field is not needed.
+    """
+    end = len(buf)
+    start = offset
+    while True:
+        if offset >= end:
+            raise CorruptBufferError(
+                f"varint truncated at offset {offset} (started at {start})"
+            )
+        if offset - start >= MAX_ENCODED_LENGTH:
+            raise CorruptBufferError(
+                f"varint longer than {MAX_ENCODED_LENGTH} bytes at offset {start}"
+            )
+        byte = buf[offset]
+        offset += 1
+        if not byte & 0x80:
+            return offset
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to unsigned for varint encoding.
+
+    0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ... Used for the CFP-array's ``dpos``
+    field, which can be negative (a child's local position may precede its
+    parent's when their subarrays fill at different rates).
+    """
+    if value >= 0:
+        return value << 1
+    return ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    if value & 1:
+        return -((value + 1) >> 1)
+    return value >> 1
+
+
+def _check_value(value: int) -> None:
+    if not isinstance(value, int):
+        raise ValueOutOfRangeError(f"varint requires an int, got {type(value).__name__}")
+    if value < 0 or value > MAX_VALUE:
+        raise ValueOutOfRangeError(f"varint value out of range: {value}")

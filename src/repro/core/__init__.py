@@ -1,0 +1,34 @@
+"""The paper's contribution: CFP-tree, CFP-array, and CFP-growth (§3).
+
+* :class:`repro.core.CfpTree` — the *logical* CFP-tree: structurally an
+  FP-tree, but storing ``delta_item`` (item-rank delta to the parent) and
+  ``pcount`` (partial count incremented only at the end of each inserted
+  prefix). Used as the readable reference and in tests.
+* :class:`repro.core.TernaryCfpTree` — the compressed *physical* CFP-tree
+  (§3.3): standard nodes with a compression-mask byte, embedded leaf nodes
+  inside parent pointer slots, and chain nodes, all served by the
+  Appendix-A memory manager. This is the build-phase structure.
+* :class:`repro.core.CfpArray` — the mine-phase structure (§3.4): per-item
+  subarrays of varint-encoded ``(delta_item, dpos, count)`` triples plus an
+  item index replacing the nodelinks.
+* :func:`repro.core.convert` — the two-pass CFP-tree -> CFP-array
+  conversion (§3.5).
+* :class:`repro.core.CfpGrowth` — the full miner: build a ternary CFP-tree,
+  convert, then recursively mine with conditional CFP-trees/arrays.
+"""
+
+from repro.core.cfp_array import CfpArray
+from repro.core.cfp_growth import CfpGrowth, cfp_growth
+from repro.core.cfp_tree import CfpNode, CfpTree
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+
+__all__ = [
+    "CfpNode",
+    "CfpTree",
+    "TernaryCfpTree",
+    "CfpArray",
+    "convert",
+    "CfpGrowth",
+    "cfp_growth",
+]

@@ -1,0 +1,28 @@
+"""Field accounting for the CFP structures (paper §3.2 Table 2, §4.2 Fig 6).
+
+Table 2 shows why the CFP-tree compresses so well: after the structural
+changes, ``pcount`` is zero for almost every node (4 leading zero bytes) and
+``delta_item`` almost always fits one byte. These functions compute the same
+distributions for any tree built by this library.
+"""
+
+from __future__ import annotations
+
+from repro.fptree.accounting import FieldDistribution
+
+#: Fields of a logical CFP-tree node (Table 2 rows).
+CFP_FIELDS = ("delta_item", "pcount")
+
+
+def cfp_field_distributions(tree) -> dict[str, FieldDistribution]:
+    """Leading-zero-byte distributions of ``delta_item`` and ``pcount``.
+
+    ``tree`` may be a :class:`repro.core.TernaryCfpTree` or any object with
+    ``iter_nodes_with_parent()`` yielding ``(rank, pcount, parent_rank)``.
+    """
+    delta_dist = FieldDistribution()
+    pcount_dist = FieldDistribution()
+    for rank, pcount, parent_rank in tree.iter_nodes_with_parent():
+        delta_dist.add(rank - parent_rank)
+        pcount_dist.add(pcount)
+    return {"delta_item": delta_dist, "pcount": pcount_dist}

@@ -1,0 +1,179 @@
+"""The CFP-array: the mine-phase structure (paper §3.4).
+
+The FP-tree is flattened into one byte buffer of varint-encoded triples
+``(delta_item, dpos, count)``, ordered so that all nodes of one item form a
+consecutive *subarray*. Because same-item nodes are contiguous, the
+``nodelink`` field becomes redundant: sideward traversal is a sequential
+scan of the subarray, guided by a small **item index** that maps each rank
+to its subarray's starting byte offset.
+
+Per-node fields:
+
+* ``delta_item`` — rank delta to the parent; for children of the root it
+  equals the rank itself (``parent_rank = rank - delta_item == 0`` marks
+  "no parent", as in the paper's Figure 5).
+* ``dpos`` — delta between the node's *local position* (byte offset within
+  its subarray, as the paper prescribes for variable-size nodes) and its
+  parent's local position within the parent's subarray. Because parent and
+  child live in different subarrays that fill at different rates, the delta
+  can be negative; it is zigzag-mapped before varint encoding (a detail the
+  paper leaves open).
+* ``count`` — the full cumulative count (partial counts cannot be
+  reconstructed without child access, §3.4). Stored last so that backward
+  traversal never decodes it.
+
+Backward traversal from a node ``(rank, local)``: ``parent_rank = rank -
+delta_item``; ``parent_local = local - dpos``; the parent's global offset is
+``starts[parent_rank] + parent_local``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.compress import varint
+from repro.errors import TreeError
+from repro.memman.pointers import POINTER_SIZE
+
+
+class CfpArray:
+    """Byte-packed CFP-array with its item index.
+
+    Built by :func:`repro.core.conversion.convert`; the constructor takes
+    the finished buffer and index.
+    """
+
+    def __init__(self, n_ranks: int, buffer: bytearray, starts: list[int]):
+        if len(starts) != n_ranks + 2:
+            raise TreeError(
+                f"item index must have n_ranks+2 entries, got {len(starts)}"
+            )
+        if starts[1] != 0 or starts[-1] != len(buffer):
+            raise TreeError("item index does not span the buffer")
+        self.n_ranks = n_ranks
+        self.buffer = buffer
+        #: ``starts[rank]`` = first byte of the rank's subarray;
+        #: ``starts[rank + 1]`` = one past its last byte. Entry 0 is unused.
+        self.starts = starts
+        self._node_count: int | None = None
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Buffer bytes plus the item index (one 40-bit offset per rank)."""
+        return len(self.buffer) + (self.n_ranks + 1) * POINTER_SIZE
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes across all subarrays (computed lazily)."""
+        if self._node_count is None:
+            self._node_count = sum(
+                1 for rank in range(1, self.n_ranks + 1) for __ in self.iter_subarray(rank)
+            )
+        return self._node_count
+
+    def average_node_size(self) -> float:
+        """Bytes per node including the index — the Figure 6(b) metric."""
+        count = self.node_count
+        if count == 0:
+            return 0.0
+        return self.memory_bytes / count
+
+    def subarray_bytes(self, rank: int) -> int:
+        """Byte length of one rank's subarray."""
+        self._check_rank(rank)
+        return self.starts[rank + 1] - self.starts[rank]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def iter_subarray(self, rank: int) -> Iterator[tuple[int, int, int, int]]:
+        """Sideward traversal: ``(local, delta_item, dpos, count)`` per node."""
+        self._check_rank(rank)
+        buf = self.buffer
+        start = self.starts[rank]
+        end = self.starts[rank + 1]
+        offset = start
+        while offset < end:
+            local = offset - start
+            delta_item, offset = varint.decode_from(buf, offset)
+            dpos_raw, offset = varint.decode_from(buf, offset)
+            count, offset = varint.decode_from(buf, offset)
+            yield local, delta_item, varint.unzigzag(dpos_raw), count
+
+    def node_at(self, rank: int, local: int) -> tuple[int, int, int]:
+        """Decode the triple at a (rank, local-offset) position."""
+        self._check_rank(rank)
+        offset = self.starts[rank] + local
+        if not self.starts[rank] <= offset < self.starts[rank + 1]:
+            raise TreeError(f"local offset {local} outside subarray of rank {rank}")
+        buf = self.buffer
+        delta_item, offset = varint.decode_from(buf, offset)
+        dpos_raw, offset = varint.decode_from(buf, offset)
+        count, __ = varint.decode_from(buf, offset)
+        return delta_item, varint.unzigzag(dpos_raw), count
+
+    def path_ranks(self, rank: int, local: int) -> list[int]:
+        """Backward traversal: ancestor ranks of the node, ascending.
+
+        The ``count`` field is never decoded on this walk (§3.4's field-order
+        rationale).
+        """
+        buf = self.buffer
+        starts = self.starts
+        path = []
+        while True:
+            offset = starts[rank] + local
+            delta_item, offset = varint.decode_from(buf, offset)
+            dpos_raw, __ = varint.decode_from(buf, offset)
+            parent_rank = rank - delta_item
+            if parent_rank == 0:
+                break
+            local = local - varint.unzigzag(dpos_raw)
+            rank = parent_rank
+            path.append(rank)
+        path.reverse()
+        return path
+
+    def rank_support(self, rank: int) -> int:
+        """Support of an item: the sum of its subarray's counts."""
+        return sum(count for __, __, __, count in self.iter_subarray(rank))
+
+    def active_ranks_descending(self) -> Iterator[int]:
+        """Ranks with a non-empty subarray, least frequent first."""
+        for rank in range(self.n_ranks, 0, -1):
+            if self.starts[rank + 1] > self.starts[rank]:
+                yield rank
+
+    def item_of_position(self, offset: int) -> int:
+        """Rank owning the byte at ``offset`` — largest start <= offset.
+
+        The paper notes the item field *could* be dropped because the index
+        answers this; provided for completeness and used in tests.
+        """
+        if not 0 <= offset < len(self.buffer):
+            raise TreeError(f"offset {offset} outside the CFP-array buffer")
+        low, high = 1, self.n_ranks
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self.starts[mid] <= offset:
+                low = mid
+            else:
+                high = mid - 1
+        # Skip over empty subarrays that share the same start.
+        while self.starts[low + 1] == self.starts[low]:
+            low -= 1
+        return low
+
+    def _check_rank(self, rank: int) -> None:
+        if not 1 <= rank <= self.n_ranks:
+            raise TreeError(f"rank {rank} outside 1..{self.n_ranks}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CfpArray(n_ranks={self.n_ranks}, bytes={len(self.buffer)})"
+        )

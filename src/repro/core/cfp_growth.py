@@ -1,0 +1,145 @@
+"""CFP-growth: FP-growth over the compressed structures (paper §3, §4).
+
+The algorithm is FP-growth with both phases re-based on the CFP structures:
+
+1. **Build** — two database passes produce a ternary CFP-tree.
+2. **Convert** — the tree becomes a CFP-array; the tree is discarded
+   immediately afterwards so its memory can serve the mine phase (§3.5).
+3. **Mine** — items are processed least frequent first. For each item, the
+   prefix paths are collected by backward traversal in the CFP-array, a
+   *conditional* CFP-tree is built from them, converted, and mined
+   recursively. Trees that degenerate to a single path are enumerated
+   directly without conversion.
+
+The miner is instrumented: a :class:`repro.machine.Meter` (optional)
+receives structure-size samples and operation counts that drive the
+simulated-machine experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from repro.algorithms.base import register
+from repro.core.cfp_array import CfpArray
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.fptree.growth import ListCollector
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+def mine_array(
+    array: CfpArray,
+    min_support: int,
+    collector,
+    suffix: tuple[int, ...] = (),
+    meter=None,
+) -> None:
+    """Recursively mine a CFP-array (the §2.1 mine loop on §3.4 structures)."""
+    for rank in array.active_ranks_descending():
+        support = array.rank_support(rank)
+        if support < min_support:
+            continue
+        itemset = (rank,) + suffix
+        collector.emit(itemset, support)
+        conditional = _conditional_tree(array, rank, min_support, meter)
+        if conditional is None:
+            continue
+        path = conditional.single_path()
+        if path is not None:
+            if path:
+                collector.emit_path_subsets(path, itemset)
+            if meter is not None:
+                meter.on_structure_freed(conditional.memory_bytes)
+            continue
+        cond_array = convert(conditional)
+        if meter is not None:
+            meter.on_conversion(conditional, cond_array)
+        # The conditional tree is discarded here; only the array recurses.
+        del conditional
+        mine_array(cond_array, min_support, collector, itemset, meter)
+        if meter is not None:
+            meter.on_structure_freed(cond_array.memory_bytes)
+
+
+def _conditional_tree(
+    array: CfpArray, rank: int, min_support: int, meter=None
+) -> TernaryCfpTree | None:
+    """Build the conditional CFP-tree for ``rank`` from its prefix paths."""
+    paths = []
+    counts: dict[int, int] = defaultdict(int)
+    for local, __, __, count in array.iter_subarray(rank):
+        path = array.path_ranks(rank, local)
+        if path:
+            paths.append((path, count))
+            for path_rank in path:
+                counts[path_rank] += count
+    if meter is not None:
+        meter.on_mine_scan(array.subarray_bytes(rank), sum(len(p) for p, __ in paths))
+    frequent = {r for r, c in counts.items() if c >= min_support}
+    if not frequent:
+        return None
+    conditional = TernaryCfpTree(array.n_ranks)
+    inserted = False
+    for path, count in paths:
+        filtered = [r for r in path if r in frequent]
+        if filtered:
+            conditional.insert(filtered, count)
+            inserted = True
+    if not inserted:
+        return None
+    if meter is not None:
+        meter.on_structure_built(conditional.memory_bytes)
+    return conditional
+
+
+def mine_rank_transactions(
+    transactions: list[list[int]],
+    n_ranks: int,
+    min_support: int,
+    collector=None,
+    meter=None,
+):
+    """Full CFP-growth over prepared rank transactions; returns the collector."""
+    if collector is None:
+        collector = ListCollector()
+    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+    if meter is not None:
+        meter.on_build(tree)
+    path = tree.single_path()
+    if path is not None:
+        if path:
+            collector.emit_path_subsets(path, ())
+        return collector
+    array = convert(tree)
+    if meter is not None:
+        meter.on_conversion(tree, array)
+    del tree  # §3.5: the CFP-tree is discarded right after conversion.
+    mine_array(array, min_support, collector, (), meter)
+    return collector
+
+
+def cfp_growth(
+    database: TransactionDatabase, min_support: int
+) -> list[tuple[tuple[Hashable, ...], int]]:
+    """End-to-end CFP-growth over an item-level database."""
+    table, transactions = prepare_transactions(database, min_support)
+    collector = ListCollector()
+    mine_rank_transactions(transactions, len(table), min_support, collector)
+    return [
+        (table.ranks_to_items(ranks), support)
+        for ranks, support in collector.itemsets
+    ]
+
+
+@register
+class CfpGrowth:
+    """Miner-interface wrapper around :func:`cfp_growth`."""
+
+    name = "cfp-growth"
+
+    def mine(
+        self, database: TransactionDatabase, min_support: int
+    ) -> list[tuple[tuple[Hashable, ...], int]]:
+        return cfp_growth(database, min_support)

@@ -1,0 +1,149 @@
+"""The logical CFP-tree (paper §3.2).
+
+Structurally identical to the FP-tree; the information per node differs:
+
+* ``delta_item`` — the difference between the node's item rank and its
+  parent's. Along any root-to-leaf path ranks strictly increase, so
+  ``delta_item >= 1``; the absolute rank is the running sum of deltas.
+* ``pcount`` — the *partial count*. Inserting a prefix increments only the
+  final node's pcount (an FP-tree increments every node on the path), so
+
+      count(v) = pcount(v) + sum of pcount over all descendants of v,
+
+  and the sum of all pcounts equals the number of inserted transactions.
+  Most nodes end no transaction, so most pcounts are zero — which is what
+  makes the 3-bit zero-suppression mask so effective (Table 2).
+
+This object-based implementation is the readable reference; the compressed
+physical representation lives in :mod:`repro.core.ternary`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import TreeError
+from repro.fptree.tree import FPTree
+
+
+class CfpNode:
+    """One logical CFP-tree node."""
+
+    __slots__ = ("delta_item", "pcount", "children")
+
+    def __init__(self, delta_item: int, pcount: int = 0):
+        self.delta_item = delta_item
+        self.pcount = pcount
+        #: Children keyed by absolute rank (kept absolute for navigation;
+        #: each child's ``delta_item`` is relative to this node).
+        self.children: dict[int, CfpNode] = {}
+
+    def count(self) -> int:
+        """Reconstruct the FP-tree count: pcount summed over the subtree."""
+        total = self.pcount
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            total += node.pcount
+            stack.extend(node.children.values())
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CfpNode(delta={self.delta_item}, pcount={self.pcount})"
+
+
+class CfpTree:
+    """A logical CFP-tree built from rank-sorted transactions."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 0:
+            raise TreeError(f"n_ranks must be non-negative, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.root = CfpNode(0)
+        self._node_count = 0
+        self._transaction_count = 0
+
+    @classmethod
+    def from_rank_transactions(
+        cls, transactions: Iterable[list[int]], n_ranks: int
+    ) -> "CfpTree":
+        tree = cls(n_ranks)
+        for ranks in transactions:
+            tree.insert(ranks)
+        return tree
+
+    def insert(self, ranks: list[int], count: int = 1) -> None:
+        """Insert a rank-sorted transaction, bumping only the final pcount."""
+        if not ranks:
+            return
+        node = self.root
+        parent_rank = 0
+        for rank in ranks:
+            child = node.children.get(rank)
+            if child is None:
+                child = CfpNode(rank - parent_rank)
+                node.children[rank] = child
+                self._node_count += 1
+            node = child
+            parent_rank = rank
+        node.pcount += count
+        self._transaction_count += count
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes, excluding the virtual root."""
+        return self._node_count
+
+    @property
+    def transaction_count(self) -> int:
+        """Transactions inserted — equals the sum of all pcounts (§3.2)."""
+        return self._transaction_count
+
+    def iter_nodes(self) -> Iterator[tuple[int, CfpNode]]:
+        """Depth-first ``(absolute_rank, node)`` pairs, excluding the root."""
+        stack = [(rank, node) for rank, node in self.root.children.items()]
+        while stack:
+            rank, node = stack.pop()
+            yield rank, node
+            stack.extend(node.children.items())
+
+    def total_pcount(self) -> int:
+        """Sum of every node's pcount (must equal ``transaction_count``)."""
+        return sum(node.pcount for __, node in self.iter_nodes())
+
+    @classmethod
+    def from_fp_tree(cls, fp_tree: FPTree) -> "CfpTree":
+        """Derive the CFP-tree corresponding to an FP-tree.
+
+        ``pcount(v) = count(v) - sum of children's counts`` — the number of
+        transactions that end exactly at ``v``.
+        """
+        tree = cls(fp_tree.n_ranks)
+        stack = [(fp_tree.root, tree.root, 0)]
+        while stack:
+            fp_node, cfp_node, parent_rank = stack.pop()
+            for rank, fp_child in fp_node.children.items():
+                child_sum = sum(c.count for c in fp_child.children.values())
+                cfp_child = CfpNode(rank - parent_rank, fp_child.count - child_sum)
+                cfp_node.children[rank] = cfp_child
+                tree._node_count += 1
+                tree._transaction_count += cfp_child.pcount
+                stack.append((fp_child, cfp_child, rank))
+        return tree
+
+    def to_fp_tree(self) -> FPTree:
+        """Reconstruct the equivalent FP-tree (cumulative counts, nodelinks)."""
+        fp_tree = FPTree(self.n_ranks)
+        self._rebuild(self.root, [], fp_tree)
+        return fp_tree
+
+    def _rebuild(self, node: CfpNode, path: list[int], fp_tree: FPTree) -> None:
+        if node.pcount:
+            fp_tree.insert(path, node.pcount)
+        for rank in sorted(node.children):
+            path.append(rank)
+            self._rebuild(node.children[rank], path, fp_tree)
+            path.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CfpTree(n_ranks={self.n_ranks}, nodes={self._node_count})"

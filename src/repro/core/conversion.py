@@ -1,0 +1,121 @@
+"""Conversion of a ternary CFP-tree into a CFP-array (paper §3.5).
+
+The paper performs two passes over the CFP-tree: a sizing pass and a
+placement pass, both depth-first in the same order, with ``dpos`` values
+obtained from a stack holding the path from the root to the current node.
+
+This implementation adds one preliminary traversal: the CFP-array stores
+*cumulative* counts, which are only known once a node's whole subtree has
+been visited, while a node's encoded size (needed by the sizing cursor) must
+be known at preorder time. The counts pass reconstructs cumulative counts
+from partial counts by postorder accumulation; the paper's C++ code can
+fold this into its sizing pass because it tracks per-node state in the tree
+itself, which the compressed byte format deliberately has no room for.
+
+Per-subarray writes in the placement pass are strictly sequential — the
+property that makes conversion behave well under memory pressure (§3.5).
+"""
+
+from __future__ import annotations
+
+from repro.compress import varint
+from repro.core.cfp_array import CfpArray
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import ConversionError
+
+
+def cumulative_counts(tree: TernaryCfpTree) -> list[int]:
+    """Cumulative count per node in DFS preorder.
+
+    ``count(v) = pcount(v) + sum of counts of v's children`` (§3.2),
+    computed by accumulating child totals into parents at leave events.
+    """
+    counts: list[int] = []
+    index_stack = [-1]
+    for kind, __, pcount in tree.iter_events():
+        if kind == "enter":
+            index_stack.append(len(counts))
+            counts.append(pcount)
+        else:
+            index = index_stack.pop()
+            parent = index_stack[-1]
+            if parent >= 0:
+                counts[parent] += counts[index]
+    return counts
+
+
+def _traverse(tree: TernaryCfpTree, counts: list[int], visit) -> None:
+    """Shared DFS skeleton of the sizing and placement passes.
+
+    Calls ``visit(rank, delta_item, dpos, count) -> local_cursor_advance``
+    for every node in preorder; maintains the per-rank local cursors and the
+    root-path stack of ``(rank, local_position)`` pairs.
+    """
+    cursors = [0] * (tree.n_ranks + 1)
+    path: list[tuple[int, int]] = [(0, 0)]
+    index = 0
+    for kind, rank, __ in tree.iter_events():
+        if kind == "enter":
+            parent_rank, parent_local = path[-1]
+            local = cursors[rank]
+            if parent_rank == 0:
+                delta_item, dpos = rank, 0
+            else:
+                delta_item = rank - parent_rank
+                dpos = local - parent_local
+            size = visit(rank, delta_item, dpos, counts[index])
+            cursors[rank] = local + size
+            path.append((rank, local))
+            index += 1
+        else:
+            path.pop()
+
+
+def convert(tree: TernaryCfpTree) -> CfpArray:
+    """Transform a built CFP-tree into the mine-phase CFP-array."""
+    counts = cumulative_counts(tree)
+    n_ranks = tree.n_ranks
+
+    # Sizing pass: per-rank subarray byte sizes.
+    sizes = [0] * (n_ranks + 1)
+
+    def measure(rank: int, delta_item: int, dpos: int, count: int) -> int:
+        size = (
+            varint.encoded_size(delta_item)
+            + varint.encoded_size(varint.zigzag(dpos))
+            + varint.encoded_size(count)
+        )
+        sizes[rank] += size
+        return size
+
+    _traverse(tree, counts, measure)
+
+    starts = [0] * (n_ranks + 2)
+    total = 0
+    for rank in range(1, n_ranks + 1):
+        total += sizes[rank]
+        starts[rank + 1] = total
+    buffer = bytearray(total)
+
+    # Placement pass: write each triple at its final position.
+    written = [0] * (n_ranks + 1)
+
+    def place(rank: int, delta_item: int, dpos: int, count: int) -> int:
+        offset = starts[rank] + written[rank]
+        end = varint.encode_into(buffer, offset, delta_item)
+        end = varint.encode_into(buffer, end, varint.zigzag(dpos))
+        end = varint.encode_into(buffer, end, count)
+        written[rank] = end - starts[rank]
+        return end - offset
+
+    _traverse(tree, counts, place)
+
+    for rank in range(1, n_ranks + 1):
+        if written[rank] != sizes[rank]:
+            raise ConversionError(
+                f"subarray of rank {rank} filled {written[rank]} of "
+                f"{sizes[rank]} bytes"
+            )
+    array = CfpArray(n_ranks, buffer, starts)
+    array._node_count = len(counts)
+    return array

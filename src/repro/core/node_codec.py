@@ -1,0 +1,282 @@
+"""Byte layouts of ternary CFP-tree nodes (paper §3.3).
+
+Three node kinds share the arena:
+
+**Standard node** — the paper's Figure 4 layout::
+
+    +------+-----------+---------+------+-------+--------+
+    | mask | delta_item| pcount  | left | right | suffix |
+    | 1 B  | 1-4 B     | 0-4 B   | 5 B? | 5 B?  | 5 B?   |
+    +------+-----------+---------+------+-------+--------+
+
+  The mask byte packs the 2-bit zero-suppression mask for ``delta_item``,
+  the 3-bit mask for ``pcount`` and three pointer presence bits
+  (:mod:`repro.compress.masks`). Pointers are stored only when present.
+
+**Embedded leaf** — a small leaf stored *inside* its parent's 5-byte pointer
+  slot: marker byte ``0xFF``, one byte ``delta_item`` (< 256), three bytes
+  ``pcount`` (< 2^24). The memory manager never allocates addresses whose
+  top pointer byte is ``0xFF``, so the marker is unambiguous.
+
+**Chain node** — a run of single-child nodes packed into one chunk. The
+  paper describes chains but not their exact bytes; this implementation
+  uses::
+
+    +------+--------+----------------+------+-------+--------+
+    | tag  | length | entries        | left | right | suffix |
+    | 1 B  | 1 B    | 1+ B per entry | 5 B? | 5 B?  | 5 B?   |
+    +------+--------+----------------+------+-------+--------+
+
+  The tag byte reuses the mask layout with the (otherwise impossible)
+  pcount-mask value 7 as the chain marker, and the same three presence
+  bits. ``left``/``right`` attach the chain's *first* element into its
+  sibling BST; ``suffix`` continues below the *last* element. Each entry is
+  a single byte ``delta_item`` in 1..255 (meaning pcount 0 — the common
+  case), or the escape byte ``0x00`` followed by varint ``delta_item`` and
+  varint ``pcount``. This keeps the >90%-typical interior node at one byte.
+
+Pointer slots are handled as raw 5-byte strings throughout so embedded
+leaves move with their slot during restructures.
+"""
+
+from __future__ import annotations
+
+from repro.compress import varint
+from repro.compress.masks import pack_node_mask, unpack_node_mask
+from repro.compress.zero_suppression import (
+    decode_2bit,
+    decode_3bit,
+    encode_2bit,
+    encode_3bit,
+)
+from repro.errors import ChainOverflowError, CorruptBufferError
+from repro.memman.pointers import MARKER_BYTE, POINTER_SIZE
+
+#: pcount-mask value that tags a chain node (a real pcount mask is 0-4).
+CHAIN_TAG = 7
+
+#: Escape byte opening an extended chain entry.
+CHAIN_ESCAPE = 0x00
+
+#: Maximum elements per chain node (paper §4.1 fixes 15).
+DEFAULT_MAX_CHAIN_LENGTH = 15
+
+#: An all-zero slot (the null pointer).
+NULL_SLOT = bytes(POINTER_SIZE)
+
+#: pcount bound for embedded leaves (< 2^24 fits the 3 payload bytes).
+EMBEDDED_PCOUNT_LIMIT = 1 << 24
+
+
+# ----------------------------------------------------------------------
+# Embedded leaves (5-byte slot payloads)
+# ----------------------------------------------------------------------
+
+def leaf_embeddable(delta_item: int, pcount: int) -> bool:
+    """True when a leaf fits the embedded layout (paper §3.3)."""
+    return 0 <= delta_item < 256 and 0 <= pcount < EMBEDDED_PCOUNT_LIMIT
+
+
+def encode_embedded_leaf(delta_item: int, pcount: int) -> bytes:
+    """Encode an embedded leaf as 5 slot bytes."""
+    if not leaf_embeddable(delta_item, pcount):
+        raise CorruptBufferError(
+            f"leaf (delta={delta_item}, pcount={pcount}) is not embeddable"
+        )
+    return bytes([MARKER_BYTE, delta_item]) + pcount.to_bytes(3, "big")
+
+
+def decode_embedded_leaf(raw: bytes) -> tuple[int, int]:
+    """Decode 5 slot bytes into ``(delta_item, pcount)``."""
+    if len(raw) != POINTER_SIZE or raw[0] != MARKER_BYTE:
+        raise CorruptBufferError(f"not an embedded leaf slot: {raw!r}")
+    return raw[1], int.from_bytes(raw[2:5], "big")
+
+
+def slot_is_embedded(raw: bytes) -> bool:
+    """True when slot content is an embedded leaf rather than a pointer."""
+    return raw[0] == MARKER_BYTE
+
+
+def slot_address(raw: bytes) -> int:
+    """Interpret slot content as a 40-bit pointer."""
+    if raw[0] == MARKER_BYTE:
+        raise CorruptBufferError("slot holds an embedded leaf, not a pointer")
+    return int.from_bytes(raw, "big")
+
+
+def pointer_slot(address: int) -> bytes:
+    """Slot content for a pointer to ``address``."""
+    return address.to_bytes(POINTER_SIZE, "big")
+
+
+# ----------------------------------------------------------------------
+# Standard nodes
+# ----------------------------------------------------------------------
+
+class StandardNode:
+    """Decoded standard node; slots are raw 5-byte strings or ``None``."""
+
+    __slots__ = ("delta_item", "pcount", "left", "right", "suffix")
+
+    def __init__(
+        self,
+        delta_item: int,
+        pcount: int = 0,
+        left: bytes | None = None,
+        right: bytes | None = None,
+        suffix: bytes | None = None,
+    ):
+        self.delta_item = delta_item
+        self.pcount = pcount
+        self.left = left
+        self.right = right
+        self.suffix = suffix
+
+    def encode(self) -> bytes:
+        """Serialize to the Figure-4 layout."""
+        item_mask, item_payload = encode_2bit(self.delta_item)
+        pcount_mask, pcount_payload = encode_3bit(self.pcount)
+        mask = pack_node_mask(
+            item_mask,
+            pcount_mask,
+            self.left is not None,
+            self.right is not None,
+            self.suffix is not None,
+        )
+        parts = [bytes([mask]), item_payload, pcount_payload]
+        for slot in (self.left, self.right, self.suffix):
+            if slot is not None:
+                parts.append(slot)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, buf, addr: int) -> tuple["StandardNode", int]:
+        """Decode the node at ``addr``; returns ``(node, encoded_size)``."""
+        mask = unpack_node_mask(buf[addr])
+        offset = addr + 1
+        delta_item, offset = decode_2bit(mask.item_mask, buf, offset)
+        pcount, offset = decode_3bit(mask.pcount_mask, buf, offset)
+        left = right = suffix = None
+        if mask.left_present:
+            left = bytes(buf[offset : offset + POINTER_SIZE])
+            offset += POINTER_SIZE
+        if mask.right_present:
+            right = bytes(buf[offset : offset + POINTER_SIZE])
+            offset += POINTER_SIZE
+        if mask.suffix_present:
+            suffix = bytes(buf[offset : offset + POINTER_SIZE])
+            offset += POINTER_SIZE
+        return cls(delta_item, pcount, left, right, suffix), offset - addr
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StandardNode(delta={self.delta_item}, pcount={self.pcount}, "
+            f"L={self.left is not None}, R={self.right is not None}, "
+            f"S={self.suffix is not None})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Chain nodes
+# ----------------------------------------------------------------------
+
+class ChainNode:
+    """Decoded chain node: ``entries`` are ``(delta_item, pcount)`` pairs.
+
+    Entries run parent to child. ``left``/``right`` belong to the first
+    entry, ``suffix`` to the last.
+    """
+
+    __slots__ = ("entries", "left", "right", "suffix")
+
+    def __init__(
+        self,
+        entries: list[tuple[int, int]],
+        left: bytes | None = None,
+        right: bytes | None = None,
+        suffix: bytes | None = None,
+    ):
+        self.entries = entries
+        self.left = left
+        self.right = right
+        self.suffix = suffix
+
+    def encode(self) -> bytes:
+        if not 1 <= len(self.entries) <= DEFAULT_MAX_CHAIN_LENGTH:
+            raise ChainOverflowError(
+                f"chain length {len(self.entries)} outside 1..{DEFAULT_MAX_CHAIN_LENGTH}"
+            )
+        tag = pack_node_mask(
+            0,
+            0,
+            self.left is not None,
+            self.right is not None,
+            self.suffix is not None,
+        ) | (CHAIN_TAG << 3)
+        parts = [bytes([tag, len(self.entries)])]
+        for delta_item, pcount in self.entries:
+            if pcount == 0 and 1 <= delta_item <= 255:
+                parts.append(bytes([delta_item]))
+            else:
+                parts.append(
+                    bytes([CHAIN_ESCAPE])
+                    + varint.encode(delta_item)
+                    + varint.encode(pcount)
+                )
+        for slot in (self.left, self.right, self.suffix):
+            if slot is not None:
+                parts.append(slot)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, buf, addr: int) -> tuple["ChainNode", int]:
+        tag = buf[addr]
+        if (tag >> 3) & 0x7 != CHAIN_TAG:
+            raise CorruptBufferError(f"not a chain node at {addr}: tag {tag:#04x}")
+        length = buf[addr + 1]
+        if not 1 <= length <= DEFAULT_MAX_CHAIN_LENGTH:
+            raise CorruptBufferError(f"corrupt chain length {length} at {addr}")
+        offset = addr + 2
+        entries = []
+        for __ in range(length):
+            first = buf[offset]
+            if first == CHAIN_ESCAPE:
+                delta_item, offset = varint.decode_from(buf, offset + 1)
+                pcount, offset = varint.decode_from(buf, offset)
+            else:
+                delta_item, pcount = first, 0
+                offset += 1
+            entries.append((delta_item, pcount))
+        left = right = suffix = None
+        if tag & 0x4:
+            left = bytes(buf[offset : offset + POINTER_SIZE])
+            offset += POINTER_SIZE
+        if tag & 0x2:
+            right = bytes(buf[offset : offset + POINTER_SIZE])
+            offset += POINTER_SIZE
+        if tag & 0x1:
+            suffix = bytes(buf[offset : offset + POINTER_SIZE])
+            offset += POINTER_SIZE
+        return cls(entries, left, right, suffix), offset - addr
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChainNode(entries={self.entries})"
+
+
+def is_chain_tag(first_byte: int) -> bool:
+    """Dispatch: does the byte at a node address open a chain node?"""
+    return (first_byte >> 3) & 0x7 == CHAIN_TAG
+
+
+def decode_node(buf, addr: int):
+    """Decode whichever node kind sits at ``addr``; ``(node, size)``."""
+    if is_chain_tag(buf[addr]):
+        return ChainNode.decode(buf, addr)
+    return StandardNode.decode(buf, addr)

@@ -1,0 +1,548 @@
+"""The compressed physical CFP-tree (paper §3.3).
+
+The build-phase structure: a ternary search tree whose nodes live as
+variable-size byte chunks in an Appendix-A arena. Sibling nodes (direct
+suffixes of the same parent) form a binary search tree threaded through
+``left``/``right`` slots; ``suffix`` slots move one level down. Node kinds
+and byte layouts are defined in :mod:`repro.core.node_codec`:
+
+* standard nodes (mask byte + zero-suppressed ``delta_item``/``pcount`` +
+  present pointers),
+* embedded leaves (5 bytes inside the parent's pointer slot),
+* chain nodes (runs of single-child nodes in one chunk, max length 15).
+
+Every node chunk is referenced by exactly **one** slot (there are no parent
+pointers or nodelinks in a CFP-tree), so chunks can be relocated on resize
+by patching that single slot — which the insert path does whenever a node's
+encoded size changes (pcount growth, pointer additions, promotions, chain
+splits).
+
+The three structural features can be disabled individually
+(``enable_chains``, ``enable_embedding``) for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core import node_codec as codec
+from repro.core.cfp_tree import CfpNode, CfpTree
+from repro.core.node_codec import (
+    ChainNode,
+    StandardNode,
+    decode_embedded_leaf,
+    decode_node,
+    encode_embedded_leaf,
+    is_chain_tag,
+    leaf_embeddable,
+    pointer_slot,
+    slot_address,
+    slot_is_embedded,
+)
+from repro.compress.zero_suppression import payload_size_2bit, payload_size_3bit
+from repro.errors import TreeError
+from repro.memman import Arena
+from repro.memman.arena import MIN_CHUNK_SIZE
+from repro.memman.pointers import POINTER_SIZE
+
+
+@dataclass
+class PhysicalStats:
+    """Structural census of a ternary CFP-tree."""
+
+    standard_nodes: int = 0
+    chain_nodes: int = 0
+    chain_entries: int = 0
+    embedded_leaves: int = 0
+
+    @property
+    def logical_nodes(self) -> int:
+        """FP-tree nodes represented (standard + chain entries + embedded)."""
+        return self.standard_nodes + self.chain_entries + self.embedded_leaves
+
+    @property
+    def chunks(self) -> int:
+        """Arena chunks in use (embedded leaves use none)."""
+        return self.standard_nodes + self.chain_nodes
+
+
+class TernaryCfpTree:
+    """Arena-backed compressed CFP-tree with the §3.3 insert path."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        arena: Arena | None = None,
+        *,
+        enable_chains: bool = True,
+        enable_embedding: bool = True,
+        max_chain_length: int = codec.DEFAULT_MAX_CHAIN_LENGTH,
+    ):
+        if n_ranks < 0:
+            raise TreeError(f"n_ranks must be non-negative, got {n_ranks}")
+        if not 1 <= max_chain_length <= codec.DEFAULT_MAX_CHAIN_LENGTH:
+            raise TreeError(
+                f"max_chain_length must be in 1..{codec.DEFAULT_MAX_CHAIN_LENGTH}"
+            )
+        self.n_ranks = n_ranks
+        self.arena = arena if arena is not None else Arena()
+        self.enable_chains = enable_chains
+        self.enable_embedding = enable_embedding
+        self.max_chain_length = max_chain_length
+        #: The root's suffix slot: a 5-byte chunk holding the top-level BST.
+        self._root_slot = self.arena.alloc(POINTER_SIZE)
+        self.logical_node_count = 0
+        self.transaction_count = 0
+
+    @classmethod
+    def from_rank_transactions(
+        cls, transactions: Iterable[list[int]], n_ranks: int, **kwargs
+    ) -> "TernaryCfpTree":
+        tree = cls(n_ranks, **kwargs)
+        for ranks in transactions:
+            tree.insert(ranks)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Exact physical bytes in live chunks (plus the 5-byte root slot)."""
+        return self.arena.live_bytes
+
+    @property
+    def node_count(self) -> int:
+        """Logical (FP-tree-equivalent) node count."""
+        return self.logical_node_count
+
+    def average_node_size(self) -> float:
+        """Bytes per logical node — the Figure 6(a) metric."""
+        if self.logical_node_count == 0:
+            return 0.0
+        return self.memory_bytes / self.logical_node_count
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, ranks: list[int], count: int = 1) -> None:
+        """Insert a rank-sorted transaction, adding ``count`` to its pcount."""
+        if not ranks:
+            return
+        previous = 0
+        for rank in ranks:
+            if rank <= previous:
+                raise TreeError(
+                    f"transaction ranks must be strictly ascending and "
+                    f"positive: {ranks}"
+                )
+            previous = rank
+        self.transaction_count += count
+        buf = self.arena.buf
+        slot = self._root_slot
+        base = 0
+        i = 0
+        n = len(ranks)
+        while True:
+            delta = ranks[i] - base
+            raw = bytes(buf[slot : slot + POINTER_SIZE])
+            if raw == codec.NULL_SLOT:
+                content = self._build_path(ranks, i, base, count)
+                self._write_slot(slot, content)
+                return
+            if slot_is_embedded(raw):
+                leaf_delta, leaf_pcount = decode_embedded_leaf(raw)
+                if leaf_delta == delta and i == n - 1:
+                    new_pcount = leaf_pcount + count
+                    if leaf_embeddable(leaf_delta, new_pcount):
+                        self._write_slot(
+                            slot, encode_embedded_leaf(leaf_delta, new_pcount)
+                        )
+                    else:
+                        node = StandardNode(leaf_delta, new_pcount)
+                        self._write_slot(slot, pointer_slot(self._store(node)))
+                    return
+                # The leaf gains a child or a sibling: promote to standard.
+                node = StandardNode(leaf_delta, leaf_pcount)
+                self._write_slot(slot, pointer_slot(self._store(node)))
+                buf = self.arena.buf
+                continue
+            addr = slot_address(raw)
+            if is_chain_tag(buf[addr]):
+                result = self._step_chain(slot, addr, ranks, i, base, count)
+                if result is None:
+                    return
+                slot, base, i = result
+                buf = self.arena.buf
+                continue
+            node, size = StandardNode.decode(buf, addr)
+            if node.delta_item == delta:
+                if i == n - 1:
+                    node.pcount += count
+                    self._replace(slot, addr, size, node)
+                    return
+                if node.suffix is None:
+                    node.suffix = self._build_path(ranks, i + 1, ranks[i], count)
+                    self._replace(slot, addr, size, node)
+                    return
+                slot = addr + size - POINTER_SIZE
+                base = ranks[i]
+                i += 1
+                continue
+            if delta < node.delta_item:
+                if node.left is None:
+                    node.left = self._build_path(ranks, i, base, count)
+                    self._replace(slot, addr, size, node)
+                    return
+                slot = addr + self._standard_left_offset(node)
+                continue
+            if node.right is None:
+                node.right = self._build_path(ranks, i, base, count)
+                self._replace(slot, addr, size, node)
+                return
+            slot = addr + self._standard_right_offset(node)
+
+    def _step_chain(
+        self, slot: int, addr: int, ranks: list[int], i: int, base: int, count: int
+    ) -> tuple[int, int, int] | None:
+        """Advance an insert through the chain node at ``addr``.
+
+        Returns the next ``(slot, base, i)`` to process, or None when the
+        insert completed inside the chain.
+        """
+        buf = self.arena.buf
+        chain, size = ChainNode.decode(buf, addr)
+        entries = chain.entries
+        n = len(ranks)
+        delta = ranks[i] - base
+        first_delta = entries[0][0]
+        if delta != first_delta:
+            # Sibling navigation hangs off the chain's first element.
+            if delta < first_delta:
+                if chain.left is None:
+                    chain.left = self._build_path(ranks, i, base, count)
+                    self._replace(slot, addr, size, chain)
+                    return None
+                return addr + self._chain_pointer_offset(chain, size, "left"), base, i
+            if chain.right is None:
+                chain.right = self._build_path(ranks, i, base, count)
+                self._replace(slot, addr, size, chain)
+                return None
+            return addr + self._chain_pointer_offset(chain, size, "right"), base, i
+        j = 0
+        while True:
+            # entries[j] matches ranks[i].
+            base = ranks[i]
+            i += 1
+            if i == n:
+                entry_delta, entry_pcount = entries[j]
+                entries[j] = (entry_delta, entry_pcount + count)
+                self._replace(slot, addr, size, chain)
+                return None
+            delta = ranks[i] - base
+            j += 1
+            if j == len(entries):
+                if chain.suffix is None:
+                    chain.suffix = self._build_path(ranks, i, base, count)
+                    self._replace(slot, addr, size, chain)
+                    return None
+                return addr + size - POINTER_SIZE, base, i
+            if entries[j][0] != delta:
+                suffix_slot = self._split_chain(slot, addr, size, chain, j)
+                return suffix_slot, base, i
+
+    def _split_chain(
+        self, slot: int, addr: int, size: int, chain: ChainNode, j: int
+    ) -> int:
+        """Split ``chain`` before entry ``j``; return the prefix's suffix slot.
+
+        The prefix ``entries[:j]`` stays in place (keeping the chain's
+        left/right siblings); entry ``j`` becomes a standard node so it can
+        take BST siblings; the tail ``entries[j+1:]`` is re-materialized
+        below it, ending in the chain's original suffix.
+        """
+        entries = chain.entries
+        tail_content = self._materialize_run(list(entries[j + 1 :]), chain.suffix)
+        pivot_delta, pivot_pcount = entries[j]
+        pivot = StandardNode(pivot_delta, pivot_pcount, suffix=tail_content)
+        pivot_ptr = pointer_slot(self._store(pivot))
+        prefix_entries = entries[:j]
+        if len(prefix_entries) == 1:
+            prefix = StandardNode(
+                prefix_entries[0][0],
+                prefix_entries[0][1],
+                left=chain.left,
+                right=chain.right,
+                suffix=pivot_ptr,
+            )
+        else:
+            prefix = ChainNode(
+                prefix_entries, left=chain.left, right=chain.right, suffix=pivot_ptr
+            )
+        new_addr = self._replace(slot, addr, size, prefix)
+        return new_addr + prefix.encoded_size() - POINTER_SIZE
+
+    def _build_path(
+        self, ranks: list[int], i: int, base: int, count: int
+    ) -> bytes:
+        """Materialize the fresh path ``ranks[i:]`` and return slot content."""
+        entries = []
+        prev = base
+        for rank in ranks[i:]:
+            entries.append((rank - prev, 0))
+            prev = rank
+        entries[-1] = (entries[-1][0], count)
+        self.logical_node_count += len(entries)
+        content = self._materialize_run(entries, None)
+        assert content is not None
+        return content
+
+    def _materialize_run(
+        self, entries: list[tuple[int, int]], below: bytes | None
+    ) -> bytes | None:
+        """Encode a vertical run of single-child nodes ending in ``below``.
+
+        Returns slot content (pointer or embedded leaf), or ``below`` itself
+        when ``entries`` is empty. Chains and leaf embedding are applied per
+        the tree's configuration.
+        """
+        content = below
+        remaining = entries
+        if content is None and remaining:
+            last_delta, last_pcount = remaining[-1]
+            # Embed the leaf when that is the cheaper layout: a lone leaf
+            # in the parent's pointer slot costs 5 bytes against 8 for a
+            # pointer plus a 3-byte standard node. When a chain will be
+            # built anyway, keeping the leaf as the chain's final entry
+            # (1-3 bytes) beats spending a 5-byte suffix slot on it.
+            chain_absorbs_leaf = self.enable_chains and len(remaining) >= 2
+            if (
+                self.enable_embedding
+                and not chain_absorbs_leaf
+                and last_pcount > 0
+                and leaf_embeddable(last_delta, last_pcount)
+            ):
+                content = encode_embedded_leaf(last_delta, last_pcount)
+                remaining = remaining[:-1]
+        while remaining:
+            if self.enable_chains and len(remaining) >= 2:
+                take = min(len(remaining), self.max_chain_length)
+                chunk = remaining[-take:]
+                remaining = remaining[:-take]
+                node: StandardNode | ChainNode = ChainNode(chunk, suffix=content)
+            else:
+                delta_item, pcount = remaining[-1]
+                remaining = remaining[:-1]
+                node = StandardNode(delta_item, pcount, suffix=content)
+            content = pointer_slot(self._store(node))
+        return content
+
+    # ------------------------------------------------------------------
+    # Chunk plumbing
+    # ------------------------------------------------------------------
+
+    def _store(self, node) -> int:
+        data = node.encode()
+        addr = self.arena.alloc(max(len(data), MIN_CHUNK_SIZE))
+        self.arena.buf[addr : addr + len(data)] = data
+        return addr
+
+    def _replace(self, slot: int, addr: int, old_size: int, node) -> int:
+        """Re-encode ``node`` over its old chunk, relocating if it outgrew it."""
+        data = node.encode()
+        old_chunk = max(old_size, MIN_CHUNK_SIZE)
+        new_chunk = max(len(data), MIN_CHUNK_SIZE)
+        if new_chunk == old_chunk:
+            self.arena.buf[addr : addr + len(data)] = data
+            return addr
+        self.arena.free(addr, old_chunk)
+        new_addr = self.arena.alloc(new_chunk)
+        self.arena.buf[new_addr : new_addr + len(data)] = data
+        self._write_slot(slot, pointer_slot(new_addr))
+        return new_addr
+
+    def _write_slot(self, slot: int, raw: bytes) -> None:
+        self.arena.buf[slot : slot + POINTER_SIZE] = raw
+
+    @staticmethod
+    def _standard_left_offset(node: StandardNode) -> int:
+        return 1 + payload_size_2bit(node.delta_item) + payload_size_3bit(node.pcount)
+
+    @classmethod
+    def _standard_right_offset(cls, node: StandardNode) -> int:
+        offset = cls._standard_left_offset(node)
+        if node.left is not None:
+            offset += POINTER_SIZE
+        return offset
+
+    @staticmethod
+    def _chain_pointer_offset(chain: ChainNode, size: int, which: str) -> int:
+        present = sum(
+            slot is not None for slot in (chain.left, chain.right, chain.suffix)
+        )
+        pointer_area = size - present * POINTER_SIZE
+        if which == "left":
+            return pointer_area
+        offset = pointer_area
+        if chain.left is not None:
+            offset += POINTER_SIZE
+        return offset
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def iter_events(self) -> Iterator[tuple[str, int, int]]:
+        """Preorder DFS events: ``("enter", rank, pcount)`` / ``("leave", 0, 0)``.
+
+        Siblings are visited in ascending rank order (in-order over the
+        sibling BSTs), children after their parent — the traversal order the
+        CFP-array conversion uses.
+        """
+        buf = self.arena.buf
+        root_raw = bytes(buf[self._root_slot : self._root_slot + POINTER_SIZE])
+        if root_raw == codec.NULL_SLOT:
+            return
+        stack: list[tuple] = [("slot", root_raw, 0)]
+        while stack:
+            frame = stack.pop()
+            kind = frame[0]
+            if kind == "leave":
+                yield ("leave", 0, 0)
+                continue
+            if kind == "emit":
+                __, rank, pcount, suffix_raw = frame
+                yield ("enter", rank, pcount)
+                stack.append(("leave",))
+                if suffix_raw is not None and suffix_raw != codec.NULL_SLOT:
+                    stack.append(("slot", suffix_raw, rank))
+                continue
+            if kind == "chain":
+                __, entries, suffix_raw, base = frame
+                rank = base
+                for delta_item, pcount in entries:
+                    rank += delta_item
+                    yield ("enter", rank, pcount)
+                for __ in entries:
+                    stack.append(("leave",))
+                if suffix_raw is not None and suffix_raw != codec.NULL_SLOT:
+                    stack.append(("slot", suffix_raw, rank))
+                continue
+            # kind == "slot": expand a BST position in-order.
+            __, raw, base = frame
+            if slot_is_embedded(raw):
+                delta_item, pcount = decode_embedded_leaf(raw)
+                stack.append(("emit", base + delta_item, pcount, None))
+                continue
+            addr = slot_address(raw)
+            if is_chain_tag(buf[addr]):
+                chain, __ = ChainNode.decode(buf, addr)
+                if chain.right is not None:
+                    stack.append(("slot", chain.right, base))
+                stack.append(("chain", chain.entries, chain.suffix, base))
+                if chain.left is not None:
+                    stack.append(("slot", chain.left, base))
+            else:
+                node, __ = StandardNode.decode(buf, addr)
+                if node.right is not None:
+                    stack.append(("slot", node.right, base))
+                stack.append(
+                    ("emit", base + node.delta_item, node.pcount, node.suffix)
+                )
+                if node.left is not None:
+                    stack.append(("slot", node.left, base))
+
+    def iter_nodes_with_parent(self) -> Iterator[tuple[int, int, int]]:
+        """DFS preorder ``(rank, pcount, parent_rank)`` triples."""
+        path: list[int] = [0]
+        for kind, rank, pcount in self.iter_events():
+            if kind == "enter":
+                yield rank, pcount, path[-1]
+                path.append(rank)
+            else:
+                path.pop()
+
+    def to_logical(self) -> CfpTree:
+        """Reconstruct the logical CFP-tree (used by tests and validation)."""
+        tree = CfpTree(self.n_ranks)
+        node_stack: list[tuple[int, CfpNode]] = [(0, tree.root)]
+        for kind, rank, pcount in self.iter_events():
+            if kind == "enter":
+                parent_rank, parent = node_stack[-1]
+                child = CfpNode(rank - parent_rank, pcount)
+                if rank in parent.children:
+                    raise TreeError(f"duplicate sibling rank {rank} in DFS")
+                parent.children[rank] = child
+                tree._node_count += 1
+                tree._transaction_count += pcount
+                node_stack.append((rank, child))
+            else:
+                node_stack.pop()
+        return tree
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """The tree's single path as ``(rank, count)`` pairs, or None.
+
+        Counts are reconstructed from partial counts: on a path the count of
+        a node is the suffix sum of pcounts from that node to the leaf. Used
+        by CFP-growth's single-path shortcut (mining a path needs no
+        conversion to a CFP-array).
+        """
+        buf = self.arena.buf
+        raw = bytes(buf[self._root_slot : self._root_slot + POINTER_SIZE])
+        rank = 0
+        nodes: list[tuple[int, int]] = []  # (rank, pcount)
+        while raw != codec.NULL_SLOT:
+            if slot_is_embedded(raw):
+                delta_item, pcount = decode_embedded_leaf(raw)
+                rank += delta_item
+                nodes.append((rank, pcount))
+                break
+            addr = slot_address(raw)
+            node, __ = decode_node(buf, addr)
+            if node.left is not None or node.right is not None:
+                return None
+            if isinstance(node, ChainNode):
+                for delta_item, pcount in node.entries:
+                    rank += delta_item
+                    nodes.append((rank, pcount))
+            else:
+                rank += node.delta_item
+                nodes.append((rank, node.pcount))
+            raw = node.suffix if node.suffix is not None else codec.NULL_SLOT
+        # Suffix-sum the pcounts to get cumulative counts.
+        path = []
+        running = 0
+        for node_rank, pcount in reversed(nodes):
+            running += pcount
+            path.append((node_rank, running))
+        path.reverse()
+        return path
+
+    def physical_stats(self) -> PhysicalStats:
+        """Census of node kinds actually stored (Figure 6(a) analysis)."""
+        buf = self.arena.buf
+        stats = PhysicalStats()
+        root_raw = bytes(buf[self._root_slot : self._root_slot + POINTER_SIZE])
+        if root_raw == codec.NULL_SLOT:
+            return stats
+        stack = [root_raw]
+        while stack:
+            raw = stack.pop()
+            if slot_is_embedded(raw):
+                stats.embedded_leaves += 1
+                continue
+            addr = slot_address(raw)
+            node, __ = decode_node(buf, addr)
+            if isinstance(node, ChainNode):
+                stats.chain_nodes += 1
+                stats.chain_entries += len(node.entries)
+            else:
+                stats.standard_nodes += 1
+            for slot in (node.left, node.right, node.suffix):
+                if slot is not None and slot != codec.NULL_SLOT:
+                    stack.append(slot)
+        return stats

@@ -1,0 +1,35 @@
+"""Datasets: FIMI format I/O, the Quest generator, and FIMI proxies (§4.1).
+
+The paper evaluates on the FIMI repository's real datasets (retail,
+connect, kosarak, accidents, webdocs) and two synthetic datasets from the
+IBM Quest generator (Quest1/Quest2). This subpackage provides:
+
+* :mod:`repro.datasets.fimi` — reader/writer for the standard FIMI text
+  format (one space-separated transaction per line),
+* :mod:`repro.datasets.loader` — the asynchronous double-buffered file
+  reader the paper uses for data input,
+* :mod:`repro.datasets.quest` — a reimplementation of the IBM Quest
+  synthetic data model,
+* :mod:`repro.datasets.synthetic` — scaled generators mimicking the shape
+  of each FIMI real-world dataset (the files themselves are not
+  redistributable; a real FIMI file can be dropped in via the reader),
+* :mod:`repro.datasets.stats` — per-dataset summary statistics (Table 3).
+"""
+
+from repro.datasets.fimi import iter_fimi, read_fimi, write_fimi
+from repro.datasets.loader import DoubleBufferedReader
+from repro.datasets.quest import QuestGenerator
+from repro.datasets.stats import DatasetStats, dataset_stats
+from repro.datasets.synthetic import FIMI_PROXIES, make_dataset
+
+__all__ = [
+    "read_fimi",
+    "iter_fimi",
+    "write_fimi",
+    "DoubleBufferedReader",
+    "QuestGenerator",
+    "FIMI_PROXIES",
+    "make_dataset",
+    "DatasetStats",
+    "dataset_stats",
+]

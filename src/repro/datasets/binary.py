@@ -1,0 +1,65 @@
+"""Binary dataset format (paper §4.1's footnote).
+
+The paper notes that replacing the text input by binary files would cut
+file size by roughly 40% (though the build would stay I/O bound). This
+module implements that format: magic ``FIMB``, a varint transaction count,
+then per transaction a varint length followed by the item ids
+delta-encoded (sorted ascending) as varints — deltas keep most item
+bytes at one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.compress import varint
+from repro.errors import DatasetError
+
+_MAGIC = b"FIMB"
+
+
+def write_binary(path: str | os.PathLike, database: Iterable[Iterable[int]]) -> int:
+    """Write a database in binary form; returns bytes written."""
+    transactions = []
+    for transaction in database:
+        items = sorted(set(transaction))
+        if not items:
+            continue
+        if items[0] < 0:
+            raise DatasetError(f"binary format requires non-negative items: {items[:4]}")
+        transactions.append(items)
+    blob = bytearray(_MAGIC)
+    blob += varint.encode(len(transactions))
+    for items in transactions:
+        blob += varint.encode(len(items))
+        previous = 0
+        for item in items:
+            blob += varint.encode(item - previous)
+            previous = item
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def read_binary(path: str | os.PathLike) -> list[list[int]]:
+    """Read a binary database written by :func:`write_binary`."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if blob[:4] != _MAGIC:
+        raise DatasetError(f"{path}: not a binary dataset (bad magic)")
+    offset = 4
+    count, offset = varint.decode_from(blob, offset)
+    database = []
+    for __ in range(count):
+        length, offset = varint.decode_from(blob, offset)
+        items = []
+        previous = 0
+        for __ in range(length):
+            delta, offset = varint.decode_from(blob, offset)
+            previous += delta
+            items.append(previous)
+        database.append(items)
+    if offset != len(blob):
+        raise DatasetError(f"{path}: {len(blob) - offset} trailing bytes")
+    return database

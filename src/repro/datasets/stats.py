@@ -1,0 +1,52 @@
+"""Dataset summary statistics (paper Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.items import TransactionDatabase, count_items
+
+
+@dataclass
+class DatasetStats:
+    """The columns of Table 3, plus FIMI-format size estimate."""
+
+    name: str
+    n_transactions: int
+    avg_item_cardinality: float
+    distinct_items: int
+    fimi_bytes: int
+    """Estimated size in FIMI text format (digits + separators)."""
+
+    def row(self) -> str:
+        """One Table-3-style text row."""
+        return (
+            f"{self.name:<12} {self.n_transactions:>10,} "
+            f"{self.avg_item_cardinality:>8.2f} {self.distinct_items:>9,} "
+            f"{_human_bytes(self.fimi_bytes):>10}"
+        )
+
+
+def dataset_stats(name: str, database: TransactionDatabase) -> DatasetStats:
+    """Compute Table-3 statistics for one database."""
+    n_transactions = len(database)
+    total_items = sum(len(set(t)) for t in database)
+    counts = count_items(database)
+    fimi_bytes = sum(
+        sum(len(str(item)) + 1 for item in set(t)) for t in database
+    )
+    return DatasetStats(
+        name=name,
+        n_transactions=n_transactions,
+        avg_item_cardinality=(total_items / n_transactions) if n_transactions else 0.0,
+        distinct_items=len(counts),
+        fimi_bytes=fimi_bytes,
+    )
+
+
+def _human_bytes(size: int) -> str:
+    for unit in ("B", "kB", "MB", "GB"):
+        if size < 1024:
+            return f"{size:.0f}{unit}" if unit == "B" else f"{size:.1f}{unit}"
+        size /= 1024
+    return f"{size:.1f}TB"

@@ -1,0 +1,24 @@
+"""Distributed FP-growth: the paper's research class (4) as a subsystem.
+
+Li et al.'s PFP [17] — the MapReduce-based parallel FP-growth the paper
+cites — partitions the frequent items into groups, rewrites every
+transaction into *group-dependent* shards, and mines each shard's local
+FP-tree independently. This package implements:
+
+* :mod:`repro.distributed.mapreduce` — a deterministic in-process
+  MapReduce engine with per-worker record/byte accounting (the substrate;
+  the paper's experiments ran on real clusters we do not have),
+* :mod:`repro.distributed.pfp` — the three PFP jobs: parallel counting,
+  group-dependent shard generation, and per-group CFP-growth mining with
+  the group-membership emission rule that makes results exact.
+"""
+
+from repro.distributed.mapreduce import JobStats, MapReduceJob
+from repro.distributed.pfp import PfpResult, parallel_fp_growth
+
+__all__ = [
+    "MapReduceJob",
+    "JobStats",
+    "parallel_fp_growth",
+    "PfpResult",
+]

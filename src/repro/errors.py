@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch a single base class. Each concrete subclass corresponds to one
+failure domain (codec, arena, tree structure, dataset, experiment).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class CodecError(ReproError):
+    """A value could not be encoded or a buffer could not be decoded."""
+
+
+class ValueOutOfRangeError(CodecError):
+    """A value does not fit the target encoding (e.g. negative or > 32 bits)."""
+
+
+class CorruptBufferError(CodecError):
+    """A buffer ends mid-value or contains an invalid byte pattern."""
+
+
+class ArenaError(ReproError):
+    """Base class for memory-manager failures."""
+
+
+class ArenaExhaustedError(ArenaError):
+    """The arena's configured capacity is exhausted."""
+
+
+class PointerRangeError(ArenaError):
+    """A pointer does not fit in 40 bits or points outside the arena."""
+
+
+class InvalidChunkError(ArenaError):
+    """A free/resize request referenced a chunk the arena never handed out."""
+
+
+class TreeError(ReproError):
+    """Base class for prefix-tree structural failures."""
+
+
+class ChainOverflowError(TreeError):
+    """A chain node exceeded the configured maximum chain length."""
+
+
+class ConversionError(TreeError):
+    """CFP-tree to CFP-array conversion failed an internal consistency check."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be parsed, generated, or validated."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured inconsistently or produced invalid output."""

@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per table/figure of the paper (§4).
+
+Each module exposes ``run(...)`` returning a result dataclass and
+``format_report(result)`` producing the paper-style rows/series as text.
+The benchmark suite (``benchmarks/``) wraps these, and the modules are
+runnable directly::
+
+    python -m repro.experiments.fig7
+
+Index (see DESIGN.md for the full mapping):
+
+===========  ===============================================================
+table1       leading-zero bytes per FP-tree field (webdocs proxy)
+table2       leading-zero bytes per CFP-tree field
+table3       synthetic dataset summary (Quest1/Quest2)
+fig6         average node size: ternary CFP-tree (a) and CFP-array (b)
+fig7         build/convert time and memory vs tree size, FP vs CFP
+fig8         time and peak memory vs support against the FIMI algorithms
+ablations    each CFP design choice isolated (DESIGN.md §5)
+outofcore    real page faults vs buffer-pool size (§4.3, class 3)
+distributed  PFP group-count sweep (§5, class 4)
+===========  ===============================================================
+"""
+
+from repro.experiments.drivers import RunResult, run_metered
+
+__all__ = ["RunResult", "run_metered"]

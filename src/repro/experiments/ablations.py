@@ -1,0 +1,188 @@
+"""Ablations of the CFP design choices (DESIGN.md §5, paper §3.2-3.4).
+
+Each ablation isolates one decision the paper argues for:
+
+1. ``delta_item`` vs the raw item id (§3.2's delta coding),
+2. ``pcount`` vs the cumulative count (§3.2: partial counts compress
+   dramatically; the paper also notes delta-coded *counts* would be worse),
+3. embedded leaves on/off (§3.3),
+4. chain nodes on/off and the maximum chain length (§3.3, §4.1 fixes 15),
+5. varint vs zero-suppression encoding for the CFP-array triples (§3.4),
+6. item-clustered CFP-array order vs naive DFS order with explicit
+   nodelinks (§3.4's nodelink elimination).
+
+Structural ablations (3, 4) rebuild the tree with features disabled; field
+encodings (1, 2, 5, 6) are measured analytically over the real tree/array
+contents — the alternative layout's exact byte count on the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.varint import encoded_size, zigzag
+from repro.compress.zero_suppression import payload_size_2bit, payload_size_3bit
+from repro.core.conversion import convert, cumulative_counts
+from repro.core.ternary import TernaryCfpTree
+from repro.experiments import workloads
+from repro.experiments.report import human_bytes, table
+from repro.memman.pointers import POINTER_SIZE
+
+
+@dataclass
+class AblationResult:
+    dataset: str
+    min_support: int
+    nodes: int
+    # 1. item encoding payload bytes
+    delta_item_bytes: int
+    raw_item_bytes: int
+    # 2. count encoding payload bytes
+    pcount_bytes: int
+    cumulative_count_bytes: int
+    # 3./4. structural variants: total tree bytes
+    tree_full: int
+    tree_no_embedding: int
+    tree_no_chains: int
+    tree_plain: int
+    tree_by_chain_length: dict[int, int]
+    # 5./6. array encodings: total bytes
+    array_varint: int
+    array_zero_suppression: int
+    array_with_nodelinks: int
+
+
+def run(dataset: str = "webdocs", relative_support: float = 0.01) -> AblationResult:
+    min_support = workloads.absolute_support(dataset, relative_support)
+    n_ranks, prepared = workloads.prepared(dataset, min_support)
+    transactions = list(prepared)
+
+    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+
+    # --- field encodings (1, 2) over the real node contents ------------
+    delta_item_bytes = raw_item_bytes = 0
+    pcount_bytes = 0
+    pcounts = []
+    for rank, pcount, parent_rank in tree.iter_nodes_with_parent():
+        delta_item_bytes += payload_size_2bit(rank - parent_rank)
+        raw_item_bytes += payload_size_2bit(rank)
+        pcount_bytes += payload_size_3bit(pcount)
+        pcounts.append(pcount)
+    counts = cumulative_counts(tree)
+    cumulative_count_bytes = sum(payload_size_3bit(c) for c in counts)
+
+    # --- structural variants (3, 4) ------------------------------------
+    def build(**options) -> int:
+        return TernaryCfpTree.from_rank_transactions(
+            transactions, n_ranks, **options
+        ).memory_bytes
+
+    tree_by_chain_length = {
+        length: build(max_chain_length=length) for length in (2, 4, 8, 15)
+    }
+
+    # --- array encodings (5, 6) ----------------------------------------
+    array = convert(tree)
+    array_varint = array.memory_bytes
+    zero_suppressed = 0
+    for rank in range(1, n_ranks + 1):
+        for __, delta_item, dpos, count in array.iter_subarray(rank):
+            # One mask byte (2+3+3 bits) plus zero-suppressed payloads.
+            zero_suppressed += (
+                1
+                + payload_size_2bit(delta_item)
+                + payload_size_3bit(zigzag(dpos))
+                + payload_size_3bit(count)
+            )
+    zero_suppressed += (n_ranks + 1) * POINTER_SIZE  # same item index
+    # Naive DFS order keeps the varint triples but needs an explicit
+    # nodelink per node (40-bit) to connect same-item nodes, and a
+    # varint item field is unchanged.
+    array_with_nodelinks = array_varint + array.node_count * POINTER_SIZE
+
+    return AblationResult(
+        dataset=dataset,
+        min_support=min_support,
+        nodes=tree.node_count,
+        delta_item_bytes=delta_item_bytes,
+        raw_item_bytes=raw_item_bytes,
+        pcount_bytes=pcount_bytes,
+        cumulative_count_bytes=cumulative_count_bytes,
+        tree_full=tree.memory_bytes,
+        tree_no_embedding=build(enable_embedding=False),
+        tree_no_chains=build(enable_chains=False),
+        tree_plain=build(enable_chains=False, enable_embedding=False),
+        tree_by_chain_length=tree_by_chain_length,
+        array_varint=array_varint,
+        array_zero_suppression=zero_suppressed,
+        array_with_nodelinks=array_with_nodelinks,
+    )
+
+
+def format_report(result: AblationResult) -> str:
+    rows = [
+        [
+            "1. item field",
+            f"delta: {human_bytes(result.delta_item_bytes)}",
+            f"raw: {human_bytes(result.raw_item_bytes)}",
+            f"{result.raw_item_bytes / max(result.delta_item_bytes, 1):.2f}x",
+        ],
+        [
+            "2. count field",
+            f"pcount: {human_bytes(result.pcount_bytes)}",
+            f"cumulative: {human_bytes(result.cumulative_count_bytes)}",
+            f"{result.cumulative_count_bytes / max(result.pcount_bytes, 1):.2f}x",
+        ],
+        [
+            "3. embedding",
+            f"on: {human_bytes(result.tree_full)}",
+            f"off: {human_bytes(result.tree_no_embedding)}",
+            f"{result.tree_no_embedding / max(result.tree_full, 1):.2f}x",
+        ],
+        [
+            "4. chains",
+            f"on: {human_bytes(result.tree_full)}",
+            f"off: {human_bytes(result.tree_no_chains)}",
+            f"{result.tree_no_chains / max(result.tree_full, 1):.2f}x",
+        ],
+        [
+            "   both off",
+            f"full: {human_bytes(result.tree_full)}",
+            f"plain: {human_bytes(result.tree_plain)}",
+            f"{result.tree_plain / max(result.tree_full, 1):.2f}x",
+        ],
+        [
+            "5. array codec",
+            f"varint: {human_bytes(result.array_varint)}",
+            f"zero-sup.: {human_bytes(result.array_zero_suppression)}",
+            f"{result.array_zero_suppression / max(result.array_varint, 1):.2f}x",
+        ],
+        [
+            "6. node order",
+            f"clustered: {human_bytes(result.array_varint)}",
+            f"DFS+links: {human_bytes(result.array_with_nodelinks)}",
+            f"{result.array_with_nodelinks / max(result.array_varint, 1):.2f}x",
+        ],
+    ]
+    chain_rows = [
+        [str(length), human_bytes(size), f"{size / result.nodes:.2f} B/node"]
+        for length, size in sorted(result.tree_by_chain_length.items())
+    ]
+    head = table(
+        ["ablation", "chosen design", "alternative", "alt/chosen"],
+        rows,
+        title=(
+            f"Design ablations ({result.dataset} proxy, "
+            f"xi={result.min_support}, {result.nodes:,} nodes)"
+        ),
+    )
+    chains = table(
+        ["max chain length", "tree bytes", "avg"],
+        chain_rows,
+        title="chain-length sweep (paper fixes 15, §4.1)",
+    )
+    return f"{head}\n\n{chains}"
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

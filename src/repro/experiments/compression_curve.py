@@ -1,0 +1,109 @@
+"""Compression-ratio curves vs minimum support (extends Figure 6).
+
+Figure 6 samples three support levels per dataset; this experiment traces
+the full curve for one dataset: as support falls, the tree grows, the
+ternary CFP-tree's chain/branching mix shifts, and the average node size
+moves within the paper's 1.5-6 B band. Reported per support level:
+
+* nodes, average node size of the ternary CFP-tree and the CFP-array,
+* compression factors against the 40 B/node baseline,
+* the structural census (standard/chain/embedded) explaining the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.experiments import workloads
+from repro.experiments.plot import ascii_chart
+from repro.experiments.report import table
+from repro.fptree.ternary import PAPER_BASELINE_NODE_SIZE
+
+
+@dataclass
+class CurvePoint:
+    relative_support: float
+    min_support: int
+    nodes: int
+    tree_bytes_per_node: float
+    array_bytes_per_node: float
+    standard_nodes: int
+    chain_entries: int
+    embedded_leaves: int
+
+
+@dataclass
+class CurveResult:
+    dataset: str
+    points: list[CurvePoint]
+
+
+def run(
+    dataset: str = "webdocs",
+    supports: tuple[float, ...] = (0.20, 0.10, 0.05, 0.02, 0.01, 0.005, 0.002),
+) -> CurveResult:
+    points = []
+    for relative in supports:
+        min_support = workloads.absolute_support(dataset, relative)
+        n_ranks, transactions = workloads.prepared(dataset, min_support)
+        tree = TernaryCfpTree.from_rank_transactions(list(transactions), n_ranks)
+        if tree.node_count == 0:
+            continue
+        array = convert(tree)
+        census = tree.physical_stats()
+        points.append(
+            CurvePoint(
+                relative_support=relative,
+                min_support=min_support,
+                nodes=tree.node_count,
+                tree_bytes_per_node=tree.average_node_size(),
+                array_bytes_per_node=array.average_node_size(),
+                standard_nodes=census.standard_nodes,
+                chain_entries=census.chain_entries,
+                embedded_leaves=census.embedded_leaves,
+            )
+        )
+    return CurveResult(dataset, points)
+
+
+def format_report(result: CurveResult) -> str:
+    rows = []
+    for p in result.points:
+        rows.append(
+            [
+                f"{p.relative_support * 100:.1f}%",
+                f"{p.nodes:,}",
+                f"{p.tree_bytes_per_node:.2f}",
+                f"{PAPER_BASELINE_NODE_SIZE / p.tree_bytes_per_node:.1f}x",
+                f"{p.array_bytes_per_node:.2f}",
+                f"{p.standard_nodes:,}",
+                f"{p.chain_entries:,}",
+                f"{p.embedded_leaves:,}",
+            ]
+        )
+    body = table(
+        ["xi", "nodes", "tree B/n", "vs 40B", "array B/n", "standard", "chained", "embedded"],
+        rows,
+        title=f"Compression curve — {result.dataset} proxy",
+    )
+    chart = ascii_chart(
+        {
+            "cfp-tree": [
+                (p.nodes, p.tree_bytes_per_node) for p in result.points
+            ],
+            "cfp-array": [
+                (p.nodes, p.array_bytes_per_node) for p in result.points
+            ],
+        },
+        title="bytes per node vs tree size (log-log)",
+        x_label="tree nodes",
+        y_label="B/node",
+        height=12,
+    )
+    return f"{body}\n\n{chart}"
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,100 @@
+"""Distributed FP-growth scaling (paper §5 class 4, Li et al. [17]).
+
+Sweeps the group count on a Quest proxy and reports, per configuration:
+shard duplication (group-dependent transactions replicate prefixes),
+shuffle volume, the largest per-worker CFP-tree (the memory-balancing
+payoff), partition skew, and an estimated parallel makespan — the longest
+worker's build+mine cost under the usual max-over-workers model.
+
+The paper's caveat — "depending on the dataset, such a partitioning may
+or may not be effective" — shows up as the tension between shrinking
+per-worker trees and growing duplication/shuffle as groups increase.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.distributed import parallel_fp_growth
+from repro.experiments import workloads
+from repro.experiments.report import human_bytes, table
+
+
+@dataclass
+class DistributedPoint:
+    n_groups: int
+    itemsets: int
+    max_shard_bytes: int
+    total_shard_transactions: int
+    duplication: float
+    shuffle_bytes: int
+    skew: float
+    wall_seconds: float
+
+
+@dataclass
+class DistributedResult:
+    dataset: str
+    min_support: int
+    base_transactions: int
+    points: list[DistributedPoint]
+
+
+def run(
+    dataset: str = "quest1",
+    relative_support: float = 0.05,
+    group_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> DistributedResult:
+    database = list(workloads.dataset(dataset))
+    min_support = workloads.absolute_support(dataset, relative_support)
+    points = []
+    for n_groups in group_counts:
+        started = time.perf_counter()
+        result = parallel_fp_growth(database, min_support, n_groups=n_groups)
+        wall = time.perf_counter() - started
+        base = max(1, len(database))
+        points.append(
+            DistributedPoint(
+                n_groups=n_groups,
+                itemsets=len(result.itemsets),
+                max_shard_bytes=result.max_shard_bytes,
+                total_shard_transactions=result.total_shard_transactions,
+                duplication=result.total_shard_transactions / base,
+                shuffle_bytes=result.shard_stats.shuffle_bytes,
+                skew=result.shard_stats.skew,
+                wall_seconds=wall,
+            )
+        )
+    return DistributedResult(
+        dataset=dataset,
+        min_support=min_support,
+        base_transactions=len(database),
+        points=points,
+    )
+
+
+def format_report(result: DistributedResult) -> str:
+    rows = [
+        [
+            str(p.n_groups),
+            f"{p.itemsets:,}",
+            human_bytes(p.max_shard_bytes),
+            f"{p.duplication:.2f}x",
+            human_bytes(p.shuffle_bytes),
+            f"{p.skew:.2f}",
+        ]
+        for p in result.points
+    ]
+    return table(
+        ["groups", "itemsets", "max shard tree", "duplication", "shuffle", "skew"],
+        rows,
+        title=(
+            f"Distributed FP-growth (PFP) — {result.dataset} proxy, "
+            f"xi={result.min_support}, {result.base_transactions:,} transactions"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,244 @@
+"""Metered end-to-end runs of every compared algorithm (§4.4-4.5).
+
+A driver executes the real algorithm on real (prepared) transactions while
+a :class:`repro.machine.Meter` tracks phases, structure bytes and operation
+counts; the simulated machine then prices the run. Frequent itemsets are
+*counted*, not materialized (``CountCollector``), since the sweeps reach
+supports where the output itself is huge.
+
+Phase access-pattern constants reflect each phase's dominant behaviour:
+scans stream (1.0), prefix-tree construction chases pointers (0.2), the
+CFP conversion writes subarrays sequentially (0.9, §3.5), mining mixes
+sideward scans with backward pointer chases (0.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.afopt import AFOPT_NODE_BYTES, _mine as afopt_mine
+from repro.algorithms.afopt import build_afopt_tree, subtree_size
+from repro.algorithms.ctpro import CT_NODE_BYTES, CompressedTree
+from repro.algorithms.fparray import FpArrayStructure, dataset_bytes
+from repro.algorithms.fparray import _mine as fparray_mine
+from repro.algorithms.fpgrowth_tiny import fpgrowth_tiny_ranks
+from repro.algorithms.lcm import lcm_ranks
+from repro.algorithms.nonordfp import NonordArrays
+from repro.algorithms.nonordfp import _mine as nonordfp_mine
+from repro.core.cfp_growth import mine_array
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import ExperimentError
+from repro.fptree.growth import CountCollector, mine_tree
+from repro.fptree.tree import FPTree
+from repro.machine import MachineSpec, Meter, SimulatedMachine, TimeEstimate
+
+#: Sequential fractions per phase kind.
+SEQ_SCAN = 1.0
+SEQ_BUILD = 0.2
+SEQ_CONVERT = 0.9
+SEQ_MINE = 0.4
+
+#: Baseline node size of the state-of-the-art FP-growth (§4.2).
+FP_NODE_BYTES = 40
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one metered run."""
+
+    algorithm: str
+    min_support: int
+    meter: Meter
+    estimate: TimeEstimate
+    itemset_count: int
+    initial_tree_nodes: int
+    peak_bytes: int
+    avg_bytes: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.estimate.total_seconds
+
+    def phase_seconds(self, *names: str) -> float:
+        return sum(self.estimate.per_phase.get(name, 0.0) for name in names)
+
+
+class _CountingResults:
+    """List stand-in that counts appends (for list-appending miners)."""
+
+    def __init__(self):
+        self.count = 0
+
+    def append(self, item) -> None:
+        self.count += 1
+
+
+def _scan_phase(meter: Meter, transactions, fimi_bytes: int) -> int:
+    """The two database passes of every prefix-tree algorithm (§2.1)."""
+    occurrences = sum(len(t) for t in transactions)
+    meter.begin_phase("scan", SEQ_SCAN)
+    meter.add_io(2 * fimi_bytes)
+    meter.add_ops(2 * occurrences)
+    return occurrences
+
+
+def _drive_cfp_growth(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+    meter.add_ops(occurrences, occurrences * 8)
+    meter.on_build(tree)
+    meter.begin_phase("convert", SEQ_CONVERT)
+    array = convert(tree)
+    meter.on_conversion(tree, array)
+    del tree
+    meter.begin_phase("mine", SEQ_MINE)
+    collector = CountCollector()
+    mine_array(array, min_support, collector, (), meter)
+    return collector.count
+
+
+def _drive_fp_growth(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    tree = FPTree.from_rank_transactions(transactions, n_ranks)
+    meter.add_ops(occurrences, occurrences * FP_NODE_BYTES)
+    meter.on_structure_built(tree.node_count * FP_NODE_BYTES)
+    meter.begin_phase("mine", SEQ_MINE)
+    collector = CountCollector()
+    mine_tree(tree, min_support, collector, (), meter, FP_NODE_BYTES)
+    return collector.count
+
+
+def _drive_nonordfp(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    tree = FPTree.from_rank_transactions(transactions, n_ranks)
+    meter.add_ops(occurrences, occurrences * FP_NODE_BYTES)
+    meter.on_structure_built(tree.node_count * FP_NODE_BYTES)
+    nodes = tree.node_count
+    meter.begin_phase("convert", SEQ_CONVERT)
+    arrays = NonordArrays.from_tree(tree)
+    meter.add_ops(nodes, arrays.memory_bytes)
+    meter.on_structure_built(arrays.memory_bytes)
+    meter.on_structure_freed(nodes * FP_NODE_BYTES)
+    del tree
+    meter.begin_phase("mine", SEQ_MINE)
+    collector = CountCollector()
+    nonordfp_mine(arrays, min_support, (), collector, meter)
+    return collector.count
+
+
+def _drive_fp_array(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    meter.on_structure_built(dataset_bytes(transactions))
+    tree = FPTree.from_rank_transactions(transactions, n_ranks)
+    meter.add_ops(occurrences, occurrences * FP_NODE_BYTES)
+    meter.on_structure_built(tree.node_count * FP_NODE_BYTES)
+    nodes = tree.node_count
+    meter.begin_phase("convert", SEQ_CONVERT)
+    structure = FpArrayStructure.from_tree(tree)
+    meter.add_ops(nodes, structure.memory_bytes)
+    meter.on_structure_built(structure.memory_bytes)
+    meter.on_structure_freed(nodes * FP_NODE_BYTES)
+    meter.on_structure_freed(dataset_bytes(transactions))
+    del tree
+    meter.begin_phase("mine", SEQ_MINE)
+    collector = CountCollector()
+    fparray_mine(structure, min_support, (), collector, meter)
+    return collector.count
+
+
+def _drive_fp_growth_tiny(meter, transactions, n_ranks, min_support, occurrences):
+    # fpgrowth_tiny_ranks builds and mines in one sweep over the big tree;
+    # charge the build before it runs so the phases split correctly.
+    meter.begin_phase("build", SEQ_BUILD)
+    meter.add_ops(occurrences, occurrences * FP_NODE_BYTES)
+    meter.begin_phase("mine", SEQ_MINE)
+    results = fpgrowth_tiny_ranks(transactions, n_ranks, min_support, meter)
+    return len(results)
+
+
+def _drive_lcm(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    meter.add_ops(occurrences, occurrences * 4)
+    meter.begin_phase("mine", SEQ_MINE)
+    results = lcm_ranks(transactions, n_ranks, min_support, meter)
+    return len(results)
+
+
+def _drive_afopt(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    root = build_afopt_tree(transactions)
+    meter.add_ops(occurrences, occurrences * AFOPT_NODE_BYTES)
+    meter.on_structure_built(subtree_size(root.children) * AFOPT_NODE_BYTES)
+    meter.begin_phase("mine", SEQ_MINE)
+    results = _CountingResults()
+    afopt_mine(root.children, (), min_support, results, meter)
+    return results.count
+
+
+def _drive_ct_pro(meter, transactions, n_ranks, min_support, occurrences):
+    meter.begin_phase("build", SEQ_BUILD)
+    compressed = CompressedTree(FPTree.from_rank_transactions(transactions, n_ranks))
+    meter.add_ops(occurrences + compressed.total_nodes, occurrences * CT_NODE_BYTES)
+    meter.on_structure_built(compressed.memory_bytes)
+    meter.begin_phase("mine", SEQ_MINE)
+    collector = CountCollector()
+    mine_tree(compressed.tree, min_support, collector, (), meter, CT_NODE_BYTES)
+    return collector.count
+
+
+_DRIVERS = {
+    "cfp-growth": _drive_cfp_growth,
+    "fp-growth": _drive_fp_growth,
+    "nonordfp": _drive_nonordfp,
+    "fp-array": _drive_fp_array,
+    "fp-growth-tiny": _drive_fp_growth_tiny,
+    "lcm": _drive_lcm,
+    "afopt": _drive_afopt,
+    "ct-pro": _drive_ct_pro,
+}
+
+
+def initial_tree_size(transactions: list[list[int]], n_ranks: int) -> int:
+    """Node count of the initial FP-tree — the sweeps' shared x-axis."""
+    return FPTree.from_rank_transactions(transactions, n_ranks).node_count
+
+
+def run_metered(
+    algorithm: str,
+    transactions: list[list[int]],
+    n_ranks: int,
+    min_support: int,
+    fimi_bytes: int,
+    spec: MachineSpec | None = None,
+    tree_nodes: int | None = None,
+) -> RunResult:
+    """Execute one algorithm with full instrumentation and price the run.
+
+    ``tree_nodes`` (the initial FP-tree size, shared across algorithms at a
+    sweep point) can be precomputed with :func:`initial_tree_size` to avoid
+    rebuilding it per algorithm.
+    """
+    try:
+        driver = _DRIVERS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(_DRIVERS))
+        raise ExperimentError(
+            f"no metered driver for {algorithm!r}; known: {known}"
+        ) from None
+    if tree_nodes is None:
+        tree_nodes = initial_tree_size(transactions, n_ranks)
+    meter = Meter()
+    occurrences = _scan_phase(meter, transactions, fimi_bytes)
+    itemsets = driver(meter, transactions, n_ranks, min_support, occurrences)
+    estimate = SimulatedMachine(spec).estimate(meter)
+    return RunResult(
+        algorithm=algorithm,
+        min_support=min_support,
+        meter=meter,
+        estimate=estimate,
+        itemset_count=itemsets,
+        initial_tree_nodes=tree_nodes,
+        peak_bytes=meter.peak_bytes,
+        avg_bytes=meter.avg_bytes,
+    )

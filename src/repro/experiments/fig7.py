@@ -1,0 +1,196 @@
+"""Figure 7: FP-growth vs CFP-growth under memory pressure (paper §4.3-4.4).
+
+A minimum-support sweep over the Quest1 proxy, priced on the simulated
+machine whose physical memory is scaled with the data. Per sweep point the
+experiment reports the paper's four panels:
+
+(a) build(+conversion) time vs initial tree size, with the scan-time floor,
+(b) build-phase memory vs tree size,
+(c) total execution time vs tree size,
+(d) peak (and CFP average) memory vs tree size.
+
+Expected shapes: FP-growth's build time explodes once 40 B/node crosses
+physical memory; CFP-growth crosses ~7.5x later and degrades gently
+(conversion is sequential); at FP-growth's knee the total-time gap is
+an order of magnitude or more (the paper measures 20x at 135M nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import workloads
+from repro.experiments.drivers import RunResult, initial_tree_size, run_metered
+from repro.experiments.plot import ascii_chart
+from repro.experiments.report import human_bytes, seconds, table
+from repro.machine import MachineSpec
+
+
+@dataclass
+class Fig7Point:
+    relative_support: float
+    min_support: int
+    tree_nodes: int
+    scan_seconds: float
+    runs: dict[str, RunResult]
+
+
+@dataclass
+class Fig7Result:
+    dataset: str
+    spec: MachineSpec
+    points: list[Fig7Point]
+
+    def series(self, algorithm: str, metric) -> list[tuple[int, float]]:
+        """(tree_nodes, metric(run)) pairs for one algorithm."""
+        return [
+            (point.tree_nodes, metric(point.runs[algorithm]))
+            for point in self.points
+        ]
+
+
+def run(
+    dataset: str = "quest1",
+    supports: tuple[float, ...] = workloads.FIG7_SUPPORTS,
+    spec: MachineSpec = workloads.SWEEP_SPEC,
+    algorithms: tuple[str, ...] = ("fp-growth", "cfp-growth"),
+) -> Fig7Result:
+    fimi_bytes = workloads.fimi_size(dataset)
+    points = []
+    for relative in supports:
+        min_support = workloads.absolute_support(dataset, relative)
+        n_ranks, transactions = workloads.prepared(dataset, min_support)
+        transactions = list(transactions)
+        tree_nodes = initial_tree_size(transactions, n_ranks)
+        runs = {}
+        for algorithm in algorithms:
+            runs[algorithm] = run_metered(
+                algorithm,
+                transactions,
+                n_ranks,
+                min_support,
+                fimi_bytes,
+                spec,
+                tree_nodes,
+            )
+        scan = next(iter(runs.values())).phase_seconds("scan")
+        points.append(
+            Fig7Point(relative, min_support, tree_nodes, scan, runs)
+        )
+    return Fig7Result(dataset, spec, points)
+
+
+def build_seconds(run: RunResult) -> float:
+    """Panel (a): scan + build (+ conversion for CFP)."""
+    return run.phase_seconds("scan", "build", "convert")
+
+
+def build_memory(run: RunResult) -> int:
+    """Panel (b): peak bytes across scan/build/convert phases."""
+    return max(
+        (
+            phase.footprint_bytes
+            for phase in run.meter.phases
+            if phase.name in ("scan", "build", "convert")
+        ),
+        default=0,
+    )
+
+
+def format_report(result: Fig7Result) -> str:
+    algorithms = list(result.points[0].runs)
+    parts = [
+        f"Figure 7 — {result.dataset} proxy sweep, physical memory "
+        f"{human_bytes(result.spec.physical_memory)} "
+        f"(the paper's 6 GB, scaled with the data)"
+    ]
+    # (a) build time
+    rows = []
+    for point in result.points:
+        row = [f"{point.tree_nodes:,}", seconds(point.scan_seconds)]
+        row += [
+            seconds(build_seconds(point.runs[a])) for a in algorithms
+        ]
+        rows.append(row)
+    parts.append(
+        table(
+            ["tree nodes", "scan floor"] + [f"{a} build" for a in algorithms],
+            rows,
+            title="(a) build(+conversion) time vs initial tree size",
+        )
+    )
+    # (b) build memory
+    rows = [
+        [f"{p.tree_nodes:,}"]
+        + [human_bytes(build_memory(p.runs[a])) for a in algorithms]
+        for p in result.points
+    ]
+    parts.append(
+        table(
+            ["tree nodes"] + [f"{a} build mem" for a in algorithms],
+            rows,
+            title="(b) build-phase memory vs tree size",
+        )
+    )
+    # (c) total time
+    rows = []
+    for point in result.points:
+        row = [f"{point.tree_nodes:,}"]
+        row += [seconds(point.runs[a].total_seconds) for a in algorithms]
+        if len(algorithms) == 2:
+            first, second = algorithms
+            ratio = (
+                point.runs[first].total_seconds
+                / max(point.runs[second].total_seconds, 1e-12)
+            )
+            row.append(f"{ratio:.1f}x")
+        rows.append(row)
+    headers = ["tree nodes"] + [f"{a} total" for a in algorithms]
+    if len(algorithms) == 2:
+        headers.append("speedup")
+    parts.append(table(headers, rows, title="(c) total execution time"))
+    # (d) memory consumption
+    rows = []
+    for point in result.points:
+        row = [f"{point.tree_nodes:,}"]
+        for a in algorithms:
+            row.append(human_bytes(point.runs[a].peak_bytes))
+        cfp = point.runs.get("cfp-growth")
+        row.append(human_bytes(cfp.avg_bytes) if cfp else "-")
+        rows.append(row)
+    parts.append(
+        table(
+            ["tree nodes"]
+            + [f"{a} peak" for a in algorithms]
+            + ["cfp avg"],
+            rows,
+            title="(d) peak (and CFP average) memory consumption",
+        )
+    )
+    parts.append(
+        ascii_chart(
+            {
+                a: result.series(a, lambda r: r.total_seconds)
+                for a in algorithms
+            },
+            title="(c) as a chart — total time vs tree size (log-log)",
+            x_label="initial tree nodes",
+            y_label="seconds",
+        )
+    )
+    parts.append(
+        ascii_chart(
+            {
+                a: result.series(a, lambda r: float(r.peak_bytes))
+                for a in algorithms
+            },
+            title="(d) as a chart — peak memory vs tree size (log-log)",
+            x_label="initial tree nodes",
+            y_label="bytes",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

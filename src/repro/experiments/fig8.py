@@ -1,0 +1,131 @@
+"""Figure 8: CFP-growth vs the FIMI/PARSEC algorithms (paper §4.5).
+
+Support sweeps on the Quest proxies, priced on the scaled machine:
+
+(a) runtime vs support — CFP-growth, CT-PRO, FP-growth-Tiny, FP-array
+    (Quest1),
+(b) peak memory for the same grid,
+(c) runtime vs support — CFP-growth, nonordfp, LCM, AFOPT (Quest1),
+(d) the (c) grid on Quest2 (twice the transactions).
+
+Expected shapes: CFP-growth lowest memory everywhere; Tiny/CT-PRO hit the
+limit first; FP-array sits above the limit from the start (in-memory
+dataset copy); nonordfp degrades early; LCM's footprint scales with the
+transaction count, so it breaks down earlier on Quest2 while CFP-growth's
+cost grows only modestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import workloads
+from repro.experiments.drivers import RunResult, initial_tree_size, run_metered
+from repro.experiments.plot import ascii_chart
+from repro.experiments.report import human_bytes, seconds, table
+from repro.machine import MachineSpec
+
+#: Panel (a)/(b) contenders (§4.5 first experiment set).
+PANEL_A_ALGORITHMS = ("cfp-growth", "ct-pro", "fp-growth-tiny", "fp-array")
+
+#: Panel (c)/(d) contenders (best-performing FIMI algorithms).
+PANEL_C_ALGORITHMS = ("cfp-growth", "nonordfp", "lcm", "afopt")
+
+
+@dataclass
+class Fig8Point:
+    relative_support: float
+    min_support: int
+    tree_nodes: int
+    runs: dict[str, RunResult]
+
+
+@dataclass
+class Fig8Result:
+    dataset: str
+    algorithms: tuple[str, ...]
+    spec: MachineSpec
+    points: list[Fig8Point]
+
+
+def run(
+    dataset: str = "quest1",
+    algorithms: tuple[str, ...] = PANEL_A_ALGORITHMS,
+    supports: tuple[float, ...] = workloads.FIG8_SUPPORTS,
+    spec: MachineSpec = workloads.SWEEP_SPEC,
+) -> Fig8Result:
+    fimi_bytes = workloads.fimi_size(dataset)
+    points = []
+    for relative in supports:
+        min_support = workloads.absolute_support(dataset, relative)
+        n_ranks, transactions = workloads.prepared(dataset, min_support)
+        transactions = list(transactions)
+        tree_nodes = initial_tree_size(transactions, n_ranks)
+        runs = {
+            algorithm: run_metered(
+                algorithm,
+                transactions,
+                n_ranks,
+                min_support,
+                fimi_bytes,
+                spec,
+                tree_nodes,
+            )
+            for algorithm in algorithms
+        }
+        points.append(Fig8Point(relative, min_support, tree_nodes, runs))
+    return Fig8Result(dataset, algorithms, spec, points)
+
+
+def format_report(result: Fig8Result, panel: str = "") -> str:
+    title = (
+        f"Figure 8{panel} — {result.dataset} proxy, physical memory "
+        f"{human_bytes(result.spec.physical_memory)}"
+    )
+    time_rows = []
+    memory_rows = []
+    for point in result.points:
+        label = f"{point.relative_support * 100:.1f}%"
+        time_rows.append(
+            [label, f"{point.tree_nodes:,}"]
+            + [seconds(point.runs[a].total_seconds) for a in result.algorithms]
+        )
+        memory_rows.append(
+            [label, f"{point.tree_nodes:,}"]
+            + [human_bytes(point.runs[a].peak_bytes) for a in result.algorithms]
+        )
+    time_table = table(
+        ["xi", "tree nodes"] + list(result.algorithms),
+        time_rows,
+        title=f"{title}\nruntime vs minimum support",
+    )
+    memory_table = table(
+        ["xi", "tree nodes"] + list(result.algorithms),
+        memory_rows,
+        title="peak memory vs minimum support",
+    )
+    chart = ascii_chart(
+        {
+            a: [
+                (p.relative_support * 100, p.runs[a].total_seconds)
+                for p in result.points
+            ]
+            for a in result.algorithms
+        },
+        title="runtime chart (log-log; x = minimum support %)",
+        x_label="minimum support (%)",
+        y_label="seconds",
+    )
+    return f"{time_table}\n\n{memory_table}\n\n{chart}"
+
+
+if __name__ == "__main__":
+    print(format_report(run(algorithms=PANEL_A_ALGORITHMS), "(a,b)"))
+    print()
+    print(format_report(run(algorithms=PANEL_C_ALGORITHMS), "(c)"))
+    print()
+    print(
+        format_report(
+            run(dataset="quest2", algorithms=PANEL_C_ALGORITHMS), "(d)"
+        )
+    )

@@ -1,0 +1,97 @@
+"""ASCII plotting for the figure reports.
+
+The paper's figures are log-scale line charts; these helpers render the
+same series as terminal charts so the regenerated reports read like the
+originals. Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox*+#@%&"
+
+
+def _log_position(value: float, low: float, high: float, size: int) -> int:
+    """Map a value to a 0..size-1 cell on a log scale."""
+    if value <= 0:
+        return 0
+    if high <= low:
+        return 0
+    fraction = (math.log10(value) - math.log10(low)) / (
+        math.log10(high) - math.log10(low)
+    )
+    return min(size - 1, max(0, round(fraction * (size - 1))))
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as a log-log ASCII chart.
+
+    Non-positive values are clamped to the axis edge. Overlapping points
+    keep the marker drawn last (series order).
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, __ in points if x > 0] or [1.0]
+    ys = [y for __, y in points if y > 0] or [1.0]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    grid = [[" "] * width for __ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in values:
+            column = _log_position(x, x_low, x_high, width)
+            row = height - 1 - _log_position(y, y_low, y_high, height)
+            grid[row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _format_value(y_high)
+    bottom_label = _format_value(y_low)
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _format_value(x_low)
+        + _format_value(x_high).rjust(width - len(_format_value(x_low)))
+    )
+    lines.append(x_axis)
+    if x_label:
+        lines.append(" " * label_width + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def _format_value(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.3g}M"
+    if value >= 1_000:
+        return f"{value / 1_000:.3g}k"
+    if value >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"

@@ -1,0 +1,49 @@
+"""Formatting helpers shared by the experiment reports."""
+
+from __future__ import annotations
+
+
+def percent(fraction: float) -> str:
+    """Table 1/2-style percentage cell: '<1%', '0%', '98%', '>99%'."""
+    value = fraction * 100
+    if value == 0:
+        return "0%"
+    if value < 1:
+        return "<1%"
+    if value > 99 and value < 100:
+        return ">99%"
+    return f"{value:.0f}%"
+
+
+def human_bytes(size: float) -> str:
+    for unit in ("B", "kB", "MB", "GB"):
+        if abs(size) < 1024:
+            return f"{size:.0f}{unit}" if unit == "B" else f"{size:.2f}{unit}"
+        size /= 1024
+    return f"{size:.2f}TB"
+
+
+def seconds(value: float) -> str:
+    if value >= 3600:
+        return f"{value / 3600:.2f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}min"
+    if value >= 1:
+        return f"{value:.1f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

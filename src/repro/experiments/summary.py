@@ -1,0 +1,59 @@
+"""Run every experiment and write all reports in one shot.
+
+``python -m repro.experiments.summary [output_dir]`` regenerates the full
+evaluation — every table, figure, ablation and extension sweep — printing
+each report and persisting it as ``<output_dir>/<name>.txt`` (default:
+``benchmarks/reports``). This is the one-command reproduction of the
+paper's §4.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+import time
+
+#: (experiment module, report name, run kwargs) in execution order.
+EXPERIMENTS: tuple[tuple[str, str, dict], ...] = (
+    ("table1", "table1", {}),
+    ("table2", "table2", {}),
+    ("table3", "table3", {}),
+    ("fig6", "fig6", {}),
+    ("compression_curve", "compression_curve", {}),
+    ("fig7", "fig7", {}),
+    ("fig8", "fig8ab", {}),
+    ("ablations", "ablations_webdocs", {}),
+    ("outofcore", "outofcore", {}),
+    ("distributed", "distributed", {}),
+)
+
+
+def run_all(
+    output_dir: str | None = None, only: tuple[str, ...] | None = None
+) -> dict[str, str]:
+    """Execute every experiment (or the ``only`` subset); name -> report."""
+    directory = pathlib.Path(
+        output_dir
+        if output_dir is not None
+        else pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "reports"
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    reports: dict[str, str] = {}
+    selected = [
+        entry for entry in EXPERIMENTS if only is None or entry[0] in only
+    ]
+    for module_name, report_name, kwargs in selected:
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        started = time.perf_counter()
+        report = module.format_report(module.run(**kwargs))
+        elapsed = time.perf_counter() - started
+        reports[report_name] = report
+        (directory / f"{report_name}.txt").write_text(report + "\n")
+        print(report)
+        print(f"[{module_name}: {elapsed:.1f}s]\n", file=sys.stderr)
+    return reports
+
+
+if __name__ == "__main__":
+    run_all(sys.argv[1] if len(sys.argv) > 1 else None)

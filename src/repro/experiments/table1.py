@@ -1,0 +1,69 @@
+"""Table 1: leading zero bytes per FP-tree field (paper §3.1).
+
+The paper builds the ternary FP-tree for webdocs at 10% minimum support
+and reports, per field, the distribution of leading zero bytes — showing
+that ~53% of all stored bytes are zeros. This experiment reproduces the
+analysis on the webdocs proxy (or any named dataset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import workloads
+from repro.experiments.report import percent, table
+from repro.fptree.accounting import (
+    FieldDistribution,
+    ternary_field_distributions,
+    zero_byte_fraction,
+)
+from repro.fptree.ternary import TERNARY_FIELDS, TernaryFPTree
+
+
+@dataclass
+class Table1Result:
+    dataset: str
+    min_support: int
+    node_count: int
+    distributions: dict[str, FieldDistribution]
+    zero_fraction: float
+
+
+def run(dataset: str = "webdocs", relative_support: float = 0.10) -> Table1Result:
+    """Build the ternary FP-tree and account its fields."""
+    min_support = workloads.absolute_support(dataset, relative_support)
+    n_ranks, transactions = workloads.prepared(dataset, min_support)
+    tree = TernaryFPTree.from_rank_transactions(transactions, n_ranks)
+    distributions = ternary_field_distributions(tree)
+    return Table1Result(
+        dataset=dataset,
+        min_support=min_support,
+        node_count=tree.node_count,
+        distributions=distributions,
+        zero_fraction=zero_byte_fraction(distributions),
+    )
+
+
+def format_report(result: Table1Result) -> str:
+    rows = []
+    for field in TERNARY_FIELDS:
+        fractions = result.distributions[field].fractions()
+        rows.append([field] + [percent(f) for f in fractions])
+    body = table(
+        ["field", "0", "1", "2", "3", "4"],
+        rows,
+        title=(
+            f"Table 1 — leading zero bytes per FP-tree field "
+            f"({result.dataset} proxy, xi={result.min_support}, "
+            f"{result.node_count:,} nodes)"
+        ),
+    )
+    return (
+        f"{body}\n"
+        f"zero bytes overall: {result.zero_fraction * 100:.1f}% "
+        f"(paper: ~53% on webdocs)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,76 @@
+"""Shared experiment workloads: datasets, support grids, machine specs.
+
+Sizes are tuned so the full benchmark suite runs in minutes of pure
+Python while landing in the same structural regimes as the paper's
+gigabyte-scale runs: the simulated machine's physical memory is scaled
+along with the data (§4.1's 6 GB becomes 256 KiB for the Figure 7/8
+sweeps), so the in-core -> thrashing transitions happen *within* each
+sweep exactly as they do in the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets.stats import dataset_stats
+from repro.datasets.synthetic import make_dataset
+from repro.machine import MachineSpec
+from repro.util.items import prepare_transactions
+
+#: Per-dataset generation parameters for the Figure 6 grid.
+FIG6_DATASET_ARGS: dict[str, dict] = {
+    "retail": {"n_transactions": 2_000},
+    "connect": {"n_transactions": 1_500},
+    "kosarak": {"n_transactions": 3_000},
+    "accidents": {"n_transactions": 1_200},
+    "webdocs": {"n_transactions": 700},
+    "quest1": {"scale": 0.08},
+    "quest2": {"scale": 0.08},
+}
+
+#: Relative minimum supports for Figure 6 (fractions of the transaction
+#: count; the paper uses dataset-specific absolute values).
+FIG6_SUPPORT_LEVELS: dict[str, float] = {
+    "high": 0.05,
+    "medium": 0.01,
+    "low": 0.002,
+}
+
+#: Machine for the Figure 7/8 sweeps: 6 GB scaled down with the data.
+SWEEP_SPEC = MachineSpec(physical_memory=256 * 1024)
+
+#: Relative support grid for the Figure 7 sweep (decreasing support ->
+#: growing initial tree, the paper's x-axis).
+FIG7_SUPPORTS = (0.10, 0.05, 0.03, 0.02, 0.01, 0.007, 0.005)
+
+#: Relative support grid for the Figure 8 sweeps (the paper sweeps
+#: ξ = 4.0% downwards).
+FIG8_SUPPORTS = (0.10, 0.05, 0.03, 0.02, 0.012)
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str) -> tuple:
+    """Generate (and cache) one experiment dataset."""
+    args = FIG6_DATASET_ARGS.get(name, {})
+    return tuple(tuple(t) for t in make_dataset(name, **args))
+
+
+@lru_cache(maxsize=None)
+def fimi_size(name: str) -> int:
+    """FIMI text size of a dataset — the scans' I/O volume."""
+    return dataset_stats(name, dataset(name)).fimi_bytes
+
+
+@lru_cache(maxsize=None)
+def prepared(name: str, min_support: int) -> tuple[int, tuple]:
+    """Prepared rank transactions for (dataset, support); cached.
+
+    Returns ``(n_ranks, transactions)``.
+    """
+    table, transactions = prepare_transactions(dataset(name), min_support)
+    return len(table), tuple(tuple(t) for t in transactions)
+
+
+def absolute_support(name: str, relative: float) -> int:
+    """Relative support -> absolute transaction count (minimum 2)."""
+    return max(2, int(round(relative * len(dataset(name)))))

@@ -1,0 +1,39 @@
+"""The classic FP-tree, its ternary physical design, and FP-growth (paper §2).
+
+This subpackage is the reproduction's *baseline*: the uncompressed structures
+that CFP-growth improves upon.
+
+* :class:`repro.fptree.FPTree` — the logical frequent-pattern tree with
+  header table and nodelinks (§2.1), used by the reference miner.
+* :class:`repro.fptree.TernaryFPTree` — the ternary-search-tree physical
+  representation (§2.2): seven 4-byte fields per node
+  (``item``, ``count``, ``parent``, ``nodelink``, ``left``, ``right``,
+  ``suffix``), 28 bytes with 32-bit pointers, 40 bytes in the
+  state-of-the-art implementations the paper baselines against.
+* :func:`repro.fptree.fp_growth` — the reference FP-growth miner with the
+  single-path shortcut.
+* :mod:`repro.fptree.accounting` — per-field leading-zero-byte statistics
+  reproducing Table 1.
+"""
+
+from repro.fptree.growth import FPGrowthMiner, fp_growth, mine_ranks
+from repro.fptree.node import FPNode
+from repro.fptree.ternary import (
+    PAPER_BASELINE_NODE_SIZE,
+    TERNARY_FIELDS,
+    TERNARY_NODE_SIZE,
+    TernaryFPTree,
+)
+from repro.fptree.tree import FPTree
+
+__all__ = [
+    "FPNode",
+    "FPTree",
+    "TernaryFPTree",
+    "TERNARY_FIELDS",
+    "TERNARY_NODE_SIZE",
+    "PAPER_BASELINE_NODE_SIZE",
+    "fp_growth",
+    "mine_ranks",
+    "FPGrowthMiner",
+]

@@ -1,0 +1,38 @@
+"""A node of the logical FP-tree (paper §2.1)."""
+
+from __future__ import annotations
+
+
+class FPNode:
+    """One prefix-tree node: an item (rank), its count, and links.
+
+    ``children`` maps a child's rank to the child node — the logical
+    equivalent of the direct-suffix search structure of §2.2. ``nodelink``
+    chains all nodes of the same rank for sideward traversal in the mine
+    phase; ``parent`` supports backward traversal.
+    """
+
+    __slots__ = ("rank", "count", "parent", "children", "nodelink")
+
+    def __init__(self, rank: int, count: int = 0, parent: "FPNode | None" = None):
+        self.rank = rank
+        self.count = count
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+        self.nodelink: FPNode | None = None
+
+    def path_to_root(self) -> list[int]:
+        """Ranks on the path from this node's parent up to (excluding) the root.
+
+        Returned in root-to-parent order, i.e. ascending rank.
+        """
+        path = []
+        node = self.parent
+        while node is not None and node.rank != 0:
+            path.append(node.rank)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FPNode(rank={self.rank}, count={self.count})"

@@ -1,0 +1,151 @@
+"""The logical FP-tree with header table and nodelinks (paper §2.1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import TreeError
+from repro.fptree.node import FPNode
+from repro.util.items import ItemTable, TransactionDatabase, prepare_transactions
+
+#: Rank used for the (virtual) root node; real ranks start at 1.
+ROOT_RANK = 0
+
+
+class FPTree:
+    """A prefix tree over rank-sorted transactions.
+
+    The tree is the build-phase product of FP-growth: each inserted
+    transaction increments the count of every node on its path. A header
+    table gives, per rank, the head of the nodelink chain and the aggregate
+    count of that rank in the tree.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of distinct frequent items (ranks run from 1 to ``n_ranks``).
+    """
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 0:
+            raise TreeError(f"n_ranks must be non-negative, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.root = FPNode(ROOT_RANK)
+        self._heads: list[FPNode | None] = [None] * (n_ranks + 1)
+        self._tails: list[FPNode | None] = [None] * (n_ranks + 1)
+        self._rank_counts: list[int] = [0] * (n_ranks + 1)
+        self._node_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_database(
+        cls, database: TransactionDatabase, min_support: int
+    ) -> tuple[ItemTable, "FPTree"]:
+        """Run both passes of the build phase on an item-level database."""
+        table, transactions = prepare_transactions(database, min_support)
+        tree = cls.from_rank_transactions(transactions, len(table))
+        return table, tree
+
+    @classmethod
+    def from_rank_transactions(
+        cls, transactions: Iterable[list[int]], n_ranks: int
+    ) -> "FPTree":
+        """Build from already-prepared rank lists (strictly ascending each)."""
+        tree = cls(n_ranks)
+        for ranks in transactions:
+            tree.insert(ranks)
+        return tree
+
+    def insert(self, ranks: list[int], count: int = 1) -> None:
+        """Insert one rank-sorted transaction, adding ``count`` to its path."""
+        node = self.root
+        rank_counts = self._rank_counts
+        for rank in ranks:
+            child = node.children.get(rank)
+            if child is None:
+                child = FPNode(rank, parent=node)
+                node.children[rank] = child
+                self._node_count += 1
+                self._link(child)
+            child.count += count
+            rank_counts[rank] += count
+            node = child
+
+    def _link(self, node: FPNode) -> None:
+        tail = self._tails[node.rank]
+        if tail is None:
+            self._heads[node.rank] = node
+        else:
+            tail.nodelink = node
+        self._tails[node.rank] = node
+
+    # ------------------------------------------------------------------
+    # Mine-phase access paths
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes, excluding the virtual root."""
+        return self._node_count
+
+    def rank_count(self, rank: int) -> int:
+        """Aggregate count (support within this tree) of ``rank``."""
+        return self._rank_counts[rank]
+
+    def nodes_of(self, rank: int) -> Iterator[FPNode]:
+        """Sideward traversal: every node of ``rank`` via nodelinks."""
+        node = self._heads[rank]
+        while node is not None:
+            yield node
+            node = node.nodelink
+
+    def active_ranks_descending(self) -> Iterator[int]:
+        """Ranks present in the tree, least frequent (highest rank) first.
+
+        This is the processing order of the mine phase (§2.1, step 1).
+        """
+        for rank in range(self.n_ranks, 0, -1):
+            if self._rank_counts[rank] > 0:
+                yield rank
+
+    def prefix_paths(self, rank: int) -> Iterator[tuple[list[int], int]]:
+        """All prefixes ending in ``rank``: ``(path_ranks, count)`` pairs.
+
+        ``path_ranks`` excludes ``rank`` itself and is in ascending order.
+        """
+        for node in self.nodes_of(rank):
+            yield node.path_to_root(), node.count
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """Return the tree's single path as ``(rank, count)`` pairs, or None.
+
+        A tree is a single path when no node has more than one child; the
+        counts along the path are then non-increasing.
+        """
+        path = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (child,) = node.children.values()
+            path.append((child.rank, child.count))
+            node = child
+        return path
+
+    def is_empty(self) -> bool:
+        """True when the tree holds no transactions."""
+        return not self.root.children
+
+    def iter_nodes(self) -> Iterator[FPNode]:
+        """Depth-first iteration over all nodes (excluding the root)."""
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FPTree(n_ranks={self.n_ranks}, nodes={self._node_count})"

@@ -1,0 +1,33 @@
+"""Simulated machine: the substitute for the paper's 6 GB testbed (§4.1).
+
+The paper's headline experiments (Figures 7-8) hinge on *when each
+algorithm's working set crosses the physical-memory limit* and *how
+sequential its overflow accesses are* — an i7-920 with 6 GB RAM and a
+108 MB/s disk. This package reproduces that setting at laptop scale:
+
+* :class:`repro.machine.Meter` instruments a run: live structure bytes
+  (peak and time-weighted average), per-phase operation counts, bytes
+  touched, and access-pattern hints. The structures themselves are built
+  for real, byte for byte — only wall-clock time is modeled.
+* :class:`repro.machine.MachineSpec` / :class:`repro.machine.SimulatedMachine`
+  convert a metered run into estimated seconds with a page-granular
+  fault model: phases whose footprint fits physical memory run at CPU/DRAM
+  speed; overflowing phases pay disk costs proportional to the overflow
+  fraction — latency-bound for random access, bandwidth-bound for
+  sequential access (which is why CFP conversion degrades gently while
+  FP-tree construction collapses, §4.3).
+
+The default spec scales the paper's 6 GB down by 1024 (6 MiB) so the same
+regime transitions happen on megabyte-size test datasets.
+"""
+
+from repro.machine.meter import Meter, Phase
+from repro.machine.model import MachineSpec, SimulatedMachine, TimeEstimate
+
+__all__ = [
+    "Meter",
+    "Phase",
+    "MachineSpec",
+    "SimulatedMachine",
+    "TimeEstimate",
+]

@@ -1,0 +1,125 @@
+"""Run instrumentation: live-byte tracking and per-phase operation counts.
+
+A :class:`Meter` is threaded through an algorithm run (every miner driver
+in :mod:`repro.experiments` accepts one). It records *what the algorithm
+did* — structures built and freed (in exact bytes), abstract operations,
+bytes touched per phase, access patterns — without affecting results. The
+simulated machine turns the record into estimated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Phase:
+    """One phase of a run (scan / build / convert / mine)."""
+
+    name: str
+    sequential_fraction: float = 0.5
+    """Fraction of touched bytes accessed sequentially; the rest random."""
+
+    ops: int = 0
+    """Abstract CPU operations (node visits, comparisons, decodes)."""
+
+    bytes_touched: int = 0
+    """Structure bytes read or written during the phase."""
+
+    footprint_bytes: int = 0
+    """Peak live bytes while the phase ran — what must fit in memory."""
+
+    io_bytes: int = 0
+    """File bytes streamed from disk (data input)."""
+
+
+@dataclass
+class Meter:
+    """Collects phases plus global live/peak/average byte accounting."""
+
+    live_bytes: int = 0
+    peak_bytes: int = 0
+    phases: list[Phase] = field(default_factory=list)
+    _integral: float = 0.0  # ∫ live_bytes d(ops), for the time-weighted avg
+    _total_ops: int = 0
+
+    # ------------------------------------------------------------------
+    # Phase management
+    # ------------------------------------------------------------------
+
+    def begin_phase(self, name: str, sequential_fraction: float = 0.5) -> Phase:
+        """Open a new phase; subsequent ops/bytes accrue to it."""
+        phase = Phase(name, sequential_fraction, footprint_bytes=self.live_bytes)
+        self.phases.append(phase)
+        return phase
+
+    @property
+    def _phase(self) -> Phase:
+        if not self.phases:
+            self.begin_phase("run")
+        return self.phases[-1]
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+
+    def add_ops(self, ops: int, bytes_touched: int = 0) -> None:
+        """Record abstract operations and the structure bytes they touch."""
+        phase = self._phase
+        phase.ops += ops
+        phase.bytes_touched += bytes_touched
+        self._integral += ops * self.live_bytes
+        self._total_ops += ops
+
+    def add_io(self, io_bytes: int) -> None:
+        """Record streamed file input (the scan passes)."""
+        self._phase.io_bytes += io_bytes
+
+    def on_structure_built(self, size_bytes: int) -> None:
+        """A long-lived structure of ``size_bytes`` came alive."""
+        self.live_bytes += size_bytes
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+        phase = self._phase
+        if self.live_bytes > phase.footprint_bytes:
+            phase.footprint_bytes = self.live_bytes
+        phase.bytes_touched += size_bytes  # it was written once
+
+    def on_structure_freed(self, size_bytes: int) -> None:
+        """A structure was discarded."""
+        self.live_bytes -= size_bytes
+
+    # ------------------------------------------------------------------
+    # Algorithm-specific hooks used by the CFP-growth driver
+    # ------------------------------------------------------------------
+
+    def on_build(self, tree) -> None:
+        """A prefix tree finished building (initial build phase)."""
+        stats = tree.arena.stats()
+        self.add_ops(stats.alloc_count, 0)
+        self.on_structure_built(tree.memory_bytes)
+
+    def on_conversion(self, tree, array) -> None:
+        """A CFP-tree was converted; tree and array briefly coexist (§3.5)."""
+        self.add_ops(array.node_count * 3, tree.memory_bytes + len(array.buffer))
+        self.on_structure_built(array.memory_bytes)
+        self.on_structure_freed(tree.memory_bytes)
+
+    def on_mine_scan(self, subarray_bytes: int, path_items: int) -> None:
+        """One item's sideward scan plus its backward traversals."""
+        self.add_ops(path_items + 1, subarray_bytes + path_items * 3)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def avg_bytes(self) -> float:
+        """Time-weighted (by ops) average of live bytes."""
+        if self._total_ops == 0:
+            return float(self.live_bytes)
+        return self._integral / self._total_ops
+
+    @property
+    def total_ops(self) -> int:
+        return self._total_ops

@@ -1,0 +1,40 @@
+"""Memory management for the compressed prefix trees (paper Appendix A).
+
+The ternary CFP-tree stores variable-size nodes (7-24 bytes) that grow and
+shrink as transactions are inserted. The paper's memory manager serves these
+from a large contiguous chunk of virtual memory:
+
+* a *next-free* bump pointer separates used from unused memory,
+* freed chunks of each size are kept in per-size queues, threaded through the
+  freed memory itself (a 40-bit location fits in the 5-byte minimum chunk),
+* allocation first pops the matching queue and only then bumps the pointer,
+
+which avoids per-node ``malloc`` overhead and external fragmentation.
+
+:class:`repro.memman.Arena` implements exactly this over a ``bytearray``, so
+``arena.footprint_bytes`` is the physical byte count a C implementation would
+use. :mod:`repro.memman.pointers` provides the 40-bit pointer codec shared
+with the node formats, including the ``0xFF`` marker-byte rule that lets a
+parent distinguish an embedded leaf from a real pointer.
+"""
+
+from repro.memman.arena import Arena, ArenaStats
+from repro.memman.pointers import (
+    MARKER_BYTE,
+    NULL,
+    POINTER_SIZE,
+    max_encodable_address,
+    read_pointer,
+    write_pointer,
+)
+
+__all__ = [
+    "Arena",
+    "ArenaStats",
+    "NULL",
+    "POINTER_SIZE",
+    "MARKER_BYTE",
+    "read_pointer",
+    "write_pointer",
+    "max_encodable_address",
+]

@@ -1,0 +1,252 @@
+"""Byte arena with per-size free queues (paper Appendix A).
+
+The arena models the paper's memory manager faithfully:
+
+* memory is one contiguous region; a **next-free** pointer separates the used
+  prefix from untouched memory,
+* chunks freed at each size ``b`` form a queue threaded through the freed
+  memory itself — the first 5 bytes of a free chunk store the address of the
+  next free chunk of the same size,
+* ``alloc(b)`` pops the ``b``-byte queue if non-empty, otherwise carves a new
+  chunk at the next-free pointer,
+* when a node grows or shrinks from ``b1`` to ``b2`` bytes, a ``b2`` chunk is
+  acquired, the node is copied, and the old ``b1`` chunk is enqueued.
+
+The backing store is a ``bytearray`` that grows on demand (the paper reserves
+5 GB of *virtual* memory up front; growing lazily is the Python equivalent —
+the logical ``capacity`` plays the role of the reservation). All reported
+sizes are exact byte counts of this buffer, which is what makes the
+reproduction's memory numbers meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArenaExhaustedError, InvalidChunkError
+from repro.memman.pointers import NULL, POINTER_SIZE, max_encodable_address
+
+#: Smallest chunk the arena manages: a free chunk must hold a 5-byte link.
+MIN_CHUNK_SIZE = POINTER_SIZE
+
+#: Default logical capacity (256 MiB) — far more than any test needs, far
+#: less than the 40-bit pointer limit.
+DEFAULT_CAPACITY = 256 * 1024 * 1024
+
+#: The buffer grows in blocks of this size to amortize reallocation.
+_GROWTH_BLOCK = 64 * 1024
+
+#: Bytes reserved at the start so that address 0 stays the null pointer.
+_RESERVED_PREFIX = 8
+
+
+@dataclass
+class ArenaStats:
+    """Point-in-time accounting snapshot of an :class:`Arena`."""
+
+    footprint_bytes: int
+    """Bytes between the reserved prefix and the next-free pointer — the
+    contiguous region a C implementation would have touched."""
+
+    live_bytes: int
+    """Bytes in chunks currently handed out (footprint minus free chunks)."""
+
+    free_bytes: int
+    """Bytes sitting in free queues awaiting reuse."""
+
+    high_water_bytes: int
+    """Largest footprint ever reached."""
+
+    alloc_count: int
+    """Total number of successful allocations."""
+
+    free_count: int
+    """Total number of frees."""
+
+    reuse_count: int
+    """Allocations served from a free queue rather than the bump pointer."""
+
+
+class Arena:
+    """Bump-pointer arena with size-segregated free queues.
+
+    Parameters
+    ----------
+    capacity:
+        Logical capacity in bytes. Allocation beyond it raises
+        :class:`ArenaExhaustedError` (the analogue of exceeding the paper's
+        5 GB reservation). Must stay below the 40-bit pointer limit.
+    max_chunk_size:
+        Largest chunk size the arena will serve. The paper's node footprints
+        span 7-24 bytes; chain nodes in this implementation can be larger, so
+        the default is generous.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *, max_chunk_size: int = 4096):
+        if capacity <= _RESERVED_PREFIX:
+            raise ValueError(f"capacity too small: {capacity}")
+        if capacity > max_encodable_address():
+            raise ValueError(
+                f"capacity {capacity} exceeds the 40-bit pointer address space"
+            )
+        if max_chunk_size < MIN_CHUNK_SIZE:
+            raise ValueError(f"max_chunk_size too small: {max_chunk_size}")
+        self.capacity = capacity
+        self.max_chunk_size = max_chunk_size
+        self.buf = bytearray(_GROWTH_BLOCK)
+        self._next_free = _RESERVED_PREFIX
+        self._free_heads: dict[int, int] = {}
+        self._free_bytes = 0
+        self._alloc_count = 0
+        self._free_count = 0
+        self._reuse_count = 0
+        self._high_water = _RESERVED_PREFIX
+
+    # ------------------------------------------------------------------
+    # Allocation interface
+    # ------------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Allocate a ``size``-byte chunk and return its address.
+
+        The chunk's contents are zeroed.
+        """
+        self._check_chunk_size(size)
+        head = self._free_heads.get(size, NULL)
+        if head != NULL:
+            buf = self.buf
+            next_head = int.from_bytes(buf[head : head + POINTER_SIZE], "big")
+            self._free_heads[size] = next_head
+            self._free_bytes -= size
+            self._alloc_count += 1
+            self._reuse_count += 1
+            buf[head : head + size] = bytes(size)
+            return head
+        addr = self._next_free
+        new_next = addr + size
+        if new_next > self.capacity:
+            raise ArenaExhaustedError(
+                f"arena capacity {self.capacity} exhausted "
+                f"(requested {size} bytes at {addr})"
+            )
+        if new_next > len(self.buf):
+            self._grow_to(new_next)
+        self._next_free = new_next
+        if new_next > self._high_water:
+            self._high_water = new_next
+        self._alloc_count += 1
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        """Return the chunk at ``addr`` of ``size`` bytes to its free queue."""
+        self._check_chunk_size(size)
+        self._check_chunk_range(addr, size)
+        head = self._free_heads.get(size, NULL)
+        self.buf[addr : addr + POINTER_SIZE] = head.to_bytes(POINTER_SIZE, "big")
+        self._free_heads[size] = addr
+        self._free_bytes += size
+        self._free_count += 1
+
+    def resize(self, addr: int, old_size: int, new_size: int) -> int:
+        """Move a chunk to a new size, copying the common prefix.
+
+        Implements the paper's grow/shrink protocol: acquire a ``new_size``
+        chunk, copy ``min(old_size, new_size)`` bytes, enqueue the old chunk.
+        Returns the new address (which may equal ``addr`` only by reuse
+        coincidence after the copy; callers must always adopt the returned
+        address).
+        """
+        if new_size == old_size:
+            self._check_chunk_range(addr, old_size)
+            return addr
+        payload = bytes(self.buf[addr : addr + min(old_size, new_size)])
+        self.free(addr, old_size)
+        new_addr = self.alloc(new_size)
+        self.buf[new_addr : new_addr + len(payload)] = payload
+        return new_addr
+
+    # ------------------------------------------------------------------
+    # Raw access helpers
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Copy ``size`` bytes starting at ``addr``."""
+        self._check_chunk_range(addr, size)
+        return bytes(self.buf[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr`` (must fit in allocated space)."""
+        self._check_chunk_range(addr, len(data))
+        self.buf[addr : addr + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of arena actually carved out so far (used + free chunks)."""
+        return self._next_free - _RESERVED_PREFIX
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes in chunks currently handed out to callers."""
+        return self.footprint_bytes - self._free_bytes
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Largest footprint reached over the arena's lifetime."""
+        return self._high_water - _RESERVED_PREFIX
+
+    def stats(self) -> ArenaStats:
+        """Return a full accounting snapshot."""
+        return ArenaStats(
+            footprint_bytes=self.footprint_bytes,
+            live_bytes=self.live_bytes,
+            free_bytes=self._free_bytes,
+            high_water_bytes=self.high_water_bytes,
+            alloc_count=self._alloc_count,
+            free_count=self._free_count,
+            reuse_count=self._reuse_count,
+        )
+
+    def free_queue_length(self, size: int) -> int:
+        """Number of chunks waiting in the ``size``-byte free queue."""
+        self._check_chunk_size(size)
+        count = 0
+        addr = self._free_heads.get(size, NULL)
+        while addr != NULL:
+            count += 1
+            addr = int.from_bytes(self.buf[addr : addr + POINTER_SIZE], "big")
+        return count
+
+    def reset(self) -> None:
+        """Discard every allocation, keeping the backing buffer."""
+        self._next_free = _RESERVED_PREFIX
+        self._free_heads.clear()
+        self._free_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _grow_to(self, needed: int) -> None:
+        target = len(self.buf)
+        while target < needed:
+            target += max(_GROWTH_BLOCK, target // 2)
+        target = min(target, self.capacity)
+        self.buf.extend(bytes(target - len(self.buf)))
+
+    def _check_chunk_size(self, size: int) -> None:
+        if not MIN_CHUNK_SIZE <= size <= self.max_chunk_size:
+            raise InvalidChunkError(
+                f"chunk size {size} outside "
+                f"[{MIN_CHUNK_SIZE}, {self.max_chunk_size}]"
+            )
+
+    def _check_chunk_range(self, addr: int, size: int) -> None:
+        if addr < _RESERVED_PREFIX or addr + size > self._next_free:
+            raise InvalidChunkError(
+                f"chunk [{addr}, {addr + size}) outside the used region "
+                f"[{_RESERVED_PREFIX}, {self._next_free})"
+            )

@@ -1,0 +1,74 @@
+"""40-bit pointers with the embedded-leaf marker rule (paper §3.3).
+
+The ternary CFP-tree shrinks every pointer from 64 to 40 bits — enough to
+address 1 TB. Pointers are stored big-endian so that their *first* byte is
+the most significant one; the value ``0xFF`` in that byte is reserved as the
+marker that an embedded leaf node, not a pointer, occupies the slot. The
+memory manager therefore never hands out addresses at or above
+``0xFF00000000``.
+
+Address ``0`` is the null pointer; the arena reserves its first bytes so no
+chunk ever starts at 0.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PointerRangeError
+
+#: Size of an encoded pointer in bytes (40 bits).
+POINTER_SIZE = 5
+
+#: The null pointer.
+NULL = 0
+
+#: First-byte value reserved for embedded leaf nodes.
+MARKER_BYTE = 0xFF
+
+#: Exclusive upper bound on encodable addresses: the top byte must not be
+#: 0xFF, so the largest usable address is just below ``0xFF << 32``.
+_ADDRESS_LIMIT = MARKER_BYTE << 32
+
+
+def max_encodable_address() -> int:
+    """Largest address a 40-bit pointer may hold under the marker rule."""
+    return _ADDRESS_LIMIT - 1
+
+
+def write_pointer(buf: bytearray, offset: int, address: int) -> int:
+    """Store ``address`` as a 5-byte big-endian pointer at ``offset``.
+
+    Returns the offset just past the pointer. Raises
+    :class:`PointerRangeError` for addresses that are negative or whose top
+    byte would be the embedded-leaf marker.
+    """
+    if address < 0 or address >= _ADDRESS_LIMIT:
+        raise PointerRangeError(
+            f"address {address:#x} does not fit a 40-bit pointer "
+            f"with reserved marker byte {MARKER_BYTE:#x}"
+        )
+    buf[offset] = address >> 32
+    buf[offset + 1] = (address >> 24) & 0xFF
+    buf[offset + 2] = (address >> 16) & 0xFF
+    buf[offset + 3] = (address >> 8) & 0xFF
+    buf[offset + 4] = address & 0xFF
+    return offset + POINTER_SIZE
+
+
+def read_pointer(buf, offset: int) -> int:
+    """Read a 5-byte big-endian pointer stored at ``offset``.
+
+    Raises :class:`PointerRangeError` if the slot holds an embedded-leaf
+    marker instead of a pointer — callers must check the marker byte first.
+    """
+    first = buf[offset]
+    if first == MARKER_BYTE:
+        raise PointerRangeError(
+            f"slot at offset {offset} holds an embedded leaf, not a pointer"
+        )
+    return (
+        (first << 32)
+        | (buf[offset + 1] << 24)
+        | (buf[offset + 2] << 16)
+        | (buf[offset + 3] << 8)
+        | buf[offset + 4]
+    )

@@ -1,0 +1,19 @@
+"""Condensed-representation mining: closed, maximal, and top-k itemsets.
+
+Full frequent-itemset output explodes at low support (§4's sweeps stop
+where it does); these are the standard condensed alternatives a mining
+library ships:
+
+* :func:`repro.mining.closed_itemsets` — itemsets with no equal-support
+  superset (LCM-style prefix-preserving closure extension [29]),
+* :func:`repro.mining.maximal_itemsets` — itemsets with no frequent
+  superset,
+* :func:`repro.mining.top_k_itemsets` — the k highest-support itemsets,
+  mined with a dynamically rising support threshold.
+"""
+
+from repro.mining.closed import closed_itemsets
+from repro.mining.maximal import maximal_itemsets
+from repro.mining.topk import top_k_itemsets
+
+__all__ = ["closed_itemsets", "maximal_itemsets", "top_k_itemsets"]

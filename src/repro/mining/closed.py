@@ -1,0 +1,75 @@
+"""Closed frequent itemsets via LCM-style ppc-extension (ref [29]).
+
+An itemset is *closed* when no proper superset has the same support; the
+closed sets form a lossless condensed representation (any itemset's
+support is the maximum support over closed supersets).
+
+The enumeration is LCM's: each closed set is generated exactly once from
+its *prefix-preserving closure extension*. For a current closed set P
+extended with item ``i`` (the core item), the closure of ``P ∪ {i}`` is
+computed over the conditional database; the extension is kept only if the
+closure adds no item smaller than ``i`` (the ppc condition) — otherwise
+the same closed set is reachable from a smaller core and would duplicate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+def closed_itemsets(
+    database: TransactionDatabase, min_support: int
+) -> list[tuple[tuple[Hashable, ...], int]]:
+    """All closed frequent itemsets with their supports."""
+    table, transactions = prepare_transactions(database, min_support)
+    weighted = [(tuple(ranks), 1) for ranks in transactions]
+    results: list[tuple[tuple[int, ...], int]] = []
+    _ppc_extend(frozenset(), 0, weighted, min_support, results)
+    return [
+        (table.ranks_to_items(sorted(ranks)), support)
+        for ranks, support in results
+    ]
+
+
+def _ppc_extend(
+    closed: frozenset[int],
+    core: int,
+    database: list[tuple[tuple[int, ...], int]],
+    min_support: int,
+    results: list,
+) -> None:
+    """Enumerate closed supersets of ``closed`` with core items > ``core``.
+
+    ``database`` holds the transactions containing ``closed`` (projected,
+    weighted).
+    """
+    supports: dict[int, int] = defaultdict(int)
+    for ranks, weight in database:
+        for rank in ranks:
+            if rank not in closed:
+                supports[rank] += weight
+    for rank in sorted(supports):
+        if rank <= core or supports[rank] < min_support:
+            continue
+        # Conditional database of closed ∪ {rank}.
+        conditional = [
+            (ranks, weight) for ranks, weight in database if rank in ranks
+        ]
+        support = sum(weight for __, weight in conditional)
+        # Closure: items present in every conditional transaction.
+        closure = None
+        for ranks, __ in conditional:
+            items = set(ranks)
+            closure = items if closure is None else closure & items
+            if not closure:
+                break
+        closure = (closure or set()) | closed | {rank}
+        # ppc condition: the closure must not add items below the core.
+        if any(r < rank and r not in closed for r in closure):
+            continue
+        new_closed = frozenset(closure)
+        results.append((new_closed, support))
+        _ppc_extend(new_closed, rank, conditional, min_support, results)

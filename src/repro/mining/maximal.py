@@ -1,0 +1,35 @@
+"""Maximal frequent itemsets.
+
+An itemset is *maximal* when no frequent itemset strictly contains it.
+Because frequency is downward closed, an itemset has a frequent strict
+superset iff some single-item extension is frequent — so maximality can
+be decided against the frequent-itemset map with one extension probe per
+item.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.cfp_growth import cfp_growth
+from repro.util.items import TransactionDatabase
+
+
+def maximal_itemsets(
+    database: TransactionDatabase, min_support: int
+) -> list[tuple[tuple[Hashable, ...], int]]:
+    """All maximal frequent itemsets with their supports."""
+    frequent = cfp_growth(database, min_support)
+    supports = {frozenset(itemset): support for itemset, support in frequent}
+    items = set()
+    for itemset in supports:
+        items |= itemset
+    maximal = []
+    for itemset, support in frequent:
+        key = frozenset(itemset)
+        if any(
+            item not in key and key | {item} in supports for item in items
+        ):
+            continue
+        maximal.append((itemset, support))
+    return maximal

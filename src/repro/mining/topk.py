@@ -1,0 +1,122 @@
+"""Top-k frequent itemsets with a dynamically rising support threshold.
+
+Instead of guessing a minimum support, the miner keeps a size-k min-heap
+of the best supports seen; once the heap is full, the heap's minimum
+becomes the *effective* support threshold for the rest of the search.
+Raising the threshold mid-run is sound because support is anti-monotone —
+the standard top-k FIM technique.
+
+Itemsets of support below ``min_support_floor`` (default 1) are never
+considered; ``min_length`` filters trivial singletons if desired.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Hashable
+
+from repro.errors import ExperimentError
+from repro.fptree.tree import FPTree
+from repro.util.items import TransactionDatabase, prepare_transactions
+
+
+class _TopKCollector:
+    """Size-k min-heap with a rising threshold."""
+
+    def __init__(self, k: int, min_length: int, floor: int):
+        self.k = k
+        self.min_length = min_length
+        self.floor = floor
+        self._heap: list[tuple[int, tuple[int, ...]]] = []
+        self._sequence = 0
+
+    @property
+    def threshold(self) -> int:
+        if len(self._heap) < self.k:
+            return self.floor
+        return max(self.floor, self._heap[0][0])
+
+    def emit(self, ranks: tuple[int, ...], support: int) -> None:
+        if len(ranks) < self.min_length or support < self.threshold:
+            return
+        entry = (support, tuple(sorted(ranks)))
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif support > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def emit_path_subsets(self, path, suffix) -> None:
+        # Enumerate subsets whose deepest element sets the support, but
+        # stop expanding once supports fall below the threshold (counts
+        # along a path are non-increasing).
+        subsets: list[tuple[int, ...]] = [()]
+        for rank, count in path:
+            if count < self.threshold and len(self._heap) >= self.k:
+                break
+            for subset in list(subsets):
+                self.emit(subset + (rank,) + suffix, count)
+                subsets.append(subset + (rank,))
+
+    def results(self) -> list[tuple[tuple[int, ...], int]]:
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [(ranks, support) for support, ranks in ordered]
+
+
+def top_k_itemsets(
+    database: TransactionDatabase,
+    k: int,
+    min_length: int = 1,
+    min_support_floor: int = 1,
+) -> list[tuple[tuple[Hashable, ...], int]]:
+    """The ``k`` highest-support itemsets (ties broken lexicographically)."""
+    if k < 1:
+        raise ExperimentError(f"k must be >= 1, got {k}")
+    if min_length < 1:
+        raise ExperimentError(f"min_length must be >= 1, got {min_length}")
+    table, transactions = prepare_transactions(database, min_support_floor)
+    collector = _TopKCollector(k, min_length, min_support_floor)
+    tree = FPTree.from_rank_transactions(transactions, len(table))
+    _mine(tree, collector, ())
+    return [
+        (table.ranks_to_items(ranks), support)
+        for ranks, support in collector.results()
+    ]
+
+
+def _mine(tree: FPTree, collector: _TopKCollector, suffix: tuple[int, ...]) -> None:
+    path = tree.single_path()
+    if path is not None:
+        if path:
+            collector.emit_path_subsets(path, suffix)
+        return
+    for rank in tree.active_ranks_descending():
+        support = tree.rank_count(rank)
+        if support < collector.threshold:
+            continue
+        itemset = (rank,) + suffix
+        collector.emit(itemset, support)
+        conditional = _conditional(tree, rank, collector.threshold)
+        if conditional is not None:
+            _mine(conditional, collector, itemset)
+
+
+def _conditional(tree: FPTree, rank: int, threshold: int) -> FPTree | None:
+    paths = []
+    counts: dict[int, int] = defaultdict(int)
+    for path_ranks, count in tree.prefix_paths(rank):
+        if path_ranks:
+            paths.append((path_ranks, count))
+            for path_rank in path_ranks:
+                counts[path_rank] += count
+    frequent = {r for r, c in counts.items() if c >= threshold}
+    if not frequent:
+        return None
+    conditional = FPTree(tree.n_ranks)
+    for path_ranks, count in paths:
+        filtered = [r for r in path_ranks if r in frequent]
+        if filtered:
+            conditional.insert(filtered, count)
+    if conditional.is_empty():
+        return None
+    return conditional

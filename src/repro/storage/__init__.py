@@ -1,0 +1,43 @@
+"""Out-of-core storage: the paper's research class (3) as a subsystem.
+
+When even the compressed structures exceed main memory, the paper argues
+(§3.5, §4.3) that CFP-growth degrades gracefully because its overflow
+accesses are largely sequential. This package makes that concrete with a
+real disk path instead of a cost model:
+
+* :class:`repro.storage.PageFile` — fixed-size pages in a single file,
+* :class:`repro.storage.BufferPool` — an LRU page cache with pin counts
+  and hit/miss/eviction statistics,
+* :mod:`repro.storage.cfp_store` — an on-disk format for the CFP-array
+  (and checkpointing for the CFP-tree arena), plus
+  :class:`repro.storage.DiskCfpArray`, a drop-in CFP-array reader that
+  fetches bytes through the buffer pool — so the full CFP-growth mine
+  phase runs out-of-core and every page fault is observable.
+
+The buffer-pool statistics reproduce the paper's access-pattern story
+measurably: writing subarrays during conversion faults once per page
+(sequential), while backward traversals during mining fault per hop when
+the pool is small (random).
+"""
+
+from repro.storage.bufferpool import BufferPool, BufferPoolStats
+from repro.storage.cfp_store import (
+    DiskCfpArray,
+    load_cfp_array,
+    load_cfp_tree,
+    save_cfp_array,
+    save_cfp_tree,
+)
+from repro.storage.pagefile import PAGE_SIZE, PageFile
+
+__all__ = [
+    "PageFile",
+    "PAGE_SIZE",
+    "BufferPool",
+    "BufferPoolStats",
+    "save_cfp_array",
+    "load_cfp_array",
+    "DiskCfpArray",
+    "save_cfp_tree",
+    "load_cfp_tree",
+]

@@ -1,0 +1,253 @@
+"""On-disk formats for the CFP structures, and out-of-core mining.
+
+**CFP-array file** (magic ``CFPA``): a header blob — version, ``n_ranks``,
+buffer length, the item index (``starts``) — followed by the raw varint
+buffer, page-aligned. :class:`DiskCfpArray` reads the buffer through a
+:class:`repro.storage.BufferPool` and implements the same traversal
+interface as the in-memory :class:`repro.core.CfpArray`, so
+:func:`repro.core.cfp_growth.mine_array` runs unchanged against disk —
+with every page fault observable in the pool statistics. Only the item
+index stays in memory, as the paper's "small item index" does.
+
+**CFP-tree checkpoint** (magic ``CFPT``): the arena's used prefix plus the
+allocator state (next-free pointer, free-queue heads) and the tree's
+metadata, so a build phase can be suspended and resumed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+from repro.compress import varint
+from repro.core.cfp_array import CfpArray
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import ReproError
+from repro.memman.arena import Arena
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import PAGE_SIZE, PageFile
+
+_ARRAY_MAGIC = b"CFPA"
+_TREE_MAGIC = b"CFPT"
+_VERSION = 1
+
+
+class StorageFormatError(ReproError):
+    """A file is not a valid CFP store."""
+
+
+# ----------------------------------------------------------------------
+# CFP-array persistence
+# ----------------------------------------------------------------------
+
+def save_cfp_array(array: CfpArray, path: str | os.PathLike) -> int:
+    """Write a CFP-array to ``path``; returns the file size in bytes."""
+    header = bytearray()
+    header += _ARRAY_MAGIC
+    header += struct.pack("<II", _VERSION, 0)
+    header += struct.pack("<QQ", array.n_ranks, len(array.buffer))
+    for start in array.starts:
+        header += struct.pack("<Q", start)
+    with PageFile.create(path) as pagefile:
+        pagefile.append_blob(bytes(header))
+        pagefile.append_blob(bytes(array.buffer))
+        size = pagefile.page_count * PAGE_SIZE
+    return size
+
+
+def _header_pages(n_ranks: int) -> int:
+    header_size = 4 + 8 + 16 + 8 * (n_ranks + 2)
+    return max(1, -(-header_size // PAGE_SIZE))
+
+
+def load_cfp_array(path: str | os.PathLike) -> CfpArray:
+    """Load a CFP-array fully into memory."""
+    with PageFile.open_readonly(path) as pagefile:
+        n_ranks, buffer_len, starts, data_page = _read_array_header(pagefile)
+        blob = bytearray()
+        for page_no in range(data_page, pagefile.page_count):
+            blob += pagefile.read_page(page_no)
+    return CfpArray(n_ranks, bytearray(blob[:buffer_len]), starts)
+
+
+def _read_array_header(pagefile: PageFile):
+    first = pagefile.read_page(0)
+    if first[:4] != _ARRAY_MAGIC:
+        raise StorageFormatError("not a CFP-array file (bad magic)")
+    version = struct.unpack_from("<I", first, 4)[0]
+    if version != _VERSION:
+        raise StorageFormatError(f"unsupported CFP-array version {version}")
+    n_ranks, buffer_len = struct.unpack_from("<QQ", first, 12)
+    header_pages = _header_pages(n_ranks)
+    header = bytearray(first)
+    for page_no in range(1, header_pages):
+        header += pagefile.read_page(page_no)
+    starts = list(
+        struct.unpack_from(f"<{n_ranks + 2}Q", header, 28)
+    )
+    return n_ranks, buffer_len, starts, header_pages
+
+
+class DiskCfpArray:
+    """CFP-array traversals served from disk through a buffer pool.
+
+    Implements the interface :func:`repro.core.cfp_growth.mine_array`
+    needs, so CFP-growth's mine phase runs out-of-core unchanged.
+    """
+
+    #: Longest possible encoded triple (three 10-byte varints).
+    _MAX_TRIPLE = 30
+
+    def __init__(self, path: str | os.PathLike, pool_pages: int = 64):
+        self._pagefile = PageFile.open_readonly(path)
+        n_ranks, buffer_len, starts, data_page = _read_array_header(self._pagefile)
+        self.n_ranks = n_ranks
+        self.starts = starts
+        self._buffer_len = buffer_len
+        self._data_offset = data_page * PAGE_SIZE
+        self.pool = BufferPool(self._pagefile, pool_pages)
+
+    def close(self) -> None:
+        self._pagefile.close()
+
+    def __enter__(self) -> "DiskCfpArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Traversal interface (mirrors repro.core.CfpArray)
+    # ------------------------------------------------------------------
+
+    def _read_at(self, offset: int, size: int) -> bytes:
+        size = min(size, self._buffer_len - offset)
+        return self.pool.read(self._data_offset + offset, size)
+
+    def _decode_triple(self, offset: int) -> tuple[int, int, int, int]:
+        chunk = self._read_at(offset, self._MAX_TRIPLE)
+        delta_item, pos = varint.decode_from(chunk, 0)
+        dpos_raw, pos = varint.decode_from(chunk, pos)
+        count, pos = varint.decode_from(chunk, pos)
+        return delta_item, varint.unzigzag(dpos_raw), count, offset + pos
+
+    def iter_subarray(self, rank: int):
+        start = self.starts[rank]
+        end = self.starts[rank + 1]
+        offset = start
+        while offset < end:
+            delta_item, dpos, count, next_offset = self._decode_triple(offset)
+            yield offset - start, delta_item, dpos, count
+            offset = next_offset
+
+    def path_ranks(self, rank: int, local: int) -> list[int]:
+        path = []
+        while True:
+            offset = self.starts[rank] + local
+            chunk = self._read_at(offset, self._MAX_TRIPLE)
+            delta_item, pos = varint.decode_from(chunk, 0)
+            dpos_raw, __ = varint.decode_from(chunk, pos)
+            parent_rank = rank - delta_item
+            if parent_rank == 0:
+                break
+            local = local - varint.unzigzag(dpos_raw)
+            rank = parent_rank
+            path.append(rank)
+        path.reverse()
+        return path
+
+    def rank_support(self, rank: int) -> int:
+        return sum(count for __, __, __, count in self.iter_subarray(rank))
+
+    def active_ranks_descending(self):
+        for rank in range(self.n_ranks, 0, -1):
+            if self.starts[rank + 1] > self.starts[rank]:
+                yield rank
+
+    def subarray_bytes(self, rank: int) -> int:
+        return self.starts[rank + 1] - self.starts[rank]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident bytes: the buffer pool plus the in-memory item index."""
+        return self.pool.capacity_bytes + (self.n_ranks + 1) * 5
+
+
+# ----------------------------------------------------------------------
+# CFP-tree checkpointing
+# ----------------------------------------------------------------------
+
+def save_cfp_tree(tree: TernaryCfpTree, path: str | os.PathLike) -> int:
+    """Checkpoint a CFP-tree (arena contents + allocator + metadata)."""
+    arena = tree.arena
+    used = arena._next_free
+    meta = {
+        "n_ranks": tree.n_ranks,
+        "enable_chains": tree.enable_chains,
+        "enable_embedding": tree.enable_embedding,
+        "max_chain_length": tree.max_chain_length,
+        "logical_node_count": tree.logical_node_count,
+        "transaction_count": tree.transaction_count,
+        "root_slot": tree._root_slot,
+        "next_free": used,
+        "free_heads": {str(k): v for k, v in arena._free_heads.items()},
+        "free_bytes": arena._free_bytes,
+        "capacity": arena.capacity,
+        "max_chunk_size": arena.max_chunk_size,
+    }
+    meta_blob = json.dumps(meta).encode("ascii")
+    header = _TREE_MAGIC + struct.pack("<IQ", _VERSION, len(meta_blob))
+    with PageFile.create(path) as pagefile:
+        pagefile.append_blob(header + meta_blob)
+        pagefile.append_blob(bytes(arena.buf[:used]))
+        return pagefile.page_count * PAGE_SIZE
+
+
+def load_cfp_tree(path: str | os.PathLike) -> TernaryCfpTree:
+    """Restore a checkpointed CFP-tree; inserts may continue."""
+    with PageFile.open_readonly(path) as pagefile:
+        first = pagefile.read_page(0)
+        if first[:4] != _TREE_MAGIC:
+            raise StorageFormatError("not a CFP-tree checkpoint (bad magic)")
+        version, meta_len = struct.unpack_from("<IQ", first, 4)
+        if version != _VERSION:
+            raise StorageFormatError(f"unsupported CFP-tree version {version}")
+        header_len = 16 + meta_len
+        header_pages = max(1, -(-header_len // PAGE_SIZE))
+        header = bytearray(first)
+        for page_no in range(1, header_pages):
+            header += pagefile.read_page(page_no)
+        meta = json.loads(bytes(header[16:header_len]).decode("ascii"))
+        blob = bytearray()
+        for page_no in range(header_pages, pagefile.page_count):
+            blob += pagefile.read_page(page_no)
+    arena = Arena(meta["capacity"], max_chunk_size=meta["max_chunk_size"])
+    used = meta["next_free"]
+    if used > len(arena.buf):
+        arena._grow_to(used)
+    arena.buf[:used] = blob[:used]
+    arena._next_free = used
+    arena._high_water = used
+    arena._free_heads = {int(k): v for k, v in meta["free_heads"].items()}
+    arena._free_bytes = meta["free_bytes"]
+    tree = TernaryCfpTree.__new__(TernaryCfpTree)
+    tree.n_ranks = meta["n_ranks"]
+    tree.arena = arena
+    tree.enable_chains = meta["enable_chains"]
+    tree.enable_embedding = meta["enable_embedding"]
+    tree.max_chain_length = meta["max_chain_length"]
+    tree._root_slot = meta["root_slot"]
+    tree.logical_node_count = meta["logical_node_count"]
+    tree.transaction_count = meta["transaction_count"]
+    return tree
+
+
+__all__ = [
+    "save_cfp_array",
+    "load_cfp_array",
+    "DiskCfpArray",
+    "save_cfp_tree",
+    "load_cfp_tree",
+    "StorageFormatError",
+]

@@ -1,0 +1,136 @@
+"""Fixed-size page file — the disk substrate for out-of-core structures.
+
+A page file is a flat sequence of 4 KiB pages. Page 0 onward is payload;
+callers layer their own headers inside the pages. All I/O is page-granular
+so the buffer pool above it can count faults exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ReproError
+
+#: Page size in bytes (the common OS page size; §4.3's unit of thrashing).
+PAGE_SIZE = 4096
+
+
+class PageFileError(ReproError):
+    """Invalid page access or a closed file."""
+
+
+class PageFile:
+    """Page-granular random access over one file.
+
+    Usage::
+
+        with PageFile.create(path) as pf:
+            page_no = pf.append(b"...")
+            data = pf.read_page(page_no)
+    """
+
+    def __init__(self, handle, writable: bool):
+        self._handle = handle
+        self._writable = writable
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size % PAGE_SIZE:
+            raise PageFileError(
+                f"file size {size} is not a multiple of the page size"
+            )
+        self._page_count = size // PAGE_SIZE
+        #: Page reads/writes performed (fault accounting for experiments).
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | os.PathLike) -> "PageFile":
+        """Create (truncate) a page file for writing."""
+        return cls(open(path, "w+b"), writable=True)
+
+    @classmethod
+    def open_readonly(cls, path: str | os.PathLike) -> "PageFile":
+        """Open an existing page file for reading."""
+        return cls(open(path, "rb"), writable=False)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def read_page(self, page_no: int) -> bytes:
+        """Read one full page."""
+        self._check_open()
+        if not 0 <= page_no < self._page_count:
+            raise PageFileError(
+                f"page {page_no} out of range [0, {self._page_count})"
+            )
+        self._handle.seek(page_no * PAGE_SIZE)
+        data = self._handle.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise PageFileError(f"short read on page {page_no}")
+        self.reads += 1
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        """Overwrite one page (padded with zeros if short)."""
+        self._check_open()
+        if not self._writable:
+            raise PageFileError("page file opened read-only")
+        if not 0 <= page_no < self._page_count:
+            raise PageFileError(
+                f"page {page_no} out of range [0, {self._page_count})"
+            )
+        if len(data) > PAGE_SIZE:
+            raise PageFileError(f"page data too large: {len(data)}")
+        self._handle.seek(page_no * PAGE_SIZE)
+        self._handle.write(data.ljust(PAGE_SIZE, b"\x00"))
+        self.writes += 1
+
+    def append(self, data: bytes = b"") -> int:
+        """Add a new page at the end; returns its page number."""
+        self._check_open()
+        if not self._writable:
+            raise PageFileError("page file opened read-only")
+        if len(data) > PAGE_SIZE:
+            raise PageFileError(f"page data too large: {len(data)}")
+        page_no = self._page_count
+        self._handle.seek(page_no * PAGE_SIZE)
+        self._handle.write(data.ljust(PAGE_SIZE, b"\x00"))
+        self._page_count += 1
+        self.writes += 1
+        return page_no
+
+    def append_blob(self, blob: bytes) -> tuple[int, int]:
+        """Write an arbitrary-length blob across new pages.
+
+        Returns ``(first_page, page_count)``.
+        """
+        first = self._page_count
+        count = 0
+        for offset in range(0, max(len(blob), 1), PAGE_SIZE):
+            self.append(blob[offset : offset + PAGE_SIZE])
+            count += 1
+        return first, count
+
+    def _check_open(self) -> None:
+        if self._handle is None:
+            raise PageFileError("page file is closed")

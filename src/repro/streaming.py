@@ -1,0 +1,123 @@
+"""Two-phase streaming build with checkpointing.
+
+FP-growth's build is inherently two-pass (§2.1): pass one counts item
+supports, pass two inserts rank-sorted transactions. For data that arrives
+in batches (or files larger than memory), this module splits the passes
+into explicit phases that can each be suspended to disk:
+
+* :class:`CountingPhase` accumulates item supports across batches and is
+  finalized into an :class:`repro.util.items.ItemTable`;
+* :class:`StreamingBuilder` consumes batches into a ternary CFP-tree,
+  checkpointing via :mod:`repro.storage` between batches, and hands the
+  finished tree to the normal convert/mine pipeline.
+
+The result is always byte-identical to a one-shot build over the
+concatenated batches.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import Hashable, Iterable
+
+from repro.core.cfp_growth import mine_array
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import DatasetError
+from repro.fptree.growth import ListCollector
+from repro.storage import load_cfp_tree, save_cfp_tree
+from repro.util.items import ItemTable, Transaction
+
+
+class CountingPhase:
+    """Pass 1: accumulate item supports over arbitrarily many batches."""
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+        self._transactions = 0
+
+    def add_batch(self, batch: Iterable[Transaction]) -> None:
+        for transaction in batch:
+            self._counts.update(set(transaction))
+            self._transactions += 1
+
+    @property
+    def transactions_seen(self) -> int:
+        return self._transactions
+
+    def finish(self, min_support: int) -> ItemTable:
+        """Freeze the counts into the rank table for pass 2."""
+        if min_support < 1:
+            raise DatasetError(f"min_support must be >= 1, got {min_support}")
+        frequent = {
+            item: support
+            for item, support in self._counts.items()
+            if support >= min_support
+        }
+        return ItemTable(min_support=min_support, supports=frequent)
+
+
+class StreamingBuilder:
+    """Pass 2: insert batches into a CFP-tree, checkpointable at any time."""
+
+    def __init__(self, table: ItemTable, **tree_options):
+        self.table = table
+        self.tree = TernaryCfpTree(len(table), **tree_options)
+        self.batches_consumed = 0
+
+    def add_batch(self, batch: Iterable[Transaction]) -> int:
+        """Insert one batch; returns transactions actually inserted."""
+        rank_of = self.table.rank_of
+        inserted = 0
+        for transaction in batch:
+            ranks = sorted(
+                {rank_of[item] for item in transaction if item in rank_of}
+            )
+            if ranks:
+                self.tree.insert(ranks)
+                inserted += 1
+        self.batches_consumed += 1
+        return inserted
+
+    def checkpoint(self, path: str | os.PathLike) -> int:
+        """Persist the build state; returns bytes written."""
+        return save_cfp_tree(self.tree, path)
+
+    @classmethod
+    def resume(cls, table: ItemTable, path: str | os.PathLike) -> "StreamingBuilder":
+        """Continue a checkpointed build (the table must be the original)."""
+        builder = cls.__new__(cls)
+        builder.table = table
+        builder.tree = load_cfp_tree(path)
+        builder.batches_consumed = 0
+        if builder.tree.n_ranks != len(table):
+            raise DatasetError(
+                f"checkpoint has {builder.tree.n_ranks} ranks, table has "
+                f"{len(table)}"
+            )
+        return builder
+
+    def finish(self) -> list[tuple[tuple[Hashable, ...], int]]:
+        """Convert and mine; the builder must not be reused afterwards."""
+        array = convert(self.tree)
+        collector = ListCollector()
+        mine_array(array, self.table.min_support, collector)
+        return [
+            (self.table.ranks_to_items(ranks), support)
+            for ranks, support in collector.itemsets
+        ]
+
+
+def mine_in_batches(
+    batches: list[list[Transaction]], min_support: int
+) -> list[tuple[tuple[Hashable, ...], int]]:
+    """Convenience: the full two-phase pipeline over a batch list."""
+    counting = CountingPhase()
+    for batch in batches:
+        counting.add_batch(batch)
+    table = counting.finish(min_support)
+    builder = StreamingBuilder(table)
+    for batch in batches:
+        builder.add_batch(batch)
+    return builder.finish()

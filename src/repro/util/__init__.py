@@ -1,0 +1,15 @@
+"""Shared utilities: item-rank preprocessing and small helpers."""
+
+from repro.util.items import (
+    ItemTable,
+    Transaction,
+    TransactionDatabase,
+    prepare_transactions,
+)
+
+__all__ = [
+    "ItemTable",
+    "Transaction",
+    "TransactionDatabase",
+    "prepare_transactions",
+]

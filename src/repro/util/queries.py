@@ -1,0 +1,75 @@
+"""Support queries against built structures (paper §2.1).
+
+The paper's example: the support of itemset {3, 4} is obtained by summing
+the counts of the prefixes that contain the itemset and end with its
+least frequent item — a sideward traversal over that item's nodes plus a
+backward traversal per node. These helpers run that query against an
+FP-tree or a CFP-array without mining anything.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.cfp_array import CfpArray
+from repro.errors import TreeError
+from repro.fptree.tree import FPTree
+from repro.util.items import ItemTable
+
+
+def support_in_fp_tree(tree: FPTree, ranks: Iterable[int]) -> int:
+    """Support of a rank itemset via nodelinks and parent walks."""
+    wanted = sorted(set(ranks))
+    if not wanted:
+        raise TreeError("itemset must not be empty")
+    if wanted[0] < 1 or wanted[-1] > tree.n_ranks:
+        return 0
+    least = wanted[-1]
+    others = set(wanted[:-1])
+    support = 0
+    for path, count in tree.prefix_paths(least):
+        if others <= set(path):
+            support += count
+    return support
+
+
+def support_in_cfp_array(array: CfpArray, ranks: Iterable[int]) -> int:
+    """Support of a rank itemset via the item index and backward walks.
+
+    The nodelink-free equivalent: scan the least frequent rank's subarray
+    (its item-index slice) and backward-traverse each node.
+    """
+    wanted = sorted(set(ranks))
+    if not wanted:
+        raise TreeError("itemset must not be empty")
+    if wanted[0] < 1 or wanted[-1] > array.n_ranks:
+        return 0
+    least = wanted[-1]
+    others = set(wanted[:-1])
+    support = 0
+    for local, __, __, count in array.iter_subarray(least):
+        if not others:
+            support += count
+        elif others <= set(array.path_ranks(least, local)):
+            support += count
+    return support
+
+
+def itemset_support(
+    structure, table: ItemTable, items: Iterable[Hashable]
+) -> int:
+    """Support of an itemset in the caller's vocabulary.
+
+    ``structure`` is an :class:`FPTree` or :class:`CfpArray` built from
+    the database ``table`` was derived from. Items unknown to the table
+    (infrequent or unseen) make the support 0 by definition.
+    """
+    ranks = []
+    for item in items:
+        rank = table.rank_of.get(item)
+        if rank is None:
+            return 0
+        ranks.append(rank)
+    if isinstance(structure, FPTree):
+        return support_in_fp_tree(structure, ranks)
+    return support_in_cfp_array(structure, ranks)

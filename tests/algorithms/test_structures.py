@@ -1,0 +1,191 @@
+"""Unit tests for the comparison algorithms' characteristic structures."""
+
+import pytest
+from hypothesis import given
+
+from repro.algorithms.afopt import AfoptNode, build_afopt_tree, subtree_size
+from repro.algorithms.ctpro import CompressedTree, hash_cons_size
+from repro.algorithms.fparray import FpArrayStructure, dataset_bytes
+from repro.algorithms.lcm import database_bytes
+from repro.algorithms.nonordfp import ARRAY_NODE_BYTES, NonordArrays
+from repro.algorithms.patricia import PatriciaTrie
+from repro.errors import ExperimentError
+from repro.fptree.tree import FPTree
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, random_database
+
+
+def prepared(seed=3, min_support=2):
+    db = random_database(seed, n_transactions=60, n_items=12, max_length=8)
+    table, transactions = prepare_transactions(db, min_support)
+    return len(table), transactions
+
+
+class TestNonordArrays:
+    def test_flattening_preserves_counts(self):
+        n_ranks, transactions = prepared()
+        tree = FPTree.from_rank_transactions(transactions, n_ranks)
+        arrays = NonordArrays.from_tree(tree)
+        assert arrays.node_count == tree.node_count
+        for rank in range(1, n_ranks + 1):
+            assert arrays.rank_support(rank) == tree.rank_count(rank)
+
+    def test_paths_match_tree(self):
+        n_ranks, transactions = prepared()
+        tree = FPTree.from_rank_transactions(transactions, n_ranks)
+        arrays = NonordArrays.from_tree(tree)
+        for rank in range(1, n_ranks + 1):
+            tree_paths = sorted(
+                (tuple(p), c) for p, c in tree.prefix_paths(rank)
+            )
+            array_paths = sorted(
+                (tuple(arrays.path_ranks(i)), arrays.counts[i])
+                for i in range(arrays.starts[rank], arrays.starts[rank + 1])
+            )
+            assert array_paths == tree_paths
+
+    def test_parents_precede_children(self):
+        n_ranks, transactions = prepared()
+        tree = FPTree.from_rank_transactions(transactions, n_ranks)
+        arrays = NonordArrays.from_tree(tree)
+        for index, parent in enumerate(arrays.parents):
+            if parent >= 0:
+                assert arrays.ranks[parent] < arrays.ranks[index]
+
+    def test_memory_model(self):
+        n_ranks, transactions = prepared()
+        tree = FPTree.from_rank_transactions(transactions, n_ranks)
+        arrays = NonordArrays.from_tree(tree)
+        assert arrays.memory_bytes == arrays.node_count * ARRAY_NODE_BYTES
+
+
+class TestFpArrayStructure:
+    def test_unrolling_covers_all_nodes(self):
+        n_ranks, transactions = prepared()
+        tree = FPTree.from_rank_transactions(transactions, n_ranks)
+        structure = FpArrayStructure.from_tree(tree)
+        assert structure.node_count == tree.node_count
+
+    def test_paths_match_tree(self):
+        n_ranks, transactions = prepared()
+        tree = FPTree.from_rank_transactions(transactions, n_ranks)
+        structure = FpArrayStructure.from_tree(tree)
+        for rank in range(1, n_ranks + 1):
+            tree_paths = sorted((tuple(p), c) for p, c in tree.prefix_paths(rank))
+            array_paths = sorted(
+                (tuple(structure.path_ranks(i)), structure.counts[i])
+                for i in structure.by_rank.get(rank, [])
+            )
+            assert array_paths == tree_paths
+
+    def test_dataset_bytes(self):
+        assert dataset_bytes([[1, 2, 3], [4]]) == 16
+
+
+class TestAfoptTree:
+    def test_build_counts(self):
+        root = build_afopt_tree([[1, 2], [1, 2], [2]])
+        # Ascending frequency order: rank 2 (less frequent) heads paths.
+        assert set(root.children) == {2}
+        assert root.children[2].count == 3
+        assert root.children[2].children[1].count == 2
+
+    def test_subtree_size(self):
+        # Reversed paths 3-2-1 and 3-1 share the root child 3: 4 nodes.
+        root = build_afopt_tree([[1, 2, 3], [1, 3]])
+        assert subtree_size(root.children) == 4
+
+    def test_copy_is_deep(self):
+        node = AfoptNode(1)
+        node.children[2] = AfoptNode(5)
+        clone = node.copy()
+        clone.children[2].count = 99
+        assert node.children[2].count == 5
+
+
+class TestCompressedTree:
+    def test_identical_subtrees_shared(self):
+        # Two distinct parents with structurally identical subtrees.
+        tree = FPTree(4)
+        tree.insert([1, 3, 4])
+        tree.insert([2, 3, 4])
+        shared, total = hash_cons_size(tree)
+        assert total == 6
+        assert shared < total  # the (3 -> 4) subtree is stored once
+
+    def test_no_sharing_when_counts_differ(self):
+        tree = FPTree(4)
+        tree.insert([1, 3, 4])
+        tree.insert([2, 3, 4])
+        tree.insert([2, 3, 4])  # counts now differ between the subtrees
+        shared, total = hash_cons_size(tree)
+        assert shared == total
+
+    def test_compression_ratio(self):
+        n_ranks, transactions = prepared()
+        compressed = CompressedTree(
+            FPTree.from_rank_transactions(transactions, n_ranks)
+        )
+        assert 0 < compressed.compression_ratio <= 1.0
+        assert compressed.memory_bytes > 0
+
+    def test_empty_tree(self):
+        compressed = CompressedTree(FPTree(0))
+        assert compressed.compression_ratio == 1.0
+
+
+class TestPatriciaTrie:
+    def test_single_transaction_single_node(self):
+        trie = PatriciaTrie.from_rank_transactions([[1, 2, 3, 4]], 4)
+        assert trie.node_count == 1
+        (child,) = trie.root.children.values()
+        assert child.label == (1, 2, 3, 4)
+        assert child.pcount == 1
+
+    def test_shared_prefix_splits(self):
+        trie = PatriciaTrie.from_rank_transactions([[1, 2, 3], [1, 2, 4]], 4)
+        assert trie.node_count == 3  # (1,2) + (3) + (4)
+
+    def test_prefix_termination(self):
+        trie = PatriciaTrie.from_rank_transactions([[1, 2, 3], [1, 2]], 3)
+        assert trie.node_count == 2
+        (child,) = trie.root.children.values()
+        assert child.label == (1, 2)
+        assert child.pcount == 1
+
+    def test_extension_descends(self):
+        trie = PatriciaTrie.from_rank_transactions([[1, 2], [1, 2, 3]], 3)
+        (child,) = trie.root.children.values()
+        assert child.pcount == 1
+        (grandchild,) = child.children.values()
+        assert grandchild.label == (3,)
+
+    def test_memory_counts_labels(self):
+        trie = PatriciaTrie.from_rank_transactions([[1, 2, 3, 4]], 4)
+        assert trie.memory_bytes == 16 + 4 * 4
+
+    @given(db_strategy)
+    def test_prefix_paths_match_fp_tree(self, database):
+        table, transactions = prepare_transactions(database, 2)
+        trie = PatriciaTrie.from_rank_transactions(transactions, len(table))
+        fp = FPTree.from_rank_transactions(transactions, len(table))
+        paths = trie.prefix_paths()
+        for rank in range(1, len(table) + 1):
+            fp_support = fp.rank_count(rank)
+            trie_support = sum(c for __, c in paths.get(rank, []))
+            assert trie_support == fp_support
+
+
+class TestLcmDatabaseBytes:
+    def test_scaling_with_transactions(self):
+        small = database_bytes([((1, 2), 1)] * 10)
+        large = database_bytes([((1, 2), 1)] * 20)
+        assert large == 2 * small
+
+
+class TestTopDownGuard:
+    def test_refuses_pathological_length(self):
+        from repro.algorithms.topdown import topdown_ranks
+
+        with pytest.raises(ExperimentError):
+            topdown_ranks([list(range(1, 40))], 1)

@@ -1,0 +1,69 @@
+"""Unit tests for the compression-mask byte."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress import masks
+from repro.errors import CodecError
+
+
+class TestPack:
+    def test_paper_figure4(self):
+        # delta_item=3 -> 2-bit mask 11; pcount=0 -> 3-bit mask 100;
+        # only suffix pointer present -> 010 is left/right/suffix = 0,1,0?
+        # Figure 4: left and right zero, suffix present -> bits 001.
+        byte = masks.pack_node_mask(3, 4, False, False, True)
+        assert byte == 0b11100001
+
+    def test_all_zero(self):
+        assert masks.pack_node_mask(0, 0, False, False, False) == 0
+
+    def test_presence_bits(self):
+        assert masks.pack_node_mask(0, 0, True, False, False) == 0b100
+        assert masks.pack_node_mask(0, 0, False, True, False) == 0b010
+        assert masks.pack_node_mask(0, 0, False, False, True) == 0b001
+
+    def test_item_mask_range(self):
+        with pytest.raises(CodecError):
+            masks.pack_node_mask(4, 0, False, False, False)
+        with pytest.raises(CodecError):
+            masks.pack_node_mask(-1, 0, False, False, False)
+
+    def test_pcount_mask_range(self):
+        with pytest.raises(CodecError):
+            masks.pack_node_mask(0, 5, False, False, False)
+
+
+class TestUnpack:
+    def test_roundtrip_example(self):
+        decoded = masks.unpack_node_mask(0b11100001)
+        assert decoded.item_mask == 3
+        assert decoded.pcount_mask == 4
+        assert not decoded.left_present
+        assert not decoded.right_present
+        assert decoded.suffix_present
+
+    def test_rejects_corrupt_pcount_mask(self):
+        # pcount mask 0b101 (=5) can never be produced by pack_node_mask.
+        with pytest.raises(CodecError):
+            masks.unpack_node_mask(0b00101000)
+
+    def test_rejects_out_of_range_byte(self):
+        with pytest.raises(CodecError):
+            masks.unpack_node_mask(256)
+        with pytest.raises(CodecError):
+            masks.unpack_node_mask(-1)
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=4),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_roundtrip(self, item_mask, pcount_mask, left, right, suffix):
+        byte = masks.pack_node_mask(item_mask, pcount_mask, left, right, suffix)
+        assert 0 <= byte <= 0xFF
+        decoded = masks.unpack_node_mask(byte)
+        assert decoded == masks.NodeMask(item_mask, pcount_mask, left, right, suffix)

@@ -1,0 +1,137 @@
+"""Unit tests for variable byte encoding (varint128)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress import varint
+from repro.errors import CorruptBufferError, ValueOutOfRangeError
+
+
+class TestEncodedSize:
+    def test_one_byte_values(self):
+        assert varint.encoded_size(0) == 1
+        assert varint.encoded_size(1) == 1
+        assert varint.encoded_size(127) == 1
+
+    def test_two_byte_values(self):
+        assert varint.encoded_size(128) == 2
+        assert varint.encoded_size(0x90) == 2
+        assert varint.encoded_size(16383) == 2
+
+    def test_boundaries(self):
+        for n_bytes in range(1, 10):
+            boundary = 1 << (7 * n_bytes)
+            assert varint.encoded_size(boundary - 1) == n_bytes
+            assert varint.encoded_size(boundary) == n_bytes + 1
+
+    def test_max_value(self):
+        assert varint.encoded_size(varint.MAX_VALUE) == 10
+
+
+class TestEncodeDecode:
+    def test_paper_example(self):
+        # 0x90 = 144 encodes to 10010000 00000001 per §2.3.
+        assert varint.encode(0x90) == bytes([0b10010000, 0b00000001])
+
+    def test_zero(self):
+        assert varint.encode(0) == b"\x00"
+        assert varint.decode_from(b"\x00") == (0, 1)
+
+    def test_single_byte_roundtrip(self):
+        for value in range(128):
+            assert varint.decode_from(varint.encode(value)) == (value, 1)
+
+    def test_decode_with_offset(self):
+        buf = b"\xff\xff" + varint.encode(300)
+        value, end = varint.decode_from(buf, 2)
+        assert value == 300
+        assert end == len(buf)
+
+    def test_encode_into_matches_encode(self):
+        buf = bytearray(16)
+        end = varint.encode_into(buf, 3, 123456)
+        assert bytes(buf[3:end]) == varint.encode(123456)
+
+    def test_encode_into_returns_next_offset(self):
+        buf = bytearray(4)
+        assert varint.encode_into(buf, 0, 5) == 1
+        assert varint.encode_into(buf, 1, 200) == 3
+
+
+class TestSkip:
+    def test_skip_matches_decode(self):
+        buf = varint.encode(7) + varint.encode(99999) + varint.encode(0)
+        offset = varint.skip(buf, 0)
+        assert offset == 1
+        offset = varint.skip(buf, offset)
+        assert offset == varint.decode_from(buf, 1)[1]
+
+    def test_skip_truncated_raises(self):
+        with pytest.raises(CorruptBufferError):
+            varint.skip(b"\x80\x80", 0)
+
+
+class TestErrors:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueOutOfRangeError):
+            varint.encode(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueOutOfRangeError):
+            varint.encode(varint.MAX_VALUE + 1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValueOutOfRangeError):
+            varint.encode("12")  # type: ignore[arg-type]
+
+    def test_truncated_buffer(self):
+        with pytest.raises(CorruptBufferError):
+            varint.decode_from(b"\x80")
+
+    def test_empty_buffer(self):
+        with pytest.raises(CorruptBufferError):
+            varint.decode_from(b"")
+
+    def test_overlong_encoding_rejected(self):
+        # Eleven continuation bytes can never be a valid <=64-bit varint.
+        with pytest.raises(CorruptBufferError):
+            varint.decode_from(b"\x80" * 11 + b"\x01")
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=varint.MAX_VALUE))
+    def test_roundtrip(self, value):
+        encoded = varint.encode(value)
+        assert varint.decode_from(encoded) == (value, len(encoded))
+
+    @given(st.integers(min_value=0, max_value=varint.MAX_VALUE))
+    def test_encoded_size_matches_encode(self, value):
+        assert varint.encoded_size(value) == len(varint.encode(value))
+
+    @given(st.lists(st.integers(min_value=0, max_value=varint.MAX_VALUE), max_size=20))
+    def test_stream_roundtrip(self, values):
+        buf = b"".join(varint.encode(v) for v in values)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = varint.decode_from(buf, offset)
+            decoded.append(value)
+        assert decoded == values
+        assert offset == len(buf)
+
+    @given(
+        st.integers(min_value=0, max_value=varint.MAX_VALUE),
+        st.integers(min_value=0, max_value=varint.MAX_VALUE),
+    )
+    def test_order_preserved_in_size(self, a, b):
+        # Larger values never encode shorter.
+        if a <= b:
+            assert varint.encoded_size(a) <= varint.encoded_size(b)
+
+    @given(st.integers(min_value=0, max_value=varint.MAX_VALUE))
+    def test_last_byte_has_no_continuation_bit(self, value):
+        encoded = varint.encode(value)
+        assert not encoded[-1] & 0x80
+        for byte in encoded[:-1]:
+            assert byte & 0x80

@@ -1,0 +1,104 @@
+"""Unit tests for leading zero-byte suppression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress import zero_suppression as zs
+from repro.errors import CorruptBufferError, ValueOutOfRangeError
+
+values_32bit = st.integers(min_value=0, max_value=zs.MAX_VALUE)
+
+
+class TestLeadingZeroBytes:
+    def test_all_widths(self):
+        assert zs.leading_zero_bytes(0) == 4
+        assert zs.leading_zero_bytes(0x01) == 3
+        assert zs.leading_zero_bytes(0xFF) == 3
+        assert zs.leading_zero_bytes(0x100) == 2
+        assert zs.leading_zero_bytes(0xFFFF) == 2
+        assert zs.leading_zero_bytes(0x10000) == 1
+        assert zs.leading_zero_bytes(0x1000000) == 0
+        assert zs.leading_zero_bytes(0xFFFFFFFF) == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueOutOfRangeError):
+            zs.leading_zero_bytes(-1)
+        with pytest.raises(ValueOutOfRangeError):
+            zs.leading_zero_bytes(1 << 32)
+
+
+class TestThreeBitVariant:
+    def test_paper_example(self):
+        # 0x00000090 -> mask 3 (binary 011), payload 0x90 (§2.3).
+        assert zs.encode_3bit(0x90) == (3, b"\x90")
+
+    def test_zero_stores_nothing(self):
+        assert zs.encode_3bit(0) == (4, b"")
+
+    def test_full_width(self):
+        assert zs.encode_3bit(0xDEADBEEF) == (0, b"\xde\xad\xbe\xef")
+
+    def test_decode(self):
+        assert zs.decode_3bit(3, b"\x90") == (0x90, 1)
+        assert zs.decode_3bit(4, b"") == (0, 0)
+        assert zs.decode_3bit(0, b"\xde\xad\xbe\xef") == (0xDEADBEEF, 4)
+
+    def test_decode_with_offset(self):
+        buf = b"\x00\x00\x12\x34"
+        assert zs.decode_3bit(2, buf, 2) == (0x1234, 4)
+
+    def test_decode_truncated(self):
+        with pytest.raises(CorruptBufferError):
+            zs.decode_3bit(0, b"\x01\x02")
+
+    def test_decode_bad_mask(self):
+        with pytest.raises(CorruptBufferError):
+            zs.decode_3bit(5, b"")
+
+    @given(values_32bit)
+    def test_roundtrip(self, value):
+        mask, payload = zs.encode_3bit(value)
+        assert zs.decode_3bit(mask, payload) == (value, len(payload))
+
+    @given(values_32bit)
+    def test_payload_size(self, value):
+        mask, payload = zs.encode_3bit(value)
+        assert len(payload) == zs.payload_size_3bit(value)
+        assert mask + len(payload) == 4
+
+
+class TestTwoBitVariant:
+    def test_zero_stores_one_byte(self):
+        assert zs.encode_2bit(0) == (3, b"\x00")
+
+    def test_small_value(self):
+        assert zs.encode_2bit(0x90) == (3, b"\x90")
+
+    def test_full_width(self):
+        assert zs.encode_2bit(0xDEADBEEF) == (0, b"\xde\xad\xbe\xef")
+
+    def test_decode(self):
+        assert zs.decode_2bit(3, b"\x00") == (0, 1)
+        assert zs.decode_2bit(3, b"\x90") == (0x90, 1)
+
+    def test_decode_bad_mask(self):
+        with pytest.raises(CorruptBufferError):
+            zs.decode_2bit(4, b"\x00")
+
+    @given(values_32bit)
+    def test_roundtrip(self, value):
+        mask, payload = zs.encode_2bit(value)
+        assert zs.decode_2bit(mask, payload) == (value, len(payload))
+
+    @given(values_32bit)
+    def test_payload_never_empty(self, value):
+        __, payload = zs.encode_2bit(value)
+        assert 1 <= len(payload) <= 4
+        assert len(payload) == zs.payload_size_2bit(value)
+
+    @given(values_32bit)
+    def test_agrees_with_3bit_for_nonzero(self, value):
+        # For non-zero values the two variants store identical payloads.
+        if value != 0:
+            assert zs.encode_2bit(value)[1] == zs.encode_3bit(value)[1]

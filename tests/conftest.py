@@ -1,0 +1,69 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+
+def paper_example_database() -> list[list[int]]:
+    """A small database shaped like the paper's Figure 1 setting.
+
+    Items 1-4 are frequent; item 9 is rare and must be filtered out at
+    min_support >= 2.
+    """
+    return [
+        [1, 2, 3],
+        [1, 2, 4],
+        [1, 3],
+        [2, 3],
+        [1, 2, 3, 4],
+        [3, 4],
+        [1],
+        [2, 4],
+        [1, 2, 3],
+        [1, 3, 4, 9],
+    ]
+
+
+@pytest.fixture
+def small_db() -> list[list[int]]:
+    return paper_example_database()
+
+
+def random_database(
+    seed: int,
+    n_transactions: int = 60,
+    n_items: int = 12,
+    max_length: int = 8,
+) -> list[list[int]]:
+    """Deterministic random database with skewed item frequencies."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) for i in range(n_items)]
+    database = []
+    for __ in range(n_transactions):
+        length = rng.randint(1, max_length)
+        transaction = set(rng.choices(range(n_items), weights=weights, k=length))
+        database.append(sorted(transaction))
+    return database
+
+
+#: Hypothesis strategy for small transaction databases over items 0..9.
+db_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=6),
+    min_size=1,
+    max_size=25,
+)
+
+
+def normalize(results) -> dict[frozenset, int]:
+    """Canonical form of miner output for equivalence checks."""
+    normalized = {}
+    for itemset, support in results:
+        key = frozenset(itemset)
+        assert key, "miners must not emit the empty itemset"
+        assert key not in normalized, f"duplicate itemset {sorted(key)}"
+        normalized[key] = support
+    return normalized

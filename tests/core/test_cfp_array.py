@@ -1,0 +1,213 @@
+"""Tests for the CFP-array and the CFP-tree -> CFP-array conversion."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.compress import varint
+from repro.core.cfp_array import CfpArray
+from repro.core.conversion import convert, cumulative_counts
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import TreeError
+from repro.fptree import FPTree
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, random_database
+
+
+def build(database, min_support=2, **options):
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table), **options)
+    fp = FPTree.from_rank_transactions(transactions, len(table))
+    return table, tree, fp, convert(tree)
+
+
+class TestConversionStructure:
+    def test_empty_tree(self):
+        array = convert(TernaryCfpTree(3))
+        assert array.node_count == 0
+        assert len(array.buffer) == 0
+        assert list(array.active_ranks_descending()) == []
+
+    def test_node_counts_match(self, small_db):
+        __, tree, fp, array = build(small_db)
+        assert array.node_count == tree.node_count == fp.node_count
+
+    def test_paper_figure5_shape(self):
+        # Figure 5's FP-tree: items 2, 3 with three subarrays' worth of
+        # structure; verify subarray clustering and the no-parent marker.
+        tree = TernaryCfpTree(3)
+        tree.insert([1, 2, 3], count=3)
+        tree.insert([1, 2], count=2)
+        tree.insert([2, 3], count=4)
+        tree.insert([3], count=1)
+        array = convert(tree)
+        # Subarrays: rank1 -> 1 node, rank2 -> 2 nodes, rank3 -> 3 nodes.
+        assert len(list(array.iter_subarray(1))) == 1
+        assert len(list(array.iter_subarray(2))) == 2
+        assert len(list(array.iter_subarray(3))) == 3
+        # A root child has delta_item == its rank.
+        __, delta, __, count = next(iter(array.iter_subarray(1)))
+        assert delta == 1
+        assert count == 5
+
+    def test_counts_are_cumulative(self):
+        tree = TernaryCfpTree(2)
+        tree.insert([1], count=3)
+        tree.insert([1, 2], count=2)
+        array = convert(tree)
+        __, __, __, count1 = next(iter(array.iter_subarray(1)))
+        assert count1 == 5  # 3 + 2: cumulative, not the pcount 3.
+
+    def test_cumulative_counts_helper(self):
+        tree = TernaryCfpTree(3)
+        tree.insert([1, 2])
+        tree.insert([1, 2, 3])
+        tree.insert([1])
+        counts = cumulative_counts(tree)
+        # DFS preorder: rank1 (count 3), rank2 (count 2), rank3 (count 1).
+        assert counts == [3, 2, 1]
+
+
+class TestBackwardTraversal:
+    def test_paths_match_fp_tree(self, small_db):
+        __, tree, fp, array = build(small_db)
+        for rank in range(1, array.n_ranks + 1):
+            fp_paths = sorted(
+                (tuple(p), c) for p, c in fp.prefix_paths(rank)
+            )
+            array_paths = sorted(
+                (tuple(array.path_ranks(rank, local)), count)
+                for local, __, __, count in array.iter_subarray(rank)
+            )
+            assert array_paths == fp_paths
+
+    @settings(max_examples=40, deadline=None)
+    @given(db_strategy)
+    def test_paths_match_property(self, database):
+        __, tree, fp, array = build(database, 1)
+        for rank in range(1, array.n_ranks + 1):
+            fp_paths = sorted((tuple(p), c) for p, c in fp.prefix_paths(rank))
+            array_paths = sorted(
+                (tuple(array.path_ranks(rank, local)), count)
+                for local, __, __, count in array.iter_subarray(rank)
+            )
+            assert array_paths == fp_paths
+
+    def test_rank_support_matches(self, small_db):
+        table, tree, fp, array = build(small_db)
+        for rank in range(1, array.n_ranks + 1):
+            assert array.rank_support(rank) == fp.rank_count(rank)
+            assert array.rank_support(rank) == table.rank_supports[rank]
+
+
+class TestItemIndex:
+    def test_starts_monotonic(self, small_db):
+        __, __, __, array = build(small_db)
+        assert array.starts[1] == 0
+        for rank in range(1, array.n_ranks + 1):
+            assert array.starts[rank] <= array.starts[rank + 1]
+        assert array.starts[-1] == len(array.buffer)
+
+    def test_item_of_position(self, small_db):
+        __, __, __, array = build(small_db)
+        for rank in range(1, array.n_ranks + 1):
+            for local, __, __, __ in array.iter_subarray(rank):
+                assert array.item_of_position(array.starts[rank] + local) == rank
+
+    def test_item_of_position_bounds(self, small_db):
+        __, __, __, array = build(small_db)
+        with pytest.raises(TreeError):
+            array.item_of_position(len(array.buffer))
+        with pytest.raises(TreeError):
+            array.item_of_position(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(TreeError):
+            CfpArray(2, bytearray(4), [0, 0, 4])  # wrong index length
+        with pytest.raises(TreeError):
+            CfpArray(1, bytearray(4), [0, 0, 3])  # does not span buffer
+
+
+class TestNodeAt:
+    def test_node_at_decodes_triple(self):
+        tree = TernaryCfpTree(2)
+        tree.insert([1, 2], count=7)
+        array = convert(tree)
+        local, delta, dpos, count = next(iter(array.iter_subarray(2)))
+        assert array.node_at(2, local) == (delta, dpos, count)
+
+    def test_node_at_validates(self, small_db):
+        __, __, __, array = build(small_db)
+        with pytest.raises(TreeError):
+            array.node_at(1, 10_000)
+        with pytest.raises(TreeError):
+            array.node_at(0, 0)
+
+
+class TestDposEncoding:
+    def test_negative_dpos_roundtrip(self):
+        # Construct a shape where a child's subarray is shorter than the
+        # parent's at link time: many rank-1 and rank-2 nodes first, then a
+        # rank-3 child of a late rank-2 parent.
+        tree = TernaryCfpTree(3)
+        tree.insert([2])
+        tree.insert([1, 2])
+        tree.insert([1, 2, 3])
+        array = convert(tree)
+        # Whatever the sign of dpos, backward traversal must find parents.
+        for rank in (2, 3):
+            for local, __, __, count in array.iter_subarray(rank):
+                path = array.path_ranks(rank, local)
+                assert all(r < rank for r in path)
+
+    @given(db_strategy)
+    def test_dpos_zigzag_consistency(self, database):
+        __, __, __, array = build(database, 1)
+        buf = array.buffer
+        for rank in range(1, array.n_ranks + 1):
+            for local, delta, dpos, __ in array.iter_subarray(rank):
+                offset = array.starts[rank] + local
+                __, offset = varint.decode_from(buf, offset)
+                raw, __ = varint.decode_from(buf, offset)
+                assert varint.unzigzag(raw) == dpos
+
+
+class TestMemoryAccounting:
+    def test_average_node_size_under_baseline(self):
+        db = random_database(1, n_transactions=300, n_items=40, max_length=15)
+        __, __, __, array = build(db)
+        assert 3.0 <= array.average_node_size() < 40
+
+    def test_memory_includes_index(self, small_db):
+        __, __, __, array = build(small_db)
+        assert array.memory_bytes == len(array.buffer) + (array.n_ranks + 1) * 5
+
+    def test_empty_average(self):
+        assert convert(TernaryCfpTree(1)).average_node_size() == 0.0
+
+
+class TestConversionConfigs:
+    @settings(max_examples=30, deadline=None)
+    @given(db_strategy)
+    def test_conversion_independent_of_tree_layout(self, database):
+        """The CFP-array must not depend on chains/embedding choices."""
+        table, transactions = prepare_transactions(database, 1)
+        arrays = []
+        for options in ({}, {"enable_chains": False}, {"enable_embedding": False}):
+            tree = TernaryCfpTree.from_rank_transactions(
+                transactions, len(table), **options
+            )
+            arrays.append(convert(tree))
+        reference = _canonical(arrays[0])
+        for array in arrays[1:]:
+            assert _canonical(array) == reference
+
+
+def _canonical(array):
+    """Order-insensitive content: per rank, multiset of (path, count)."""
+    content = {}
+    for rank in range(1, array.n_ranks + 1):
+        content[rank] = sorted(
+            (tuple(array.path_ranks(rank, local)), count)
+            for local, __, __, count in array.iter_subarray(rank)
+        )
+    return content

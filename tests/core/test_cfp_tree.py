@@ -1,0 +1,120 @@
+"""Unit tests for the logical CFP-tree (§3.2 semantics)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.cfp_tree import CfpTree
+from repro.errors import TreeError
+from repro.fptree import FPTree
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy
+
+
+def build_pair(database, min_support=2):
+    table, transactions = prepare_transactions(database, min_support)
+    fp = FPTree.from_rank_transactions(transactions, len(table))
+    cfp = CfpTree.from_rank_transactions(transactions, len(table))
+    return fp, cfp
+
+
+class TestInsert:
+    def test_empty_transaction_ignored(self):
+        tree = CfpTree(3)
+        tree.insert([])
+        assert tree.node_count == 0
+        assert tree.transaction_count == 0
+
+    def test_only_final_pcount_bumped(self):
+        tree = CfpTree(3)
+        tree.insert([1, 2, 3])
+        node1 = tree.root.children[1]
+        node2 = node1.children[2]
+        node3 = node2.children[3]
+        assert (node1.pcount, node2.pcount, node3.pcount) == (0, 0, 1)
+
+    def test_delta_items(self):
+        tree = CfpTree(5)
+        tree.insert([2, 5])
+        node2 = tree.root.children[2]
+        assert node2.delta_item == 2  # child of root: delta equals rank
+        assert node2.children[5].delta_item == 3
+
+    def test_repeated_prefix_accumulates(self):
+        tree = CfpTree(2)
+        tree.insert([1, 2])
+        tree.insert([1, 2], count=4)
+        assert tree.root.children[1].children[2].pcount == 5
+        assert tree.node_count == 2
+
+    def test_negative_ranks_rejected(self):
+        with pytest.raises(TreeError):
+            CfpTree(-1)
+
+
+class TestCountReconstruction:
+    def test_count_is_subtree_pcount_sum(self):
+        tree = CfpTree(4)
+        tree.insert([1])
+        tree.insert([1, 2])
+        tree.insert([1, 2, 3])
+        tree.insert([1, 4])
+        node1 = tree.root.children[1]
+        assert node1.count() == 4
+        assert node1.children[2].count() == 2
+
+    def test_total_pcount_equals_transactions(self):
+        tree = CfpTree(3)
+        for ranks in ([1], [1, 2], [2, 3], [1, 2, 3]):
+            tree.insert(ranks)
+        assert tree.total_pcount() == tree.transaction_count == 4
+
+    @given(db_strategy)
+    def test_counts_match_fp_tree(self, database):
+        fp, cfp = build_pair(database)
+        # Walk both trees in lockstep comparing counts.
+        stack = [(fp.root, cfp.root)]
+        while stack:
+            fp_node, cfp_node = stack.pop()
+            assert set(fp_node.children) == set(cfp_node.children)
+            for rank, fp_child in fp_node.children.items():
+                cfp_child = cfp_node.children[rank]
+                assert cfp_child.count() == fp_child.count
+                stack.append((fp_child, cfp_child))
+
+
+class TestFpTreeRoundtrip:
+    @given(db_strategy)
+    def test_from_fp_tree_matches_direct_build(self, database):
+        table, transactions = prepare_transactions(database, 2)
+        fp = FPTree.from_rank_transactions(transactions, len(table))
+        direct = CfpTree.from_rank_transactions(transactions, len(table))
+        derived = CfpTree.from_fp_tree(fp)
+        assert _snapshot(direct) == _snapshot(derived)
+
+    @given(db_strategy)
+    def test_to_fp_tree_roundtrip(self, database):
+        table, transactions = prepare_transactions(database, 2)
+        fp = FPTree.from_rank_transactions(transactions, len(table))
+        rebuilt = CfpTree.from_fp_tree(fp).to_fp_tree()
+        assert rebuilt.node_count == fp.node_count
+        for rank in range(1, len(table) + 1):
+            assert rebuilt.rank_count(rank) == fp.rank_count(rank)
+            assert sorted(
+                (tuple(p), c) for p, c in rebuilt.prefix_paths(rank)
+            ) == sorted((tuple(p), c) for p, c in fp.prefix_paths(rank))
+
+
+def _snapshot(tree: CfpTree):
+    """Canonical structural form: set of (path, pcount) for pcount > 0."""
+    result = []
+
+    def walk(node, path):
+        for rank in sorted(node.children):
+            child = node.children[rank]
+            new_path = path + (rank,)
+            if child.pcount:
+                result.append((new_path, child.pcount))
+            walk(child, new_path)
+
+    walk(tree.root, ())
+    return sorted(result)

@@ -1,0 +1,361 @@
+"""Tests for the compressed physical CFP-tree: insert paths and invariants.
+
+The key oracle: after any insert sequence, ``to_logical()`` must equal the
+logical CFP-tree built from the same transactions — across every structural
+feature (embedding, chains, splits, promotions) and configuration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cfp_tree import CfpTree
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import TreeError
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, random_database
+
+
+def snapshot(tree: CfpTree):
+    """Canonical (path, pcount>0) form of a logical CFP-tree."""
+    result = []
+
+    def walk(node, path):
+        for rank in sorted(node.children):
+            child = node.children[rank]
+            new_path = path + (rank,)
+            if child.pcount:
+                result.append((new_path, child.pcount))
+            walk(child, new_path)
+
+    walk(tree.root, ())
+    return sorted(result)
+
+
+def assert_equivalent(transactions, n_ranks, **options):
+    physical = TernaryCfpTree(n_ranks, **options)
+    logical = CfpTree(n_ranks)
+    for ranks in transactions:
+        physical.insert(ranks)
+        logical.insert(ranks)
+    assert snapshot(physical.to_logical()) == snapshot(logical)
+    assert physical.node_count == logical.node_count
+    assert physical.transaction_count == logical.transaction_count
+    return physical
+
+
+class TestBasicInserts:
+    def test_empty_tree(self):
+        tree = TernaryCfpTree(3)
+        assert tree.node_count == 0
+        assert list(tree.iter_events()) == []
+        assert tree.single_path() == []
+
+    def test_single_leaf_is_embedded(self):
+        tree = TernaryCfpTree(3)
+        tree.insert([2])
+        stats = tree.physical_stats()
+        assert stats.embedded_leaves == 1
+        assert stats.chunks == 0
+        # Only the 5-byte root slot is allocated.
+        assert tree.memory_bytes == 5
+
+    def test_leaf_pcount_accumulates_in_slot(self):
+        tree = TernaryCfpTree(3)
+        tree.insert([2])
+        tree.insert([2], count=10)
+        logical = tree.to_logical()
+        assert logical.root.children[2].pcount == 11
+        assert tree.physical_stats().embedded_leaves == 1
+
+    def test_long_transaction_creates_chain(self):
+        tree = TernaryCfpTree(6)
+        tree.insert([1, 2, 3, 4, 5, 6])
+        stats = tree.physical_stats()
+        # The whole path, leaf included, fits one chain (the leaf is an
+        # escape entry, cheaper than a suffix-slot embedded leaf).
+        assert stats.chain_nodes == 1
+        assert stats.chain_entries == 6
+        assert stats.embedded_leaves == 0
+
+    def test_two_node_path(self):
+        tree = TernaryCfpTree(2)
+        tree.insert([1, 2])
+        stats = tree.physical_stats()
+        assert stats.chain_nodes == 1
+        assert stats.chain_entries == 2
+        assert stats.standard_nodes == 0
+
+    def test_single_leaf_under_branch_is_embedded(self):
+        tree = TernaryCfpTree(4)
+        tree.insert([1, 2])
+        tree.insert([1, 3])
+        # Rank 3 is a lone new leaf below existing structure: embedded in
+        # a pointer slot (5 B vs 8 B for pointer + node).
+        assert tree.physical_stats().embedded_leaves == 1
+        tree.insert([1, 4])
+        stats = tree.physical_stats()
+        # Rank 4 embeds; rank 3 was promoted to hold it as a BST sibling.
+        assert stats.embedded_leaves == 1
+        assert stats.standard_nodes == 3
+
+    def test_very_long_path_multiple_chains(self):
+        ranks = list(range(1, 40))
+        tree = TernaryCfpTree(40)
+        tree.insert(ranks)
+        stats = tree.physical_stats()
+        assert stats.logical_nodes == 39
+        assert stats.chain_nodes >= 2  # 38 interior / 15 per chain
+
+    def test_non_ascending_rejected(self):
+        tree = TernaryCfpTree(3)
+        with pytest.raises(TreeError):
+            tree.insert([2, 2])
+        with pytest.raises(TreeError):
+            tree.insert([3, 1])
+
+    def test_config_validation(self):
+        with pytest.raises(TreeError):
+            TernaryCfpTree(-1)
+        with pytest.raises(TreeError):
+            TernaryCfpTree(2, max_chain_length=16)
+        with pytest.raises(TreeError):
+            TernaryCfpTree(2, max_chain_length=0)
+
+
+class TestEmbeddedLeafPromotion:
+    def test_leaf_gains_child(self):
+        tree = TernaryCfpTree(3)
+        tree.insert([1])
+        tree.insert([1, 2])
+        logical = tree.to_logical()
+        assert logical.root.children[1].pcount == 1
+        assert logical.root.children[1].children[2].pcount == 1
+
+    def test_leaf_gains_sibling(self):
+        tree = TernaryCfpTree(3)
+        tree.insert([2])
+        tree.insert([1])
+        tree.insert([3])
+        logical = tree.to_logical()
+        assert set(logical.root.children) == {1, 2, 3}
+
+    def test_unembeddable_delta_uses_standard_node(self):
+        tree = TernaryCfpTree(300)
+        tree.insert([300])  # delta 300 > 255
+        stats = tree.physical_stats()
+        assert stats.embedded_leaves == 0
+        assert stats.standard_nodes == 1
+
+    def test_pcount_overflow_promotes(self):
+        tree = TernaryCfpTree(1)
+        tree.insert([1], count=(1 << 24) - 1)
+        assert tree.physical_stats().embedded_leaves == 1
+        tree.insert([1])  # pcount now 2^24: no longer embeddable
+        assert tree.physical_stats().embedded_leaves == 0
+        assert tree.to_logical().root.children[1].pcount == 1 << 24
+
+    def test_embedding_disabled(self):
+        tree = TernaryCfpTree(2, enable_embedding=False)
+        tree.insert([1])
+        stats = tree.physical_stats()
+        assert stats.embedded_leaves == 0
+        assert stats.standard_nodes == 1
+
+
+class TestChainSplits:
+    def test_split_mid_chain_divergence(self):
+        tree = TernaryCfpTree(8)
+        tree.insert([1, 2, 3, 4, 5])
+        tree.insert([1, 2, 6])  # diverges after entry for rank 2
+        logical = tree.to_logical()
+        node2 = logical.root.children[1].children[2]
+        assert set(node2.children) == {3, 6}
+        assert node2.children[3].children[4].children[5].pcount == 1
+        assert node2.children[6].pcount == 1
+
+    def test_split_at_first_entry_sibling(self):
+        tree = TernaryCfpTree(8)
+        tree.insert([2, 3, 4, 5])
+        tree.insert([1])  # sibling of the chain's first element
+        logical = tree.to_logical()
+        assert set(logical.root.children) == {1, 2}
+
+    def test_transaction_ends_mid_chain(self):
+        tree = TernaryCfpTree(8)
+        tree.insert([1, 2, 3, 4, 5])
+        tree.insert([1, 2, 3])  # ends at an interior chain entry
+        logical = tree.to_logical()
+        node3 = logical.root.children[1].children[2].children[3]
+        assert node3.pcount == 1
+
+    def test_descend_past_chain_suffix(self):
+        tree = TernaryCfpTree(10)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 2, 3, 4, 5])  # continues below the old leaf
+        logical = tree.to_logical()
+        node3 = logical.root.children[1].children[2].children[3]
+        assert node3.pcount == 1
+        assert node3.children[4].children[5].pcount == 1
+
+    def test_split_last_entry(self):
+        tree = TernaryCfpTree(8)
+        tree.insert([1, 2, 3, 4])
+        tree.insert([1, 2, 3, 5])  # diverges at the final interior entry
+        logical = tree.to_logical()
+        node3 = logical.root.children[1].children[2].children[3]
+        assert set(node3.children) == {4, 5}
+
+    def test_chains_disabled(self):
+        tree = TernaryCfpTree(6, enable_chains=False)
+        tree.insert([1, 2, 3, 4, 5])
+        stats = tree.physical_stats()
+        assert stats.chain_nodes == 0
+        assert stats.standard_nodes == 4
+        assert stats.embedded_leaves == 1
+
+    def test_short_max_chain_length(self):
+        tree = TernaryCfpTree(20, max_chain_length=3)
+        tree.insert(list(range(1, 12)))
+        stats = tree.physical_stats()
+        # 11 entries (leaf included) chunked bottom-up: 3+3+3 then 2.
+        assert stats.chain_nodes == 4
+        assert stats.chain_entries == 11
+        assert stats.standard_nodes == 0
+        assert stats.logical_nodes == 11
+
+
+class TestSinglePath:
+    def test_path_with_counts(self):
+        tree = TernaryCfpTree(4)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 2])
+        tree.insert([1])
+        assert tree.single_path() == [(1, 3), (2, 2), (3, 1)]
+
+    def test_branching_returns_none(self):
+        tree = TernaryCfpTree(4)
+        tree.insert([1, 2])
+        tree.insert([1, 3])
+        assert tree.single_path() is None
+
+    def test_branch_at_root_returns_none(self):
+        tree = TernaryCfpTree(4)
+        tree.insert([1])
+        tree.insert([2])
+        assert tree.single_path() is None
+
+    def test_chain_path(self):
+        tree = TernaryCfpTree(8)
+        tree.insert([1, 2, 3, 4, 5, 6])
+        path = tree.single_path()
+        assert path == [(r, 1) for r in range(1, 7)]
+
+
+class TestMemoryAccounting:
+    def test_seven_byte_typical_node(self):
+        # The >90% case of §3.3: small delta, pcount 0, suffix only.
+        tree = TernaryCfpTree(2, enable_chains=False)
+        tree.insert([1, 2])
+        # standard node (7 bytes) + root slot (5) = 12; leaf embedded.
+        assert tree.memory_bytes == 12
+
+    def test_average_node_size_below_baseline(self):
+        db = random_database(3, n_transactions=200, n_items=30, max_length=12)
+        table, transactions = prepare_transactions(db, 2)
+        tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        assert 0 < tree.average_node_size() < 28
+
+    def test_empty_average(self):
+        assert TernaryCfpTree(1).average_node_size() == 0.0
+
+
+class TestEquivalence:
+    def test_random_databases_all_configs(self):
+        for seed in range(6):
+            db = random_database(seed, n_transactions=80, n_items=15, max_length=10)
+            table, transactions = prepare_transactions(db, 2)
+            for options in (
+                {},
+                {"enable_chains": False},
+                {"enable_embedding": False},
+                {"enable_chains": False, "enable_embedding": False},
+                {"max_chain_length": 2},
+                {"max_chain_length": 4},
+            ):
+                assert_equivalent(transactions, len(table), **options)
+
+    @settings(max_examples=60, deadline=None)
+    @given(db_strategy)
+    def test_property_equivalence(self, database):
+        table, transactions = prepare_transactions(database, 1)
+        assert_equivalent(transactions, len(table))
+
+    @settings(max_examples=30, deadline=None)
+    @given(db_strategy, st.integers(min_value=1, max_value=4))
+    def test_property_equivalence_chain_lengths(self, database, max_chain):
+        table, transactions = prepare_transactions(database, 1)
+        assert_equivalent(transactions, len(table), max_chain_length=max_chain)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=30),
+                min_size=1,
+                max_size=20,
+                unique=True,
+            ).map(sorted),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_property_long_transactions(self, transactions):
+        assert_equivalent(transactions, 30)
+
+    def test_duplicate_transaction_heavy(self):
+        transactions = [[1, 2, 3]] * 50 + [[1, 2]] * 30 + [[2, 3]] * 20
+        tree = assert_equivalent(transactions, 3)
+        assert tree.transaction_count == 100
+
+    def test_interleaved_structure_churn(self):
+        # Exercises promote -> split -> extend -> bump sequences heavily.
+        transactions = [
+            [5],
+            [5, 6],
+            [1, 5, 6],
+            [5, 6, 7, 8, 9, 10],
+            [5, 6, 7],
+            [5, 8],
+            [2],
+            [1, 2, 3, 4, 5, 6, 7, 8],
+            [1, 2, 3, 4],
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+            [3],
+            [1, 2, 4, 6, 8, 10, 12],
+            [5, 6],
+            [5, 7],
+        ]
+        assert_equivalent(transactions, 12)
+        assert_equivalent(transactions, 12, max_chain_length=3)
+
+
+class TestIterNodesWithParent:
+    def test_parent_ranks(self):
+        tree = TernaryCfpTree(4)
+        tree.insert([1, 3])
+        tree.insert([1, 4])
+        tree.insert([2])
+        triples = list(tree.iter_nodes_with_parent())
+        assert (1, 0, 0) in triples
+        assert (3, 1, 1) in triples
+        assert (4, 1, 1) in triples
+        assert (2, 1, 0) in triples
+        assert len(triples) == 4
+
+    @given(db_strategy)
+    def test_deltas_always_positive(self, database):
+        table, transactions = prepare_transactions(database, 1)
+        tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        for rank, __, parent_rank in tree.iter_nodes_with_parent():
+            assert rank - parent_rank >= 1

@@ -1,0 +1,116 @@
+"""Tests for the byte-level structural validator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.validate import ValidationError, validate_tree
+from repro.core.ternary import TernaryCfpTree
+from repro.memman.pointers import POINTER_SIZE
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, random_database
+
+
+def build(seed=2, **options):
+    db = random_database(seed, n_transactions=80, n_items=14, max_length=9)
+    table, transactions = prepare_transactions(db, 2)
+    return TernaryCfpTree.from_rank_transactions(transactions, len(table), **options)
+
+
+class TestIntactTrees:
+    def test_empty(self):
+        report = validate_tree(TernaryCfpTree(3))
+        assert report.ok
+        assert report.logical_nodes == 0
+
+    def test_random_tree(self):
+        tree = build()
+        report = validate_tree(tree)
+        assert report.ok
+        assert report.logical_nodes == tree.node_count
+        assert report.pcount_total == tree.transaction_count
+        assert (
+            report.standard_nodes + report.embedded_leaves > 0
+        )
+
+    def test_all_configs(self):
+        for options in (
+            {},
+            {"enable_chains": False},
+            {"enable_embedding": False},
+            {"max_chain_length": 3},
+        ):
+            report = validate_tree(build(**options))
+            assert report.ok, options
+
+    def test_degenerate_sibling_chain(self):
+        # Ranks inserted in order degenerate the BST; must not recurse out.
+        tree = TernaryCfpTree(1500)
+        for rank in range(1, 1501):
+            tree.insert([rank])
+        assert validate_tree(tree).ok
+
+    @settings(max_examples=30, deadline=None)
+    @given(db_strategy)
+    def test_property_all_trees_valid(self, database):
+        table, transactions = prepare_transactions(database, 1)
+        tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        report = validate_tree(tree)
+        assert report.ok
+        assert report.logical_nodes == tree.node_count
+
+
+class TestCorruptionDetected:
+    def _corrupt(self, tree, mutate):
+        mutate(tree)
+        with pytest.raises(ValidationError):
+            validate_tree(tree)
+
+    def test_counter_mismatch(self):
+        tree = build()
+        self._corrupt(tree, lambda t: setattr(t, "logical_node_count", 1))
+
+    def test_transaction_count_mismatch(self):
+        tree = build()
+        self._corrupt(tree, lambda t: setattr(t, "transaction_count", 0))
+
+    def test_dangling_root_pointer(self):
+        tree = build()
+
+        def mutate(t):
+            # Point the root slot past the used region.
+            bogus = (t.arena._next_free + 1000).to_bytes(POINTER_SIZE, "big")
+            t.arena.buf[t._root_slot : t._root_slot + POINTER_SIZE] = bogus
+
+        self._corrupt(tree, mutate)
+
+    def test_smashed_node_bytes(self):
+        tree = build()
+
+        def mutate(t):
+            from repro.core.node_codec import slot_address, slot_is_embedded
+
+            raw = bytes(
+                t.arena.buf[t._root_slot : t._root_slot + POINTER_SIZE]
+            )
+            if slot_is_embedded(raw):
+                pytest.skip("root is an embedded leaf")
+            addr = slot_address(raw)
+            # Corrupt the mask byte with an invalid pcount mask (0b110).
+            t.arena.buf[addr] = (t.arena.buf[addr] & 0b11000111) | (6 << 3)
+
+        self._corrupt(tree, mutate)
+
+    def test_non_strict_collects_issues(self):
+        tree = build()
+        tree.logical_node_count += 5
+        report = validate_tree(tree, strict=False)
+        assert not report.ok
+        assert any("mismatch" in issue for issue in report.issues)
+
+    def test_restored_checkpoint_validates(self, tmp_path):
+        from repro.storage import load_cfp_tree, save_cfp_tree
+
+        tree = build()
+        path = tmp_path / "t.cfpt"
+        save_cfp_tree(tree, path)
+        assert validate_tree(load_cfp_tree(path)).ok

@@ -1,0 +1,85 @@
+"""Tests for the binary dataset format (§4.1 footnote)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.binary import read_binary, write_binary
+from repro.datasets.fimi import write_fimi
+from repro.datasets.synthetic import make_dataset
+from repro.errors import DatasetError
+
+
+class TestRoundtrip:
+    def test_simple(self, tmp_path):
+        path = tmp_path / "d.bin"
+        db = [[1, 2, 3], [10, 20], [5]]
+        write_binary(path, db)
+        assert read_binary(path) == db
+
+    def test_items_sorted_deduplicated(self, tmp_path):
+        path = tmp_path / "d.bin"
+        write_binary(path, [[3, 1, 3, 2]])
+        assert read_binary(path) == [[1, 2, 3]]
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "d.bin"
+        write_binary(path, [])
+        assert read_binary(path) == []
+
+    def test_empty_transactions_skipped(self, tmp_path):
+        path = tmp_path / "d.bin"
+        write_binary(path, [[1], [], [2]])
+        assert read_binary(path) == [[1], [2]]
+
+    def test_negative_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_binary(tmp_path / "d.bin", [[-1]])
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"XXXX\x00")
+        with pytest.raises(DatasetError):
+            read_binary(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = tmp_path / "d.bin"
+        write_binary(path, [[1]])
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(DatasetError):
+            read_binary(path)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=100_000),
+                min_size=1,
+                max_size=15,
+            ),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, database):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".bin")
+        os.close(fd)
+        try:
+            write_binary(path, database)
+            expected = [sorted(set(t)) for t in database if t]
+            assert read_binary(path) == expected
+        finally:
+            os.unlink(path)
+
+
+class TestSizeClaim:
+    def test_smaller_than_text(self, tmp_path):
+        """§4.1: binary is roughly 40% smaller than the FIMI text format."""
+        db = make_dataset("retail", n_transactions=1000, seed=1)
+        text = tmp_path / "d.fimi"
+        binary = tmp_path / "d.bin"
+        write_fimi(text, db)
+        binary_size = write_binary(binary, db)
+        text_size = text.stat().st_size
+        assert binary_size < 0.75 * text_size

@@ -1,0 +1,101 @@
+"""Tests for FIMI format I/O and the double-buffered loader."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import DoubleBufferedReader, read_fimi, write_fimi
+from repro.datasets.fimi import iter_fimi
+from repro.errors import DatasetError
+
+db_ints = st.lists(
+    st.lists(st.integers(min_value=0, max_value=99_999), min_size=1, max_size=20),
+    max_size=40,
+)
+
+
+class TestRoundtrip:
+    def test_simple(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        db = [[1, 2, 3], [4], [10, 20]]
+        assert write_fimi(path, db) == 3
+        assert read_fimi(path) == db
+
+    def test_empty_transactions_skipped(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        assert write_fimi(path, [[1], [], [2]]) == 2
+        assert read_fimi(path) == [[1], [2]]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        path.write_text("1 2\n\n3\n  \n")
+        assert read_fimi(path) == [[1, 2], [3]]
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        path.write_text("1 2\nfoo bar\n")
+        with pytest.raises(DatasetError, match=":2:"):
+            read_fimi(path)
+
+    def test_negative_items_rejected_on_write(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_fimi(tmp_path / "x.fimi", [[-1]])
+
+    def test_iter_is_lazy(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        write_fimi(path, [[i] for i in range(100)])
+        iterator = iter_fimi(path)
+        assert next(iterator) == [0]
+        assert next(iterator) == [1]
+
+    @given(db_ints)
+    def test_roundtrip_property(self, database):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".fimi")
+        os.close(fd)
+        try:
+            write_fimi(path, database)
+            assert read_fimi(path) == [t for t in database if t]
+        finally:
+            os.unlink(path)
+
+
+class TestDoubleBufferedReader:
+    def test_matches_plain_read(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        db = [[i, i + 1, i + 2] for i in range(500)]
+        write_fimi(path, db)
+        with DoubleBufferedReader(path) as reader:
+            assert list(reader) == db
+
+    def test_small_blocks_split_lines_correctly(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        db = [[12345, 67890], [11111], [22222, 33333, 44444]]
+        write_fimi(path, db)
+        # Block smaller than a line forces the carry logic.
+        with DoubleBufferedReader(path, block_bytes=4) as reader:
+            assert list(reader) == db
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        path.write_text("")
+        with DoubleBufferedReader(path) as reader:
+            assert list(reader) == []
+
+    def test_missing_file_raises(self, tmp_path):
+        with DoubleBufferedReader(tmp_path / "missing.fimi") as reader:
+            with pytest.raises(DatasetError):
+                list(reader)
+
+    def test_requires_context_manager(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        write_fimi(path, [[1]])
+        reader = DoubleBufferedReader(path)
+        with pytest.raises(DatasetError):
+            list(reader)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(DatasetError):
+            DoubleBufferedReader("x", block_bytes=0)

@@ -1,0 +1,129 @@
+"""Tests for the Quest generator and the FIMI proxy generators."""
+
+import pytest
+
+from repro.datasets import FIMI_PROXIES, QuestGenerator, dataset_stats, make_dataset
+from repro.errors import DatasetError
+
+
+class TestQuestGenerator:
+    def test_deterministic(self):
+        a = QuestGenerator(n_transactions=200, seed=5).generate()
+        b = QuestGenerator(n_transactions=200, seed=5).generate()
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = QuestGenerator(n_transactions=200, seed=5).generate()
+        b = QuestGenerator(n_transactions=200, seed=6).generate()
+        assert a != b
+
+    def test_transactions_sorted_unique_in_range(self):
+        db = QuestGenerator(n_transactions=300, n_items=50, seed=1).generate()
+        assert len(db) == 300
+        for transaction in db:
+            assert transaction == sorted(set(transaction))
+            assert all(0 <= item < 50 for item in transaction)
+
+    def test_average_length_near_target(self):
+        generator = QuestGenerator(
+            n_transactions=2_000, avg_transaction_length=12.0, n_items=500, seed=3
+        )
+        db = generator.generate()
+        avg = sum(len(t) for t in db) / len(db)
+        assert 6.0 < avg < 20.0
+
+    def test_patterns_create_correlation(self):
+        # Pattern-based data must contain far more repeated pairs than
+        # independent uniform sampling would.
+        generator = QuestGenerator(
+            n_transactions=1_000,
+            avg_transaction_length=8,
+            n_items=2_000,
+            n_patterns=20,
+            seed=9,
+        )
+        from collections import Counter
+        from itertools import combinations
+
+        pair_counts = Counter()
+        for transaction in generator.generate():
+            pair_counts.update(combinations(transaction[:12], 2))
+        assert pair_counts.most_common(1)[0][1] > 20
+
+    def test_quest2_doubles_quest1(self):
+        q1 = QuestGenerator.quest1(scale=0.01)
+        q2 = QuestGenerator.quest2(scale=0.01)
+        assert q2.n_transactions == 2 * q1.n_transactions
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            QuestGenerator(n_items=0)
+        with pytest.raises(DatasetError):
+            QuestGenerator(avg_transaction_length=0)
+        with pytest.raises(DatasetError):
+            QuestGenerator(n_patterns=0)
+
+    def test_iter_matches_generate(self):
+        generator = QuestGenerator(n_transactions=50, seed=2)
+        assert list(generator.iter_transactions()) == generator.generate()
+
+
+class TestProxies:
+    @pytest.mark.parametrize("name", sorted(FIMI_PROXIES))
+    def test_generates_valid_database(self, name):
+        kwargs = {"scale": 0.02} if name.startswith("quest") else {
+            "n_transactions": 200
+        }
+        db = make_dataset(name, **kwargs)
+        assert len(db) > 0
+        for transaction in db:
+            assert transaction == sorted(set(transaction))
+            assert all(item >= 0 for item in transaction)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            make_dataset("nope")
+
+    def test_connect_is_dense_and_fixed_length(self):
+        db = make_dataset("connect", n_transactions=300)
+        lengths = [len(t) for t in db]
+        assert min(lengths) >= 39  # 43 minus a few mutation collisions
+        stats = dataset_stats("connect", db)
+        assert stats.distinct_items <= 130
+
+    def test_webdocs_has_long_transactions(self):
+        db = make_dataset("webdocs", n_transactions=300)
+        avg = sum(len(t) for t in db) / len(db)
+        assert avg > 40
+
+    def test_retail_is_sparse(self):
+        db = make_dataset("retail", n_transactions=500)
+        stats = dataset_stats("retail", db)
+        assert stats.avg_item_cardinality < 20
+        assert stats.distinct_items > 100
+
+
+class TestDatasetStats:
+    def test_counts(self):
+        stats = dataset_stats("toy", [[1, 2], [2, 3, 4], [2]])
+        assert stats.n_transactions == 3
+        assert stats.distinct_items == 4
+        assert stats.avg_item_cardinality == pytest.approx(2.0)
+
+    def test_fimi_bytes_matches_written_file(self, tmp_path):
+        from repro.datasets import write_fimi
+
+        db = [[1, 22, 333], [4444]]
+        stats = dataset_stats("toy", db)
+        path = tmp_path / "x.fimi"
+        write_fimi(path, db)
+        assert stats.fimi_bytes == path.stat().st_size
+
+    def test_empty_database(self):
+        stats = dataset_stats("empty", [])
+        assert stats.n_transactions == 0
+        assert stats.avg_item_cardinality == 0.0
+
+    def test_row_formats(self):
+        row = dataset_stats("toy", [[1, 2]]).row()
+        assert "toy" in row

@@ -1,0 +1,93 @@
+"""Unit tests for the MapReduce engine."""
+
+import pytest
+
+from repro.distributed import MapReduceJob
+from repro.errors import ExperimentError
+
+
+def word_count_job(n_partitions=3, combiner=None):
+    def mapper(line):
+        for word in line.split():
+            yield word, 1
+
+    def reducer(word, ones):
+        yield word, sum(ones)
+
+    return MapReduceJob(mapper, reducer, n_partitions=n_partitions, combiner=combiner)
+
+
+class TestWordCount:
+    def test_basic(self):
+        outputs, stats = word_count_job().run(["a b a", "b c"])
+        assert dict(outputs) == {"a": 2, "b": 2, "c": 1}
+        assert stats.input_records == 2
+        assert stats.map_output_records == 5
+        assert stats.reduce_output_records == 3
+
+    def test_deterministic(self):
+        job = word_count_job()
+        first, __ = job.run(["x y", "y z", "z z"])
+        second, __ = job.run(["x y", "y z", "z z"])
+        assert first == second
+
+    def test_empty_input(self):
+        outputs, stats = word_count_job().run([])
+        assert outputs == []
+        assert stats.shuffle_bytes == 0
+
+    def test_combiner_shrinks_shuffle(self):
+        def combiner(word, ones):
+            yield word, sum(ones)
+
+        records = ["a a a a a a a a"] * 10
+        __, plain = word_count_job().run(records)
+        __, combined = word_count_job(combiner=combiner).run(records)
+        assert combined.shuffle_bytes < plain.shuffle_bytes
+        # Same final answer.
+        out_plain, __ = word_count_job().run(records)
+        def reducer_sum(outputs):
+            return dict(outputs)
+        job = word_count_job(combiner=combiner)
+        # With the combiner, values arriving at the reducer are partial
+        # sums; summing them still yields the total.
+        out_combined, __ = job.run(records)
+        assert dict(out_combined) == dict(out_plain)
+
+
+class TestPartitioning:
+    def test_custom_partitioner(self):
+        job = MapReduceJob(
+            lambda r: [(r, r)],
+            lambda k, vs: [(k, len(vs))],
+            n_partitions=2,
+            partitioner=lambda key, n: key % n,
+        )
+        __, stats = job.run([0, 1, 2, 3, 4, 5])
+        assert stats.records_per_partition == {0: 3, 1: 3}
+        assert stats.skew == pytest.approx(1.0)
+
+    def test_skew_detection(self):
+        job = MapReduceJob(
+            lambda r: [(0, r)],  # everything to one key
+            lambda k, vs: [(k, len(vs))],
+            n_partitions=4,
+            partitioner=lambda key, n: 0,
+        )
+        __, stats = job.run(list(range(8)))
+        assert stats.max_partition_records == 8
+        assert stats.skew == pytest.approx(4.0)
+
+    def test_bad_partitioner_rejected(self):
+        job = MapReduceJob(
+            lambda r: [(r, 1)],
+            lambda k, vs: [(k, len(vs))],
+            n_partitions=2,
+            partitioner=lambda key, n: 99,
+        )
+        with pytest.raises(ExperimentError):
+            job.run([1])
+
+    def test_partition_count_validation(self):
+        with pytest.raises(ExperimentError):
+            MapReduceJob(lambda r: [], lambda k, v: [], n_partitions=0)

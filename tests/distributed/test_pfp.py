@@ -1,0 +1,104 @@
+"""Correctness and shard-structure tests for parallel FP-growth."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bruteforce import brute_force
+from repro.distributed import parallel_fp_growth
+from repro.distributed.pfp import PfpMiner, assign_groups, group_dependent_shards
+from repro.errors import ExperimentError
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, normalize, random_database
+
+
+class TestGroupAssignment:
+    def test_round_robin(self):
+        groups = assign_groups(6, 3)
+        assert groups[1:] == [0, 1, 2, 0, 1, 2]
+
+    def test_single_group(self):
+        assert set(assign_groups(5, 1)[1:]) == {0}
+
+    def test_more_groups_than_ranks(self):
+        groups = assign_groups(2, 8)
+        assert groups[1:] == [0, 1]
+
+
+class TestShardGeneration:
+    def test_each_group_gets_needed_prefixes(self):
+        transactions = [[1, 2, 3], [2, 3], [1]]
+        group_of = [0, 0, 1, 0]  # rank1 -> g0, rank2 -> g1, rank3 -> g0
+        shards, stats = group_dependent_shards(transactions, group_of, 2)
+        # Group 0 owns ranks 1 and 3: prefixes ending at the rightmost
+        # group-0 item of each transaction.
+        assert sorted(shards[0]) == sorted([[1, 2, 3], [2, 3], [1]])
+        # Group 1 owns rank 2: prefixes ending at item 2.
+        assert sorted(shards[1]) == sorted([[1, 2], [2]])
+        assert stats.input_records == 3
+
+    def test_duplication_bounded_by_groups(self):
+        db = random_database(8, n_transactions=40, n_items=10, max_length=6)
+        table, transactions = prepare_transactions(db, 2)
+        for n_groups in (1, 2, 4):
+            group_of = assign_groups(len(table), n_groups)
+            shards, __ = group_dependent_shards(transactions, group_of, n_groups)
+            total = sum(len(s) for s in shards.values())
+            assert total <= n_groups * len(transactions)
+            assert total >= len(transactions)
+
+
+class TestPfpCorrectness:
+    @pytest.mark.parametrize("n_groups", [1, 2, 3, 7])
+    def test_matches_oracle(self, small_db, n_groups):
+        result = parallel_fp_growth(small_db, 2, n_groups=n_groups)
+        assert normalize(result.itemsets) == normalize(brute_force(small_db, 2))
+
+    def test_random_databases(self):
+        for seed in range(4):
+            db = random_database(seed, n_transactions=50, n_items=10, max_length=7)
+            expected = normalize(brute_force(db, 2))
+            for n_groups in (1, 3, 5):
+                result = parallel_fp_growth(db, 2, n_groups=n_groups)
+                assert normalize(result.itemsets) == expected, (seed, n_groups)
+
+    @settings(max_examples=20, deadline=None)
+    @given(db_strategy, st.integers(min_value=1, max_value=5))
+    def test_property_equivalence(self, database, n_groups):
+        result = parallel_fp_growth(database, 2, n_groups=n_groups)
+        assert normalize(result.itemsets) == normalize(brute_force(database, 2))
+
+    def test_no_duplicate_itemsets_across_groups(self):
+        db = random_database(3, n_transactions=60, n_items=12, max_length=8)
+        result = parallel_fp_growth(db, 2, n_groups=4)
+        keys = [frozenset(i) for i, __ in result.itemsets]
+        assert len(keys) == len(set(keys))
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            parallel_fp_growth([[1]], 1, n_groups=0)
+
+    def test_miner_interface(self, small_db):
+        miner = PfpMiner(n_groups=3)
+        assert normalize(miner.mine(small_db, 2)) == normalize(
+            brute_force(small_db, 2)
+        )
+
+
+class TestShardReports:
+    def test_shards_smaller_than_whole(self):
+        db = random_database(9, n_transactions=120, n_items=15, max_length=9)
+        single = parallel_fp_growth(db, 2, n_groups=1)
+        split = parallel_fp_growth(db, 2, n_groups=4)
+        whole_tree_bytes = single.max_shard_bytes
+        # Memory balancing: the largest shard tree is smaller than the
+        # single-machine tree.
+        assert split.max_shard_bytes < whole_tree_bytes
+        assert split.n_groups == 4
+        assert sum(s.itemsets for s in split.shards) == len(split.itemsets)
+
+    def test_stats_populated(self, small_db):
+        result = parallel_fp_growth(small_db, 2, n_groups=2)
+        assert result.count_stats.input_records == len(small_db)
+        assert result.shard_stats.shuffle_bytes > 0
+        assert result.total_shard_transactions >= len(small_db) - 1

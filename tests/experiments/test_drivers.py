@@ -1,0 +1,98 @@
+"""Tests for the metered experiment drivers."""
+
+import pytest
+
+from repro.algorithms.bruteforce import brute_force
+from repro.errors import ExperimentError
+from repro.experiments.drivers import initial_tree_size, run_metered
+from repro.machine import MachineSpec
+from repro.util.items import prepare_transactions
+from tests.conftest import random_database
+
+DRIVER_NAMES = (
+    "cfp-growth",
+    "fp-growth",
+    "nonordfp",
+    "fp-array",
+    "fp-growth-tiny",
+    "lcm",
+    "afopt",
+    "ct-pro",
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = random_database(21, n_transactions=60, n_items=12, max_length=8)
+    table, transactions = prepare_transactions(db, 3)
+    expected = len(brute_force(db, 3))
+    return db, transactions, len(table), expected
+
+
+@pytest.mark.parametrize("name", DRIVER_NAMES)
+class TestEveryDriver:
+    def test_itemset_count_matches_oracle(self, name, workload):
+        __, transactions, n_ranks, expected = workload
+        result = run_metered(name, transactions, n_ranks, 3, fimi_bytes=1000)
+        assert result.itemset_count == expected, name
+
+    def test_phases_and_accounting(self, name, workload):
+        __, transactions, n_ranks, __ = workload
+        result = run_metered(name, transactions, n_ranks, 3, fimi_bytes=1000)
+        phase_names = [p.name for p in result.meter.phases]
+        assert phase_names[0] == "scan"
+        assert "build" in phase_names
+        assert "mine" in phase_names
+        assert result.peak_bytes > 0
+        assert result.total_seconds > 0
+        assert result.meter.phases[0].io_bytes == 2000  # two passes
+
+    def test_structures_balanced(self, name, workload):
+        __, transactions, n_ranks, __ = workload
+        result = run_metered(name, transactions, n_ranks, 3, fimi_bytes=1000)
+        # Conditional structures must all be freed; at most the top-level
+        # structures may stay live, never more than the peak.
+        assert 0 <= result.meter.live_bytes <= result.peak_bytes
+
+
+class TestDriverMachineInteraction:
+    def test_smaller_memory_slower_or_equal(self, workload):
+        __, transactions, n_ranks, __ = workload
+        big = run_metered(
+            "fp-growth",
+            transactions,
+            n_ranks,
+            3,
+            1000,
+            MachineSpec(physical_memory=1 << 30),
+        )
+        tiny = run_metered(
+            "fp-growth",
+            transactions,
+            n_ranks,
+            3,
+            1000,
+            MachineSpec(physical_memory=1 << 10),
+        )
+        assert tiny.total_seconds > big.total_seconds
+        assert tiny.estimate.thrashed
+
+    def test_cfp_peak_below_fp_peak(self, workload):
+        __, transactions, n_ranks, __ = workload
+        fp = run_metered("fp-growth", transactions, n_ranks, 3, 1000)
+        cfp = run_metered("cfp-growth", transactions, n_ranks, 3, 1000)
+        assert cfp.peak_bytes < fp.peak_bytes
+
+    def test_unknown_algorithm(self, workload):
+        __, transactions, n_ranks, __ = workload
+        with pytest.raises(ExperimentError):
+            run_metered("nope", transactions, n_ranks, 3, 1000)
+
+    def test_initial_tree_size(self, workload):
+        __, transactions, n_ranks, __ = workload
+        nodes = initial_tree_size(transactions, n_ranks)
+        assert nodes > 0
+        result = run_metered(
+            "fp-growth", transactions, n_ranks, 3, 1000, tree_nodes=nodes
+        )
+        assert result.initial_tree_nodes == nodes

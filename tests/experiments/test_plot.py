@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments.plot import MARKERS, ascii_chart, _format_value
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="T")
+
+    def test_single_series_markers_present(self):
+        chart = ascii_chart({"a": [(1, 1), (10, 10), (100, 100)]})
+        assert chart.count("o") >= 3 + 1  # points plus legend
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({"a": [(1, 1)], "b": [(100, 100)]})
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_monotone_series_renders_diagonal(self):
+        chart = ascii_chart({"s": [(10**i, 10**i) for i in range(5)]}, width=20, height=10)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        positions = []
+        for row_index, line in enumerate(rows):
+            column = line.find("o")
+            if column >= 0:
+                positions.append((row_index, column))
+        # Lower rows (larger index) hold smaller y -> smaller x columns.
+        assert positions == sorted(positions, key=lambda p: (p[0], -p[1]))
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"a": [(1, 2), (1000, 2000)]},
+            x_label="tree nodes",
+            y_label="seconds",
+            title="T",
+        )
+        assert chart.startswith("T")
+        assert "tree nodes" in chart
+        assert "seconds" in chart
+        assert "1k" in chart  # x_high
+        assert "2k" in chart  # y_high
+
+    def test_non_positive_values_clamped(self):
+        chart = ascii_chart({"a": [(0, 0), (10, 10)]})
+        assert "|" in chart  # renders without error
+
+    def test_marker_cycle(self):
+        series = {f"s{i}": [(1 + i, 1 + i)] for i in range(10)}
+        chart = ascii_chart(series)
+        for i in range(10):
+            assert f"{MARKERS[i % len(MARKERS)]} s{i}" in chart
+
+
+class TestFormatValue:
+    def test_ranges(self):
+        assert _format_value(5) == "5"
+        assert _format_value(1500) == "1.5k"
+        assert _format_value(2_500_000) == "2.5M"
+        assert _format_value(0.25) == "0.25"

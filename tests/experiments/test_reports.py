@@ -1,0 +1,91 @@
+"""Fast smoke tests of the experiment run/format pairs (small configs)."""
+
+import pytest
+
+from repro.experiments import ablations, fig6, fig7, fig8, table1, table2, table3
+from repro.experiments.report import human_bytes, percent, seconds, table
+
+
+class TestReportHelpers:
+    def test_percent_styles(self):
+        assert percent(0.0) == "0%"
+        assert percent(0.005) == "<1%"
+        assert percent(0.98) == "98%"
+        assert percent(0.995) == ">99%"
+        assert percent(1.0) == "100%"
+
+    def test_human_bytes(self):
+        assert human_bytes(10) == "10B"
+        assert human_bytes(2048) == "2.00kB"
+        assert human_bytes(3 * 1024**2) == "3.00MB"
+
+    def test_seconds(self):
+        assert seconds(0.005) == "5.0ms"
+        assert seconds(2.5) == "2.5s"
+        assert seconds(120) == "2.0min"
+        assert seconds(7200) == "2.00h"
+
+    def test_table_alignment(self):
+        text = table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+class TestTables:
+    def test_table1_small(self):
+        result = table1.run("retail", 0.02)
+        report = table1.format_report(result)
+        assert "Table 1" in report
+        assert result.node_count > 0
+        for dist in result.distributions.values():
+            assert dist.total == result.node_count
+
+    def test_table2_small(self):
+        result = table2.run("retail", 0.02)
+        report = table2.format_report(result)
+        assert "Table 2" in report
+        # §3.2: sum of pcounts equals the number of (prepared) transactions.
+        assert result.transaction_count > 0
+
+    def test_table3(self):
+        result = table3.run()
+        report = table3.format_report(result)
+        assert "2x" in report
+
+
+class TestFigures:
+    def test_fig6_subset(self):
+        result = fig6.run(datasets=("retail",), levels={"high": 0.05})
+        assert len(result.cells) == 1
+        cell = result.cell("retail", "high")
+        assert cell.tree_bytes_per_node > 0
+        assert "Figure 6" in fig6.format_report(result)
+        with pytest.raises(KeyError):
+            result.cell("retail", "nope")
+
+    def test_fig7_two_points(self):
+        result = fig7.run(supports=(0.10, 0.05))
+        assert len(result.points) == 2
+        report = fig7.format_report(result)
+        for marker in ("(a)", "(b)", "(c)", "(d)", "speedup"):
+            assert marker in report
+        series = result.series("cfp-growth", lambda r: r.total_seconds)
+        assert len(series) == 2
+        assert series[0][0] <= series[1][0]
+
+    def test_fig8_two_points(self):
+        result = fig8.run(
+            algorithms=("cfp-growth", "lcm"), supports=(0.10, 0.05)
+        )
+        assert len(result.points) == 2
+        report = fig8.format_report(result, "(test)")
+        assert "runtime vs minimum support" in report
+        assert "peak memory" in report
+
+    def test_ablations_small(self):
+        result = ablations.run("retail", 0.01)
+        report = ablations.format_report(result)
+        assert "Design ablations" in report
+        assert result.delta_item_bytes <= result.raw_item_bytes
+        assert set(result.tree_by_chain_length) == {2, 4, 8, 15}

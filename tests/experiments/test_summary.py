@@ -1,0 +1,23 @@
+"""Tests for the run-everything summary driver (on a fast subset)."""
+
+from repro.experiments.summary import EXPERIMENTS, run_all
+
+
+class TestSummary:
+    def test_subset_writes_reports(self, tmp_path):
+        reports = run_all(str(tmp_path), only=("table3",))
+        assert set(reports) == {"table3"}
+        assert (tmp_path / "table3.txt").exists()
+        assert "Table 3" in (tmp_path / "table3.txt").read_text()
+
+    def test_experiment_list_covers_modules(self):
+        import importlib
+
+        for module_name, __, kwargs in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{module_name}")
+            assert hasattr(module, "run")
+            assert hasattr(module, "format_report")
+            assert isinstance(kwargs, dict)
+
+    def test_unknown_subset_is_empty(self, tmp_path):
+        assert run_all(str(tmp_path), only=("nope",)) == {}

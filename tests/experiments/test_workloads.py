@@ -1,0 +1,64 @@
+"""Tests for the shared experiment workloads and their caching."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.experiments import workloads
+
+
+class TestDatasetCache:
+    def test_cached_identity(self):
+        assert workloads.dataset("retail") is workloads.dataset("retail")
+
+    def test_immutable_tuples(self):
+        data = workloads.dataset("retail")
+        assert isinstance(data, tuple)
+        assert isinstance(data[0], tuple)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            workloads.dataset("nope")
+
+    def test_fimi_size_positive(self):
+        assert workloads.fimi_size("retail") > 1000
+
+
+class TestPrepared:
+    def test_cached_per_support(self):
+        a = workloads.prepared("retail", 50)
+        b = workloads.prepared("retail", 50)
+        assert a is b
+        c = workloads.prepared("retail", 60)
+        assert c is not a
+
+    def test_shape(self):
+        n_ranks, transactions = workloads.prepared("retail", 50)
+        assert n_ranks > 0
+        for ranks in transactions[:20]:
+            assert list(ranks) == sorted(set(ranks))
+            assert all(1 <= r <= n_ranks for r in ranks)
+
+
+class TestAbsoluteSupport:
+    def test_scales_with_dataset(self):
+        size = len(workloads.dataset("retail"))
+        assert workloads.absolute_support("retail", 0.10) == round(0.10 * size)
+
+    def test_floor_of_two(self):
+        assert workloads.absolute_support("retail", 0.0) == 2
+
+    def test_sweep_grids_monotone(self):
+        assert list(workloads.FIG7_SUPPORTS) == sorted(
+            workloads.FIG7_SUPPORTS, reverse=True
+        )
+        assert list(workloads.FIG8_SUPPORTS) == sorted(
+            workloads.FIG8_SUPPORTS, reverse=True
+        )
+
+    def test_fig6_levels_descend(self):
+        levels = list(workloads.FIG6_SUPPORT_LEVELS.values())
+        assert levels == sorted(levels, reverse=True)
+
+    def test_every_fig6_dataset_generates(self):
+        for name in workloads.FIG6_DATASET_ARGS:
+            assert len(workloads.dataset(name)) > 0

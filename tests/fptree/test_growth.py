@@ -1,0 +1,88 @@
+"""Correctness tests for the reference FP-growth miner."""
+
+from hypothesis import given, settings
+
+from repro.algorithms.bruteforce import brute_force
+from repro.fptree.growth import (
+    CountCollector,
+    ListCollector,
+    fp_growth,
+    mine_ranks,
+)
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, normalize, random_database
+
+
+class TestSmallCases:
+    def test_single_transaction(self):
+        results = fp_growth([[1, 2]], min_support=1)
+        assert normalize(results) == {
+            frozenset([1]): 1,
+            frozenset([2]): 1,
+            frozenset([1, 2]): 1,
+        }
+
+    def test_min_support_filters(self):
+        results = fp_growth([[1, 2], [1], [2]], min_support=2)
+        assert normalize(results) == {frozenset([1]): 2, frozenset([2]): 2}
+
+    def test_no_frequent_items(self):
+        assert fp_growth([[1], [2]], min_support=2) == []
+
+    def test_paper_example(self, small_db):
+        assert normalize(fp_growth(small_db, 2)) == normalize(
+            brute_force(small_db, 2)
+        )
+
+    def test_string_items(self):
+        db = [["milk", "bread"], ["milk"], ["bread", "milk"]]
+        results = normalize(fp_growth(db, 2))
+        assert results[frozenset(["milk"])] == 3
+        assert results[frozenset(["milk", "bread"])] == 2
+
+
+class TestSinglePathShortcut:
+    def test_pure_chain_database(self):
+        # All transactions nest -> the tree is one path.
+        db = [[1], [1, 2], [1, 2, 3], [1, 2, 3, 4]]
+        assert normalize(fp_growth(db, 1)) == normalize(brute_force(db, 1))
+
+    def test_count_collector_matches_list(self):
+        db = [[1, 2, 3, 4, 5]] * 3 + [[1, 2], [2, 3, 4]]
+        table, transactions = prepare_transactions(db, 2)
+        listed = mine_ranks(transactions, len(table), 2, ListCollector())
+        counted = mine_ranks(transactions, len(table), 2, CountCollector())
+        assert counted.count == len(listed.itemsets)
+
+    def test_subset_supports_on_chain(self):
+        db = [[1], [1, 2], [1, 2, 3]]
+        results = normalize(fp_growth(db, 1))
+        assert results[frozenset([1])] == 3
+        assert results[frozenset([1, 2])] == 2
+        assert results[frozenset([1, 2, 3])] == 1
+        assert results[frozenset([2, 3])] == 1
+        assert results[frozenset([3])] == 1
+
+
+class TestAgainstBruteForce:
+    def test_random_databases(self):
+        for seed in range(8):
+            db = random_database(seed)
+            for min_support in (2, 4, 8):
+                assert normalize(fp_growth(db, min_support)) == normalize(
+                    brute_force(db, min_support)
+                ), f"seed={seed} min_support={min_support}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(db_strategy)
+    def test_property_equivalence(self, database):
+        assert normalize(fp_growth(database, 2)) == normalize(
+            brute_force(database, 2)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(db_strategy)
+    def test_supports_are_exact(self, database):
+        for itemset, support in fp_growth(database, 2):
+            actual = sum(1 for t in database if set(itemset) <= set(t))
+            assert actual == support

@@ -1,0 +1,150 @@
+"""Unit tests for the ternary physical FP-tree and Table-1 accounting."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TreeError
+from repro.fptree import FPTree, TernaryFPTree
+from repro.fptree.accounting import (
+    FieldDistribution,
+    ternary_field_distributions,
+    zero_byte_fraction,
+)
+from repro.fptree.ternary import PAPER_BASELINE_NODE_SIZE, TERNARY_NODE_SIZE
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy
+
+
+class TestBuild:
+    def test_node_sizes(self):
+        assert TERNARY_NODE_SIZE == 28
+        assert PAPER_BASELINE_NODE_SIZE == 40
+
+    def test_matches_logical_tree_node_count(self, small_db):
+        table, transactions = prepare_transactions(small_db, 2)
+        logical = FPTree.from_rank_transactions(transactions, len(table))
+        ternary = TernaryFPTree.from_rank_transactions(transactions, len(table))
+        assert ternary.node_count == logical.node_count
+
+    def test_memory_bytes(self):
+        tree = TernaryFPTree(2)
+        tree.insert([1, 2])
+        assert tree.memory_bytes == 2 * 28
+        assert tree.baseline_memory_bytes == 2 * 40
+
+    def test_counts_cumulative(self):
+        tree = TernaryFPTree(3)
+        tree.insert([1, 2])
+        tree.insert([1, 2, 3])
+        # Node 1 is rank 1 with count 2.
+        assert tree.item[1] == 1
+        assert tree.count[1] == 2
+
+    def test_bst_sibling_search(self):
+        tree = TernaryFPTree(5)
+        tree.insert([3])
+        tree.insert([1])
+        tree.insert([5])
+        tree.insert([1])  # existing node, only count bump
+        assert tree.node_count == 3
+        assert tree.count[tree.suffix[0]] == 1  # rank 3 at BST root
+        # rank 1 hangs left of 3, rank 5 right of 3.
+        root_child = tree.suffix[0]
+        assert tree.item[tree.left[root_child]] == 1
+        assert tree.item[tree.right[root_child]] == 5
+
+    def test_comparisons_counted(self):
+        tree = TernaryFPTree(3)
+        tree.insert([1])
+        assert tree.comparisons == 0  # first child created without compare
+        tree.insert([1])
+        assert tree.comparisons == 1
+
+    def test_invalid_field(self):
+        with pytest.raises(TreeError):
+            TernaryFPTree(1).field_values("bogus")
+
+
+class TestTraversal:
+    def test_nodelink_traversal(self):
+        tree = TernaryFPTree(3)
+        tree.insert([1, 3])
+        tree.insert([2, 3])
+        nodes = list(tree.nodes_of(3))
+        assert len(nodes) == 2
+        assert all(tree.item[n] == 3 for n in nodes)
+
+    def test_path_to_root(self):
+        tree = TernaryFPTree(3)
+        tree.insert([1, 2, 3])
+        (leaf,) = tree.nodes_of(3)
+        assert tree.path_to_root(leaf) == [1, 2]
+
+    @given(db_strategy)
+    def test_equivalent_to_logical_tree(self, database):
+        table, transactions = prepare_transactions(database, 2)
+        logical = FPTree.from_rank_transactions(transactions, len(table))
+        ternary = TernaryFPTree.from_rank_transactions(transactions, len(table))
+        assert ternary.node_count == logical.node_count
+        for rank in range(1, len(table) + 1):
+            logical_paths = sorted(
+                (tuple(p), c) for p, c in logical.prefix_paths(rank)
+            )
+            ternary_paths = sorted(
+                (tuple(ternary.path_to_root(n)), ternary.count[n])
+                for n in ternary.nodes_of(rank)
+            )
+            assert ternary_paths == logical_paths
+
+
+class TestAccounting:
+    def test_field_distribution_add(self):
+        dist = FieldDistribution()
+        dist.add(0)
+        dist.add(0x90)
+        dist.add(0x123456)
+        assert dist.counts == [0, 1, 0, 1, 1]
+        assert dist.total == 3
+        assert dist.zero_bytes == 4 + 3 + 1
+
+    def test_fractions_sum_to_one(self):
+        dist = FieldDistribution()
+        for value in (0, 1, 255, 70000):
+            dist.add(value)
+        assert sum(dist.fractions()) == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        dist = FieldDistribution()
+        assert dist.fractions() == [0.0] * 5
+        assert zero_byte_fraction({"f": dist}) == 0.0
+
+    def test_distributions_cover_all_nodes(self, small_db):
+        __, transactions = prepare_transactions(small_db, 2)
+        tree = TernaryFPTree.from_rank_transactions(transactions, 4)
+        dists = ternary_field_distributions(tree)
+        assert set(dists) == {
+            "item",
+            "count",
+            "parent",
+            "nodelink",
+            "left",
+            "right",
+            "suffix",
+        }
+        for dist in dists.values():
+            assert dist.total == tree.node_count
+
+    def test_small_tree_is_mostly_zero_bytes(self, small_db):
+        # Tiny trees have tiny values: zero fraction must be very high.
+        __, transactions = prepare_transactions(small_db, 2)
+        tree = TernaryFPTree.from_rank_transactions(transactions, 4)
+        assert zero_byte_fraction(ternary_field_distributions(tree)) > 0.5
+
+    def test_left_right_mostly_null(self, small_db):
+        # The key §3.1 observation: sibling pointers are rarely set.
+        __, transactions = prepare_transactions(small_db, 2)
+        tree = TernaryFPTree.from_rank_transactions(transactions, 4)
+        dists = ternary_field_distributions(tree)
+        for field in ("left", "right"):
+            null_fraction = dists[field].fractions()[4]
+            assert null_fraction >= 0.5

@@ -1,0 +1,127 @@
+"""Unit tests for the logical FP-tree."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TreeError
+from repro.fptree import FPTree
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy
+
+
+def build(database, min_support):
+    table, transactions = prepare_transactions(database, min_support)
+    return table, FPTree.from_rank_transactions(transactions, len(table))
+
+
+class TestBuild:
+    def test_empty(self):
+        tree = FPTree(0)
+        assert tree.is_empty()
+        assert tree.node_count == 0
+
+    def test_negative_ranks_rejected(self):
+        with pytest.raises(TreeError):
+            FPTree(-1)
+
+    def test_shared_prefixes_merge(self):
+        tree = FPTree(3)
+        tree.insert([1, 2])
+        tree.insert([1, 2, 3])
+        tree.insert([1, 3])
+        # Nodes: 1, 2 (under 1), 3 (under 2), 3 (under 1) -> 4 nodes.
+        assert tree.node_count == 4
+
+    def test_counts_cumulative(self):
+        tree = FPTree(3)
+        tree.insert([1, 2])
+        tree.insert([1, 2, 3])
+        node1 = tree.root.children[1]
+        assert node1.count == 2
+        assert node1.children[2].count == 2
+        assert node1.children[2].children[3].count == 1
+
+    def test_insert_with_count(self):
+        tree = FPTree(2)
+        tree.insert([1, 2], count=5)
+        assert tree.rank_count(2) == 5
+
+
+class TestNodelinks:
+    def test_all_nodes_of_rank_reachable(self):
+        tree = FPTree(3)
+        tree.insert([1, 3])
+        tree.insert([2, 3])
+        tree.insert([3])
+        nodes = list(tree.nodes_of(3))
+        assert len(nodes) == 3
+        assert all(node.rank == 3 for node in nodes)
+
+    def test_rank_count_matches_nodelink_sum(self):
+        tree = FPTree(3)
+        tree.insert([1, 3], count=2)
+        tree.insert([2, 3], count=3)
+        assert tree.rank_count(3) == sum(n.count for n in tree.nodes_of(3))
+
+
+class TestPrefixPaths:
+    def test_paper_style_support_query(self, small_db):
+        # Support of {3, 4}: sum counts of nodes of rank(4) whose path
+        # contains rank(3).
+        table, tree = build(small_db, 2)
+        r3, r4 = table.rank_of[3], table.rank_of[4]
+        least, other = max(r3, r4), min(r3, r4)
+        support = sum(
+            count for path, count in tree.prefix_paths(least) if other in path
+        )
+        expected = sum(1 for t in small_db if 3 in t and 4 in t)
+        assert support == expected
+
+    def test_paths_ascending(self, small_db):
+        __, tree = build(small_db, 2)
+        for rank in tree.active_ranks_descending():
+            for path, __ in tree.prefix_paths(rank):
+                assert path == sorted(path)
+                assert all(r < rank for r in path)
+
+
+class TestSinglePath:
+    def test_detects_single_path(self):
+        tree = FPTree(3)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 2])
+        assert tree.single_path() == [(1, 2), (2, 2), (3, 1)]
+
+    def test_branching_is_not_single_path(self):
+        tree = FPTree(3)
+        tree.insert([1, 2])
+        tree.insert([1, 3])
+        assert tree.single_path() is None
+
+    def test_empty_tree_is_trivial_single_path(self):
+        assert FPTree(2).single_path() == []
+
+
+class TestInvariants:
+    @given(db_strategy)
+    def test_node_count_and_counts(self, database):
+        table, tree = build(database, 2)
+        nodes = list(tree.iter_nodes())
+        assert len(nodes) == tree.node_count
+        # Cumulative count equals own insertions plus children's counts
+        # (every path through a child also passes through the parent).
+        for node in nodes:
+            child_sum = sum(c.count for c in node.children.values())
+            assert node.count >= child_sum
+        # Root's children sum to number of non-empty prepared transactions.
+        __, prepared = prepare_transactions(database, 2)
+        top_sum = sum(c.count for c in tree.root.children.values())
+        assert top_sum == len(prepared)
+
+    @given(db_strategy)
+    def test_rank_counts_match_database(self, database):
+        table, tree = build(database, 2)
+        __, prepared = prepare_transactions(database, 2)
+        for rank in range(1, len(table) + 1):
+            expected = sum(1 for t in prepared if rank in t)
+            assert tree.rank_count(rank) == expected

@@ -1,0 +1,100 @@
+"""Tests for the §2.2 weight-balanced sibling BST rebuild."""
+
+from hypothesis import given, settings
+
+from repro.fptree.ternary import TernaryFPTree
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, random_database
+
+
+def build(database, min_support=1):
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryFPTree.from_rank_transactions(transactions, len(table))
+    return table, transactions, tree
+
+
+class TestFind:
+    def test_finds_existing_prefixes(self):
+        tree = TernaryFPTree(4)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 4])
+        assert tree.find([1, 2, 3]) != 0
+        assert tree.find([1, 4]) != 0
+        assert tree.find([1, 2]) != 0  # interior prefix exists too
+
+    def test_missing_prefix(self):
+        tree = TernaryFPTree(4)
+        tree.insert([1, 2])
+        assert tree.find([2]) == 0
+        assert tree.find([1, 3]) == 0
+
+    def test_counts_comparisons(self):
+        tree = TernaryFPTree(4)
+        tree.insert([1])
+        tree.insert([2])
+        before = tree.comparisons
+        tree.find([2])
+        assert tree.comparisons > before
+
+
+class TestRebuild:
+    def test_structure_preserved(self):
+        db = random_database(4, n_transactions=80, n_items=12, max_length=8)
+        table, transactions, tree = build(db)
+        reference = {
+            rank: sorted(
+                (tuple(tree.path_to_root(n)), tree.count[n])
+                for n in tree.nodes_of(rank)
+            )
+            for rank in range(1, len(table) + 1)
+        }
+        tree.rebuild_weight_balanced()
+        for rank in range(1, len(table) + 1):
+            rebuilt = sorted(
+                (tuple(tree.path_to_root(n)), tree.count[n])
+                for n in tree.nodes_of(rank)
+            )
+            assert rebuilt == reference[rank]
+        # Every prefix is still findable.
+        for ranks in transactions:
+            assert tree.find(ranks) != 0
+
+    def test_skewed_lookups_get_cheaper(self):
+        # Siblings 1..30 inserted in order degenerate the BST into a
+        # right spine; lookups of the heavy item then cost ~its rank.
+        tree = TernaryFPTree(30)
+        for rank in range(1, 31):
+            tree.insert([rank])
+        for __ in range(200):
+            tree.insert([30])  # make rank 30 dominate the weight
+        tree.comparisons = 0
+        for __ in range(100):
+            tree.find([30])
+        degenerate = tree.comparisons
+        tree.rebuild_weight_balanced()
+        tree.comparisons = 0
+        for __ in range(100):
+            tree.find([30])
+        balanced = tree.comparisons
+        assert balanced < degenerate / 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(db_strategy)
+    def test_property_rebuild_is_lossless(self, database):
+        table, transactions, tree = build(database)
+        before = {
+            rank: sorted(
+                (tuple(tree.path_to_root(n)), tree.count[n])
+                for n in tree.nodes_of(rank)
+            )
+            for rank in range(1, len(table) + 1)
+        }
+        tree.rebuild_weight_balanced()
+        after = {
+            rank: sorted(
+                (tuple(tree.path_to_root(n)), tree.count[n])
+                for n in tree.nodes_of(rank)
+            )
+            for rank in range(1, len(table) + 1)
+        }
+        assert after == before

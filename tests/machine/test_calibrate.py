@@ -1,0 +1,42 @@
+"""Tests for cost-model calibration."""
+
+from repro.machine import MachineSpec, Meter, SimulatedMachine
+from repro.machine.calibrate import calibrate_op_seconds, measure_reference_run
+
+
+class TestMeasureReference:
+    def test_returns_positive(self):
+        wall, ops = measure_reference_run(n_transactions=150)
+        assert wall > 0
+        assert ops > 100
+
+    def test_deterministic_ops(self):
+        __, ops_a = measure_reference_run(n_transactions=150, seed=3)
+        __, ops_b = measure_reference_run(n_transactions=150, seed=3)
+        assert ops_a == ops_b
+
+
+class TestCalibration:
+    def test_fitted_spec(self):
+        spec = calibrate_op_seconds(n_transactions=150)
+        # Python per-op cost is far above the default C++-grade 20 ns.
+        assert spec.op_seconds > MachineSpec().op_seconds
+        assert spec.dram_seconds_per_byte == 0.0
+        # Paging parameters untouched.
+        assert spec.disk_latency == MachineSpec().disk_latency
+
+    def test_preserves_base_memory(self):
+        base = MachineSpec(physical_memory=1 << 20)
+        spec = calibrate_op_seconds(base, n_transactions=150)
+        assert spec.physical_memory == 1 << 20
+
+    def test_in_core_estimate_tracks_wall_clock(self):
+        spec = calibrate_op_seconds(n_transactions=300)
+        wall, ops = measure_reference_run(n_transactions=300)
+        meter = Meter()
+        meter.begin_phase("run")
+        meter.add_ops(ops)
+        estimate = SimulatedMachine(spec).estimate(meter)
+        # Same workload class: the estimate lands within 4x of reality
+        # (interpreter noise and workload variation allowed for).
+        assert wall / 4 < estimate.total_seconds < wall * 4

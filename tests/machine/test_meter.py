@@ -1,0 +1,108 @@
+"""Unit tests for the run meter."""
+
+from repro.machine import Meter
+
+
+class TestStructureTracking:
+    def test_live_and_peak(self):
+        meter = Meter()
+        meter.on_structure_built(100)
+        meter.on_structure_built(50)
+        meter.on_structure_freed(100)
+        assert meter.live_bytes == 50
+        assert meter.peak_bytes == 150
+
+    def test_peak_never_decreases(self):
+        meter = Meter()
+        meter.on_structure_built(80)
+        meter.on_structure_freed(80)
+        meter.on_structure_built(10)
+        assert meter.peak_bytes == 80
+
+    def test_phase_footprint_tracks_max(self):
+        meter = Meter()
+        phase = meter.begin_phase("build")
+        meter.on_structure_built(30)
+        meter.on_structure_built(20)
+        meter.on_structure_freed(20)
+        assert phase.footprint_bytes == 50
+
+    def test_new_phase_starts_at_current_live(self):
+        meter = Meter()
+        meter.on_structure_built(40)
+        phase = meter.begin_phase("mine")
+        assert phase.footprint_bytes == 40
+
+
+class TestOps:
+    def test_ops_accrue_to_current_phase(self):
+        meter = Meter()
+        meter.begin_phase("a")
+        meter.add_ops(10, bytes_touched=100)
+        meter.begin_phase("b")
+        meter.add_ops(5)
+        assert meter.phases[0].ops == 10
+        assert meter.phases[0].bytes_touched == 100
+        assert meter.phases[1].ops == 5
+        assert meter.total_ops == 15
+
+    def test_implicit_phase(self):
+        meter = Meter()
+        meter.add_ops(3)
+        assert meter.phases[0].name == "run"
+
+    def test_io_bytes(self):
+        meter = Meter()
+        meter.begin_phase("scan")
+        meter.add_io(1000)
+        assert meter.phases[0].io_bytes == 1000
+
+
+class TestAverage:
+    def test_weighted_average(self):
+        meter = Meter()
+        meter.on_structure_built(100)
+        meter.add_ops(10)  # 10 ops at 100 bytes
+        meter.on_structure_built(100)
+        meter.add_ops(10)  # 10 ops at 200 bytes
+        assert meter.avg_bytes == 150.0
+
+    def test_average_without_ops(self):
+        meter = Meter()
+        meter.on_structure_built(64)
+        assert meter.avg_bytes == 64.0
+
+
+class TestCfpHooks:
+    def test_conversion_overlap_counts_in_peak(self):
+        from repro.core.conversion import convert
+        from repro.core.ternary import TernaryCfpTree
+
+        tree = TernaryCfpTree(3)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 2])
+        array = convert(tree)
+        meter = Meter()
+        meter.on_build(tree)
+        meter.on_conversion(tree, array)
+        # §3.5: both structures coexist during conversion.
+        assert meter.peak_bytes == tree.memory_bytes + array.memory_bytes
+        assert meter.live_bytes == array.memory_bytes
+
+    def test_cfp_growth_run_balances_structures(self):
+        from repro.core.cfp_growth import mine_rank_transactions
+        from repro.fptree.growth import CountCollector
+        from repro.util.items import prepare_transactions
+        from tests.conftest import random_database
+
+        db = random_database(4, n_transactions=80, n_items=12, max_length=8)
+        table, transactions = prepare_transactions(db, 2)
+        meter = Meter()
+        meter.begin_phase("run")
+        mine_rank_transactions(
+            transactions, len(table), 2, CountCollector(), meter=meter
+        )
+        # Every conditional structure must have been freed; only the initial
+        # CFP-array may remain live.
+        assert meter.peak_bytes > 0
+        assert 0 <= meter.live_bytes <= meter.peak_bytes

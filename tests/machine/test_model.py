@@ -1,0 +1,123 @@
+"""Unit tests for the paging cost model — regime behaviour (§4.4)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.machine import MachineSpec, Meter, SimulatedMachine
+from repro.machine.meter import Phase
+
+
+def phase(footprint, bytes_touched, sequential=0.5, ops=0, io=0):
+    p = Phase("t", sequential_fraction=sequential)
+    p.footprint_bytes = footprint
+    p.bytes_touched = bytes_touched
+    p.ops = ops
+    p.io_bytes = io
+    return p
+
+
+class TestSpec:
+    def test_defaults_scaled_testbed(self):
+        spec = MachineSpec()
+        assert spec.physical_memory == 6 * 1024 * 1024
+
+    def test_paper_testbed(self):
+        assert MachineSpec.paper_testbed().physical_memory == 6 * 1024**3
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            MachineSpec(physical_memory=0)
+        with pytest.raises(ExperimentError):
+            MachineSpec(disk_bandwidth=0)
+
+
+class TestRegimes:
+    def setup_method(self):
+        self.machine = SimulatedMachine(MachineSpec(physical_memory=1 << 20))
+
+    def test_in_core_no_paging(self):
+        cpu, io, paging = self.machine.phase_seconds(
+            phase(footprint=1 << 19, bytes_touched=1 << 19, ops=1000)
+        )
+        assert paging == 0.0
+        assert cpu > 0
+
+    def test_overflow_pays_paging(self):
+        __, __, paging = self.machine.phase_seconds(
+            phase(footprint=1 << 21, bytes_touched=1 << 20)
+        )
+        assert paging > 0.0
+
+    def test_paging_grows_with_overflow(self):
+        small = self.machine.phase_seconds(
+            phase(footprint=int(1.2 * (1 << 20)), bytes_touched=1 << 20)
+        )[2]
+        large = self.machine.phase_seconds(
+            phase(footprint=4 << 20, bytes_touched=1 << 20)
+        )[2]
+        assert large > small
+
+    def test_sequential_overflow_much_cheaper(self):
+        seq = self.machine.phase_seconds(
+            phase(footprint=4 << 20, bytes_touched=1 << 20, sequential=1.0)
+        )[2]
+        rnd = self.machine.phase_seconds(
+            phase(footprint=4 << 20, bytes_touched=1 << 20, sequential=0.0)
+        )[2]
+        # §4.3: a random-access phase collapses; sequential streams.
+        assert rnd > 100 * seq
+
+    def test_io_bandwidth_bound(self):
+        spec = self.machine.spec
+        __, io, __ = self.machine.phase_seconds(phase(0, 0, io=int(spec.scan_bandwidth)))
+        assert io == pytest.approx(1.0)
+
+    def test_knee_at_memory_limit(self):
+        """Total time vs footprint shows the paper's knee shape."""
+        times = []
+        for footprint in (1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22):
+            cpu, io, paging = self.machine.phase_seconds(
+                phase(footprint, bytes_touched=footprint, ops=footprint // 8)
+            )
+            times.append(cpu + io + paging)
+        # Monotone, and the growth factor jumps after the 1 MiB limit.
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        in_core_growth = times[2] / times[1]
+        thrash_growth = times[4] / times[2]
+        assert thrash_growth > 5 * in_core_growth
+
+
+class TestEstimate:
+    def test_aggregates_phases(self):
+        machine = SimulatedMachine(MachineSpec(physical_memory=1 << 20))
+        meter = Meter()
+        meter.begin_phase("build", sequential_fraction=0.3)
+        meter.add_ops(1000, bytes_touched=1 << 19)
+        meter.on_structure_built(1 << 19)
+        meter.begin_phase("mine", sequential_fraction=0.5)
+        meter.add_ops(5000, bytes_touched=1 << 18)
+        estimate = machine.estimate(meter)
+        assert estimate.total_seconds == pytest.approx(
+            estimate.cpu_seconds + estimate.io_seconds + estimate.paging_seconds
+        )
+        assert set(estimate.per_phase) == {"build", "mine"}
+        assert not estimate.thrashed
+
+    def test_thrashed_flag(self):
+        machine = SimulatedMachine(MachineSpec(physical_memory=1 << 10))
+        meter = Meter()
+        meter.begin_phase("build")
+        meter.on_structure_built(1 << 20)
+        meter.add_ops(10, bytes_touched=1 << 20)
+        assert machine.estimate(meter).thrashed
+
+    def test_more_memory_never_slower(self):
+        meter = Meter()
+        meter.begin_phase("build", sequential_fraction=0.2)
+        meter.on_structure_built(8 << 20)
+        meter.add_ops(100_000, bytes_touched=8 << 20)
+        small = SimulatedMachine(MachineSpec(physical_memory=1 << 20)).estimate(meter)
+        large = SimulatedMachine(MachineSpec(physical_memory=16 << 20)).estimate(meter)
+        assert large.total_seconds < small.total_seconds
+        assert not large.thrashed
+        assert small.thrashed

@@ -1,0 +1,242 @@
+"""Unit and property tests for the Appendix-A memory manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ArenaExhaustedError, InvalidChunkError
+from repro.memman import Arena
+
+
+class TestAlloc:
+    def test_first_address_nonzero(self):
+        arena = Arena()
+        assert arena.alloc(7) > 0
+
+    def test_sequential_bump(self):
+        arena = Arena()
+        a = arena.alloc(7)
+        b = arena.alloc(10)
+        assert b == a + 7
+
+    def test_contents_zeroed(self):
+        arena = Arena()
+        addr = arena.alloc(16)
+        assert arena.read(addr, 16) == bytes(16)
+
+    def test_rejects_too_small(self):
+        arena = Arena()
+        with pytest.raises(InvalidChunkError):
+            arena.alloc(4)
+
+    def test_rejects_too_large(self):
+        arena = Arena(max_chunk_size=24)
+        with pytest.raises(InvalidChunkError):
+            arena.alloc(25)
+
+    def test_capacity_exhaustion(self):
+        arena = Arena(capacity=64)
+        arena.alloc(24)
+        arena.alloc(24)
+        with pytest.raises(ArenaExhaustedError):
+            arena.alloc(24)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Arena(capacity=4)
+        with pytest.raises(ValueError):
+            Arena(capacity=1 << 41)
+
+
+class TestFreeReuse:
+    def test_freed_chunk_is_reused(self):
+        arena = Arena()
+        addr = arena.alloc(12)
+        arena.free(addr, 12)
+        assert arena.alloc(12) == addr
+
+    def test_queue_is_lifo(self):
+        arena = Arena()
+        a = arena.alloc(8)
+        b = arena.alloc(8)
+        arena.free(a, 8)
+        arena.free(b, 8)
+        assert arena.alloc(8) == b
+        assert arena.alloc(8) == a
+
+    def test_different_sizes_use_different_queues(self):
+        arena = Arena()
+        a = arena.alloc(8)
+        arena.free(a, 8)
+        # A 9-byte request must not be served from the 8-byte queue.
+        b = arena.alloc(9)
+        assert b != a
+        assert arena.alloc(8) == a
+
+    def test_reused_chunk_is_zeroed(self):
+        arena = Arena()
+        addr = arena.alloc(8)
+        arena.write(addr, b"\xab" * 8)
+        arena.free(addr, 8)
+        again = arena.alloc(8)
+        assert arena.read(again, 8) == bytes(8)
+
+    def test_free_rejects_out_of_range(self):
+        arena = Arena()
+        arena.alloc(8)
+        with pytest.raises(InvalidChunkError):
+            arena.free(10_000, 8)
+
+    def test_free_queue_length(self):
+        arena = Arena()
+        addrs = [arena.alloc(7) for _ in range(5)]
+        for addr in addrs:
+            arena.free(addr, 7)
+        assert arena.free_queue_length(7) == 5
+        assert arena.free_queue_length(8) == 0
+
+
+class TestResize:
+    def test_grow_copies_content(self):
+        arena = Arena()
+        addr = arena.alloc(7)
+        arena.write(addr, b"abcdefg")
+        new_addr = arena.resize(addr, 7, 12)
+        assert arena.read(new_addr, 7) == b"abcdefg"
+
+    def test_shrink_truncates(self):
+        arena = Arena()
+        addr = arena.alloc(12)
+        arena.write(addr, b"abcdefghijkl")
+        new_addr = arena.resize(addr, 12, 7)
+        assert arena.read(new_addr, 7) == b"abcdefg"
+
+    def test_old_chunk_enqueued(self):
+        arena = Arena()
+        addr = arena.alloc(7)
+        arena.resize(addr, 7, 12)
+        assert arena.free_queue_length(7) == 1
+
+    def test_same_size_is_identity(self):
+        arena = Arena()
+        addr = arena.alloc(9)
+        arena.write(addr, b"123456789")
+        assert arena.resize(addr, 9, 9) == addr
+        assert arena.read(addr, 9) == b"123456789"
+
+
+class TestAccounting:
+    def test_footprint_tracks_bump_pointer(self):
+        arena = Arena()
+        assert arena.footprint_bytes == 0
+        arena.alloc(10)
+        assert arena.footprint_bytes == 10
+        arena.alloc(5)
+        assert arena.footprint_bytes == 15
+
+    def test_live_excludes_free(self):
+        arena = Arena()
+        a = arena.alloc(10)
+        arena.alloc(6)
+        arena.free(a, 10)
+        assert arena.footprint_bytes == 16
+        assert arena.live_bytes == 6
+
+    def test_high_water(self):
+        arena = Arena()
+        a = arena.alloc(100)
+        arena.free(a, 100)
+        assert arena.high_water_bytes == 100
+        # Reuse does not raise high water.
+        arena.alloc(100)
+        assert arena.high_water_bytes == 100
+
+    def test_stats_counters(self):
+        arena = Arena()
+        a = arena.alloc(7)
+        arena.free(a, 7)
+        arena.alloc(7)
+        stats = arena.stats()
+        assert stats.alloc_count == 2
+        assert stats.free_count == 1
+        assert stats.reuse_count == 1
+
+    def test_reset(self):
+        arena = Arena()
+        arena.alloc(50)
+        arena.reset()
+        assert arena.footprint_bytes == 0
+        assert arena.live_bytes == 0
+        addr = arena.alloc(7)
+        assert arena.read(addr, 7) == bytes(7)
+
+
+class TestGrowth:
+    def test_buffer_grows_on_demand(self):
+        arena = Arena(capacity=1 << 22)
+        # Allocate past the initial 64 KiB block.
+        for _ in range(300):
+            arena.alloc(512)
+        assert arena.footprint_bytes == 300 * 512
+
+    def test_growth_respects_capacity(self):
+        arena = Arena(capacity=100)
+        arena.alloc(50)
+        arena.alloc(42)
+        with pytest.raises(ArenaExhaustedError):
+            arena.alloc(5)
+
+
+class _Action:
+    """Reference model entry for the property test."""
+
+    def __init__(self, addr, size, payload):
+        self.addr = addr
+        self.size = size
+        self.payload = payload
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "free", "resize"]),
+                st.integers(min_value=5, max_value=64),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_alloc_free_model(self, ops):
+        """Live chunks never overlap and always hold their payload."""
+        arena = Arena(capacity=1 << 22, max_chunk_size=64)
+        live: list[_Action] = []
+        counter = 0
+        for op, size in ops:
+            if op == "alloc" or not live:
+                addr = arena.alloc(size)
+                payload = bytes((counter + i) % 251 for i in range(size))
+                counter += 1
+                arena.write(addr, payload)
+                live.append(_Action(addr, size, payload))
+            elif op == "free":
+                chunk = live.pop(0)
+                arena.free(chunk.addr, chunk.size)
+            else:
+                chunk = live.pop(0)
+                new_addr = arena.resize(chunk.addr, chunk.size, size)
+                kept = chunk.payload[: min(chunk.size, size)]
+                payload = kept + bytes(max(0, size - len(kept)))
+                arena.write(new_addr, payload)
+                live.append(_Action(new_addr, size, payload))
+        # No two live chunks overlap.
+        spans = sorted((c.addr, c.addr + c.size) for c in live)
+        for (__, end), (start, __) in zip(spans, spans[1:]):
+            assert end <= start
+        # Every payload is intact.
+        for chunk in live:
+            assert arena.read(chunk.addr, chunk.size) == chunk.payload
+        # Accounting holds.
+        assert arena.live_bytes == sum(c.size for c in live)
+        assert arena.footprint_bytes <= arena.high_water_bytes

@@ -1,0 +1,64 @@
+"""Unit tests for the 40-bit pointer codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PointerRangeError
+from repro.memman import pointers
+
+valid_addresses = st.integers(min_value=0, max_value=pointers.max_encodable_address())
+
+
+class TestWritePointer:
+    def test_writes_five_bytes_big_endian(self):
+        buf = bytearray(8)
+        end = pointers.write_pointer(buf, 1, 0x0102030405)
+        assert end == 6
+        assert bytes(buf[1:6]) == b"\x01\x02\x03\x04\x05"
+
+    def test_null_pointer(self):
+        buf = bytearray(5)
+        pointers.write_pointer(buf, 0, pointers.NULL)
+        assert bytes(buf) == b"\x00\x00\x00\x00\x00"
+
+    def test_rejects_negative(self):
+        with pytest.raises(PointerRangeError):
+            pointers.write_pointer(bytearray(5), 0, -1)
+
+    def test_rejects_marker_prefix_addresses(self):
+        # Any address whose top byte is 0xFF collides with embedded leaves.
+        with pytest.raises(PointerRangeError):
+            pointers.write_pointer(bytearray(5), 0, 0xFF << 32)
+        with pytest.raises(PointerRangeError):
+            pointers.write_pointer(bytearray(5), 0, (1 << 40) - 1)
+
+    def test_max_encodable_address_ok(self):
+        buf = bytearray(5)
+        pointers.write_pointer(buf, 0, pointers.max_encodable_address())
+        assert buf[0] == 0xFE
+
+
+class TestReadPointer:
+    def test_reads_back(self):
+        buf = bytearray(5)
+        pointers.write_pointer(buf, 0, 123456789)
+        assert pointers.read_pointer(buf, 0) == 123456789
+
+    def test_marker_byte_raises(self):
+        buf = bytearray(b"\xff\x00\x00\x00\x00")
+        with pytest.raises(PointerRangeError):
+            pointers.read_pointer(buf, 0)
+
+    @given(valid_addresses)
+    def test_roundtrip(self, address):
+        buf = bytearray(7)
+        end = pointers.write_pointer(buf, 2, address)
+        assert end == 7
+        assert pointers.read_pointer(buf, 2) == address
+
+    @given(valid_addresses)
+    def test_first_byte_never_marker(self, address):
+        buf = bytearray(5)
+        pointers.write_pointer(buf, 0, address)
+        assert buf[0] != pointers.MARKER_BYTE

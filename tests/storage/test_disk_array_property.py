@@ -1,0 +1,35 @@
+"""Property test: the disk-backed CFP-array equals the in-memory one."""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cfp_growth import mine_array
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.fptree.growth import ListCollector
+from repro.storage import DiskCfpArray, save_cfp_array
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, normalize
+
+
+@settings(max_examples=20, deadline=None)
+@given(db_strategy, st.integers(min_value=1, max_value=4))
+def test_disk_mining_equals_memory_mining(database, pool_pages):
+    table, transactions = prepare_transactions(database, 1)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+    array = convert(tree)
+    memory = ListCollector()
+    mine_array(array, 1, memory)
+    fd, path = tempfile.mkstemp(suffix=".cfpa")
+    os.close(fd)
+    try:
+        save_cfp_array(array, path)
+        with DiskCfpArray(path, pool_pages=pool_pages) as disk:
+            disk_collector = ListCollector()
+            mine_array(disk, 1, disk_collector)
+    finally:
+        os.unlink(path)
+    assert normalize(disk_collector.itemsets) == normalize(memory.itemsets)

@@ -1,0 +1,171 @@
+"""Unit tests for the page file and buffer pool."""
+
+import pytest
+
+from repro.storage import PAGE_SIZE, BufferPool, PageFile
+from repro.storage.bufferpool import BufferPoolError
+from repro.storage.pagefile import PageFileError
+
+
+@pytest.fixture
+def pagefile(tmp_path):
+    with PageFile.create(tmp_path / "data.pf") as pf:
+        yield pf
+
+
+class TestPageFile:
+    def test_append_and_read(self, pagefile):
+        page_no = pagefile.append(b"hello")
+        assert page_no == 0
+        data = pagefile.read_page(0)
+        assert len(data) == PAGE_SIZE
+        assert data.startswith(b"hello")
+        assert data[5:] == bytes(PAGE_SIZE - 5)
+
+    def test_write_page(self, pagefile):
+        pagefile.append()
+        pagefile.write_page(0, b"xyz")
+        assert pagefile.read_page(0).startswith(b"xyz")
+
+    def test_append_blob_spans_pages(self, pagefile):
+        blob = bytes(range(256)) * 50  # 12800 bytes -> 4 pages
+        first, count = pagefile.append_blob(blob)
+        assert (first, count) == (0, 4)
+        rejoined = b"".join(pagefile.read_page(i) for i in range(4))
+        assert rejoined[: len(blob)] == blob
+
+    def test_empty_blob_occupies_one_page(self, pagefile):
+        __, count = pagefile.append_blob(b"")
+        assert count == 1
+
+    def test_out_of_range(self, pagefile):
+        with pytest.raises(PageFileError):
+            pagefile.read_page(0)
+        pagefile.append()
+        with pytest.raises(PageFileError):
+            pagefile.read_page(1)
+        with pytest.raises(PageFileError):
+            pagefile.write_page(5, b"")
+
+    def test_oversized_page(self, pagefile):
+        with pytest.raises(PageFileError):
+            pagefile.append(bytes(PAGE_SIZE + 1))
+
+    def test_readonly(self, tmp_path):
+        path = tmp_path / "ro.pf"
+        with PageFile.create(path) as pf:
+            pf.append(b"abc")
+        with PageFile.open_readonly(path) as pf:
+            assert pf.page_count == 1
+            assert pf.read_page(0).startswith(b"abc")
+            with pytest.raises(PageFileError):
+                pf.append(b"no")
+
+    def test_closed_file(self, tmp_path):
+        pf = PageFile.create(tmp_path / "x.pf")
+        pf.close()
+        with pytest.raises(PageFileError):
+            pf.read_page(0)
+
+    def test_io_counters(self, pagefile):
+        pagefile.append(b"a")
+        pagefile.read_page(0)
+        pagefile.read_page(0)
+        assert pagefile.writes == 1
+        assert pagefile.reads == 2
+
+
+class TestBufferPool:
+    def _file_with_pages(self, pagefile, n):
+        for i in range(n):
+            pagefile.append(bytes([i]) * 8)
+        return pagefile
+
+    def test_hit_after_fault(self, pagefile):
+        self._file_with_pages(pagefile, 3)
+        pool = BufferPool(pagefile, capacity_pages=2)
+        pool.get_page(0)
+        pool.get_page(0)
+        assert pool.stats.faults == 1
+        assert pool.stats.hits == 1
+
+    def test_lru_eviction(self, pagefile):
+        self._file_with_pages(pagefile, 3)
+        pool = BufferPool(pagefile, capacity_pages=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(2)  # evicts 0
+        assert pool.stats.evictions == 1
+        pool.get_page(1)  # still resident
+        assert pool.stats.hits == 1
+        pool.get_page(0)  # faults again
+        assert pool.stats.faults == 4
+
+    def test_access_refreshes_lru(self, pagefile):
+        self._file_with_pages(pagefile, 3)
+        pool = BufferPool(pagefile, capacity_pages=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(0)  # refresh 0 -> 1 becomes LRU
+        pool.get_page(2)  # evicts 1
+        pool.get_page(0)
+        assert pool.stats.hits == 2
+
+    def test_pinned_pages_survive(self, pagefile):
+        self._file_with_pages(pagefile, 4)
+        pool = BufferPool(pagefile, capacity_pages=2)
+        pool.pin(0)
+        pool.get_page(1)
+        pool.get_page(2)
+        pool.get_page(3)
+        pool.get_page(0)
+        assert pool.stats.hits >= 1  # pinned page never left
+
+    def test_all_pinned_raises(self, pagefile):
+        self._file_with_pages(pagefile, 3)
+        pool = BufferPool(pagefile, capacity_pages=1)
+        pool.pin(0)
+        with pytest.raises(BufferPoolError):
+            pool.get_page(1)
+
+    def test_unpin_validation(self, pagefile):
+        self._file_with_pages(pagefile, 1)
+        pool = BufferPool(pagefile, capacity_pages=1)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(0)
+        pool.pin(0)
+        pool.unpin(0)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(0)
+
+    def test_cross_page_read(self, pagefile):
+        pagefile.append(b"A" * PAGE_SIZE)
+        pagefile.append(b"B" * PAGE_SIZE)
+        pool = BufferPool(pagefile, capacity_pages=2)
+        data = pool.read(PAGE_SIZE - 3, 6)
+        assert data == b"AAABBB"
+
+    def test_sequential_scan_faults_once_per_page(self, pagefile):
+        self._file_with_pages(pagefile, 8)
+        pool = BufferPool(pagefile, capacity_pages=2)
+        pool.read(0, 8 * PAGE_SIZE)
+        assert pool.stats.faults == 8
+
+    def test_capacity_validation(self, pagefile):
+        with pytest.raises(BufferPoolError):
+            BufferPool(pagefile, capacity_pages=0)
+
+    def test_invalid_range(self, pagefile):
+        self._file_with_pages(pagefile, 1)
+        pool = BufferPool(pagefile, capacity_pages=1)
+        with pytest.raises(BufferPoolError):
+            pool.read(-1, 4)
+
+    def test_hit_ratio(self, pagefile):
+        self._file_with_pages(pagefile, 1)
+        pool = BufferPool(pagefile, capacity_pages=1)
+        assert pool.stats.hit_ratio == 0.0
+        pool.get_page(0)
+        pool.get_page(0)
+        pool.get_page(0)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)

@@ -1,0 +1,81 @@
+"""Tests for the top-level public API."""
+
+import pytest
+
+import repro
+from repro import (
+    MiningResult,
+    build_cfp_array,
+    build_cfp_tree,
+    mine_frequent_itemsets,
+)
+from repro.algorithms.bruteforce import brute_force
+from tests.conftest import normalize
+
+
+class TestMineFrequentItemsets:
+    def test_docstring_example(self):
+        result = mine_frequent_itemsets([[1, 2], [1, 2, 3], [2, 3]], 2)
+        assert result.support_of({1, 2}) == 2
+        assert result.support_of({2}) == 3
+
+    def test_matches_oracle(self, small_db):
+        result = mine_frequent_itemsets(small_db, 2)
+        assert normalize(result.itemsets) == normalize(brute_force(small_db, 2))
+
+    def test_result_container(self):
+        result = mine_frequent_itemsets([[1, 2], [1, 2]], 2)
+        assert len(result) == 3
+        assert result.min_support == 2
+        assert result.support_of({9}) == 0
+        assert {frozenset(i) for i, __ in result.of_size(1)} == {
+            frozenset([1]),
+            frozenset([2]),
+        }
+        assert list(iter(result))  # iterable
+
+    def test_empty(self):
+        result = mine_frequent_itemsets([], 1)
+        assert len(result) == 0
+        assert isinstance(result, MiningResult)
+
+
+class TestBuildHelpers:
+    def test_build_cfp_tree(self, small_db):
+        table, tree = build_cfp_tree(small_db, 2)
+        assert tree.node_count > 0
+        assert tree.memory_bytes > 0
+        assert len(table) == 4  # items 1-4 are frequent
+
+    def test_build_cfp_tree_options(self, small_db):
+        __, plain = build_cfp_tree(
+            small_db, 2, enable_chains=False, enable_embedding=False
+        )
+        __, full = build_cfp_tree(small_db, 2)
+        assert plain.node_count == full.node_count
+        assert plain.memory_bytes >= full.memory_bytes
+
+    def test_build_cfp_array(self, small_db):
+        table, array = build_cfp_array(small_db, 2)
+        assert array.node_count > 0
+        # Item supports are recoverable from the subarrays.
+        for item, support in table.supports.items():
+            assert array.rank_support(table.rank_of[item]) == support
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_attributes(self):
+        assert repro.mine_frequent_itemsets is mine_frequent_itemsets
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_reproerror_exported(self):
+        from repro import ReproError
+        from repro.errors import DatasetError
+
+        assert issubclass(DatasetError, ReproError)

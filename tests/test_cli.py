@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.fimi import write_fimi
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.fimi"
+    write_fimi(
+        path,
+        [[1, 2, 3], [1, 2], [2, 3], [1, 2, 3], [2]],
+    )
+    return str(path)
+
+
+class TestMine:
+    def test_basic(self, data_file, capsys):
+        assert main(["mine", data_file, "--min-support", "3"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert any(line.startswith("5\t2") for line in lines)  # item 2 x5
+
+    def test_algorithm_choice(self, data_file, capsys):
+        assert main(
+            ["mine", data_file, "--min-support", "3", "--algorithm", "lcm"]
+        ) == 0
+        default = capsys.readouterr().out
+        assert main(["mine", data_file, "--min-support", "3"]) == 0
+        assert sorted(capsys.readouterr().out.splitlines()) == sorted(
+            default.splitlines()
+        )
+
+    def test_closed(self, data_file, capsys):
+        assert main(["mine", data_file, "--min-support", "2", "--closed"]) == 0
+        closed = len(capsys.readouterr().out.splitlines())
+        assert main(["mine", data_file, "--min-support", "2"]) == 0
+        frequent = len(capsys.readouterr().out.splitlines())
+        assert closed <= frequent
+
+    def test_maximal(self, data_file, capsys):
+        assert main(["mine", data_file, "--min-support", "2", "--maximal"]) == 0
+        out = capsys.readouterr().out
+        assert "1 2 3" in out
+
+    def test_top_k(self, data_file, capsys):
+        assert main(["mine", data_file, "--top-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == 2
+
+    def test_limit(self, data_file, capsys):
+        assert main(["mine", data_file, "--min-support", "2", "--limit", "1"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 1
+
+    def test_missing_file(self, capsys):
+        assert main(["mine", "/nonexistent.fimi"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats(self, data_file, capsys):
+        assert main(["stats", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "transactions:     5" in out
+        assert "distinct items:   3" in out
+
+
+class TestConvert:
+    def test_text_to_binary_and_back(self, data_file, tmp_path, capsys):
+        binary = str(tmp_path / "data.bin")
+        assert main(["convert", data_file, binary]) == 0
+        text2 = str(tmp_path / "back.fimi")
+        assert main(["convert", binary, text2]) == 0
+        capsys.readouterr()  # drain the convert messages
+        # Mining the roundtripped file gives identical output.
+        assert main(["mine", data_file, "--min-support", "2"]) == 0
+        original = capsys.readouterr().out
+        assert main(["mine", text2, "--min-support", "2"]) == 0
+        assert capsys.readouterr().out == original
+
+    def test_binary_is_smaller(self, data_file, tmp_path, capsys):
+        import os
+
+        binary = str(tmp_path / "data.bin")
+        assert main(["convert", data_file, binary]) == 0
+        assert os.path.getsize(binary) < os.path.getsize(data_file) + 20
+
+
+class TestExperiment:
+    def test_runs_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])

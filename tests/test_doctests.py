@@ -1,0 +1,29 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.compress.varint
+import repro.compress.zero_suppression
+
+MODULES = [
+    repro.compress.varint,
+    repro.compress.zero_suppression,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_lazy_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        assert getattr(repro, name) is not None

@@ -1,0 +1,40 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "itemsets appear in at least 3 of 5 baskets" in out
+    assert "support of {beer, diapers} = 3" in out
+
+
+def test_market_basket(capsys):
+    out = run_example("market_basket.py", capsys)
+    assert "frequent itemsets" in out
+    assert "confidence" in out
+
+
+@pytest.mark.slow
+def test_memory_budget(capsys):
+    out = run_example("memory_budget.py", capsys)
+    assert "ternary CFP-tree" in out
+    assert "THRASHING" in out
+    assert "in core" in out
+
+
+def test_all_examples_compile():
+    for script in EXAMPLES.glob("*.py"):
+        source = script.read_text()
+        compile(source, str(script), "exec")

@@ -1,0 +1,60 @@
+"""Cross-module integration tests: full pipelines on every dataset proxy."""
+
+import pytest
+
+from repro.core.cfp_growth import mine_rank_transactions
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.datasets import FIMI_PROXIES, make_dataset
+from repro.fptree.growth import CountCollector, mine_ranks
+from repro.fptree.tree import FPTree
+from repro.util.items import prepare_transactions
+
+#: Small instances of every proxy with a support keeping output modest.
+DATASET_CASES = [
+    ("retail", {"n_transactions": 400}, 0.03),
+    ("connect", {"n_transactions": 200}, 0.40),
+    ("kosarak", {"n_transactions": 600}, 0.02),
+    ("accidents", {"n_transactions": 200}, 0.45),
+    ("webdocs", {"n_transactions": 120}, 0.25),
+    ("quest1", {"scale": 0.02}, 0.08),
+    ("quest2", {"scale": 0.01}, 0.08),
+]
+
+
+@pytest.mark.parametrize("name,args,relative", DATASET_CASES)
+class TestEveryProxyEndToEnd:
+    def _prepare(self, name, args, relative):
+        database = make_dataset(name, **args)
+        min_support = max(2, int(relative * len(database)))
+        table, transactions = prepare_transactions(database, min_support)
+        return table, transactions, min_support
+
+    def test_cfp_growth_matches_fp_growth(self, name, args, relative):
+        table, transactions, min_support = self._prepare(name, args, relative)
+        cfp = mine_rank_transactions(
+            list(transactions), len(table), min_support, CountCollector()
+        )
+        fp = mine_ranks(transactions, len(table), min_support, CountCollector())
+        assert cfp.count == fp.count, name
+
+    def test_structures_agree_on_shape(self, name, args, relative):
+        table, transactions, min_support = self._prepare(name, args, relative)
+        fp_tree = FPTree.from_rank_transactions(transactions, len(table))
+        cfp_tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        assert cfp_tree.node_count == fp_tree.node_count, name
+        array = convert(cfp_tree)
+        assert array.node_count == fp_tree.node_count, name
+        # Per-item supports agree across all three structures.
+        for rank in range(1, len(table) + 1):
+            assert array.rank_support(rank) == fp_tree.rank_count(rank), name
+
+    def test_compression_always_wins(self, name, args, relative):
+        table, transactions, __ = self._prepare(name, args, relative)
+        cfp_tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        if cfp_tree.node_count < 50:
+            pytest.skip("tree too small for a meaningful ratio")
+        baseline = cfp_tree.node_count * 40
+        assert cfp_tree.memory_bytes * 3 < baseline, name
+        array = convert(cfp_tree)
+        assert array.memory_bytes * 3 < baseline, name

@@ -1,0 +1,129 @@
+"""The paper's §3-§4 claims as executable assertions (fast scale).
+
+EXPERIMENTS.md records the full-scale paper-vs-measured comparison; this
+module pins the same claims at test scale so a regression in any of them
+fails the suite, not just the benchmarks.
+"""
+
+import pytest
+
+from repro.core.accounting import cfp_field_distributions
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.datasets.synthetic import make_dataset
+from repro.experiments.drivers import run_metered
+from repro.fptree.accounting import ternary_field_distributions, zero_byte_fraction
+from repro.fptree.ternary import TernaryFPTree
+from repro.machine import MachineSpec
+from repro.util.items import prepare_transactions
+
+
+@pytest.fixture(scope="module")
+def webdocs():
+    database = make_dataset("webdocs", n_transactions=400, seed=19)
+    table, transactions = prepare_transactions(database, 12)
+    return table, transactions
+
+
+@pytest.fixture(scope="module")
+def cfp_tree(webdocs):
+    table, transactions = webdocs
+    return TernaryCfpTree.from_rank_transactions(transactions, len(table))
+
+
+class TestSection31CompressionPotential:
+    """§3.1: most FP-tree bytes are zeros."""
+
+    def test_half_the_bytes_are_zero(self, webdocs):
+        table, transactions = webdocs
+        tree = TernaryFPTree.from_rank_transactions(transactions, len(table))
+        fraction = zero_byte_fraction(ternary_field_distributions(tree))
+        assert fraction > 0.45  # paper: ~53%
+
+    def test_sibling_pointers_mostly_null(self, webdocs):
+        table, transactions = webdocs
+        tree = TernaryFPTree.from_rank_transactions(transactions, len(table))
+        distributions = ternary_field_distributions(tree)
+        for field in ("left", "right"):
+            assert distributions[field].fractions()[4] > 0.8  # paper: 99%
+
+
+class TestSection32CfpTree:
+    """§3.2: the structural changes make values tiny."""
+
+    def test_pcount_mostly_zero(self, cfp_tree):
+        distributions = cfp_field_distributions(cfp_tree)
+        assert distributions["pcount"].fractions()[4] > 0.7  # paper: 97%
+
+    def test_delta_item_one_byte(self, cfp_tree):
+        distributions = cfp_field_distributions(cfp_tree)
+        fractions = distributions["delta_item"].fractions()
+        assert fractions[3] > 0.95
+        assert fractions[4] == 0.0  # delta_item is never zero
+
+    def test_pcount_sum_is_transaction_count(self, cfp_tree, webdocs):
+        __, transactions = webdocs
+        assert cfp_tree.transaction_count == len(transactions)
+
+    def test_average_pcount_below_one(self, cfp_tree):
+        # §3.2: "often ... the average value of the non-cumulative count
+        # is less than 1" when nodes outnumber transactions.
+        if cfp_tree.node_count > cfp_tree.transaction_count:
+            assert cfp_tree.transaction_count / cfp_tree.node_count < 1.0
+
+
+class TestSection33TernaryNodeSizes:
+    """§3.3: node footprints and the >90% typical layout."""
+
+    def test_order_of_magnitude_reduction(self, cfp_tree):
+        assert cfp_tree.average_node_size() < 40 / 7  # at least 7x (paper 7-25x)
+
+    def test_chains_dominate_on_webdocs(self, cfp_tree):
+        stats = cfp_tree.physical_stats()
+        assert stats.chain_entries > 0.8 * stats.logical_nodes
+
+
+class TestSection34CfpArray:
+    """§3.4: the mine-phase structure."""
+
+    def test_below_five_bytes_per_node(self, cfp_tree):
+        array = convert(cfp_tree)
+        assert array.average_node_size() < 5.0
+
+    def test_nodelink_free_sideward_traversal(self, cfp_tree, webdocs):
+        table, __ = webdocs
+        array = convert(cfp_tree)
+        # Item support via subarray scan equals the table's supports.
+        for rank in range(1, min(10, len(table)) + 1):
+            assert array.rank_support(rank) == table.rank_supports[rank]
+
+
+class TestSection44OverallBehaviour:
+    """§4.4: the three regimes and CFP-growth's wider in-core window."""
+
+    @pytest.fixture(scope="class")
+    def quest(self):
+        database = make_dataset("quest1", scale=0.05, seed=23)
+        table, transactions = prepare_transactions(database, 25)
+        return table, transactions
+
+    def test_cfp_beats_fp_under_pressure(self, quest):
+        table, transactions = quest
+        spec = MachineSpec(physical_memory=64 * 1024)
+        fp = run_metered("fp-growth", list(transactions), len(table), 25, 1000, spec)
+        cfp = run_metered("cfp-growth", list(transactions), len(table), 25, 1000, spec)
+        assert cfp.itemset_count == fp.itemset_count
+        assert cfp.peak_bytes < fp.peak_bytes / 4
+        assert cfp.total_seconds < fp.total_seconds
+
+    def test_wider_in_core_window(self, quest):
+        table, transactions = quest
+        # Choose the limit between the two footprints: FP thrashes, CFP not.
+        fp_probe = run_metered("fp-growth", list(transactions), len(table), 25, 1000)
+        cfp_probe = run_metered("cfp-growth", list(transactions), len(table), 25, 1000)
+        limit = (cfp_probe.peak_bytes + fp_probe.peak_bytes) // 2
+        spec = MachineSpec(physical_memory=limit)
+        fp = run_metered("fp-growth", list(transactions), len(table), 25, 1000, spec)
+        cfp = run_metered("cfp-growth", list(transactions), len(table), 25, 1000, spec)
+        assert fp.estimate.thrashed
+        assert not cfp.estimate.thrashed

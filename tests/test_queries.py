@@ -1,0 +1,72 @@
+"""Tests for direct support queries (paper §2.1's example)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import TreeError
+from repro.fptree.tree import FPTree
+from repro.util.items import prepare_transactions
+from repro.util.queries import (
+    itemset_support,
+    support_in_cfp_array,
+    support_in_fp_tree,
+)
+from tests.conftest import db_strategy
+
+
+def build(database, min_support=1):
+    table, transactions = prepare_transactions(database, min_support)
+    fp = FPTree.from_rank_transactions(transactions, len(table))
+    array = convert(TernaryCfpTree.from_rank_transactions(transactions, len(table)))
+    return table, fp, array
+
+
+class TestPaperExample:
+    DB = [
+        [1, 2, 3],
+        [1, 2, 4],
+        [1, 3, 4],
+        [2, 3, 4],
+        [3, 4],
+        [1, 2, 3, 4],
+    ]
+
+    def test_pairwise_supports(self):
+        table, fp, array = build(self.DB)
+        # §2.1: support of {3, 4} = sum over prefixes containing both.
+        expected = sum(1 for t in self.DB if {3, 4} <= set(t))
+        assert itemset_support(fp, table, [3, 4]) == expected
+        assert itemset_support(array, table, [3, 4]) == expected
+
+    def test_single_item(self):
+        table, fp, array = build(self.DB)
+        assert itemset_support(fp, table, [3]) == 5
+        assert itemset_support(array, table, [3]) == 5
+
+    def test_unknown_item_is_zero(self):
+        table, fp, array = build(self.DB)
+        assert itemset_support(fp, table, [99]) == 0
+        assert itemset_support(array, table, [3, 99]) == 0
+
+    def test_empty_rejected(self):
+        table, fp, array = build(self.DB)
+        with pytest.raises(TreeError):
+            support_in_fp_tree(fp, [])
+        with pytest.raises(TreeError):
+            support_in_cfp_array(array, [])
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        db_strategy,
+        st.sets(st.integers(min_value=0, max_value=9), min_size=1, max_size=4),
+    )
+    def test_both_structures_agree_with_counting(self, database, items):
+        table, fp, array = build(database)
+        expected = sum(1 for t in database if items <= set(t))
+        assert itemset_support(fp, table, items) == expected
+        assert itemset_support(array, table, items) == expected

@@ -1,0 +1,85 @@
+"""Tests for the two-phase streaming build."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cfp_growth import cfp_growth
+from repro.errors import DatasetError
+from repro.streaming import CountingPhase, StreamingBuilder, mine_in_batches
+from tests.conftest import db_strategy, normalize, random_database
+
+
+def batched(database, size):
+    return [database[i : i + size] for i in range(0, len(database), size)]
+
+
+class TestCountingPhase:
+    def test_accumulates_across_batches(self):
+        phase = CountingPhase()
+        phase.add_batch([[1, 2], [1]])
+        phase.add_batch([[2], [1, 2, 3]])
+        table = phase.finish(min_support=2)
+        assert table.supports == {1: 3, 2: 3}
+        assert phase.transactions_seen == 4
+
+    def test_duplicates_in_transaction_count_once(self):
+        phase = CountingPhase()
+        phase.add_batch([[1, 1, 1]])
+        assert phase.finish(1).supports == {1: 1}
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            CountingPhase().finish(0)
+
+
+class TestStreamingBuilder:
+    def test_matches_one_shot(self):
+        db = random_database(13, n_transactions=90, n_items=12, max_length=8)
+        expected = normalize(cfp_growth(db, 3))
+        for batch_size in (1, 7, 30, 200):
+            results = mine_in_batches(batched(db, batch_size), 3)
+            assert normalize(results) == expected, batch_size
+
+    def test_checkpoint_between_batches(self, tmp_path):
+        db = random_database(14, n_transactions=60, n_items=10, max_length=7)
+        expected = normalize(cfp_growth(db, 2))
+        phase = CountingPhase()
+        phase.add_batch(db)
+        table = phase.finish(2)
+        builder = StreamingBuilder(table)
+        builder.add_batch(db[:30])
+        path = tmp_path / "stream.cfpt"
+        builder.checkpoint(path)
+        resumed = StreamingBuilder.resume(table, path)
+        resumed.add_batch(db[30:])
+        assert normalize(resumed.finish()) == expected
+
+    def test_resume_validates_table(self, tmp_path):
+        db = [[1, 2], [1, 2], [2]]
+        phase = CountingPhase()
+        phase.add_batch(db)
+        table = phase.finish(2)
+        builder = StreamingBuilder(table)
+        builder.add_batch(db)
+        path = tmp_path / "stream.cfpt"
+        builder.checkpoint(path)
+        other = CountingPhase()
+        other.add_batch([[1, 2, 3], [1, 2, 3]])
+        wrong_table = other.finish(1)
+        with pytest.raises(DatasetError):
+            StreamingBuilder.resume(wrong_table, path)
+
+    def test_insert_count_reported(self):
+        phase = CountingPhase()
+        phase.add_batch([[1], [1], [2]])
+        table = phase.finish(2)  # only item 1 survives
+        builder = StreamingBuilder(table)
+        assert builder.add_batch([[1], [2], [1, 2]]) == 2  # [2] drops out
+
+    @settings(max_examples=20, deadline=None)
+    @given(db_strategy, st.integers(min_value=1, max_value=10))
+    def test_property_batching_invariant(self, database, batch_size):
+        expected = normalize(cfp_growth(database, 2))
+        results = mine_in_batches(batched(database, batch_size), 2)
+        assert normalize(results) == expected

@@ -1,0 +1,73 @@
+"""Unit tests for item-rank preprocessing."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import DatasetError
+from repro.util.items import build_item_table, count_items, prepare_transactions
+from tests.conftest import db_strategy
+
+
+class TestCountItems:
+    def test_counts_set_semantics(self):
+        # Duplicate items within a transaction count once.
+        counts = count_items([[1, 1, 2], [1]])
+        assert counts[1] == 2
+        assert counts[2] == 1
+
+    def test_empty_database(self):
+        assert count_items([]) == {}
+
+
+class TestBuildItemTable:
+    def test_filters_infrequent(self):
+        table = build_item_table([[1, 2], [1, 3], [1]], min_support=2)
+        assert set(table.supports) == {1}
+
+    def test_rank_order_by_support(self):
+        table = build_item_table([[1, 2], [2], [1, 2, 3], [3]], min_support=1)
+        # Supports: 2 -> 3, 1 -> 2, 3 -> 2; ties broken by item order.
+        assert table.rank_of[2] == 1
+        assert table.rank_of[1] == 2
+        assert table.rank_of[3] == 3
+
+    def test_rank_arrays_consistent(self):
+        table = build_item_table([[5, 7], [5], [7], [7]], min_support=1)
+        for item, rank in table.rank_of.items():
+            assert table.item_of[rank] == item
+            assert table.rank_supports[rank] == table.supports[item]
+
+    def test_min_support_validation(self):
+        with pytest.raises(DatasetError):
+            build_item_table([[1]], min_support=0)
+
+    def test_string_items(self):
+        table = build_item_table([["b", "a"], ["a"]], min_support=1)
+        assert table.rank_of["a"] == 1
+        assert table.ranks_to_items((1, 2)) == ("a", "b")
+
+
+class TestPrepareTransactions:
+    def test_transactions_sorted_ascending_rank(self):
+        __, prepared = prepare_transactions(
+            [[3, 1, 2], [2, 3], [3]], min_support=1
+        )
+        for ranks in prepared:
+            assert ranks == sorted(ranks)
+            assert len(ranks) == len(set(ranks))
+
+    def test_infrequent_items_dropped(self):
+        table, prepared = prepare_transactions([[1, 2], [1]], min_support=2)
+        assert len(table) == 1
+        assert prepared == [[1], [1]]
+
+    def test_empty_transactions_dropped(self):
+        __, prepared = prepare_transactions([[9], [1], [1]], min_support=2)
+        assert prepared == [[1], [1]]
+
+    @given(db_strategy)
+    def test_ranks_always_valid(self, database):
+        table, prepared = prepare_transactions(database, min_support=2)
+        for ranks in prepared:
+            for rank in ranks:
+                assert 1 <= rank <= len(table)
