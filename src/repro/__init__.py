@@ -47,6 +47,15 @@ __all__ = [
     "maximal_itemsets",
     "top_k_itemsets",
     "ReproError",
+    "ValidationError",
+    "ValidationReport",
+    "validate_tree",
+    "validate_array",
+    "ArrayCheckReport",
+    "StoreCheckReport",
+    "check_file",
+    "Diagnostic",
+    "Severity",
     "__version__",
 ]
 
@@ -63,6 +72,15 @@ _LAZY_EXPORTS = {
     "closed_itemsets": "repro.mining",
     "maximal_itemsets": "repro.mining",
     "top_k_itemsets": "repro.mining",
+    "ValidationError": "repro.core.validate",
+    "ValidationReport": "repro.core.validate",
+    "validate_tree": "repro.core.validate",
+    "validate_array": "repro.analysis",
+    "ArrayCheckReport": "repro.analysis",
+    "StoreCheckReport": "repro.analysis",
+    "check_file": "repro.analysis",
+    "Diagnostic": "repro.analysis",
+    "Severity": "repro.analysis",
 }
 
 

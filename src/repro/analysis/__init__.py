@@ -1,0 +1,52 @@
+"""Static invariant analysis: byte-format verifiers and an offline fsck.
+
+Three checkers, one diagnostics vocabulary:
+
+* :mod:`repro.analysis.arraycheck` — walks a CFP-array buffer and verifies
+  the §3.4 format (canonical varints, parent linkage, count conservation).
+* :mod:`repro.analysis.storecheck` — fsck for ``CFPA``/``CFPT`` files
+  (geometry, headers, CRC32 page checksums, deep structural checks) and a
+  buffer-pool auditor.
+* :mod:`repro.core.validate` — the CFP-tree arena walker these build on.
+
+All checkers return reports of typed :class:`Diagnostic` records instead
+of raising; the ``repro check`` CLI renders them.
+"""
+
+from repro.analysis.arraycheck import (
+    ArrayCheckReport,
+    ArrayValidationError,
+    check_array_parts,
+    validate_array,
+)
+from repro.analysis.diagnostics import (
+    EXIT_CORRUPT,
+    EXIT_OK,
+    EXIT_UNREADABLE,
+    EXIT_USAGE,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+)
+from repro.analysis.storecheck import (
+    StoreCheckReport,
+    check_bufferpool,
+    check_file,
+)
+
+__all__ = [
+    "ArrayCheckReport",
+    "ArrayValidationError",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Severity",
+    "StoreCheckReport",
+    "EXIT_OK",
+    "EXIT_CORRUPT",
+    "EXIT_USAGE",
+    "EXIT_UNREADABLE",
+    "check_array_parts",
+    "check_bufferpool",
+    "check_file",
+    "validate_array",
+]

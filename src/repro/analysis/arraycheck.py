@@ -1,0 +1,281 @@
+"""Static verifier for the CFP-array byte format (paper §3.4/§4).
+
+The CFP-array has no decoder redundancy: a flipped continuation bit or a
+wrong zigzag value silently rewires parent links and corrupts supports
+rather than crashing. This module walks the raw buffer independently of
+the traversal code paths (mirroring what :mod:`repro.core.validate` does
+for the tree arena) and checks every invariant of the format:
+
+* the item index is well-formed: ``n_ranks + 2`` entries, monotonically
+  non-decreasing, spanning exactly the buffer (``ARR001``/``ARR002``),
+* every triple decodes as three *canonical* varints — no over-long
+  encodings with wasted continuation bytes (``ARR010``),
+* triples tile each subarray exactly; none is truncated or crosses a
+  subarray boundary (``ARR011``),
+* ``delta_item`` stays in range: ``1 <= delta_item <= rank`` so the
+  parent rank lands in ``0..rank-1`` (``ARR012``),
+* every ``dpos`` points at the *start* of a node in the parent's
+  subarray — and is 0 for parentless nodes (``ARR013``),
+* counts are conserved: each node's count is positive (``ARR015``) and
+  at least the sum of its children's counts (``ARR014``),
+* against the source tree (optional): per-rank node censuses and
+  supports match (``ARR020``/``ARR021``).
+
+All checks run in one pass over the buffer plus one pass over the decoded
+nodes; nothing raises for a finding — corruption is reported through the
+returned :class:`ArrayCheckReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.compress import varint
+from repro.core.cfp_array import CfpArray
+from repro.core.conversion import cumulative_counts
+from repro.core.node_codec import Buffer
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import CorruptBufferError, ReproError
+
+
+class ArrayValidationError(ReproError):
+    """Raised by :func:`validate_array` in strict mode on the first finding."""
+
+
+@dataclass
+class ArrayCheckReport(DiagnosticSink):
+    """Census and findings of one CFP-array verification."""
+
+    n_ranks: int = 0
+    nodes: int = 0
+    buffer_bytes: int = 0
+
+
+def validate_array(
+    array: CfpArray,
+    tree: TernaryCfpTree | None = None,
+    *,
+    strict: bool = False,
+) -> ArrayCheckReport:
+    """Verify an in-memory CFP-array; optionally raise on the first finding."""
+    report = check_array_parts(array.n_ranks, array.buffer, array.starts, tree)
+    if strict and not report.ok:
+        raise ArrayValidationError(str(report.diagnostics[0]))
+    return report
+
+
+def check_array_parts(
+    n_ranks: int,
+    buffer: Buffer,
+    starts: list[int],
+    tree: TernaryCfpTree | None = None,
+) -> ArrayCheckReport:
+    """Verify raw CFP-array parts (tolerates indexes the constructor rejects)."""
+    report = ArrayCheckReport(n_ranks=n_ranks, buffer_bytes=len(buffer))
+    if not _check_index(report, n_ranks, buffer, starts):
+        return report
+    nodes = _decode_subarrays(report, n_ranks, buffer, starts)
+    _check_links_and_counts(report, nodes)
+    if tree is not None:
+        _check_against_tree(report, nodes, tree)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Pass 1: item index
+# ----------------------------------------------------------------------
+
+def _check_index(
+    report: ArrayCheckReport, n_ranks: int, buffer: Buffer, starts: list[int]
+) -> bool:
+    """Validate the item index; False when the walk cannot proceed."""
+    if len(starts) != n_ranks + 2:
+        report.add(
+            "ARR001",
+            f"item index has {len(starts)} entries, expected {n_ranks + 2}",
+        )
+        return False
+    usable = True
+    if starts[1] != 0:
+        report.add("ARR002", f"first subarray starts at {starts[1]}, expected 0")
+        usable = False
+    if starts[-1] != len(buffer):
+        report.add(
+            "ARR002",
+            f"item index spans {starts[-1]} bytes, buffer has {len(buffer)}",
+        )
+        usable = False
+    for rank in range(1, n_ranks + 1):
+        if starts[rank + 1] < starts[rank]:
+            report.add(
+                "ARR001",
+                f"item index not monotonic: starts[{rank + 1}] = "
+                f"{starts[rank + 1]} < starts[{rank}] = {starts[rank]}",
+            )
+            usable = False
+    return usable
+
+
+# ----------------------------------------------------------------------
+# Pass 2: per-subarray decode
+# ----------------------------------------------------------------------
+
+#: Decoded node: ``(delta_item, dpos, count)`` keyed by local offset.
+_RankNodes = dict[int, tuple[int, int, int]]
+
+
+def _decode_field(
+    report: ArrayCheckReport, buffer: Buffer, offset: int, end: int, where: str
+) -> tuple[int, int] | None:
+    """Decode one canonical varint bounded by the subarray end."""
+    try:
+        value, after = varint.decode_from(buffer, offset)
+    except CorruptBufferError as exc:
+        report.add("ARR011", f"undecodable varint: {exc}", where)
+        return None
+    if after > end:
+        report.add(
+            "ARR011",
+            f"varint runs {after - end} bytes past the subarray end",
+            where,
+        )
+        return None
+    if after - offset != varint.encoded_size(value):
+        report.add(
+            "ARR010",
+            f"non-canonical varint: {after - offset} bytes encode {value} "
+            f"({varint.encoded_size(value)} canonical)",
+            where,
+        )
+    return value, after
+
+
+def _decode_subarrays(
+    report: ArrayCheckReport, n_ranks: int, buffer: Buffer, starts: list[int]
+) -> dict[int, _RankNodes]:
+    nodes: dict[int, _RankNodes] = {}
+    for rank in range(1, n_ranks + 1):
+        start, end = starts[rank], starts[rank + 1]
+        rank_nodes: _RankNodes = {}
+        offset = start
+        while offset < end:
+            local = offset - start
+            where = f"rank {rank} local {local}"
+            fields = []
+            for __ in range(3):
+                decoded = _decode_field(report, buffer, offset, end, where)
+                if decoded is None:
+                    break
+                value, offset = decoded
+                fields.append(value)
+            if len(fields) != 3:
+                break  # subarray unwalkable past a truncated triple
+            delta_item, dpos_raw, count = fields
+            rank_nodes[local] = (delta_item, varint.unzigzag(dpos_raw), count)
+            report.nodes += 1
+        nodes[rank] = rank_nodes
+    return nodes
+
+
+# ----------------------------------------------------------------------
+# Pass 3: parent links and count conservation
+# ----------------------------------------------------------------------
+
+def _check_links_and_counts(
+    report: ArrayCheckReport, nodes: dict[int, _RankNodes]
+) -> None:
+    child_sums: dict[tuple[int, int], int] = {}
+    for rank, rank_nodes in nodes.items():
+        for local, (delta_item, dpos, count) in rank_nodes.items():
+            where = f"rank {rank} local {local}"
+            if count < 1:
+                report.add("ARR015", f"node count {count} < 1", where)
+            parent_rank = rank - delta_item
+            if delta_item < 1 or parent_rank < 0:
+                report.add(
+                    "ARR012",
+                    f"delta_item {delta_item} outside 1..{rank}",
+                    where,
+                )
+                continue
+            if parent_rank == 0:
+                if dpos != 0:
+                    report.add(
+                        "ARR013",
+                        f"parentless node has dpos {dpos}, expected 0",
+                        where,
+                    )
+                continue
+            parent_local = local - dpos
+            if parent_local not in nodes.get(parent_rank, {}):
+                report.add(
+                    "ARR013",
+                    f"dpos {dpos} points at rank {parent_rank} local "
+                    f"{parent_local}, which is not a node start",
+                    where,
+                )
+                continue
+            key = (parent_rank, parent_local)
+            child_sums[key] = child_sums.get(key, 0) + count
+    for (rank, local), child_sum in child_sums.items():
+        count = nodes[rank][local][2]
+        if child_sum > count:
+            report.add(
+                "ARR014",
+                f"children carry count {child_sum} > node count {count}",
+                f"rank {rank} local {local}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Pass 4 (optional): conservation against the source tree
+# ----------------------------------------------------------------------
+
+def _check_against_tree(
+    report: ArrayCheckReport,
+    nodes: dict[int, _RankNodes],
+    tree: TernaryCfpTree,
+) -> None:
+    counts = cumulative_counts(tree)
+    tree_nodes: dict[int, int] = {}
+    tree_support: dict[int, int] = {}
+    index = 0
+    for kind, rank, __ in tree.iter_events():
+        if kind != "enter":
+            continue
+        tree_nodes[rank] = tree_nodes.get(rank, 0) + 1
+        tree_support[rank] = tree_support.get(rank, 0) + counts[index]
+        index += 1
+    for rank in range(1, tree.n_ranks + 1):
+        rank_nodes = nodes.get(rank, {})
+        expected_nodes = tree_nodes.get(rank, 0)
+        if len(rank_nodes) != expected_nodes:
+            report.add(
+                "ARR020",
+                f"subarray holds {len(rank_nodes)} nodes, tree has "
+                f"{expected_nodes}",
+                f"rank {rank}",
+            )
+            continue
+        support = sum(count for __, __, count in rank_nodes.values())
+        expected_support = tree_support.get(rank, 0)
+        if support != expected_support:
+            report.add(
+                "ARR021",
+                f"subarray support {support} != tree support "
+                f"{expected_support}",
+                f"rank {rank}",
+            )
+    root_total = sum(
+        count
+        for rank, rank_nodes in nodes.items()
+        for local, (delta_item, __, count) in rank_nodes.items()
+        if rank - delta_item == 0
+    )
+    if root_total != tree.transaction_count:
+        report.add(
+            "ARR021",
+            f"root-level counts sum to {root_total}, tree recorded "
+            f"{tree.transaction_count} transactions",
+        )

@@ -1,0 +1,100 @@
+"""Typed diagnostics shared by every static checker in :mod:`repro.analysis`.
+
+A checker never prints and never raises for a *finding* — it returns
+:class:`Diagnostic` records, each carrying a stable machine-readable code,
+a severity, and a human message. The CLI (``repro check``) renders them and
+maps the outcome to a process exit code.
+
+Diagnostic code namespaces:
+
+============  =====================================================
+``STO0xx``    store/pagefile level (magic, version, page geometry,
+              checksum trailer, header fields)
+``ARR0xx``    CFP-array byte format (§4 varint triples + item index)
+``TRE0xx``    CFP-tree arena structure (wraps ``core.validate``)
+``BUF0xx``    buffer-pool runtime invariants
+============  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Exit code: every checked artifact is intact.
+EXIT_OK = 0
+
+#: Exit code: at least one error-severity diagnostic was reported.
+EXIT_CORRUPT = 1
+
+#: Exit code: bad command-line usage (argparse's convention).
+EXIT_USAGE = 2
+
+#: Exit code: a path could not be read at all (missing file, I/O error).
+EXIT_UNREADABLE = 3
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static checker."""
+
+    code: str
+    """Stable machine-readable identifier, e.g. ``ARR010``."""
+
+    message: str
+    """Human-readable description of the finding."""
+
+    location: str = ""
+    """Where in the artifact, e.g. ``page 3`` or ``rank 7 local 12``."""
+
+    severity: Severity = Severity.ERROR
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        return f"{self.severity.value} {self.code}{where}: {self.message}"
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-ready representation (used by ``repro check --json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+@dataclass
+class DiagnosticSink:
+    """Accumulates diagnostics; shared base for the checker reports."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was recorded."""
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    def codes(self) -> set[str]:
+        """Distinct diagnostic codes recorded (corruption *classes*)."""
+        return {d.code for d in self.diagnostics}
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        location: str = "",
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        self.diagnostics.append(Diagnostic(code, message, location, severity))

@@ -1,0 +1,319 @@
+"""Offline fsck for CFP store files and buffer-pool runtime state.
+
+:func:`check_file` opens a page file, sniffs the magic, and verifies every
+level of the on-disk format without trusting the loaders' happy path:
+
+* file geometry: non-empty, a whole number of pages, exactly the page
+  count the header implies (``STO001``/``STO005``),
+* identification: known magic and supported format version
+  (``STO002``/``STO003``),
+* header integrity: the header fits the file, metadata parses and is
+  sane (``STO004``/``STO012``/``STO013``),
+* page checksums: every content page's CRC32 matches the version-2
+  trailer (``STO010``),
+* deep structure (``deep=True``): the payload is handed to the format
+  checkers — :mod:`repro.analysis.arraycheck` for CFP-arrays (``ARR0xx``
+  codes), arena restore plus :func:`repro.core.validate.validate_tree`
+  for CFP-tree checkpoints (``STO020``/``TRE001``).
+
+Like every checker in this package, findings are *reported*, not raised:
+a corrupt file yields a :class:`StoreCheckReport` full of diagnostics,
+while OS-level errors (missing file, permission) propagate to the caller,
+which distinguishes "unreadable" from "corrupt" exit codes.
+
+:func:`check_bufferpool` audits a live :class:`~repro.storage.BufferPool`
+against its own accounting (``BUF0xx``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+from dataclasses import dataclass
+
+from repro.analysis.arraycheck import ArrayCheckReport, check_array_parts
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.core.validate import ValidationReport, validate_tree
+from repro.errors import ReproError
+from repro.memman.pointers import POINTER_SIZE
+from repro.storage.bufferpool import BufferPool
+from repro.storage.cfp_store import (
+    _ARRAY_MAGIC,
+    _TREE_MAGIC,
+    SUPPORTED_VERSIONS,
+    StorageFormatError,
+    TreeHeader,
+    _header_pages,
+    iter_checksum_mismatches,
+    pages_needed,
+    restore_tree,
+    trailer_pages,
+)
+from repro.storage.pagefile import PAGE_SIZE, PageFile
+
+#: Integer metadata fields a CFP-tree checkpoint must carry.
+_TREE_INT_FIELDS = (
+    "n_ranks",
+    "max_chain_length",
+    "logical_node_count",
+    "transaction_count",
+    "root_slot",
+    "next_free",
+    "free_bytes",
+    "capacity",
+    "max_chunk_size",
+)
+
+
+@dataclass
+class StoreCheckReport(DiagnosticSink):
+    """Findings of one store-file verification."""
+
+    path: str = ""
+    kind: str = "unknown"
+    """``cfp-array``, ``cfp-tree``, or ``unknown`` (bad magic/geometry)."""
+
+    version: int | None = None
+    page_count: int = 0
+    checksummed: bool = False
+    """True when the file carries a version-2 checksum trailer."""
+
+    array_report: ArrayCheckReport | None = None
+    tree_report: ValidationReport | None = None
+
+
+def check_file(path: str | os.PathLike[str], deep: bool = True) -> StoreCheckReport:
+    """Verify one store file; ``deep`` additionally decodes the payload.
+
+    OS errors (missing file, unreadable path) propagate; every format
+    problem is reported as a diagnostic on the returned report.
+    """
+    report = StoreCheckReport(path=os.fspath(path))
+    size = os.path.getsize(path)
+    if size == 0 or size % PAGE_SIZE:
+        report.add(
+            "STO001",
+            f"file size {size} is not a positive multiple of the "
+            f"{PAGE_SIZE}-byte page size",
+        )
+        return report
+    with PageFile.open_readonly(path) as pagefile:
+        report.page_count = pagefile.page_count
+        magic = pagefile.read_page(0)[:4]
+        if magic == _ARRAY_MAGIC:
+            report.kind = "cfp-array"
+            _check_array_file(pagefile, report, deep)
+        elif magic == _TREE_MAGIC:
+            report.kind = "cfp-tree"
+            _check_tree_file(pagefile, report, deep)
+        else:
+            report.add("STO002", f"unknown magic {bytes(magic)!r}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shared geometry/checksum steps
+# ----------------------------------------------------------------------
+
+def _check_geometry(
+    pagefile: PageFile, report: StoreCheckReport, content_pages: int
+) -> bool:
+    """Page-count and checksum checks; False when the payload is truncated."""
+    expected = content_pages
+    if report.checksummed:
+        expected += trailer_pages(content_pages)
+    if pagefile.page_count != expected:
+        report.add(
+            "STO005",
+            f"file has {pagefile.page_count} pages, header implies "
+            f"{expected} ({content_pages} content)",
+        )
+    truncated = pagefile.page_count < content_pages
+    if report.checksummed and not truncated:
+        try:
+            for page_no, stored, actual in iter_checksum_mismatches(
+                pagefile, content_pages
+            ):
+                report.add(
+                    "STO010",
+                    f"CRC32 mismatch: stored {stored:#010x}, "
+                    f"computed {actual:#010x}",
+                    f"page {page_no}",
+                )
+        except StorageFormatError as exc:
+            report.add("STO005", str(exc))
+    return not truncated
+
+
+def _read_pages(pagefile: PageFile, first: int, last: int) -> bytes:
+    blob = bytearray()
+    for page_no in range(first, last):
+        blob += pagefile.read_page(page_no)
+    return bytes(blob)
+
+
+# ----------------------------------------------------------------------
+# CFP-array files
+# ----------------------------------------------------------------------
+
+def _check_array_file(
+    pagefile: PageFile, report: StoreCheckReport, deep: bool
+) -> None:
+    first = pagefile.read_page(0)
+    version = struct.unpack_from("<I", first, 4)[0]
+    report.version = version
+    if version not in SUPPORTED_VERSIONS:
+        report.add("STO003", f"unsupported CFP-array version {version}")
+        return
+    report.checksummed = version >= 2
+    n_ranks, buffer_len = struct.unpack_from("<QQ", first, 12)
+    header_pages = _header_pages(n_ranks)
+    if header_pages > pagefile.page_count:
+        report.add(
+            "STO004",
+            f"header ({header_pages} pages for {n_ranks} ranks) exceeds "
+            f"the file ({pagefile.page_count} pages)",
+        )
+        return
+    header = _read_pages(pagefile, 0, header_pages)
+    starts = list(struct.unpack_from(f"<{n_ranks + 2}Q", header, 28))
+    content_pages = header_pages + pages_needed(buffer_len)
+    payload_readable = _check_geometry(pagefile, report, content_pages)
+    if not deep or not payload_readable:
+        return
+    payload = _read_pages(pagefile, header_pages, content_pages)
+    if buffer_len > len(payload):
+        report.add(
+            "STO005",
+            f"declared buffer length {buffer_len} exceeds the "
+            f"{len(payload)} payload bytes on disk",
+        )
+        return
+    array_report = check_array_parts(n_ranks, payload[:buffer_len], starts)
+    report.array_report = array_report
+    report.diagnostics.extend(array_report.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# CFP-tree checkpoints
+# ----------------------------------------------------------------------
+
+def _check_tree_meta(report: StoreCheckReport, meta: dict[str, object]) -> bool:
+    """Sanity-check checkpoint metadata; False when restoring is hopeless."""
+    for name in _TREE_INT_FIELDS:
+        value = meta.get(name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            report.add(
+                "STO013", f"metadata field {name!r} missing or not an integer"
+            )
+            return False
+    if not isinstance(meta.get("free_heads"), dict):
+        report.add("STO013", "metadata field 'free_heads' missing or not a map")
+        return False
+    usable = True
+    next_free = int(meta["next_free"])  # type: ignore[arg-type]
+    capacity = int(meta["capacity"])  # type: ignore[arg-type]
+    root_slot = int(meta["root_slot"])  # type: ignore[arg-type]
+    if not 8 <= next_free <= capacity:
+        report.add(
+            "STO013",
+            f"next_free {next_free} outside the arena range [8, {capacity}]",
+        )
+        usable = False
+    if root_slot < 0 or root_slot + POINTER_SIZE > next_free:
+        report.add(
+            "STO013",
+            f"root_slot {root_slot} outside the used region "
+            f"[0, {next_free - POINTER_SIZE}]",
+        )
+        usable = False
+    for name in ("n_ranks", "logical_node_count", "transaction_count", "free_bytes"):
+        if int(meta[name]) < 0:  # type: ignore[arg-type]
+            report.add("STO013", f"metadata field {name!r} is negative")
+            usable = False
+    return usable
+
+
+def _check_tree_file(
+    pagefile: PageFile, report: StoreCheckReport, deep: bool
+) -> None:
+    first = pagefile.read_page(0)
+    version, meta_len = struct.unpack_from("<IQ", first, 4)
+    report.version = version
+    if version not in SUPPORTED_VERSIONS:
+        report.add("STO003", f"unsupported CFP-tree version {version}")
+        return
+    report.checksummed = version >= 2
+    header_pages = pages_needed(16 + meta_len)
+    if header_pages > pagefile.page_count:
+        report.add(
+            "STO004",
+            f"header ({header_pages} pages for a {meta_len}-byte metadata "
+            f"blob) exceeds the file ({pagefile.page_count} pages)",
+        )
+        return
+    header = _read_pages(pagefile, 0, header_pages)
+    try:
+        meta = json.loads(header[16 : 16 + meta_len].decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        report.add("STO012", f"checkpoint metadata is not valid JSON: {exc}")
+        return
+    if not isinstance(meta, dict):
+        report.add("STO012", "checkpoint metadata is not a JSON object")
+        return
+    if not _check_tree_meta(report, meta):
+        return
+    content_pages = header_pages + pages_needed(int(meta["next_free"]))
+    payload_readable = _check_geometry(pagefile, report, content_pages)
+    if not deep or not payload_readable:
+        return
+    payload = _read_pages(pagefile, header_pages, content_pages)
+    try:
+        tree = restore_tree(TreeHeader(version, meta, header_pages), payload)
+    except ReproError as exc:
+        report.add("STO020", f"checkpoint does not restore: {exc}")
+        return
+    tree_report = validate_tree(tree, strict=False)
+    report.tree_report = tree_report
+    for issue in tree_report.issues:
+        report.add("TRE001", issue)
+
+
+# ----------------------------------------------------------------------
+# Buffer-pool runtime invariants
+# ----------------------------------------------------------------------
+
+def check_bufferpool(pool: BufferPool) -> DiagnosticSink:
+    """Audit a live buffer pool against its own accounting."""
+    sink = DiagnosticSink()
+    resident = pool.resident_page_numbers()
+    if len(resident) > pool.capacity_pages:
+        sink.add(
+            "BUF001",
+            f"{len(resident)} resident pages exceed the capacity of "
+            f"{pool.capacity_pages}",
+        )
+    resident_set = set(resident)
+    for page_no, pins in sorted(pool.pinned_pages().items()):
+        if pins < 1:
+            sink.add("BUF002", f"page {page_no} recorded with pin count {pins}")
+        if page_no not in resident_set:
+            sink.add("BUF002", f"page {page_no} is pinned but not resident")
+    stats = pool.stats
+    if stats.faults - stats.evictions != len(resident):
+        sink.add(
+            "BUF003",
+            f"faults {stats.faults} minus evictions {stats.evictions} "
+            f"does not equal the {len(resident)} resident pages",
+        )
+    page_count = pool.pagefile.page_count
+    for page_no in resident:
+        if not 0 <= page_no < page_count:
+            sink.add(
+                "BUF004",
+                f"resident page {page_no} outside the file range "
+                f"[0, {page_count})",
+            )
+    return sink

@@ -9,11 +9,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterator
 
+from repro.analysis import (
+    ArrayCheckReport,
+    Diagnostic,
+    Severity,
+    StoreCheckReport,
+    check_file,
+    validate_array,
+)
 from repro.core.cfp_array import CfpArray
 from repro.core.cfp_growth import cfp_growth
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
+from repro.core.validate import ValidationError, ValidationReport, validate_tree
 from repro.util.items import ItemTable, TransactionDatabase, prepare_transactions
+
+__all__ = [
+    "MiningResult",
+    "mine_frequent_itemsets",
+    "build_cfp_tree",
+    "build_cfp_array",
+    # Integrity / diagnostics re-exports
+    "ArrayCheckReport",
+    "Diagnostic",
+    "Severity",
+    "StoreCheckReport",
+    "ValidationError",
+    "ValidationReport",
+    "check_file",
+    "validate_array",
+    "validate_tree",
+]
 
 
 @dataclass

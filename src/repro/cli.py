@@ -6,9 +6,13 @@ Usage (after installation)::
     python -m repro mine data.fimi --min-support 100 --algorithm lcm --closed
     python -m repro stats data.fimi
     python -m repro convert data.fimi data.bin
+    python -m repro check tree.cfpt array.cfpa
     python -m repro experiment table1
 
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
+
+``check`` exit codes: 0 every file intact, 1 corruption diagnostics,
+2 usage error, 3 a path could not be read at all.
 """
 
 from __future__ import annotations
@@ -97,6 +101,54 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro import analysis
+
+    exit_code = analysis.EXIT_OK
+    results = []
+    for path in args.paths:
+        try:
+            report = analysis.check_file(path, deep=not args.shallow)
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            exit_code = max(exit_code, analysis.EXIT_UNREADABLE)
+            continue
+        results.append(report)
+        if not report.ok:
+            exit_code = max(exit_code, analysis.EXIT_CORRUPT)
+        if args.as_json:
+            continue
+        if report.ok:
+            print(
+                f"{report.path}: ok ({report.kind} v{report.version}, "
+                f"{report.page_count} pages)"
+            )
+        else:
+            for diag in report.diagnostics:
+                print(f"{report.path}: {diag}")
+    if args.as_json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": r.path,
+                        "kind": r.kind,
+                        "version": r.version,
+                        "pages": r.page_count,
+                        "checksummed": r.checksummed,
+                        "ok": r.ok,
+                        "diagnostics": [d.to_dict() for d in r.diagnostics],
+                    }
+                    for r in results
+                ],
+                indent=2,
+            )
+        )
+    return exit_code
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -132,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("source")
     convert.add_argument("target")
     convert.set_defaults(func=_cmd_convert)
+
+    check = sub.add_parser("check", help="verify CFP store files (fsck)")
+    check.add_argument("paths", nargs="+", help="CFPA/CFPT files to verify")
+    check.add_argument(
+        "--shallow",
+        action="store_true",
+        help="headers, geometry and checksums only (skip payload decoding)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON report on stdout",
+    )
+    check.set_defaults(func=_cmd_check)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)

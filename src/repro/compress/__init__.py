@@ -20,6 +20,14 @@ sizes are exact physical byte counts.
 """
 
 from repro.compress.masks import (
+    ITEM_MASK_FIELD,
+    ITEM_MASK_SHIFT,
+    LEFT_PRESENT_BIT,
+    PCOUNT_MASK_FIELD,
+    PCOUNT_MASK_MAX,
+    PCOUNT_MASK_SHIFT,
+    RIGHT_PRESENT_BIT,
+    SUFFIX_PRESENT_BIT,
     NodeMask,
     pack_node_mask,
     unpack_node_mask,
@@ -45,6 +53,14 @@ __all__ = [
     "NodeMask",
     "pack_node_mask",
     "unpack_node_mask",
+    "ITEM_MASK_SHIFT",
+    "ITEM_MASK_FIELD",
+    "PCOUNT_MASK_SHIFT",
+    "PCOUNT_MASK_FIELD",
+    "PCOUNT_MASK_MAX",
+    "LEFT_PRESENT_BIT",
+    "RIGHT_PRESENT_BIT",
+    "SUFFIX_PRESENT_BIT",
     "encode",
     "encode_into",
     "encoded_size",

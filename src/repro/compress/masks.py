@@ -21,6 +21,30 @@ from typing import NamedTuple
 
 from repro.errors import CodecError
 
+#: Bit position of the 2-bit ``delta_item`` zero-suppression mask.
+ITEM_MASK_SHIFT = 6
+
+#: Field mask selecting the 2-bit ``delta_item`` mask after shifting.
+ITEM_MASK_FIELD = 0x3
+
+#: Bit position of the 3-bit ``pcount`` zero-suppression mask.
+PCOUNT_MASK_SHIFT = 3
+
+#: Field mask selecting the 3-bit ``pcount`` mask after shifting.
+PCOUNT_MASK_FIELD = 0x7
+
+#: Largest legal ``pcount`` mask value (0-4 suppressed bytes).
+PCOUNT_MASK_MAX = 4
+
+#: Presence bit for the ``left`` sibling pointer.
+LEFT_PRESENT_BIT = 0x4
+
+#: Presence bit for the ``right`` sibling pointer.
+RIGHT_PRESENT_BIT = 0x2
+
+#: Presence bit for the ``suffix`` (first-child) pointer.
+SUFFIX_PRESENT_BIT = 0x1
+
 
 class NodeMask(NamedTuple):
     """Decoded contents of a compression-mask byte."""
@@ -49,30 +73,31 @@ def pack_node_mask(
     suffix_present: bool,
 ) -> int:
     """Pack the five mask components into one byte."""
-    if not 0 <= item_mask <= 3:
+    if not 0 <= item_mask <= ITEM_MASK_FIELD:
         raise CodecError(f"item mask out of range: {item_mask}")
-    if not 0 <= pcount_mask <= 4:
+    if not 0 <= pcount_mask <= PCOUNT_MASK_MAX:
         raise CodecError(f"pcount mask out of range: {pcount_mask}")
-    return (
-        (item_mask << 6)
-        | (pcount_mask << 3)
-        | (bool(left_present) << 2)
-        | (bool(right_present) << 1)
-        | bool(suffix_present)
-    )
+    mask = (item_mask << ITEM_MASK_SHIFT) | (pcount_mask << PCOUNT_MASK_SHIFT)
+    if left_present:
+        mask |= LEFT_PRESENT_BIT
+    if right_present:
+        mask |= RIGHT_PRESENT_BIT
+    if suffix_present:
+        mask |= SUFFIX_PRESENT_BIT
+    return mask
 
 
 def unpack_node_mask(byte: int) -> NodeMask:
     """Unpack a compression-mask byte into its components."""
     if not 0 <= byte <= 0xFF:
         raise CodecError(f"mask byte out of range: {byte}")
-    pcount_mask = (byte >> 3) & 0x7
-    if pcount_mask > 4:
+    pcount_mask = (byte >> PCOUNT_MASK_SHIFT) & PCOUNT_MASK_FIELD
+    if pcount_mask > PCOUNT_MASK_MAX:
         raise CodecError(f"corrupt mask byte {byte:#04x}: pcount mask {pcount_mask} > 4")
     return NodeMask(
-        item_mask=(byte >> 6) & 0x3,
+        item_mask=(byte >> ITEM_MASK_SHIFT) & ITEM_MASK_FIELD,
         pcount_mask=pcount_mask,
-        left_present=bool(byte & 0x4),
-        right_present=bool(byte & 0x2),
-        suffix_present=bool(byte & 0x1),
+        left_present=bool(byte & LEFT_PRESENT_BIT),
+        right_present=bool(byte & RIGHT_PRESENT_BIT),
+        suffix_present=bool(byte & SUFFIX_PRESENT_BIT),
     )

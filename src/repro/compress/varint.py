@@ -16,7 +16,12 @@ length cannot be looked up without scanning the continuation bits.
 
 from __future__ import annotations
 
+from typing import Union
+
 from repro.errors import CorruptBufferError, ValueOutOfRangeError
+
+#: Read-only byte sources the decoders accept.
+Buffer = Union[bytes, bytearray, memoryview]
 
 #: Largest value the codecs accept. The paper's fields are 32-bit; we allow
 #: the full 64-bit range so positions in large CFP-arrays always fit.
@@ -70,7 +75,7 @@ def encode_into(buf: bytearray, offset: int, value: int) -> int:
     return offset + 1
 
 
-def decode_from(buf, offset: int = 0) -> tuple[int, int]:
+def decode_from(buf: Buffer, offset: int = 0) -> tuple[int, int]:
     """Decode one varint from ``buf`` at ``offset``.
 
     Returns ``(value, new_offset)`` where ``new_offset`` points just past the
@@ -98,7 +103,7 @@ def decode_from(buf, offset: int = 0) -> tuple[int, int]:
         shift += 7
 
 
-def skip(buf, offset: int = 0) -> int:
+def skip(buf: Buffer, offset: int = 0) -> int:
     """Return the offset just past the varint starting at ``offset``.
 
     Equivalent to ``decode_from(buf, offset)[1]`` but does not build the

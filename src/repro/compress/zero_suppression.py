@@ -19,6 +19,7 @@ the non-zero tail of the 4-byte big-endian representation.
 
 from __future__ import annotations
 
+from repro.compress.varint import Buffer
 from repro.errors import CorruptBufferError, ValueOutOfRangeError
 
 #: Largest encodable value (32-bit unsigned).
@@ -70,7 +71,7 @@ def encode_3bit(value: int) -> tuple[int, bytes]:
     return zeros, value.to_bytes(WIDTH, "big")[zeros:]
 
 
-def decode_3bit(mask: int, buf, offset: int = 0) -> tuple[int, int]:
+def decode_3bit(mask: int, buf: Buffer, offset: int = 0) -> tuple[int, int]:
     """Decode a 3-bit-mask value whose mask is ``mask``.
 
     Returns ``(value, new_offset)``.
@@ -95,7 +96,7 @@ def encode_2bit(value: int) -> tuple[int, bytes]:
     return zeros, value.to_bytes(WIDTH, "big")[zeros:]
 
 
-def decode_2bit(mask: int, buf, offset: int = 0) -> tuple[int, int]:
+def decode_2bit(mask: int, buf: Buffer, offset: int = 0) -> tuple[int, int]:
     """Decode a 2-bit-mask value whose mask is ``mask``.
 
     Returns ``(value, new_offset)``.
@@ -106,7 +107,7 @@ def decode_2bit(mask: int, buf, offset: int = 0) -> tuple[int, int]:
     return _read_payload(buf, offset, size)
 
 
-def _read_payload(buf, offset: int, size: int) -> tuple[int, int]:
+def _read_payload(buf: Buffer, offset: int, size: int) -> tuple[int, int]:
     end = offset + size
     if end > len(buf):
         raise CorruptBufferError(

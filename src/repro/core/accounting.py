@@ -8,13 +8,21 @@ distributions for any tree built by this library.
 
 from __future__ import annotations
 
+from typing import Iterator, Protocol
+
 from repro.fptree.accounting import FieldDistribution
 
 #: Fields of a logical CFP-tree node (Table 2 rows).
 CFP_FIELDS = ("delta_item", "pcount")
 
 
-def cfp_field_distributions(tree) -> dict[str, FieldDistribution]:
+class _NodeSource(Protocol):
+    """Anything that can enumerate logical nodes with their parent rank."""
+
+    def iter_nodes_with_parent(self) -> Iterator[tuple[int, int, int]]: ...
+
+
+def cfp_field_distributions(tree: _NodeSource) -> dict[str, FieldDistribution]:
     """Leading-zero-byte distributions of ``delta_item`` and ``pcount``.
 
     ``tree`` may be a :class:`repro.core.TernaryCfpTree` or any object with

@@ -43,7 +43,9 @@ class CfpArray:
     the finished buffer and index.
     """
 
-    def __init__(self, n_ranks: int, buffer: bytearray, starts: list[int]):
+    def __init__(
+        self, n_ranks: int, buffer: bytearray, starts: list[int]
+    ) -> None:
         if len(starts) != n_ranks + 2:
             raise TreeError(
                 f"item index must have n_ranks+2 entries, got {len(starts)}"

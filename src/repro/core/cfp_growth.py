@@ -19,7 +19,7 @@ simulated-machine experiments.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Hashable
+from typing import Any, Hashable, Protocol
 
 from repro.algorithms.base import register
 from repro.core.cfp_array import CfpArray
@@ -29,12 +29,22 @@ from repro.fptree.growth import ListCollector
 from repro.util.items import TransactionDatabase, prepare_transactions
 
 
+class SupportCollector(Protocol):
+    """Sink for mined itemsets (:class:`repro.fptree.growth.ListCollector`)."""
+
+    def emit(self, itemset: tuple[int, ...], support: int) -> None: ...
+
+    def emit_path_subsets(
+        self, path: list[tuple[int, int]], suffix: tuple[int, ...]
+    ) -> None: ...
+
+
 def mine_array(
     array: CfpArray,
     min_support: int,
-    collector,
+    collector: SupportCollector,
     suffix: tuple[int, ...] = (),
-    meter=None,
+    meter: Any = None,
 ) -> None:
     """Recursively mine a CFP-array (the §2.1 mine loop on §3.4 structures)."""
     for rank in array.active_ranks_descending():
@@ -64,7 +74,7 @@ def mine_array(
 
 
 def _conditional_tree(
-    array: CfpArray, rank: int, min_support: int, meter=None
+    array: CfpArray, rank: int, min_support: int, meter: Any = None
 ) -> TernaryCfpTree | None:
     """Build the conditional CFP-tree for ``rank`` from its prefix paths."""
     paths = []
@@ -98,9 +108,9 @@ def mine_rank_transactions(
     transactions: list[list[int]],
     n_ranks: int,
     min_support: int,
-    collector=None,
-    meter=None,
-):
+    collector: SupportCollector | None = None,
+    meter: Any = None,
+) -> SupportCollector:
     """Full CFP-growth over prepared rank transactions; returns the collector."""
     if collector is None:
         collector = ListCollector()

@@ -31,7 +31,7 @@ class CfpNode:
 
     __slots__ = ("delta_item", "pcount", "children")
 
-    def __init__(self, delta_item: int, pcount: int = 0):
+    def __init__(self, delta_item: int, pcount: int = 0) -> None:
         self.delta_item = delta_item
         self.pcount = pcount
         #: Children keyed by absolute rank (kept absolute for navigation;
@@ -55,7 +55,7 @@ class CfpNode:
 class CfpTree:
     """A logical CFP-tree built from rank-sorted transactions."""
 
-    def __init__(self, n_ranks: int):
+    def __init__(self, n_ranks: int) -> None:
         if n_ranks < 0:
             raise TreeError(f"n_ranks must be non-negative, got {n_ranks}")
         self.n_ranks = n_ranks

@@ -18,6 +18,8 @@ property that makes conversion behave well under memory pressure (§3.5).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.compress import varint
 from repro.core.cfp_array import CfpArray
 from repro.core.ternary import TernaryCfpTree
@@ -44,7 +46,11 @@ def cumulative_counts(tree: TernaryCfpTree) -> list[int]:
     return counts
 
 
-def _traverse(tree: TernaryCfpTree, counts: list[int], visit) -> None:
+def _traverse(
+    tree: TernaryCfpTree,
+    counts: list[int],
+    visit: Callable[[int, int, int, int], int],
+) -> None:
     """Shared DFS skeleton of the sizing and placement passes.
 
     Calls ``visit(rank, delta_item, dpos, count) -> local_cursor_advance``

@@ -41,8 +41,18 @@ leaves move with their slot during restructures.
 
 from __future__ import annotations
 
+from typing import Union
+
 from repro.compress import varint
-from repro.compress.masks import pack_node_mask, unpack_node_mask
+from repro.compress.masks import (
+    LEFT_PRESENT_BIT,
+    PCOUNT_MASK_FIELD,
+    PCOUNT_MASK_SHIFT,
+    RIGHT_PRESENT_BIT,
+    SUFFIX_PRESENT_BIT,
+    pack_node_mask,
+    unpack_node_mask,
+)
 from repro.compress.zero_suppression import (
     decode_2bit,
     decode_3bit,
@@ -66,6 +76,9 @@ NULL_SLOT = bytes(POINTER_SIZE)
 
 #: pcount bound for embedded leaves (< 2^24 fits the 3 payload bytes).
 EMBEDDED_PCOUNT_LIMIT = 1 << 24
+
+#: Anything the decoders accept as a raw byte source.
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 # ----------------------------------------------------------------------
@@ -98,6 +111,15 @@ def slot_is_embedded(raw: bytes) -> bool:
     return raw[0] == MARKER_BYTE
 
 
+def read_slot(buf: Buffer, slot: int) -> bytes:
+    """Copy the 5 raw bytes of the slot starting at ``slot``.
+
+    All raw slot reads outside this module go through here, so the slot
+    layout stays confined to the codec layer.
+    """
+    return bytes(buf[slot : slot + POINTER_SIZE])
+
+
 def slot_address(raw: bytes) -> int:
     """Interpret slot content as a 40-bit pointer."""
     if raw[0] == MARKER_BYTE:
@@ -126,7 +148,7 @@ class StandardNode:
         left: bytes | None = None,
         right: bytes | None = None,
         suffix: bytes | None = None,
-    ):
+    ) -> None:
         self.delta_item = delta_item
         self.pcount = pcount
         self.left = left
@@ -151,7 +173,7 @@ class StandardNode:
         return b"".join(parts)
 
     @classmethod
-    def decode(cls, buf, addr: int) -> tuple["StandardNode", int]:
+    def decode(cls, buf: Buffer, addr: int) -> tuple["StandardNode", int]:
         """Decode the node at ``addr``; returns ``(node, encoded_size)``."""
         mask = unpack_node_mask(buf[addr])
         offset = addr + 1
@@ -199,7 +221,7 @@ class ChainNode:
         left: bytes | None = None,
         right: bytes | None = None,
         suffix: bytes | None = None,
-    ):
+    ) -> None:
         self.entries = entries
         self.left = left
         self.right = right
@@ -233,15 +255,15 @@ class ChainNode:
         return b"".join(parts)
 
     @classmethod
-    def decode(cls, buf, addr: int) -> tuple["ChainNode", int]:
+    def decode(cls, buf: Buffer, addr: int) -> tuple["ChainNode", int]:
         tag = buf[addr]
-        if (tag >> 3) & 0x7 != CHAIN_TAG:
+        if (tag >> PCOUNT_MASK_SHIFT) & PCOUNT_MASK_FIELD != CHAIN_TAG:
             raise CorruptBufferError(f"not a chain node at {addr}: tag {tag:#04x}")
         length = buf[addr + 1]
         if not 1 <= length <= DEFAULT_MAX_CHAIN_LENGTH:
             raise CorruptBufferError(f"corrupt chain length {length} at {addr}")
         offset = addr + 2
-        entries = []
+        entries: list[tuple[int, int]] = []
         for __ in range(length):
             first = buf[offset]
             if first == CHAIN_ESCAPE:
@@ -252,13 +274,13 @@ class ChainNode:
                 offset += 1
             entries.append((delta_item, pcount))
         left = right = suffix = None
-        if tag & 0x4:
+        if tag & LEFT_PRESENT_BIT:
             left = bytes(buf[offset : offset + POINTER_SIZE])
             offset += POINTER_SIZE
-        if tag & 0x2:
+        if tag & RIGHT_PRESENT_BIT:
             right = bytes(buf[offset : offset + POINTER_SIZE])
             offset += POINTER_SIZE
-        if tag & 0x1:
+        if tag & SUFFIX_PRESENT_BIT:
             suffix = bytes(buf[offset : offset + POINTER_SIZE])
             offset += POINTER_SIZE
         return cls(entries, left, right, suffix), offset - addr
@@ -272,10 +294,15 @@ class ChainNode:
 
 def is_chain_tag(first_byte: int) -> bool:
     """Dispatch: does the byte at a node address open a chain node?"""
-    return (first_byte >> 3) & 0x7 == CHAIN_TAG
+    return (first_byte >> PCOUNT_MASK_SHIFT) & PCOUNT_MASK_FIELD == CHAIN_TAG
 
 
-def decode_node(buf, addr: int):
+def is_chain_at(buf: Buffer, addr: int) -> bool:
+    """Dispatch on the node stored at ``addr`` without decoding it."""
+    return is_chain_tag(buf[addr])
+
+
+def decode_node(buf: Buffer, addr: int) -> tuple[Union[StandardNode, ChainNode], int]:
     """Decode whichever node kind sits at ``addr``; ``(node, size)``."""
     if is_chain_tag(buf[addr]):
         return ChainNode.decode(buf, addr)

@@ -24,7 +24,7 @@ The three structural features can be disabled individually
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.core import node_codec as codec
 from repro.core.cfp_tree import CfpNode, CfpTree
@@ -34,9 +34,10 @@ from repro.core.node_codec import (
     decode_embedded_leaf,
     decode_node,
     encode_embedded_leaf,
-    is_chain_tag,
+    is_chain_at,
     leaf_embeddable,
     pointer_slot,
+    read_slot,
     slot_address,
     slot_is_embedded,
 )
@@ -78,7 +79,7 @@ class TernaryCfpTree:
         enable_chains: bool = True,
         enable_embedding: bool = True,
         max_chain_length: int = codec.DEFAULT_MAX_CHAIN_LENGTH,
-    ):
+    ) -> None:
         if n_ranks < 0:
             raise TreeError(f"n_ranks must be non-negative, got {n_ranks}")
         if not 1 <= max_chain_length <= codec.DEFAULT_MAX_CHAIN_LENGTH:
@@ -97,11 +98,40 @@ class TernaryCfpTree:
 
     @classmethod
     def from_rank_transactions(
-        cls, transactions: Iterable[list[int]], n_ranks: int, **kwargs
+        cls, transactions: Iterable[list[int]], n_ranks: int, **kwargs: Any
     ) -> "TernaryCfpTree":
         tree = cls(n_ranks, **kwargs)
         for ranks in transactions:
             tree.insert(ranks)
+        return tree
+
+    @classmethod
+    def restore(
+        cls,
+        arena: Arena,
+        *,
+        n_ranks: int,
+        root_slot: int,
+        logical_node_count: int,
+        transaction_count: int,
+        enable_chains: bool = True,
+        enable_embedding: bool = True,
+        max_chain_length: int = codec.DEFAULT_MAX_CHAIN_LENGTH,
+    ) -> "TernaryCfpTree":
+        """Re-attach a tree to an arena restored from a checkpoint.
+
+        Unlike ``__init__`` this allocates nothing: the root slot and all
+        node chunks already live inside ``arena``.
+        """
+        tree = cls.__new__(cls)
+        tree.n_ranks = n_ranks
+        tree.arena = arena
+        tree.enable_chains = enable_chains
+        tree.enable_embedding = enable_embedding
+        tree.max_chain_length = max_chain_length
+        tree._root_slot = root_slot
+        tree.logical_node_count = logical_node_count
+        tree.transaction_count = transaction_count
         return tree
 
     # ------------------------------------------------------------------
@@ -148,7 +178,7 @@ class TernaryCfpTree:
         n = len(ranks)
         while True:
             delta = ranks[i] - base
-            raw = bytes(buf[slot : slot + POINTER_SIZE])
+            raw = read_slot(buf, slot)
             if raw == codec.NULL_SLOT:
                 content = self._build_path(ranks, i, base, count)
                 self._write_slot(slot, content)
@@ -171,7 +201,7 @@ class TernaryCfpTree:
                 buf = self.arena.buf
                 continue
             addr = slot_address(raw)
-            if is_chain_tag(buf[addr]):
+            if is_chain_at(buf, addr):
                 result = self._step_chain(slot, addr, ranks, i, base, count)
                 if result is None:
                     return
@@ -344,28 +374,30 @@ class TernaryCfpTree:
     # Chunk plumbing
     # ------------------------------------------------------------------
 
-    def _store(self, node) -> int:
+    def _store(self, node: StandardNode | ChainNode) -> int:
         data = node.encode()
         addr = self.arena.alloc(max(len(data), MIN_CHUNK_SIZE))
-        self.arena.buf[addr : addr + len(data)] = data
+        self.arena.write(addr, data)
         return addr
 
-    def _replace(self, slot: int, addr: int, old_size: int, node) -> int:
+    def _replace(
+        self, slot: int, addr: int, old_size: int, node: StandardNode | ChainNode
+    ) -> int:
         """Re-encode ``node`` over its old chunk, relocating if it outgrew it."""
         data = node.encode()
         old_chunk = max(old_size, MIN_CHUNK_SIZE)
         new_chunk = max(len(data), MIN_CHUNK_SIZE)
         if new_chunk == old_chunk:
-            self.arena.buf[addr : addr + len(data)] = data
+            self.arena.write(addr, data)
             return addr
         self.arena.free(addr, old_chunk)
         new_addr = self.arena.alloc(new_chunk)
-        self.arena.buf[new_addr : new_addr + len(data)] = data
+        self.arena.write(new_addr, data)
         self._write_slot(slot, pointer_slot(new_addr))
         return new_addr
 
     def _write_slot(self, slot: int, raw: bytes) -> None:
-        self.arena.buf[slot : slot + POINTER_SIZE] = raw
+        self.arena.write(slot, raw)
 
     @staticmethod
     def _standard_left_offset(node: StandardNode) -> int:
@@ -403,10 +435,10 @@ class TernaryCfpTree:
         CFP-array conversion uses.
         """
         buf = self.arena.buf
-        root_raw = bytes(buf[self._root_slot : self._root_slot + POINTER_SIZE])
+        root_raw = read_slot(buf, self._root_slot)
         if root_raw == codec.NULL_SLOT:
             return
-        stack: list[tuple] = [("slot", root_raw, 0)]
+        stack: list[tuple[Any, ...]] = [("slot", root_raw, 0)]
         while stack:
             frame = stack.pop()
             kind = frame[0]
@@ -438,7 +470,7 @@ class TernaryCfpTree:
                 stack.append(("emit", base + delta_item, pcount, None))
                 continue
             addr = slot_address(raw)
-            if is_chain_tag(buf[addr]):
+            if is_chain_at(buf, addr):
                 chain, __ = ChainNode.decode(buf, addr)
                 if chain.right is not None:
                     stack.append(("slot", chain.right, base))
@@ -492,7 +524,7 @@ class TernaryCfpTree:
         conversion to a CFP-array).
         """
         buf = self.arena.buf
-        raw = bytes(buf[self._root_slot : self._root_slot + POINTER_SIZE])
+        raw = read_slot(buf, self._root_slot)
         rank = 0
         nodes: list[tuple[int, int]] = []  # (rank, pcount)
         while raw != codec.NULL_SLOT:
@@ -526,7 +558,7 @@ class TernaryCfpTree:
         """Census of node kinds actually stored (Figure 6(a) analysis)."""
         buf = self.arena.buf
         stats = PhysicalStats()
-        root_raw = bytes(buf[self._root_slot : self._root_slot + POINTER_SIZE])
+        root_raw = read_slot(buf, self._root_slot)
         if root_raw == codec.NULL_SLOT:
             return stats
         stack = [root_raw]

@@ -28,6 +28,7 @@ from repro.core.node_codec import (
     StandardNode,
     decode_embedded_leaf,
     decode_node,
+    read_slot,
     slot_address,
     slot_is_embedded,
 )
@@ -79,7 +80,7 @@ def validate_tree(tree: TernaryCfpTree, strict: bool = True) -> ValidationReport
     # Iterative walk (sibling BSTs can degenerate to long left/right
     # chains, so recursion is unsafe). Stack holds (raw_slot, base, depth).
     stack: list[tuple[bytes, int, int]] = []
-    root_raw = bytes(buf[tree._root_slot : tree._root_slot + POINTER_SIZE])
+    root_raw = read_slot(buf, tree._root_slot)
     if root_raw != codec.NULL_SLOT:
         stack.append((root_raw, 0, 1))
     while stack:
@@ -98,7 +99,7 @@ def validate_tree(tree: TernaryCfpTree, strict: bool = True) -> ValidationReport
             report.embedded_leaves += 1
             continue
         address = slot_address(raw)
-        if not 0 < address < tree.arena._next_free:
+        if not 0 < address < tree.arena.used_bytes:
             issue(f"pointer {address:#x} outside the arena's used region")
             continue
         if address in seen_addresses:

@@ -76,7 +76,7 @@ class DoubleBufferedReader:
                         continue
                     carry, block = block[cut + 1 :], block[: cut + 1]
                     self._queue.put(block)
-        except BaseException as exc:  # surfaced to the consumer
+        except BaseException as exc:  # lint: ignore[INV004] surfaced to the consumer
             self._error = exc
         finally:
             self._queue.put(None)

@@ -82,7 +82,9 @@ class Arena:
         the default is generous.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY, *, max_chunk_size: int = 4096):
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, *, max_chunk_size: int = 4096
+    ) -> None:
         if capacity <= _RESERVED_PREFIX:
             raise ValueError(f"capacity too small: {capacity}")
         if capacity > max_encodable_address():
@@ -180,6 +182,59 @@ class Arena:
         self.buf[addr : addr + len(data)] = data
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Absolute next-free pointer: one past the last carved-out byte.
+
+        Addresses below this bound are the arena's *used region* (including
+        the reserved prefix); this is the prefix a checkpoint must persist.
+        """
+        return self._next_free
+
+    def snapshot(self) -> bytes:
+        """Copy the used prefix of the backing buffer (for checkpointing)."""
+        return bytes(self.buf[: self._next_free])
+
+    def free_queue_heads(self) -> dict[int, int]:
+        """Head address of each non-empty per-size free queue (a copy)."""
+        return dict(self._free_heads)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        blob: bytes,
+        *,
+        capacity: int,
+        max_chunk_size: int,
+        next_free: int,
+        free_heads: dict[int, int],
+        free_bytes: int,
+    ) -> "Arena":
+        """Rebuild an arena from a :meth:`snapshot` plus allocator state.
+
+        The restored arena is byte-identical over its used region, so
+        chunk addresses recorded elsewhere (e.g. in tree slots) stay valid
+        and allocation continues exactly where the snapshot left off.
+        """
+        arena = cls(capacity, max_chunk_size=max_chunk_size)
+        if next_free < _RESERVED_PREFIX or next_free > capacity:
+            raise InvalidChunkError(
+                f"snapshot next-free pointer {next_free} outside "
+                f"[{_RESERVED_PREFIX}, {capacity}]"
+            )
+        if next_free > len(arena.buf):
+            arena._grow_to(next_free)
+        arena.buf[:next_free] = blob[:next_free]
+        arena._next_free = next_free
+        arena._high_water = next_free
+        arena._free_heads = dict(free_heads)
+        arena._free_bytes = free_bytes
+        return arena
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
 
@@ -197,6 +252,11 @@ class Arena:
     def high_water_bytes(self) -> int:
         """Largest footprint reached over the arena's lifetime."""
         return self._high_water - _RESERVED_PREFIX
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently sitting in free queues awaiting reuse."""
+        return self._free_bytes
 
     def stats(self) -> ArenaStats:
         """Return a full accounting snapshot."""

@@ -13,7 +13,12 @@ chunk ever starts at 0.
 
 from __future__ import annotations
 
+from typing import Union
+
 from repro.errors import PointerRangeError
+
+#: Read-only byte sources the pointer reader accepts.
+Buffer = Union[bytes, bytearray, memoryview]
 
 #: Size of an encoded pointer in bytes (40 bits).
 POINTER_SIZE = 5
@@ -54,7 +59,7 @@ def write_pointer(buf: bytearray, offset: int, address: int) -> int:
     return offset + POINTER_SIZE
 
 
-def read_pointer(buf, offset: int) -> int:
+def read_pointer(buf: Buffer, offset: int) -> int:
     """Read a 5-byte big-endian pointer stored at ``offset``.
 
     Raises :class:`PointerRangeError` if the slot holds an embedded-leaf

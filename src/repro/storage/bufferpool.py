@@ -56,6 +56,11 @@ class BufferPool:
     def capacity_bytes(self) -> int:
         return self.capacity_pages * PAGE_SIZE
 
+    @property
+    def pagefile(self) -> PageFile:
+        """The underlying page file (read-only use by checkers/stats)."""
+        return self._file
+
     def get_page(self, page_no: int) -> bytes:
         """Fetch a page, through the cache."""
         frame = self._frames.get(page_no)
@@ -100,6 +105,14 @@ class BufferPool:
 
     def resident_pages(self) -> int:
         return len(self._frames)
+
+    def resident_page_numbers(self) -> list[int]:
+        """Cached page numbers in LRU order (least recently used first)."""
+        return list(self._frames)
+
+    def pinned_pages(self) -> dict[int, int]:
+        """Pin count per pinned page (a copy)."""
+        return dict(self._pins)
 
     def _make_room(self) -> None:
         while len(self._frames) >= self.capacity_pages:

@@ -12,6 +12,14 @@ index stays in memory, as the paper's "small item index" does.
 **CFP-tree checkpoint** (magic ``CFPT``): the arena's used prefix plus the
 allocator state (next-free pointer, free-queue heads) and the tree's
 metadata, so a build phase can be suspended and resumed exactly.
+
+**Integrity (format version 2):** both formats append a *checksum trailer*
+after the content pages — one little-endian CRC32 per content page (header
+pages included), packed sequentially and padded to a page boundary. The
+loaders verify every content page's checksum and raise
+:class:`StorageFormatError` on the first mismatch; version-1 files (no
+trailer) are still read. ``repro check`` / :mod:`repro.analysis.storecheck`
+run the same verification offline and report every corrupt page.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
+from typing import Any, BinaryIO, Iterator, NamedTuple
 
 from repro.compress import varint
 from repro.core.cfp_array import CfpArray
@@ -30,7 +40,15 @@ from repro.storage.pagefile import PAGE_SIZE, PageFile
 
 _ARRAY_MAGIC = b"CFPA"
 _TREE_MAGIC = b"CFPT"
-_VERSION = 1
+
+#: Current on-disk format version (2 = CRC32 checksum trailer).
+FORMAT_VERSION = 2
+
+#: Versions the loaders accept.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Bytes per page checksum in the trailer (CRC32, ``<I``).
+CHECKSUM_SIZE = 4
 
 
 class StorageFormatError(ReproError):
@@ -38,74 +56,180 @@ class StorageFormatError(ReproError):
 
 
 # ----------------------------------------------------------------------
+# Page/checksum helpers (shared with repro.analysis.storecheck)
+# ----------------------------------------------------------------------
+
+def pages_needed(n_bytes: int) -> int:
+    """Pages a blob occupies via :meth:`PageFile.append_blob` (min 1)."""
+    return max(1, -(-n_bytes // PAGE_SIZE))
+
+
+def _page_padded(blob: bytes) -> bytes:
+    """Pad ``blob`` to a whole number of pages (at least one)."""
+    return blob.ljust(pages_needed(len(blob)) * PAGE_SIZE, b"\x00")
+
+
+def page_checksum(page: bytes) -> int:
+    """CRC32 of one page's 4096 bytes."""
+    return zlib.crc32(page) & 0xFFFFFFFF
+
+
+def checksum_trailer(content: bytes) -> bytes:
+    """Checksum trailer for page-aligned ``content``: one CRC32 per page."""
+    checksums = bytearray()
+    for offset in range(0, len(content), PAGE_SIZE):
+        checksums += struct.pack("<I", page_checksum(content[offset : offset + PAGE_SIZE]))
+    return bytes(checksums)
+
+
+def trailer_pages(content_pages: int) -> int:
+    """Pages the checksum trailer occupies for ``content_pages`` pages."""
+    return pages_needed(content_pages * CHECKSUM_SIZE)
+
+
+def iter_checksum_mismatches(
+    pagefile: PageFile, content_pages: int
+) -> Iterator[tuple[int, int, int]]:
+    """Verify the trailer of an open v2 page file.
+
+    Yields ``(page_no, stored_crc, actual_crc)`` for every content page
+    whose checksum does not match. Yields nothing for an intact file.
+    """
+    trailer = bytearray()
+    for page_no in range(content_pages, pagefile.page_count):
+        trailer += pagefile.read_page(page_no)
+    if len(trailer) < content_pages * CHECKSUM_SIZE:
+        raise StorageFormatError(
+            f"checksum trailer truncated: {len(trailer)} bytes for "
+            f"{content_pages} content pages"
+        )
+    for page_no in range(content_pages):
+        stored = struct.unpack_from("<I", trailer, page_no * CHECKSUM_SIZE)[0]
+        actual = page_checksum(pagefile.read_page(page_no))
+        if stored != actual:
+            yield page_no, stored, actual
+
+
+def _verify_content(pagefile: PageFile, content_pages: int, version: int) -> None:
+    """Raise on the first checksum mismatch (no-op for version-1 files)."""
+    if version < 2:
+        return
+    for page_no, stored, actual in iter_checksum_mismatches(pagefile, content_pages):
+        raise StorageFormatError(
+            f"page {page_no} checksum mismatch: stored {stored:#010x}, "
+            f"computed {actual:#010x}"
+        )
+
+
+def _write_store(path: str | os.PathLike[str], header: bytes, payload: bytes) -> int:
+    """Write header + payload page-aligned, then the checksum trailer."""
+    content = _page_padded(header) + _page_padded(payload)
+    with PageFile.create(path) as pagefile:
+        pagefile.append_blob(content)
+        pagefile.append_blob(checksum_trailer(content))
+        return pagefile.page_count * PAGE_SIZE
+
+
+# ----------------------------------------------------------------------
 # CFP-array persistence
 # ----------------------------------------------------------------------
 
-def save_cfp_array(array: CfpArray, path: str | os.PathLike) -> int:
+class ArrayHeader(NamedTuple):
+    """Parsed CFP-array file header."""
+
+    version: int
+    n_ranks: int
+    buffer_len: int
+    starts: list[int]
+    data_page: int
+    """First payload page (== number of header pages)."""
+
+    @property
+    def payload_pages(self) -> int:
+        return pages_needed(self.buffer_len)
+
+    @property
+    def content_pages(self) -> int:
+        return self.data_page + self.payload_pages
+
+
+def save_cfp_array(array: CfpArray, path: str | os.PathLike[str]) -> int:
     """Write a CFP-array to ``path``; returns the file size in bytes."""
     header = bytearray()
     header += _ARRAY_MAGIC
-    header += struct.pack("<II", _VERSION, 0)
+    header += struct.pack("<II", FORMAT_VERSION, 0)
     header += struct.pack("<QQ", array.n_ranks, len(array.buffer))
     for start in array.starts:
         header += struct.pack("<Q", start)
-    with PageFile.create(path) as pagefile:
-        pagefile.append_blob(bytes(header))
-        pagefile.append_blob(bytes(array.buffer))
-        size = pagefile.page_count * PAGE_SIZE
-    return size
+    return _write_store(path, bytes(header), bytes(array.buffer))
 
 
 def _header_pages(n_ranks: int) -> int:
     header_size = 4 + 8 + 16 + 8 * (n_ranks + 2)
-    return max(1, -(-header_size // PAGE_SIZE))
+    return pages_needed(header_size)
 
 
-def load_cfp_array(path: str | os.PathLike) -> CfpArray:
-    """Load a CFP-array fully into memory."""
-    with PageFile.open_readonly(path) as pagefile:
-        n_ranks, buffer_len, starts, data_page = _read_array_header(pagefile)
-        blob = bytearray()
-        for page_no in range(data_page, pagefile.page_count):
-            blob += pagefile.read_page(page_no)
-    return CfpArray(n_ranks, bytearray(blob[:buffer_len]), starts)
-
-
-def _read_array_header(pagefile: PageFile):
+def read_array_header(pagefile: PageFile) -> ArrayHeader:
+    """Parse and sanity-check the header of an open CFP-array file."""
     first = pagefile.read_page(0)
     if first[:4] != _ARRAY_MAGIC:
         raise StorageFormatError("not a CFP-array file (bad magic)")
     version = struct.unpack_from("<I", first, 4)[0]
-    if version != _VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise StorageFormatError(f"unsupported CFP-array version {version}")
     n_ranks, buffer_len = struct.unpack_from("<QQ", first, 12)
     header_pages = _header_pages(n_ranks)
+    if header_pages > pagefile.page_count:
+        raise StorageFormatError(
+            f"header needs {header_pages} pages but the file has "
+            f"{pagefile.page_count}"
+        )
     header = bytearray(first)
     for page_no in range(1, header_pages):
         header += pagefile.read_page(page_no)
-    starts = list(
-        struct.unpack_from(f"<{n_ranks + 2}Q", header, 28)
-    )
-    return n_ranks, buffer_len, starts, header_pages
+    starts = list(struct.unpack_from(f"<{n_ranks + 2}Q", header, 28))
+    return ArrayHeader(version, n_ranks, buffer_len, starts, header_pages)
+
+
+def load_cfp_array(path: str | os.PathLike[str]) -> CfpArray:
+    """Load a CFP-array fully into memory, verifying page checksums."""
+    with PageFile.open_readonly(path) as pagefile:
+        header = read_array_header(pagefile)
+        _verify_content(pagefile, header.content_pages, header.version)
+        blob = bytearray()
+        for page_no in range(header.data_page, header.content_pages):
+            blob += pagefile.read_page(page_no)
+    return CfpArray(header.n_ranks, bytearray(blob[: header.buffer_len]), header.starts)
 
 
 class DiskCfpArray:
     """CFP-array traversals served from disk through a buffer pool.
 
     Implements the interface :func:`repro.core.cfp_growth.mine_array`
-    needs, so CFP-growth's mine phase runs out-of-core unchanged.
+    needs, so CFP-growth's mine phase runs out-of-core unchanged. Pass
+    ``verify=True`` to check every content page's CRC32 up front (reads
+    the whole file once); by default only the header is parsed so opening
+    stays O(1) in the array size.
     """
 
     #: Longest possible encoded triple (three 10-byte varints).
     _MAX_TRIPLE = 30
 
-    def __init__(self, path: str | os.PathLike, pool_pages: int = 64):
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        pool_pages: int = 64,
+        *,
+        verify: bool = False,
+    ) -> None:
         self._pagefile = PageFile.open_readonly(path)
-        n_ranks, buffer_len, starts, data_page = _read_array_header(self._pagefile)
-        self.n_ranks = n_ranks
-        self.starts = starts
-        self._buffer_len = buffer_len
-        self._data_offset = data_page * PAGE_SIZE
+        header = read_array_header(self._pagefile)
+        if verify:
+            _verify_content(self._pagefile, header.content_pages, header.version)
+        self.n_ranks = header.n_ranks
+        self.starts = header.starts
+        self._buffer_len = header.buffer_len
+        self._data_offset = header.data_page * PAGE_SIZE
         self.pool = BufferPool(self._pagefile, pool_pages)
 
     def close(self) -> None:
@@ -114,7 +238,7 @@ class DiskCfpArray:
     def __enter__(self) -> "DiskCfpArray":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -132,7 +256,7 @@ class DiskCfpArray:
         count, pos = varint.decode_from(chunk, pos)
         return delta_item, varint.unzigzag(dpos_raw), count, offset + pos
 
-    def iter_subarray(self, rank: int):
+    def iter_subarray(self, rank: int) -> Iterator[tuple[int, int, int, int]]:
         start = self.starts[rank]
         end = self.starts[rank + 1]
         offset = start
@@ -160,7 +284,7 @@ class DiskCfpArray:
     def rank_support(self, rank: int) -> int:
         return sum(count for __, __, __, count in self.iter_subarray(rank))
 
-    def active_ranks_descending(self):
+    def active_ranks_descending(self) -> Iterator[int]:
         for rank in range(self.n_ranks, 0, -1):
             if self.starts[rank + 1] > self.starts[rank]:
                 yield rank
@@ -178,10 +302,26 @@ class DiskCfpArray:
 # CFP-tree checkpointing
 # ----------------------------------------------------------------------
 
-def save_cfp_tree(tree: TernaryCfpTree, path: str | os.PathLike) -> int:
+class TreeHeader(NamedTuple):
+    """Parsed CFP-tree checkpoint header."""
+
+    version: int
+    meta: dict[str, Any]
+    data_page: int
+    """First arena page (== number of header pages)."""
+
+    @property
+    def payload_pages(self) -> int:
+        return pages_needed(int(self.meta["next_free"]))
+
+    @property
+    def content_pages(self) -> int:
+        return self.data_page + self.payload_pages
+
+
+def save_cfp_tree(tree: TernaryCfpTree, path: str | os.PathLike[str]) -> int:
     """Checkpoint a CFP-tree (arena contents + allocator + metadata)."""
     arena = tree.arena
-    used = arena._next_free
     meta = {
         "n_ranks": tree.n_ranks,
         "enable_chains": tree.enable_chains,
@@ -190,64 +330,96 @@ def save_cfp_tree(tree: TernaryCfpTree, path: str | os.PathLike) -> int:
         "logical_node_count": tree.logical_node_count,
         "transaction_count": tree.transaction_count,
         "root_slot": tree._root_slot,
-        "next_free": used,
-        "free_heads": {str(k): v for k, v in arena._free_heads.items()},
-        "free_bytes": arena._free_bytes,
+        "next_free": arena.used_bytes,
+        "free_heads": {str(k): v for k, v in arena.free_queue_heads().items()},
+        "free_bytes": arena.free_bytes,
         "capacity": arena.capacity,
         "max_chunk_size": arena.max_chunk_size,
     }
     meta_blob = json.dumps(meta).encode("ascii")
-    header = _TREE_MAGIC + struct.pack("<IQ", _VERSION, len(meta_blob))
-    with PageFile.create(path) as pagefile:
-        pagefile.append_blob(header + meta_blob)
-        pagefile.append_blob(bytes(arena.buf[:used]))
-        return pagefile.page_count * PAGE_SIZE
+    header = _TREE_MAGIC + struct.pack("<IQ", FORMAT_VERSION, len(meta_blob))
+    return _write_store(path, header + meta_blob, arena.snapshot())
 
 
-def load_cfp_tree(path: str | os.PathLike) -> TernaryCfpTree:
-    """Restore a checkpointed CFP-tree; inserts may continue."""
-    with PageFile.open_readonly(path) as pagefile:
-        first = pagefile.read_page(0)
-        if first[:4] != _TREE_MAGIC:
-            raise StorageFormatError("not a CFP-tree checkpoint (bad magic)")
-        version, meta_len = struct.unpack_from("<IQ", first, 4)
-        if version != _VERSION:
-            raise StorageFormatError(f"unsupported CFP-tree version {version}")
-        header_len = 16 + meta_len
-        header_pages = max(1, -(-header_len // PAGE_SIZE))
-        header = bytearray(first)
-        for page_no in range(1, header_pages):
-            header += pagefile.read_page(page_no)
+def read_tree_header(pagefile: PageFile) -> TreeHeader:
+    """Parse and sanity-check the header of an open CFP-tree checkpoint."""
+    first = pagefile.read_page(0)
+    if first[:4] != _TREE_MAGIC:
+        raise StorageFormatError("not a CFP-tree checkpoint (bad magic)")
+    version, meta_len = struct.unpack_from("<IQ", first, 4)
+    if version not in SUPPORTED_VERSIONS:
+        raise StorageFormatError(f"unsupported CFP-tree version {version}")
+    header_len = 16 + meta_len
+    header_pages = pages_needed(header_len)
+    if header_pages > pagefile.page_count:
+        raise StorageFormatError(
+            f"header needs {header_pages} pages but the file has "
+            f"{pagefile.page_count}"
+        )
+    header = bytearray(first)
+    for page_no in range(1, header_pages):
+        header += pagefile.read_page(page_no)
+    try:
         meta = json.loads(bytes(header[16:header_len]).decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageFormatError(f"checkpoint metadata is not valid JSON: {exc}")
+    if not isinstance(meta, dict):
+        raise StorageFormatError("checkpoint metadata is not a JSON object")
+    return TreeHeader(version, meta, header_pages)
+
+
+def restore_tree(header: TreeHeader, blob: bytes) -> TernaryCfpTree:
+    """Rebuild a tree from a parsed header and the raw arena prefix."""
+    meta = header.meta
+    arena = Arena.from_snapshot(
+        blob,
+        capacity=meta["capacity"],
+        max_chunk_size=meta["max_chunk_size"],
+        next_free=meta["next_free"],
+        free_heads={int(k): v for k, v in meta["free_heads"].items()},
+        free_bytes=meta["free_bytes"],
+    )
+    return TernaryCfpTree.restore(
+        arena,
+        n_ranks=meta["n_ranks"],
+        root_slot=meta["root_slot"],
+        logical_node_count=meta["logical_node_count"],
+        transaction_count=meta["transaction_count"],
+        enable_chains=meta["enable_chains"],
+        enable_embedding=meta["enable_embedding"],
+        max_chain_length=meta["max_chain_length"],
+    )
+
+
+def load_cfp_tree(path: str | os.PathLike[str]) -> TernaryCfpTree:
+    """Restore a checkpointed CFP-tree (checksums verified); inserts may continue."""
+    with PageFile.open_readonly(path) as pagefile:
+        header = read_tree_header(pagefile)
+        _verify_content(pagefile, header.content_pages, header.version)
         blob = bytearray()
-        for page_no in range(header_pages, pagefile.page_count):
+        for page_no in range(header.data_page, header.content_pages):
             blob += pagefile.read_page(page_no)
-    arena = Arena(meta["capacity"], max_chunk_size=meta["max_chunk_size"])
-    used = meta["next_free"]
-    if used > len(arena.buf):
-        arena._grow_to(used)
-    arena.buf[:used] = blob[:used]
-    arena._next_free = used
-    arena._high_water = used
-    arena._free_heads = {int(k): v for k, v in meta["free_heads"].items()}
-    arena._free_bytes = meta["free_bytes"]
-    tree = TernaryCfpTree.__new__(TernaryCfpTree)
-    tree.n_ranks = meta["n_ranks"]
-    tree.arena = arena
-    tree.enable_chains = meta["enable_chains"]
-    tree.enable_embedding = meta["enable_embedding"]
-    tree.max_chain_length = meta["max_chain_length"]
-    tree._root_slot = meta["root_slot"]
-    tree.logical_node_count = meta["logical_node_count"]
-    tree.transaction_count = meta["transaction_count"]
-    return tree
+    return restore_tree(header, bytes(blob))
 
 
 __all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "CHECKSUM_SIZE",
+    "ArrayHeader",
+    "TreeHeader",
     "save_cfp_array",
     "load_cfp_array",
+    "read_array_header",
+    "read_tree_header",
+    "restore_tree",
     "DiskCfpArray",
     "save_cfp_tree",
     "load_cfp_tree",
     "StorageFormatError",
+    "page_checksum",
+    "checksum_trailer",
+    "trailer_pages",
+    "pages_needed",
+    "iter_checksum_mismatches",
 ]

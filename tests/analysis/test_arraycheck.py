@@ -1,0 +1,180 @@
+"""Unit tests for the CFP-array byte-format verifier."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.arraycheck import (
+    ArrayValidationError,
+    check_array_parts,
+    validate_array,
+)
+from repro.compress import varint
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+
+
+def build_tree(seed: int = 11, n_ranks: int = 12, n_transactions: int = 80):
+    rng = random.Random(seed)
+    tree = TernaryCfpTree(n_ranks=n_ranks)
+    for __ in range(n_transactions):
+        size = rng.randint(1, min(6, n_ranks))
+        tree.insert(sorted(rng.sample(range(1, n_ranks + 1), size)))
+    return tree
+
+
+def triple(delta_item: int, dpos: int, count: int) -> bytes:
+    return (
+        varint.encode(delta_item)
+        + varint.encode(varint.zigzag(dpos))
+        + varint.encode(count)
+    )
+
+
+def make_parts(subarrays: list[bytes]) -> tuple[int, bytes, list[int]]:
+    """Assemble (n_ranks, buffer, starts) from per-rank subarray bytes."""
+    n_ranks = len(subarrays)
+    starts = [0, 0]
+    buffer = b""
+    for sub in subarrays:
+        buffer += sub
+        starts.append(len(buffer))
+    return n_ranks, buffer, starts
+
+
+class TestIntactArrays:
+    def test_converted_array_is_clean(self):
+        tree = build_tree()
+        array = convert(tree)
+        report = validate_array(array, tree)
+        assert report.ok
+        assert report.diagnostics == []
+        assert report.nodes == tree.logical_node_count
+
+    def test_empty_array_is_clean(self):
+        report = check_array_parts(3, b"", [0, 0, 0, 0, 0])
+        assert report.ok
+        assert report.nodes == 0
+
+    def test_strict_mode_passes_intact(self):
+        tree = build_tree(seed=5)
+        array = convert(tree)
+        assert validate_array(array, tree, strict=True).ok
+
+
+class TestIndexChecks:
+    def test_wrong_index_length(self):
+        report = check_array_parts(3, b"", [0, 0, 0])
+        assert report.codes() == {"ARR001"}
+
+    def test_nonmonotonic_index(self):
+        sub = triple(1, 0, 5)
+        n_ranks, buffer, starts = make_parts([sub, sub])
+        starts[2], starts[3] = starts[3], starts[2]
+        report = check_array_parts(n_ranks, buffer, starts)
+        assert "ARR001" in report.codes()
+
+    def test_index_not_spanning_buffer(self):
+        n_ranks, buffer, starts = make_parts([triple(1, 0, 5)])
+        starts[-1] += 3
+        report = check_array_parts(n_ranks, buffer, starts)
+        assert "ARR002" in report.codes()
+
+    def test_first_subarray_must_start_at_zero(self):
+        n_ranks, buffer, starts = make_parts([triple(1, 0, 5)])
+        starts[1] = 1
+        report = check_array_parts(n_ranks, buffer, starts)
+        assert "ARR002" in report.codes()
+
+
+class TestTripleChecks:
+    def test_non_canonical_varint(self):
+        # 5 encoded as two bytes with a redundant continuation byte.
+        sub = bytes([0x85, 0x00]) + varint.encode(0) + varint.encode(5)
+        report = check_array_parts(*make_parts([sub]))
+        assert "ARR010" in report.codes()
+
+    def test_truncated_triple(self):
+        sub = triple(1, 0, 5)[:-1]
+        report = check_array_parts(*make_parts([sub]))
+        assert "ARR011" in report.codes()
+
+    def test_triple_crossing_subarray_boundary(self):
+        # Rank 1 ends mid-varint; the bytes continue into rank 2's subarray.
+        first = triple(1, 0, 5) + b"\x80"  # dangling continuation byte
+        second = triple(2, 0, 3)
+        report = check_array_parts(*make_parts([first, second]))
+        assert "ARR011" in report.codes()
+
+    def test_delta_item_out_of_range(self):
+        # delta_item 3 at rank 2 would place the parent at rank -1.
+        sub = triple(3, 0, 5)
+        report = check_array_parts(*make_parts([b"", sub]))
+        assert "ARR012" in report.codes()
+
+    def test_delta_item_zero(self):
+        report = check_array_parts(*make_parts([triple(0, 0, 5)]))
+        assert "ARR012" in report.codes()
+
+    def test_nonpositive_count(self):
+        report = check_array_parts(*make_parts([triple(1, 0, 0)]))
+        assert "ARR015" in report.codes()
+
+
+class TestLinkageChecks:
+    def test_dpos_not_a_node_start(self):
+        parent = triple(1, 0, 5)
+        child = triple(1, -1, 5)  # parent_local would be 1, not a start
+        report = check_array_parts(*make_parts([parent, child]))
+        assert "ARR013" in report.codes()
+
+    def test_root_child_with_nonzero_dpos(self):
+        report = check_array_parts(*make_parts([triple(1, 2, 5)]))
+        assert "ARR013" in report.codes()
+
+    def test_child_counts_exceed_parent(self):
+        parent = triple(1, 0, 2)
+        child = triple(1, 0, 5)  # 5 > parent's 2
+        report = check_array_parts(*make_parts([parent, child]))
+        assert "ARR014" in report.codes()
+
+    def test_conserving_counts_pass(self):
+        parent = triple(1, 0, 5)
+        child = triple(1, 0, 5)
+        report = check_array_parts(*make_parts([parent, child]))
+        assert report.ok
+
+
+class TestTreeCrossChecks:
+    def test_node_census_mismatch(self):
+        tree = build_tree(seed=2)
+        array = convert(tree)
+        # Drop the last rank's subarray entirely.
+        starts = list(array.starts)
+        cut = starts[-2]
+        buffer = bytes(array.buffer[:cut])
+        starts[-1] = cut
+        report = check_array_parts(array.n_ranks, buffer, starts, tree)
+        assert "ARR020" in report.codes()
+
+    def test_transaction_count_mismatch(self):
+        tree = build_tree(seed=3)
+        array = convert(tree)
+        report = check_array_parts(
+            array.n_ranks, bytes(array.buffer), array.starts, tree
+        )
+        assert report.ok
+        tree.transaction_count += 1
+        report = check_array_parts(
+            array.n_ranks, bytes(array.buffer), array.starts, tree
+        )
+        assert "ARR021" in report.codes()
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ArrayValidationError):
+            tree = build_tree(seed=4)
+            array = convert(tree)
+            array.buffer[0] ^= 0xFF
+            validate_array(array, tree, strict=True)

@@ -1,0 +1,218 @@
+"""Corruption-injection sweep: the acceptance test for ``repro check``.
+
+Builds real artifacts (CFP-tree checkpoint, CFP-array file), injects one
+corruption per class, and asserts that the offline checkers (1) stay silent
+on intact artifacts and (2) detect every injected class with a distinct
+diagnostic code — at least eight classes across the tree arena, the
+CFP-array bytes, and the pagefile layer.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_file, validate_array
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.core.validate import validate_tree
+from repro.storage.cfp_store import (
+    load_cfp_tree,
+    save_cfp_array,
+    save_cfp_tree,
+)
+from repro.storage.pagefile import PAGE_SIZE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def build_tree(seed: int = 31, n_ranks: int = 18, n_transactions: int = 150):
+    rng = random.Random(seed)
+    tree = TernaryCfpTree(n_ranks=n_ranks)
+    for __ in range(n_transactions):
+        size = rng.randint(1, min(8, n_ranks))
+        tree.insert(sorted(rng.sample(range(1, n_ranks + 1), size)))
+    return tree
+
+
+def flip(path: Path, offset: int, mask: int = 0xFF) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        value = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([value ^ mask]))
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    tree = build_tree()
+    array = convert(tree)
+    array_path = tmp_path / "array.cfpa"
+    tree_path = tmp_path / "tree.cfpt"
+    save_cfp_array(array, array_path)
+    save_cfp_tree(tree, tree_path)
+    return tree, array, array_path, tree_path
+
+
+class TestZeroFalsePositives:
+    """Intact artifacts must be reported clean by every checker."""
+
+    def test_fresh_artifacts_clean(self, artifacts):
+        tree, array, array_path, tree_path = artifacts
+        assert validate_tree(tree, strict=False).ok
+        assert validate_array(array, tree).ok
+        assert check_file(array_path).ok
+        assert check_file(tree_path).ok
+
+    def test_roundtripped_checkpoint_clean(self, artifacts, tmp_path):
+        __, __, __, tree_path = artifacts
+        restored = load_cfp_tree(tree_path)
+        assert validate_tree(restored, strict=False).ok
+        resaved = tmp_path / "resaved.cfpt"
+        save_cfp_tree(restored, resaved)
+        assert check_file(resaved).ok
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_many_seeds_clean(self, seed, tmp_path):
+        tree = build_tree(seed=seed, n_ranks=10, n_transactions=60)
+        array = convert(tree)
+        assert validate_array(array, tree).ok
+        path = tmp_path / "a.cfpa"
+        save_cfp_array(array, path)
+        assert check_file(path).ok
+
+
+class TestCorruptionSweep:
+    """Each injected corruption class yields its distinct diagnostic code."""
+
+    def test_at_least_eight_distinct_classes(self, artifacts, tmp_path):
+        tree, array, array_path, tree_path = artifacts
+        detected: set[str] = set()
+
+        # --- pagefile layer -------------------------------------------
+        # 1. torn write: file is not a whole number of pages
+        p = tmp_path / "torn.cfpa"
+        p.write_bytes(array_path.read_bytes() + b"x")
+        detected |= check_file(p).codes()  # STO001
+
+        # 2. clobbered magic
+        p = tmp_path / "magic.cfpa"
+        p.write_bytes(array_path.read_bytes())
+        flip(p, 1)
+        detected |= check_file(p).codes()  # STO002
+
+        # 3. version from the future
+        p = tmp_path / "version.cfpa"
+        p.write_bytes(array_path.read_bytes())
+        with open(p, "r+b") as handle:
+            handle.seek(4)
+            handle.write(struct.pack("<I", 77))
+        detected |= check_file(p).codes()  # STO003
+
+        # 4. truncated payload
+        p = tmp_path / "truncated.cfpt"
+        p.write_bytes(tree_path.read_bytes()[:-2 * PAGE_SIZE])
+        detected |= check_file(p).codes()  # STO005
+
+        # 5. bit rot in a payload page (checksum catches it even when the
+        #    byte lands in page padding that no structural walk visits)
+        p = tmp_path / "bitrot.cfpa"
+        p.write_bytes(array_path.read_bytes())
+        flip(p, 2 * PAGE_SIZE - 1)
+        detected |= check_file(p).codes()  # STO010
+
+        # 6. mangled checkpoint metadata
+        p = tmp_path / "meta.cfpt"
+        p.write_bytes(tree_path.read_bytes())
+        flip(p, 17)
+        detected |= check_file(p).codes()  # STO012
+
+        # --- CFP-array bytes ------------------------------------------
+        # 7-9. flip the first byte of a subarray triple: the delta_item
+        # field decodes to garbage, rewiring linkage and canonicality.
+        p = tmp_path / "arrbytes.cfpa"
+        p.write_bytes(array_path.read_bytes())
+        data_page_offset = PAGE_SIZE  # 18 ranks fit one header page
+        for offset in (0, 7, 31, 64):
+            flip(p, data_page_offset + offset, 0x86)
+        detected |= check_file(p).codes()  # ARR01x family
+
+        # 10. array/tree census drift (in-memory cross-check)
+        drifted = convert(tree)
+        drifted_tree = build_tree(seed=99)
+        report = validate_array(drifted, drifted_tree)
+        detected |= report.codes()  # ARR020/ARR021
+
+        # --- tree arena -----------------------------------------------
+        # 11. corrupt arena bytes inside a restored checkpoint
+        p = tmp_path / "arena.cfpt"
+        p.write_bytes(tree_path.read_bytes())
+        for offset in range(64, 96):
+            flip(p, PAGE_SIZE + offset)
+        detected |= check_file(p).codes()  # TRE001 (+ STO010)
+
+        array_codes = {c for c in detected if c.startswith("ARR")}
+        store_codes = {c for c in detected if c.startswith("STO")}
+        tree_codes = {c for c in detected if c.startswith("TRE")}
+        assert array_codes, "no CFP-array corruption class detected"
+        assert tree_codes, "no tree-arena corruption class detected"
+        assert len(store_codes) >= 5, f"store classes: {sorted(store_codes)}"
+        assert len(detected) >= 8, f"detected only: {sorted(detected)}"
+
+    def test_every_flip_of_array_payload_detected(self, artifacts, tmp_path):
+        """Any single bit flip in CFP-array content bytes is caught."""
+        __, array, array_path, __ = artifacts
+        rng = random.Random(7)
+        content_len = len(array.buffer)
+        for __ in range(25):
+            offset = rng.randrange(content_len)
+            p = tmp_path / "flip.cfpa"
+            p.write_bytes(array_path.read_bytes())
+            flip(p, PAGE_SIZE + offset, 1 << rng.randrange(8))
+            report = check_file(p)
+            # The CRC is unconditionally sensitive; structural checks
+            # additionally classify most flips.
+            assert "STO010" in report.codes(), f"flip at {offset} missed"
+
+
+class TestCliExitCodes:
+    def run_check(self, *argv: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "check", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_clean_files_exit_zero(self, artifacts):
+        __, __, array_path, tree_path = artifacts
+        result = self.run_check(str(array_path), str(tree_path))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "ok (cfp-array v2" in result.stdout
+        assert "ok (cfp-tree v2" in result.stdout
+
+    def test_corrupt_file_exits_one_with_json(self, artifacts):
+        __, __, array_path, __ = artifacts
+        flip(array_path, PAGE_SIZE + 3)
+        result = self.run_check(str(array_path), "--json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload[0]["ok"] is False
+        codes = {d["code"] for d in payload[0]["diagnostics"]}
+        assert "STO010" in codes
+
+    def test_missing_file_exits_three(self, tmp_path):
+        result = self.run_check(str(tmp_path / "missing.cfpa"))
+        assert result.returncode == 3
+        assert "unreadable" in result.stderr
+
+    def test_usage_error_exits_two(self):
+        result = self.run_check()
+        assert result.returncode == 2

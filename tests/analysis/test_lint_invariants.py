@@ -1,0 +1,159 @@
+"""Tests for the custom AST invariant linter (tools/lint_invariants.py)."""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TOOL_PATH = REPO_ROOT / "tools" / "lint_invariants.py"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("lint_invariants", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec: the tool's @dataclass resolves its module via
+    # sys.modules, which is None for an unregistered spec-loaded module.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop(spec.name, None)
+
+
+def violations_for(lint, module: str, source: str) -> set[str]:
+    """Run the checker on a snippet pretending it lives at ``module``."""
+    checker = lint._FileChecker(module)
+    checker.visit(ast.parse(source))
+    return {v.code for v in checker.violations}
+
+
+class TestRepoIsClean:
+    def test_src_and_tools_lint_clean(self, lint):
+        violations = lint.lint_paths(
+            [REPO_ROOT / "src" / "repro", REPO_ROOT / "tools"]
+        )
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_cli_entrypoint_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(TOOL_PATH)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestArenaBufRule:
+    def test_direct_subscript_flagged(self, lint):
+        src = "x = tree.arena.buf[3:8]\n"
+        assert violations_for(lint, "repro/core/ternary.py", src) == {"INV001"}
+
+    def test_alias_subscript_flagged(self, lint):
+        src = "buf = tree.arena.buf\nvalue = buf[0]\n"
+        assert violations_for(lint, "repro/core/ternary.py", src) == {"INV001"}
+
+    def test_alias_pass_through_allowed(self, lint):
+        src = "buf = tree.arena.buf\nnode = decode_node(buf, addr)\n"
+        assert violations_for(lint, "repro/core/ternary.py", src) == set()
+
+    def test_codec_module_allowed(self, lint):
+        src = "x = arena.buf[3:8]\n"
+        assert violations_for(lint, "repro/core/node_codec.py", src) == set()
+        assert violations_for(lint, "repro/memman/arena.py", src) == set()
+        assert violations_for(lint, "repro/compress/varint.py", src) == set()
+
+    def test_unrelated_buffer_name_ignored(self, lint):
+        src = "buf = self.buffer\nvalue = buf[0]\n"
+        assert violations_for(lint, "repro/core/cfp_array.py", src) == set()
+
+
+class TestMaskLiteralRule:
+    def test_mask_literal_flagged_outside_compress(self, lint):
+        src = "flag = byte & 0x80\n"
+        assert violations_for(lint, "repro/core/node_codec.py", src) == {
+            "INV002"
+        }
+
+    def test_mask_literal_allowed_in_compress(self, lint):
+        src = "flag = byte & 0x80\n"
+        assert violations_for(lint, "repro/compress/varint.py", src) == set()
+
+    def test_non_mask_literal_ignored(self, lint):
+        src = "flag = byte & 0x0F\nother = byte + 0x80\n"
+        assert violations_for(lint, "repro/core/node_codec.py", src) == set()
+
+
+class TestDefaultsAndExcepts:
+    def test_mutable_default_flagged(self, lint):
+        for default in ("[]", "{}", "set()", "dict()", "bytearray()"):
+            src = f"def f(x={default}):\n    return x\n"
+            assert "INV003" in violations_for(lint, "repro/cli.py", src), default
+
+    def test_immutable_default_ok(self, lint):
+        src = "def f(x=(), y=None, z=0):\n    return x\n"
+        assert violations_for(lint, "repro/cli.py", src) == set()
+
+    def test_bare_except_flagged(self, lint):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        assert "INV004" in violations_for(lint, "repro/cli.py", src)
+
+    def test_broad_except_flagged(self, lint):
+        src = "try:\n    pass\nexcept Exception:\n    pass\n"
+        assert "INV004" in violations_for(lint, "repro/cli.py", src)
+        src = "try:\n    pass\nexcept (ValueError, BaseException):\n    pass\n"
+        assert "INV004" in violations_for(lint, "repro/cli.py", src)
+
+    def test_specific_except_ok(self, lint):
+        src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert violations_for(lint, "repro/cli.py", src) == set()
+
+
+class TestAnnotationRule:
+    def test_missing_param_annotation_flagged(self, lint):
+        src = "def f(x) -> int:\n    return 0\n"
+        assert "INV005" in violations_for(lint, "repro/core/x.py", src)
+
+    def test_missing_return_annotation_flagged(self, lint):
+        src = "def f(x: int):\n    return x\n"
+        assert "INV005" in violations_for(lint, "repro/core/x.py", src)
+
+    def test_self_exempt(self, lint):
+        src = (
+            "class C:\n"
+            "    def method(self, x: int) -> int:\n"
+            "        return x\n"
+        )
+        assert violations_for(lint, "repro/core/x.py", src) == set()
+
+    def test_untyped_package_exempt(self, lint):
+        src = "def f(x):\n    return x\n"
+        assert violations_for(lint, "repro/experiments/x.py", src) == set()
+
+
+class TestPragmaSuppression:
+    def test_pragma_suppresses_matching_code(self, lint, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            "try:\n"
+            "    pass\n"
+            "except BaseException:  # lint: ignore[INV004]\n"
+            "    pass\n"
+        )
+        assert lint.lint_file(path) == []
+
+    def test_pragma_is_code_specific(self, lint, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            "try:\n"
+            "    pass\n"
+            "except BaseException:  # lint: ignore[INV001]\n"
+            "    pass\n"
+        )
+        assert [v.code for v in lint.lint_file(path)] == ["INV004"]

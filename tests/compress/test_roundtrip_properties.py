@@ -1,0 +1,120 @@
+"""Property-based round-trip tests for the compression codecs.
+
+These pin down the three contracts the static checkers rely on:
+
+* **identity** — ``decode(encode(v)) == v`` for every representable value,
+* **canonicality** — the encoder emits the unique shortest form, and the
+  decoder's consumed length equals :func:`varint.encoded_size` (the exact
+  property :mod:`repro.analysis.arraycheck` uses to flag ARR010),
+* **size bounds** — encoded lengths match the §2.3 formulas byte for byte.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress import varint, zero_suppression
+
+varint_values = st.integers(min_value=0, max_value=varint.MAX_VALUE)
+u32_values = st.integers(min_value=0, max_value=zero_suppression.MAX_VALUE)
+signed_values = st.integers(
+    min_value=-(1 << 62), max_value=(1 << 62) - 1
+)
+
+
+class TestVarintProperties:
+    @given(varint_values)
+    def test_roundtrip_identity(self, value):
+        encoded = varint.encode(value)
+        decoded, consumed = varint.decode_from(encoded)
+        assert decoded == value
+        assert consumed == len(encoded)
+
+    @given(varint_values)
+    def test_encoding_is_canonical(self, value):
+        encoded = varint.encode(value)
+        assert len(encoded) == varint.encoded_size(value)
+        # Shortest form: the final byte is never a redundant zero
+        # continuation (except for the value 0 itself).
+        if value:
+            assert encoded[-1] != 0
+
+    @given(varint_values)
+    def test_size_bound(self, value):
+        size = len(varint.encode(value))
+        assert 1 <= size <= varint.MAX_ENCODED_LENGTH
+        assert size == max(1, -(-value.bit_length() // 7))
+
+    @given(varint_values, st.binary(min_size=0, max_size=8))
+    def test_decode_ignores_trailing_bytes(self, value, suffix):
+        encoded = varint.encode(value)
+        decoded, consumed = varint.decode_from(encoded + suffix)
+        assert (decoded, consumed) == (value, len(encoded))
+
+    @given(st.lists(varint_values, min_size=0, max_size=30))
+    def test_stream_roundtrip(self, values):
+        stream = b"".join(varint.encode(v) for v in values)
+        offset = 0
+        decoded = []
+        while offset < len(stream):
+            value, offset = varint.decode_from(stream, offset)
+            decoded.append(value)
+        assert decoded == values
+
+    @given(varint_values)
+    def test_skip_matches_decode(self, value):
+        encoded = varint.encode(value) + b"\x01"
+        assert varint.skip(encoded) == varint.decode_from(encoded)[1]
+
+    @given(signed_values)
+    def test_zigzag_roundtrip(self, value):
+        mapped = varint.zigzag(value)
+        assert mapped >= 0
+        assert varint.unzigzag(mapped) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 63) - 1))
+    def test_unzigzag_roundtrip(self, mapped):
+        assert varint.zigzag(varint.unzigzag(mapped)) == mapped
+
+
+class TestZeroSuppressionProperties:
+    @given(u32_values)
+    def test_3bit_roundtrip(self, value):
+        mask, payload = zero_suppression.encode_3bit(value)
+        decoded, end = zero_suppression.decode_3bit(mask, payload)
+        assert decoded == value
+        assert end == len(payload)
+
+    @given(u32_values)
+    def test_2bit_roundtrip(self, value):
+        mask, payload = zero_suppression.encode_2bit(value)
+        decoded, end = zero_suppression.decode_2bit(mask, payload)
+        assert decoded == value
+        assert end == len(payload)
+
+    @given(u32_values)
+    def test_3bit_payload_is_minimal(self, value):
+        mask, payload = zero_suppression.encode_3bit(value)
+        assert len(payload) == zero_suppression.payload_size_3bit(value)
+        assert mask + len(payload) == zero_suppression.WIDTH
+        # Canonical: no leading zero byte survives suppression.
+        if payload:
+            assert payload[0] != 0
+
+    @given(u32_values)
+    def test_2bit_payload_is_minimal(self, value):
+        mask, payload = zero_suppression.encode_2bit(value)
+        assert len(payload) == zero_suppression.payload_size_2bit(value)
+        assert 1 <= len(payload) <= zero_suppression.WIDTH
+        # LSB is always stored; above one byte no leading zero survives.
+        if len(payload) > 1:
+            assert payload[0] != 0
+
+    @given(u32_values, st.binary(min_size=0, max_size=4))
+    def test_decode_at_offset(self, value, prefix):
+        mask, payload = zero_suppression.encode_3bit(value)
+        buf = prefix + payload
+        decoded, end = zero_suppression.decode_3bit(mask, buf, len(prefix))
+        assert decoded == value
+        assert end == len(buf)

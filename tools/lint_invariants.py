@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint: enforce the codebase's layering invariants.
+
+The byte formats at the heart of this reproduction are fragile by design —
+a compressed arena has no slack bytes for runtime checks, so correctness
+rests on a few *structural* rules about which code may touch which bytes.
+This linter turns those rules into machine-checked invariants:
+
+``INV001``
+    Arena bytes (``.buf``) may be subscripted only by the arena itself,
+    :mod:`repro.core.node_codec`, and :mod:`repro.compress`. Everything
+    else must go through the codec helpers (``read_slot`` etc.) or the
+    arena's ``read``/``write`` API. Local aliases (``buf = x.arena.buf``)
+    are tracked.
+
+``INV002``
+    The node-mask bit literals (``0x80 0x7F 0xC0 0x38 0x07``) may appear
+    in bitwise expressions only inside :mod:`repro.compress`; other code
+    must use the named constants from :mod:`repro.compress.masks`.
+
+``INV003``
+    No mutable default arguments (list/dict/set displays or constructor
+    calls) anywhere.
+
+``INV004``
+    No bare ``except:`` and no overbroad ``except Exception`` /
+    ``except BaseException`` — the :mod:`repro.errors` hierarchy exists
+    so corruption is never silently swallowed.
+
+``INV005``
+    Functions in the typed packages (``repro/core``, ``repro/compress``,
+    ``repro/memman``, ``repro/analysis``) must have complete signatures:
+    every parameter and the return type annotated. This mirrors the CI
+    mypy gate so the check also runs where mypy is not installed.
+
+Suppress a finding with a trailing ``# lint: ignore[INV00x]`` comment on
+the offending line.
+
+Usage::
+
+    python tools/lint_invariants.py            # lint src/repro and tools/
+    python tools/lint_invariants.py PATH...    # lint specific files/dirs
+
+Exit codes: 0 clean, 1 violations found, 2 usage or unparsable source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+#: Module paths (relative, posix) allowed to subscript arena ``.buf`` bytes.
+ARENA_BUF_ALLOWED = (
+    "repro/memman/arena.py",
+    "repro/core/node_codec.py",
+    "repro/compress/",
+)
+
+#: Module paths allowed to use raw mask-bit literals in bitwise expressions.
+MASK_ALLOWED = ("repro/compress/",)
+
+#: The §3.3 mask-byte bit patterns guarded by INV002.
+MASK_LITERALS = frozenset({0x80, 0x7F, 0xC0, 0x38, 0x07})
+
+#: Packages whose functions must carry complete annotations (INV005).
+TYPED_PACKAGES = (
+    "repro/core/",
+    "repro/compress/",
+    "repro/memman/",
+    "repro/analysis/",
+)
+
+#: Constructor names whose call as a default argument is mutable (INV003).
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Exception names too broad to catch (INV004).
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _module_path(path: Path) -> str:
+    """Path relative to src/ (or the repo root), posix-style, for matching."""
+    for root in (SRC_ROOT, REPO_ROOT):
+        try:
+            return path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def _matches(module: str, patterns: tuple[str, ...]) -> bool:
+    return any(
+        module == p or (p.endswith("/") and module.startswith(p))
+        for p in patterns
+    )
+
+
+class _FileChecker(ast.NodeVisitor):
+    """Single-file AST walk collecting violations."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.violations: list[Violation] = []
+        self.arena_allowed = _matches(module, ARENA_BUF_ALLOWED)
+        self.masks_allowed = _matches(module, MASK_ALLOWED)
+        self.typed = _matches(module, TYPED_PACKAGES)
+        self._buf_aliases: set[str] = set()
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.module, getattr(node, "lineno", 0), code, message)
+        )
+
+    # -- INV001: arena byte access ------------------------------------
+
+    @staticmethod
+    def _is_buf_attribute(node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "buf"
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_buf_attribute(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._buf_aliases.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_buf_attribute(node.value):
+            if isinstance(node.target, ast.Name):
+                self._buf_aliases.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if not self.arena_allowed:
+            if self._is_buf_attribute(node.value):
+                self._add(
+                    node,
+                    "INV001",
+                    "arena bytes subscripted outside the codec layer; "
+                    "use node_codec helpers or Arena.read/write",
+                )
+            elif (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self._buf_aliases
+            ):
+                self._add(
+                    node,
+                    "INV001",
+                    f"arena buffer alias {node.value.id!r} subscripted "
+                    "outside the codec layer",
+                )
+        self.generic_visit(node)
+
+    # -- INV002: raw mask literals ------------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not self.masks_allowed and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr)
+        ):
+            for side in (node.left, node.right):
+                if (
+                    isinstance(side, ast.Constant)
+                    and type(side.value) is int
+                    and side.value in MASK_LITERALS
+                ):
+                    self._add(
+                        node,
+                        "INV002",
+                        f"raw mask literal {side.value:#04x} in a bitwise "
+                        "expression; use the repro.compress.masks constants",
+                    )
+        self.generic_visit(node)
+
+    # -- INV003/INV005: function signatures ---------------------------
+
+    @staticmethod
+    def _is_mutable_default(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+    def _check_def(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        arguments = node.args
+        for default in list(arguments.defaults) + [
+            d for d in arguments.kw_defaults if d is not None
+        ]:
+            if self._is_mutable_default(default):
+                self._add(
+                    node,
+                    "INV003",
+                    f"mutable default argument in {node.name!r}",
+                )
+        if self.typed:
+            params = arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+            missing = [
+                p.arg
+                for i, p in enumerate(params)
+                if p.annotation is None
+                and not (i == 0 and p.arg in ("self", "cls"))
+            ]
+            for extra in (arguments.vararg, arguments.kwarg):
+                if extra is not None and extra.annotation is None:
+                    missing.append(extra.arg)
+            if missing:
+                self._add(
+                    node,
+                    "INV005",
+                    f"{node.name!r} has unannotated parameters: "
+                    + ", ".join(missing),
+                )
+            if node.returns is None:
+                self._add(
+                    node,
+                    "INV005",
+                    f"{node.name!r} has no return annotation",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_def(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_def(node)
+        self.generic_visit(node)
+
+    # -- INV004: exception hygiene ------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(node, "INV004", "bare except")
+        else:
+            names = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for name in names:
+                if isinstance(name, ast.Name) and name.id in _BROAD_EXCEPTIONS:
+                    self._add(
+                        node,
+                        "INV004",
+                        f"overbroad 'except {name.id}'; catch a specific "
+                        "repro.errors type",
+                    )
+        self.generic_visit(node)
+
+
+def _suppressed(violation: Violation, source_lines: list[str]) -> bool:
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    line = source_lines[violation.line - 1]
+    return f"lint: ignore[{violation.code}]" in line
+
+
+def lint_file(path: Path) -> list[Violation]:
+    """Lint one Python file; raises SyntaxError on unparsable source."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    checker = _FileChecker(_module_path(path))
+    checker.visit(tree)
+    lines = source.splitlines()
+    return [v for v in checker.violations if not _suppressed(v, lines)]
+
+
+def lint_paths(paths: list[Path]) -> list[Violation]:
+    """Lint files and directory trees; returns all violations found."""
+    violations: list[Violation] = []
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            violations.extend(lint_file(file))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories (default: src/repro and tools/)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or [SRC_ROOT / "repro", REPO_ROOT / "tools"]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        violations = lint_paths(paths)
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
