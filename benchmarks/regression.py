@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Perf-regression harness — thin wrapper over ``repro bench``.
+
+CI runs::
+
+    python benchmarks/regression.py --quick \
+        --baseline benchmarks/BENCH_baseline.json --tolerance 0.30
+
+which times build/convert/mine at 1/2/4 workers, writes a
+``BENCH_<timestamp>.json`` report next to this file, and exits 1 when any
+phase is more than the tolerance slower than the baseline. Run it with no
+arguments for a full-size local run compared against the newest previous
+report. See docs/performance.md for the report format.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import bench  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(bench.main())

@@ -154,28 +154,53 @@ def _decode_field(
 def _decode_subarrays(
     report: ArrayCheckReport, n_ranks: int, buffer: Buffer, starts: list[int]
 ) -> dict[int, _RankNodes]:
+    """Decode every subarray — bulk kernel first, diagnosing walk on failure.
+
+    The clean case (the overwhelmingly common one) runs through
+    :func:`repro.compress.varint.decode_triples` in canonical mode — the
+    same tight kernel the miner uses. Only a subarray the kernel rejects
+    (truncated, over-long, or non-canonical varints) is re-walked field by
+    field to produce precise ``ARR010``/``ARR011`` diagnostics.
+    """
     nodes: dict[int, _RankNodes] = {}
     for rank in range(1, n_ranks + 1):
         start, end = starts[rank], starts[rank + 1]
-        rank_nodes: _RankNodes = {}
-        offset = start
-        while offset < end:
-            local = offset - start
-            where = f"rank {rank} local {local}"
-            fields = []
-            for __ in range(3):
-                decoded = _decode_field(report, buffer, offset, end, where)
-                if decoded is None:
-                    break
-                value, offset = decoded
-                fields.append(value)
-            if len(fields) != 3:
-                break  # subarray unwalkable past a truncated triple
-            delta_item, dpos_raw, count = fields
-            rank_nodes[local] = (delta_item, varint.unzigzag(dpos_raw), count)
-            report.nodes += 1
+        try:
+            triples = varint.decode_triples(buffer, start, end, canonical=True)
+        except CorruptBufferError:
+            rank_nodes = _decode_subarray_slow(report, buffer, rank, start, end)
+        else:
+            rank_nodes = {
+                local: (delta_item, dpos, count)
+                for local, delta_item, dpos, count in triples
+            }
+            report.nodes += len(rank_nodes)
         nodes[rank] = rank_nodes
     return nodes
+
+
+def _decode_subarray_slow(
+    report: ArrayCheckReport, buffer: Buffer, rank: int, start: int, end: int
+) -> _RankNodes:
+    """Field-by-field decode of one subarray, emitting diagnostics."""
+    rank_nodes: _RankNodes = {}
+    offset = start
+    while offset < end:
+        local = offset - start
+        where = f"rank {rank} local {local}"
+        fields = []
+        for __ in range(3):
+            decoded = _decode_field(report, buffer, offset, end, where)
+            if decoded is None:
+                break
+            value, offset = decoded
+            fields.append(value)
+        if len(fields) != 3:
+            break  # subarray unwalkable past a truncated triple
+        delta_item, dpos_raw, count = fields
+        rank_nodes[local] = (delta_item, varint.unzigzag(dpos_raw), count)
+        report.nodes += 1
+    return rank_nodes
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,362 @@
+"""Wall-clock benchmarks and the perf-regression harness (``repro bench``).
+
+Unlike :mod:`repro.experiments` (which *simulates* the paper's 6 GB
+testbed), this module measures real wall time so perf PRs are judged
+against a recorded baseline. One run times the three CFP-growth phases —
+build, convert, mine — on synthetic + FIMI-proxy datasets, runs the mine
+phase at 1/2/4 workers (serial first, so every speedup is relative to the
+same run's serial wall), and writes a ``BENCH_<timestamp>.json`` report:
+
+* per dataset: transaction/rank/node counts, build/convert seconds,
+  CFP-array bytes;
+* per worker count: mine wall seconds, nodes/sec (top-level array nodes
+  over mine wall), speedup vs the serial mine, itemset count (a built-in
+  correctness tripwire: it must not vary with the worker count);
+* per run: peak RSS (self + reaped workers) and platform info.
+
+``compare_reports`` diffs a report against a previous one (the committed
+``benchmarks/BENCH_baseline.json`` in CI, else the newest ``BENCH_*.json``
+on disk) and flags any phase that got more than ``tolerance`` slower —
+with an absolute noise floor so micro-jitter on near-zero timings does
+not trip the gate. See docs/performance.md for how to read the report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.core.cfp_growth import DEFAULT_CACHE_BUDGET, mine_array
+from repro.core.conversion import convert
+from repro.core.parallel import mine_array_parallel
+from repro.core.ternary import TernaryCfpTree
+from repro.datasets.quest import QuestGenerator
+from repro.datasets.synthetic import make_kosarak, make_retail
+from repro.fptree.growth import CountCollector
+from repro.util.items import prepare_transactions
+
+#: Report schema version, bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Regressions smaller than this many seconds are ignored regardless of
+#: ratio — they are timer jitter, not performance.
+NOISE_FLOOR_SECONDS = 0.05
+
+#: Default worker counts benchmarked for the mine phase.
+DEFAULT_JOBS = (1, 2, 4)
+
+
+def _quest_t10i4(quick: bool) -> tuple[list[list[int]], int]:
+    """T10I4D100K-style Quest data: avg |T|=10, avg pattern length 4."""
+    scale = 2_000 if quick else 12_000
+    generator = QuestGenerator(
+        n_transactions=scale,
+        avg_transaction_length=10.0,
+        avg_pattern_length=4.0,
+        n_items=600 if quick else 1_000,
+        n_patterns=150 if quick else 300,
+        seed=101,
+    )
+    return generator.generate(), max(2, scale // 200)
+
+
+def _retail(quick: bool) -> tuple[list[list[int]], int]:
+    n = 1_200 if quick else 4_000
+    return make_retail(n_transactions=n, n_items=1_600, seed=7), max(2, n // 100)
+
+
+def _kosarak(quick: bool) -> tuple[list[list[int]], int]:
+    n = 1_500 if quick else 6_000
+    return make_kosarak(n_transactions=n, seed=13), max(2, n // 100)
+
+
+#: name -> loader(quick) returning (database, min_support).
+DATASETS: dict[str, Callable[[bool], tuple[list[list[int]], int]]] = {
+    "quest-T10I4": _quest_t10i4,
+    "retail": _retail,
+    "kosarak": _kosarak,
+}
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set of this process plus reaped children, in KiB."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(own + children)
+
+
+def bench_dataset(
+    database: list[list[int]],
+    min_support: int,
+    jobs: Iterable[int] = DEFAULT_JOBS,
+) -> dict:
+    """Time build/convert/mine for one dataset; returns its report entry."""
+    started = time.perf_counter()
+    table, transactions = prepare_transactions(database, min_support)
+    prepare_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+    build_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    array = convert(tree)
+    convert_s = time.perf_counter() - started
+    array.set_cache_budget(DEFAULT_CACHE_BUDGET)
+    del tree
+
+    nodes = array.node_count
+    entry: dict = {
+        "transactions": len(database),
+        "min_support": min_support,
+        "n_ranks": array.n_ranks,
+        "nodes": nodes,
+        "array_bytes": array.memory_bytes,
+        "prepare_s": round(prepare_s, 4),
+        "build_s": round(build_s, 4),
+        "convert_s": round(convert_s, 4),
+        "mine": {},
+    }
+    job_list = sorted(set(int(j) for j in jobs))
+    if 1 not in job_list:
+        job_list.insert(0, 1)  # speedups are relative to this run's serial mine
+    serial_wall: float | None = None
+    for job_count in job_list:
+        collector = CountCollector()
+        started = time.perf_counter()
+        if job_count == 1:
+            mine_array(array, min_support, collector)
+        else:
+            mine_array_parallel(array, min_support, collector, jobs=job_count)
+        wall = time.perf_counter() - started
+        if job_count == 1:
+            serial_wall = wall
+        entry["mine"][str(job_count)] = {
+            "wall_s": round(wall, 4),
+            "nodes_per_s": round(nodes / wall) if wall > 0 else None,
+            "speedup": round(serial_wall / wall, 3) if serial_wall and wall > 0 else 1.0,
+            "itemsets": collector.count,
+        }
+    return entry
+
+
+def run_bench(
+    dataset_names: Iterable[str] | None = None,
+    jobs: Iterable[int] = DEFAULT_JOBS,
+    quick: bool = False,
+    datasets: dict[str, tuple[list[list[int]], int]] | None = None,
+) -> dict:
+    """Run the benchmark suite and return the report dict.
+
+    ``datasets`` injects prepared ``{name: (database, min_support)}`` pairs
+    directly (tests use this); otherwise ``dataset_names`` picks from the
+    registry (default: all of it).
+    """
+    if datasets is None:
+        names = list(dataset_names) if dataset_names else list(DATASETS)
+        datasets = {}
+        for name in names:
+            try:
+                loader = DATASETS[name]
+            except KeyError:
+                known = ", ".join(sorted(DATASETS))
+                raise SystemExit(f"unknown bench dataset {name!r}; known: {known}")
+            datasets[name] = loader(quick)
+    report: dict = {
+        "schema": SCHEMA_VERSION,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "datasets": {},
+    }
+    for name, (database, min_support) in datasets.items():
+        report["datasets"][name] = bench_dataset(database, min_support, jobs)
+    report["peak_rss_kb"] = _peak_rss_kb()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Persistence and comparison
+# ----------------------------------------------------------------------
+
+
+def write_report(report: dict, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<timestamp>.json`` under ``out_dir``; returns the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    path = out / f"BENCH_{stamp}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def find_previous(out_dir: str | Path, exclude: Path | None = None) -> Path | None:
+    """Newest ``BENCH_*.json`` in ``out_dir`` (timestamped runs only —
+    the committed ``BENCH_baseline.json`` is never picked up implicitly)."""
+    out = Path(out_dir)
+    candidates = sorted(
+        p
+        for p in out.glob("BENCH_*.json")
+        if p.stem != "BENCH_baseline" and (exclude is None or p != exclude)
+    )
+    return candidates[-1] if candidates else None
+
+
+def compare_reports(current: dict, previous: dict, tolerance: float = 0.3) -> list[str]:
+    """Flag phases that regressed more than ``tolerance`` vs ``previous``.
+
+    Returns human-readable regression lines (empty = within tolerance).
+    Only slowdowns count; getting faster never fails. Deltas below
+    :data:`NOISE_FLOOR_SECONDS` are ignored.
+    """
+    regressions: list[str] = []
+
+    def check(label: str, now: float | None, before: float | None) -> None:
+        if not isinstance(now, (int, float)) or not isinstance(before, (int, float)):
+            return
+        if now - before <= NOISE_FLOOR_SECONDS:
+            return
+        if before > 0 and now > before * (1.0 + tolerance):
+            regressions.append(
+                f"{label}: {now:.3f}s vs {before:.3f}s "
+                f"(+{(now / before - 1.0) * 100.0:.0f}%, tolerance {tolerance:.0%})"
+            )
+
+    for name, entry in current.get("datasets", {}).items():
+        before_entry = previous.get("datasets", {}).get(name)
+        if before_entry is None:
+            continue
+        for phase in ("build_s", "convert_s"):
+            check(f"{name}/{phase[:-2]}", entry.get(phase), before_entry.get(phase))
+        for job_count, mine in entry.get("mine", {}).items():
+            before_mine = before_entry.get("mine", {}).get(job_count)
+            if before_mine is None:
+                continue
+            check(
+                f"{name}/mine@{job_count}",
+                mine.get("wall_s"),
+                before_mine.get("wall_s"),
+            )
+    return regressions
+
+
+def format_summary(report: dict) -> str:
+    """Paper-style fixed-width summary of one report."""
+    lines = [
+        f"repro bench — {report['created_utc']}  "
+        f"({report['machine']['platform']}, {report['machine']['cpus']} cpus)",
+        f"{'dataset':<14} {'tx':>7} {'nodes':>8} {'build':>8} {'convert':>8} "
+        f"{'jobs':>4} {'mine':>8} {'speedup':>7} {'nodes/s':>9}",
+    ]
+    for name, entry in report["datasets"].items():
+        first = True
+        for job_count, mine in sorted(entry["mine"].items(), key=lambda kv: int(kv[0])):
+            prefix = (
+                f"{name:<14} {entry['transactions']:>7} {entry['nodes']:>8} "
+                f"{entry['build_s']:>8.3f} {entry['convert_s']:>8.3f}"
+                if first
+                else f"{'':<14} {'':>7} {'':>8} {'':>8} {'':>8}"
+            )
+            lines.append(
+                f"{prefix} {job_count:>4} {mine['wall_s']:>8.3f} "
+                f"{mine['speedup']:>6.2f}x {mine['nodes_per_s'] or 0:>9}"
+            )
+            first = False
+    lines.append(f"peak RSS: {report['peak_rss_kb']:,} KiB")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Entry point (shared by `repro bench` and benchmarks/regression.py)
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run benchmarks, persist the report, compare, and gate.
+
+    Exit codes: 0 ok, 1 regression beyond tolerance, 2 usage error.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="wall-clock perf benchmark with regression gate",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized datasets")
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        help=f"comma-separated subset of: {', '.join(sorted(DATASETS))}",
+    )
+    parser.add_argument(
+        "--jobs",
+        default=",".join(str(j) for j in DEFAULT_JOBS),
+        help="comma-separated worker counts for the mine phase (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--output-dir", default="benchmarks", help="where BENCH_*.json lands"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="report to compare against (default: newest BENCH_*.json in output dir)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed slowdown fraction before failing (default 0.3 = 30%%)",
+    )
+    parser.add_argument(
+        "--no-compare", action="store_true", help="measure and write only"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        jobs = [int(j) for j in args.jobs.split(",") if j.strip()]
+    except ValueError:
+        print(f"error: --jobs must be comma-separated ints: {args.jobs!r}", file=sys.stderr)
+        return 2
+    names = args.datasets.split(",") if args.datasets else None
+
+    previous_path: Path | None
+    if args.baseline:
+        previous_path = Path(args.baseline)
+        if not previous_path.exists():
+            print(f"error: baseline {previous_path} not found", file=sys.stderr)
+            return 2
+    else:
+        previous_path = find_previous(args.output_dir)
+
+    report = run_bench(names, jobs, quick=args.quick)
+    path = write_report(report, args.output_dir)
+    print(format_summary(report))
+    print(f"report: {path}")
+
+    if args.no_compare or previous_path is None:
+        if previous_path is None and not args.no_compare:
+            print("no previous report found; this run becomes the baseline")
+        return 0
+    previous = json.loads(previous_path.read_text())
+    regressions = compare_reports(report, previous, args.tolerance)
+    if regressions:
+        print(f"\nperf regressions vs {previous_path}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"no regressions vs {previous_path} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

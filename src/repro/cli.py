@@ -4,12 +4,16 @@ Usage (after installation)::
 
     python -m repro mine data.fimi --min-support 100
     python -m repro mine data.fimi --min-support 100 --algorithm lcm --closed
+    python -m repro mine data.fimi --min-support 100 --jobs 4
     python -m repro stats data.fimi
     python -m repro convert data.fimi data.bin
     python -m repro check tree.cfpt array.cfpa
     python -m repro experiment table1
+    python -m repro bench --quick
 
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
+``--jobs N`` parallelizes the mine phase for miners that support it
+(currently cfp-growth); other miners ignore it with a warning.
 
 ``check`` exit codes: 0 every file intact, 1 corruption diagnostics,
 2 usage error, 3 a path could not be read at all.
@@ -62,7 +66,16 @@ def _cmd_mine(args) -> int:
         results = maximal_itemsets(database, args.min_support)
         kind = "maximal"
     else:
-        results = get_miner(args.algorithm).mine(database, args.min_support)
+        miner = get_miner(args.algorithm)
+        if args.jobs > 1:
+            if hasattr(miner, "jobs"):
+                miner.jobs = args.jobs
+            else:
+                print(
+                    f"warning: --jobs ignored ({args.algorithm} mines serially)",
+                    file=sys.stderr,
+                )
+        results = miner.mine(database, args.min_support)
         kind = "frequent"
     elapsed = time.perf_counter() - started
     results = sorted(results, key=lambda r: (-r[1], len(r[0])))
@@ -149,6 +162,12 @@ def _cmd_check(args) -> int:
     return exit_code
 
 
+def _cmd_bench(args) -> int:  # pragma: no cover - dispatched early in main()
+    from repro import bench
+
+    return bench.main([])
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -174,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--maximal", action="store_true", help="maximal itemsets only")
     mine.add_argument("--top-k", type=int, default=0, help="k best itemsets")
     mine.add_argument("--limit", type=int, default=0, help="print at most N rows")
+    mine.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="mine-phase worker processes (cfp-growth only; default 1 = serial)",
+    )
     mine.set_defaults(func=_cmd_mine)
 
     stats = sub.add_parser("stats", help="dataset summary statistics")
@@ -204,10 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.set_defaults(func=_cmd_experiment)
 
+    # `bench` is listed for discoverability but dispatched early in main():
+    # repro.bench.main owns its full argparse surface (shared with
+    # benchmarks/regression.py), and argparse.REMAINDER cannot forward
+    # leading options through a subparser.
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock perf benchmark with regression gate",
+        add_help=False,
+    )
+    bench.set_defaults(func=_cmd_bench)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro import bench
+
+        return bench.main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -34,6 +34,7 @@ from repro.compress.masks import (
 )
 from repro.compress.varint import (
     decode_from,
+    decode_triples,
     encode,
     encode_into,
     encoded_size,
@@ -65,6 +66,7 @@ __all__ = [
     "encode_into",
     "encoded_size",
     "decode_from",
+    "decode_triples",
     "skip",
     "leading_zero_bytes",
     "encode_3bit",

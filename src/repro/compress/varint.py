@@ -126,6 +126,82 @@ def skip(buf: Buffer, offset: int = 0) -> int:
             return offset
 
 
+def decode_triples(
+    buf: Buffer, start: int, end: int, *, canonical: bool = False
+) -> list[tuple[int, int, int, int]]:
+    """Bulk-decode one CFP-array subarray of ``(delta_item, dpos, count)``.
+
+    Decodes every varint triple in ``buf[start:end]`` in one tight loop and
+    returns ``(local, delta_item, dpos, count)`` tuples, where ``local`` is
+    the triple's byte offset relative to ``start`` and ``dpos`` is already
+    zigzag-decoded. This is the mine-phase hot kernel: compared to three
+    :func:`decode_from` calls per node it avoids per-field call overhead,
+    bound re-checks and tuple churn, using localized lookups over a
+    :class:`memoryview`.
+
+    A varint must not run past ``end`` (subarray boundaries are hard, unlike
+    :func:`decode_from` which only knows the buffer end). With
+    ``canonical=True`` an over-long encoding (wasted continuation bytes)
+    also raises, which lets verifiers fall back to a diagnosing slow path.
+
+    Raises :class:`CorruptBufferError` on truncation, over-length, or (in
+    canonical mode) non-minimal encodings.
+    """
+    if not 0 <= start <= end <= len(buf):
+        raise CorruptBufferError(
+            f"subarray bounds [{start}, {end}) outside buffer of {len(buf)} bytes"
+        )
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    triples: list[tuple[int, int, int, int]] = []
+    append = triples.append
+    pos = start
+    fields = [0, 0, 0]
+    while pos < end:
+        local = pos - start
+        for index in range(3):
+            field_start = pos
+            if pos >= end:
+                raise CorruptBufferError(
+                    f"varint truncated at offset {pos} (triple at {start + local})"
+                )
+            byte = view[pos]
+            pos += 1
+            if byte < 0x80:
+                fields[index] = byte
+                continue
+            value = byte & 0x7F
+            shift = 7
+            while True:
+                if pos >= end:
+                    raise CorruptBufferError(
+                        f"varint truncated at offset {pos} (started at {field_start})"
+                    )
+                if pos - field_start >= MAX_ENCODED_LENGTH:
+                    raise CorruptBufferError(
+                        f"varint longer than {MAX_ENCODED_LENGTH} bytes "
+                        f"at offset {field_start}"
+                    )
+                byte = view[pos]
+                pos += 1
+                value |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+            if canonical and byte == 0:
+                raise CorruptBufferError(
+                    f"non-canonical varint at offset {field_start}: "
+                    f"{pos - field_start} bytes encode {value}"
+                )
+            fields[index] = value
+        dpos_raw = fields[1]
+        if dpos_raw & 1:
+            dpos = -((dpos_raw + 1) >> 1)
+        else:
+            dpos = dpos_raw >> 1
+        append((local, fields[0], dpos, fields[2]))
+    return triples
+
+
 def zigzag(value: int) -> int:
     """Map a signed integer to unsigned for varint encoding.
 

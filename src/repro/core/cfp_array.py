@@ -29,22 +29,83 @@ delta_item``; ``parent_local = local - dpos``; the parent's global offset is
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections import OrderedDict
+from typing import Iterator, Union
 
 from repro.compress import varint
 from repro.errors import TreeError
 from repro.memman.pointers import POINTER_SIZE
+
+#: One decoded node: ``(local, delta_item, dpos, count)``.
+Triple = tuple[int, int, int, int]
+
+#: Buffer types a CFP-array can wrap. ``memoryview`` enables zero-copy
+#: attachment to a ``multiprocessing.shared_memory`` segment
+#: (:mod:`repro.core.parallel`).
+ArrayBuffer = Union[bytearray, bytes, memoryview]
+
+
+class _SubarrayCache:
+    """Byte-budgeted LRU cache of bulk-decoded subarrays, keyed by rank.
+
+    The *charge* of an entry is the subarray's **encoded** byte length — the
+    quantity the item index already knows — so the budget reads as "cache at
+    most N bytes worth of CFP-array". The decoded triples occupy a constant
+    factor more Python memory than their encoding; the budget is a knob, not
+    an exact accounting (see docs/performance.md).
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = budget_bytes
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[int, tuple[list[Triple], int]] = OrderedDict()
+
+    def get(self, rank: int) -> list[Triple] | None:
+        entry = self._entries.get(rank)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(rank)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, rank: int, triples: list[Triple], charge: int) -> None:
+        if charge > self.budget_bytes or rank in self._entries:
+            return
+        while self._entries and self.used_bytes + charge > self.budget_bytes:
+            __, (__, evicted_charge) = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_charge
+        self._entries[rank] = (triples, charge)
+        self.used_bytes += charge
 
 
 class CfpArray:
     """Byte-packed CFP-array with its item index.
 
     Built by :func:`repro.core.conversion.convert`; the constructor takes
-    the finished buffer and index.
+    the finished buffer and index. ``node_count`` is recorded by the
+    converter (it knows it from the counts pass); hand-built arrays may
+    omit it and fall back to a lazy full-buffer scan.
+
+    ``cache_budget`` > 0 enables a byte-budgeted LRU cache of bulk-decoded
+    subarrays (:meth:`set_cache_budget`), which pays off when subarrays are
+    rescanned — as the ancestor subarrays are, many times over, during
+    conditional-tree construction in the mine phase.
     """
 
+    #: Class-level default so hand-assembled instances (``__new__`` in the
+    #: corruption-injection tests) behave like cache-off arrays.
+    _cache: _SubarrayCache | None = None
+
     def __init__(
-        self, n_ranks: int, buffer: bytearray, starts: list[int]
+        self,
+        n_ranks: int,
+        buffer: ArrayBuffer,
+        starts: list[int],
+        node_count: int | None = None,
+        cache_budget: int = 0,
     ) -> None:
         if len(starts) != n_ranks + 2:
             raise TreeError(
@@ -57,7 +118,25 @@ class CfpArray:
         #: ``starts[rank]`` = first byte of the rank's subarray;
         #: ``starts[rank + 1]`` = one past its last byte. Entry 0 is unused.
         self.starts = starts
-        self._node_count: int | None = None
+        self._node_count: int | None = node_count
+        self._cache = _SubarrayCache(cache_budget) if cache_budget > 0 else None
+
+    # ------------------------------------------------------------------
+    # Decoded-subarray cache
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_budget(self) -> int:
+        """Current byte budget of the decoded-subarray cache (0 = off)."""
+        return self._cache.budget_bytes if self._cache is not None else 0
+
+    def set_cache_budget(self, budget_bytes: int) -> None:
+        """Enable (or resize, or with 0 disable) the decoded-subarray cache.
+
+        Resizing drops all cached entries; results are unaffected either
+        way — the cache only trades memory for repeated decode work.
+        """
+        self._cache = _SubarrayCache(budget_bytes) if budget_bytes > 0 else None
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -70,10 +149,15 @@ class CfpArray:
 
     @property
     def node_count(self) -> int:
-        """Total nodes across all subarrays (computed lazily)."""
+        """Total nodes across all subarrays.
+
+        Recorded at build time by the converter; hand-built arrays that did
+        not pass ``node_count`` fall back to a lazy full-buffer scan.
+        """
         if self._node_count is None:
             self._node_count = sum(
-                1 for rank in range(1, self.n_ranks + 1) for __ in self.iter_subarray(rank)
+                len(self.decode_subarray(rank))
+                for rank in range(1, self.n_ranks + 1)
             )
         return self._node_count
 
@@ -93,19 +177,71 @@ class CfpArray:
     # Traversal
     # ------------------------------------------------------------------
 
-    def iter_subarray(self, rank: int) -> Iterator[tuple[int, int, int, int]]:
-        """Sideward traversal: ``(local, delta_item, dpos, count)`` per node."""
+    def decode_subarray(self, rank: int) -> list[Triple]:
+        """Bulk-decode one rank's subarray via the tight varint kernel.
+
+        Returns ``(local, delta_item, dpos, count)`` tuples in storage
+        order; served from the LRU cache when a budget is set.
+        """
         self._check_rank(rank)
-        buf = self.buffer
-        start = self.starts[rank]
-        end = self.starts[rank + 1]
-        offset = start
-        while offset < end:
-            local = offset - start
-            delta_item, offset = varint.decode_from(buf, offset)
-            dpos_raw, offset = varint.decode_from(buf, offset)
-            count, offset = varint.decode_from(buf, offset)
-            yield local, delta_item, varint.unzigzag(dpos_raw), count
+        cache = self._cache
+        if cache is not None:
+            cached = cache.get(rank)
+            if cached is not None:
+                return cached
+        triples = varint.decode_triples(
+            self.buffer, self.starts[rank], self.starts[rank + 1]
+        )
+        if cache is not None:
+            cache.put(rank, triples, self.starts[rank + 1] - self.starts[rank])
+        return triples
+
+    def iter_subarray(self, rank: int) -> Iterator[Triple]:
+        """Sideward traversal: ``(local, delta_item, dpos, count)`` per node."""
+        return iter(self.decode_subarray(rank))
+
+    def prefix_paths(self, rank: int) -> list[tuple[list[int], int]]:
+        """Prefix paths of every node in ``rank``'s subarray, in storage order.
+
+        Returns ``(ancestor_ranks_ascending, count)`` per node — the input
+        of conditional-tree construction. The sideward scan is one bulk
+        decode; the backward walks resolve ancestors through per-rank
+        decoded maps that are built at most once per call (and reused
+        across calls via the subarray cache), replacing the per-varint
+        random-access decodes of the former per-node walk. ``count`` is
+        never touched on the backward walk (§3.4's field-order rationale).
+        """
+        maps: dict[int, dict[int, tuple[int, int]]] = {}
+        paths: list[tuple[list[int], int]] = []
+        for local, delta_item, dpos, count in self.decode_subarray(rank):
+            path: list[int] = []
+            walk_rank, walk_local = rank, local
+            walk_delta, walk_dpos = delta_item, dpos
+            while True:
+                parent_rank = walk_rank - walk_delta
+                if parent_rank == 0:
+                    break
+                walk_local -= walk_dpos
+                walk_rank = parent_rank
+                path.append(walk_rank)
+                parent_map = maps.get(walk_rank)
+                if parent_map is None:
+                    parent_map = {
+                        node_local: (node_delta, node_dpos)
+                        for node_local, node_delta, node_dpos, __ in
+                        self.decode_subarray(walk_rank)
+                    }
+                    maps[walk_rank] = parent_map
+                try:
+                    walk_delta, walk_dpos = parent_map[walk_local]
+                except KeyError:
+                    raise TreeError(
+                        f"dpos chain from rank {rank} lands at rank "
+                        f"{walk_rank} local {walk_local}, not a node start"
+                    ) from None
+            path.reverse()
+            paths.append((path, count))
+        return paths
 
     def node_at(self, rank: int, local: int) -> tuple[int, int, int]:
         """Decode the triple at a (rank, local-offset) position."""
@@ -143,7 +279,7 @@ class CfpArray:
 
     def rank_support(self, rank: int) -> int:
         """Support of an item: the sum of its subarray's counts."""
-        return sum(count for __, __, __, count in self.iter_subarray(rank))
+        return sum(count for __, __, __, count in self.decode_subarray(rank))
 
     def active_ranks_descending(self) -> Iterator[int]:
         """Ranks with a non-empty subarray, least frequent first."""

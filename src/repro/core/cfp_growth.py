@@ -48,29 +48,47 @@ def mine_array(
 ) -> None:
     """Recursively mine a CFP-array (the §2.1 mine loop on §3.4 structures)."""
     for rank in array.active_ranks_descending():
-        support = array.rank_support(rank)
-        if support < min_support:
-            continue
-        itemset = (rank,) + suffix
-        collector.emit(itemset, support)
-        conditional = _conditional_tree(array, rank, min_support, meter)
-        if conditional is None:
-            continue
-        path = conditional.single_path()
-        if path is not None:
-            if path:
-                collector.emit_path_subsets(path, itemset)
-            if meter is not None:
-                meter.on_structure_freed(conditional.memory_bytes)
-            continue
-        cond_array = convert(conditional)
+        mine_rank(array, rank, min_support, collector, suffix, meter)
+
+
+def mine_rank(
+    array: CfpArray,
+    rank: int,
+    min_support: int,
+    collector: SupportCollector,
+    suffix: tuple[int, ...] = (),
+    meter: Any = None,
+) -> None:
+    """Mine one top-level rank of ``array`` — the body of the outer loop.
+
+    Exposed separately so the parallel miner (:mod:`repro.core.parallel`)
+    can run per-rank tasks through exactly the serial code path, which is
+    what makes worker output byte-identical to the serial miner's.
+    """
+    support = array.rank_support(rank)
+    if support < min_support:
+        return
+    itemset = (rank,) + suffix
+    collector.emit(itemset, support)
+    conditional = _conditional_tree(array, rank, min_support, meter)
+    if conditional is None:
+        return
+    path = conditional.single_path()
+    if path is not None:
+        if path:
+            collector.emit_path_subsets(path, itemset)
         if meter is not None:
-            meter.on_conversion(conditional, cond_array)
-        # The conditional tree is discarded here; only the array recurses.
-        del conditional
-        mine_array(cond_array, min_support, collector, itemset, meter)
-        if meter is not None:
-            meter.on_structure_freed(cond_array.memory_bytes)
+            meter.on_structure_freed(conditional.memory_bytes)
+        return
+    cond_array = convert(conditional)
+    cond_array.set_cache_budget(array.cache_budget)
+    if meter is not None:
+        meter.on_conversion(conditional, cond_array)
+    # The conditional tree is discarded here; only the array recurses.
+    del conditional
+    mine_array(cond_array, min_support, collector, itemset, meter)
+    if meter is not None:
+        meter.on_structure_freed(cond_array.memory_bytes)
 
 
 def _conditional_tree(
@@ -79,8 +97,7 @@ def _conditional_tree(
     """Build the conditional CFP-tree for ``rank`` from its prefix paths."""
     paths = []
     counts: dict[int, int] = defaultdict(int)
-    for local, __, __, count in array.iter_subarray(rank):
-        path = array.path_ranks(rank, local)
+    for path, count in array.prefix_paths(rank):
         if path:
             paths.append((path, count))
             for path_rank in path:
@@ -104,14 +121,27 @@ def _conditional_tree(
     return conditional
 
 
+#: Default byte budget of the decoded-subarray LRU cache the mine phase
+#: enables on every CFP-array it creates (see docs/performance.md).
+DEFAULT_CACHE_BUDGET = 1 << 20
+
+
 def mine_rank_transactions(
     transactions: list[list[int]],
     n_ranks: int,
     min_support: int,
     collector: SupportCollector | None = None,
     meter: Any = None,
+    jobs: int = 1,
+    cache_budget: int = DEFAULT_CACHE_BUDGET,
 ) -> SupportCollector:
-    """Full CFP-growth over prepared rank transactions; returns the collector."""
+    """Full CFP-growth over prepared rank transactions; returns the collector.
+
+    ``jobs > 1`` fans the top-level mine loop out to a shared-memory worker
+    pool (:mod:`repro.core.parallel`); output is byte-identical to the
+    serial run for any worker count. ``jobs=1`` is the unchanged serial
+    path with its full Meter instrumentation.
+    """
     if collector is None:
         collector = ListCollector()
     tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
@@ -123,20 +153,28 @@ def mine_rank_transactions(
             collector.emit_path_subsets(path, ())
         return collector
     array = convert(tree)
+    array.set_cache_budget(cache_budget)
     if meter is not None:
         meter.on_conversion(tree, array)
     del tree  # §3.5: the CFP-tree is discarded right after conversion.
-    mine_array(array, min_support, collector, (), meter)
+    if jobs > 1:
+        from repro.core.parallel import mine_array_parallel
+
+        mine_array_parallel(array, min_support, collector, (), meter, jobs=jobs)
+    else:
+        mine_array(array, min_support, collector, (), meter)
     return collector
 
 
 def cfp_growth(
-    database: TransactionDatabase, min_support: int
+    database: TransactionDatabase, min_support: int, jobs: int = 1
 ) -> list[tuple[tuple[Hashable, ...], int]]:
     """End-to-end CFP-growth over an item-level database."""
     table, transactions = prepare_transactions(database, min_support)
     collector = ListCollector()
-    mine_rank_transactions(transactions, len(table), min_support, collector)
+    mine_rank_transactions(
+        transactions, len(table), min_support, collector, jobs=jobs
+    )
     return [
         (table.ranks_to_items(ranks), support)
         for ranks, support in collector.itemsets
@@ -149,7 +187,25 @@ class CfpGrowth:
 
     name = "cfp-growth"
 
+    #: Worker count for the mine phase; 1 = serial. The CLI's ``--jobs``
+    #: overrides this on the instance.
+    jobs = 1
+
     def mine(
         self, database: TransactionDatabase, min_support: int
     ) -> list[tuple[tuple[Hashable, ...], int]]:
-        return cfp_growth(database, min_support)
+        return cfp_growth(database, min_support, jobs=self.jobs)
+
+
+@register
+class CfpGrowthParallel(CfpGrowth):
+    """Two-worker shared-memory CFP-growth.
+
+    Registered as its own algorithm so the equivalence gate
+    (tests/algorithms) holds the parallel mine phase to byte-identical
+    output against every other miner on every shared database.
+    """
+
+    name = "cfp-growth-par"
+
+    jobs = 2

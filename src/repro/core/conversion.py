@@ -122,6 +122,6 @@ def convert(tree: TernaryCfpTree) -> CfpArray:
                 f"subarray of rank {rank} filled {written[rank]} of "
                 f"{sizes[rank]} bytes"
             )
-    array = CfpArray(n_ranks, buffer, starts)
-    array._node_count = len(counts)
-    return array
+    # The counts pass already visited every node, so the converter knows the
+    # node count exactly — no lazy re-decode of the whole buffer later.
+    return CfpArray(n_ranks, buffer, starts, node_count=len(counts))

@@ -1,0 +1,310 @@
+"""Parallel mine phase over a shared-memory CFP-array.
+
+The CFP-array is an immutable byte buffer plus a small item index — a
+textbook candidate for zero-copy fan-out (the partitioned conditional
+mining of PFP-style systems, see PAPERS.md). This module publishes the
+buffer once through :mod:`multiprocessing.shared_memory` and runs the
+top-level mine loop's per-rank bodies (:func:`repro.core.cfp_growth.mine_rank`)
+as tasks on a persistent worker pool:
+
+* **One segment, no copies.** The parent packs ``[header | item index |
+  buffer]`` into one POSIX shared-memory segment; workers attach and wrap
+  the payload in a :class:`memoryview`-backed :class:`CfpArray`. Nothing
+  is pickled per task beyond ``(segment name, rank, min_support)``.
+* **Size-aware scheduling.** Tasks are *submitted* largest-subarray-first
+  so the biggest conditional trees start earliest (classic LPT
+  scheduling), but results are *merged* in the serial loop's order
+  (descending rank), making output byte-identical to the serial miner for
+  any worker count and any scheduling order.
+* **Replayed events, not expanded itemsets.** Workers record the exact
+  collector calls (``emit`` / ``emit_path_subsets``) and the parent
+  replays them into the caller's collector — so a ``CountCollector``
+  keeps counting single-path subsets combinatorially instead of having
+  them materialized in the workers.
+* **Metering survives the fan-out.** When the caller passes a
+  :class:`repro.machine.Meter`, each worker runs its own and the parent
+  folds them back deterministically via :meth:`Meter.merge`.
+
+Lifecycle: the parent creates the segment, workers attach per task (and
+de-register it from their resource tracker — the parent owns unlinking),
+and the parent closes **and unlinks** in a ``finally`` so the segment is
+reclaimed even when a worker dies mid-mine. Worker-side attachments are
+cached per segment name and dropped as soon as a task for a different
+segment arrives. See docs/performance.md for the full walk-through.
+"""
+
+from __future__ import annotations
+
+import atexit
+import struct
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_all_start_methods, get_context, resource_tracker
+from multiprocessing import shared_memory
+from multiprocessing.context import BaseContext
+from typing import Any, Sequence
+
+from repro.core.cfp_array import CfpArray
+from repro.core.cfp_growth import SupportCollector, mine_array, mine_rank
+from repro.errors import ParallelMineError
+from repro.machine import Meter
+
+#: Segment layout: magic, format version, n_ranks, buffer length — followed
+#: by ``n_ranks + 2`` little-endian u64 item-index entries, then the buffer.
+_HEADER = struct.Struct("<8sHxxxxxxQQ")
+
+_MAGIC = b"CFPSHM\x00\x00"
+
+_FORMAT_VERSION = 1
+
+#: One recorded collector call: ``("i", itemset, support)`` or
+#: ``("p", path, suffix)``.
+_Event = tuple[str, Any, Any]
+
+#: Worker pools keyed by worker count, reused across mine calls so repeated
+#: parallel mining (benchmarks, experiments, tests) pays pool start-up once.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+#: Worker-side cache: segment name -> (segment, payload view, array).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, memoryview, CfpArray]] = {}
+
+
+class _EventCollector:
+    """Records collector calls verbatim for replay in the parent."""
+
+    def __init__(self) -> None:
+        self.events: list[_Event] = []
+
+    def emit(self, itemset: tuple[int, ...], support: int) -> None:
+        self.events.append(("i", itemset, support))
+
+    def emit_path_subsets(
+        self, path: list[tuple[int, int]], suffix: tuple[int, ...]
+    ) -> None:
+        self.events.append(("p", path, suffix))
+
+
+# ----------------------------------------------------------------------
+# Shared-memory publication (parent side)
+# ----------------------------------------------------------------------
+
+
+def publish_array(array: CfpArray) -> shared_memory.SharedMemory:
+    """Copy ``array`` into a fresh shared-memory segment (create side).
+
+    The caller owns the segment and must ``close()`` and ``unlink()`` it —
+    :func:`mine_array_parallel` does both in a ``finally``.
+    """
+    starts_blob = struct.pack(f"<{len(array.starts)}Q", *array.starts)
+    buffer_len = len(array.buffer)
+    total = _HEADER.size + len(starts_blob) + buffer_len
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    view = memoryview(segment.buf)
+    try:
+        _HEADER.pack_into(view, 0, _MAGIC, _FORMAT_VERSION, array.n_ranks, buffer_len)
+        offset = _HEADER.size
+        view[offset:offset + len(starts_blob)] = starts_blob
+        offset += len(starts_blob)
+        view[offset:offset + buffer_len] = bytes(array.buffer)
+    finally:
+        view.release()
+    return segment
+
+
+def attach_array(name: str, cache_budget: int = 0) -> CfpArray:
+    """Attach to a published segment and wrap it as a zero-copy CfpArray.
+
+    The attachment is cached per segment name; attaching to a new name
+    drops every previously cached attachment (the parent never interleaves
+    segments, so an old name can no longer receive tasks).
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[2]
+    _detach_all()
+    segment = _attach_untracked(name)
+    base = memoryview(segment.buf)
+    magic, version, n_ranks, buffer_len = _HEADER.unpack_from(base, 0)
+    if magic != _MAGIC or version != _FORMAT_VERSION:
+        base.release()
+        segment.close()
+        raise ParallelMineError(
+            f"shared segment {name!r} is not a v{_FORMAT_VERSION} CFP-array"
+        )
+    starts_end = _HEADER.size + (n_ranks + 2) * 8
+    starts = list(struct.unpack_from(f"<{n_ranks + 2}Q", base, _HEADER.size))
+    payload = base[starts_end:starts_end + buffer_len]
+    base.release()
+    array = CfpArray(n_ranks, payload, starts, cache_budget=cache_budget)
+    _ATTACHED[name] = (segment, payload, array)
+    return array
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering it with the resource tracker.
+
+    Until Python 3.13 grew ``track=False``, merely *attaching* also
+    registered the segment with the attaching process's resource tracker.
+    The parent alone owns the unlink; a worker-side registration would
+    either double-book the shared (fork) tracker or — worse, under spawn —
+    have a worker's private tracker unlink the segment while the parent
+    still serves tasks from it. Suppressing the registration for the
+    duration of the attach sidesteps both.
+    """
+    original_register = resource_tracker.register
+
+    def _skip(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - other resources
+            original_register(name, rtype)
+
+    resource_tracker.register = _skip  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register  # type: ignore[assignment]
+
+
+def _detach_all() -> None:
+    """Release every cached worker-side attachment."""
+    while _ATTACHED:
+        __, (segment, payload, array) = _ATTACHED.popitem()
+        del array
+        payload.release()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker task
+# ----------------------------------------------------------------------
+
+
+def _mine_rank_task(
+    name: str,
+    rank: int,
+    min_support: int,
+    suffix: tuple[int, ...],
+    cache_budget: int,
+    want_meter: bool,
+) -> tuple[list[_Event], Meter | None]:
+    """Run one top-level rank through the serial per-rank code path."""
+    array = attach_array(name, cache_budget)
+    collector = _EventCollector()
+    meter = Meter() if want_meter else None
+    mine_rank(array, rank, min_support, collector, suffix, meter)
+    return collector.events, meter
+
+
+# ----------------------------------------------------------------------
+# Pool management (parent side)
+# ----------------------------------------------------------------------
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        # fork is the cheapest start method and shares the loaded modules;
+        # platforms without it (Windows) fall back to their default.
+        context: BaseContext
+        if "fork" in get_all_start_methods():
+            context = get_context("fork")
+        else:
+            context = get_context()
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached worker pool (idempotent; also ran at exit)."""
+    while _POOLS:
+        __, pool = _POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# The parallel mine phase
+# ----------------------------------------------------------------------
+
+
+def mine_array_parallel(
+    array: CfpArray,
+    min_support: int,
+    collector: SupportCollector,
+    suffix: tuple[int, ...] = (),
+    meter: Any = None,
+    jobs: int = 1,
+    rank_order: Sequence[int] | None = None,
+) -> None:
+    """Mine ``array`` with ``jobs`` workers; output is byte-identical to
+    :func:`repro.core.cfp_growth.mine_array` for any worker count.
+
+    ``jobs <= 1`` (or a trivially small array) delegates to the serial
+    miner unchanged, preserving its in-process Meter instrumentation.
+
+    ``rank_order`` overrides the size-aware submission order — it must be
+    a permutation of the active ranks. Scheduling order never affects
+    output (the determinism property tests shuffle it to prove that);
+    the default orders by subarray byte length, largest first, so the
+    most expensive conditional trees start before the long tail.
+    """
+    ranks = list(array.active_ranks_descending())
+    if jobs <= 1 or len(ranks) <= 1 or len(array.buffer) == 0:
+        mine_array(array, min_support, collector, suffix, meter)
+        return
+    if rank_order is None:
+        order = sorted(ranks, key=lambda r: (-array.subarray_bytes(r), r))
+    else:
+        order = list(rank_order)
+        if sorted(order) != sorted(ranks):
+            raise ParallelMineError(
+                "rank_order must be a permutation of the active ranks"
+            )
+    workers = min(jobs, len(ranks))
+    segment = publish_array(array)
+    results: dict[int, tuple[list[_Event], Meter | None]] = {}
+    try:
+        pool = _get_pool(workers)
+        futures = {
+            rank: pool.submit(
+                _mine_rank_task,
+                segment.name,
+                rank,
+                min_support,
+                suffix,
+                array.cache_budget,
+                meter is not None,
+            )
+            for rank in order
+        }
+        try:
+            for rank in ranks:
+                results[rank] = futures[rank].result()
+        except BrokenProcessPool as exc:
+            shutdown_pools()  # a dead worker poisons the pool; rebuild next call
+            raise ParallelMineError(
+                f"a mine worker died while processing {len(ranks)} tasks"
+            ) from exc
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+    # Deterministic merge: replay per-rank events in the serial loop's
+    # order (descending rank), regardless of completion order.
+    for rank in ranks:
+        events, worker_meter = results[rank]
+        for kind, first, second in events:
+            if kind == "i":
+                collector.emit(first, second)
+            else:
+                collector.emit_path_subsets(first, second)
+        if meter is not None and worker_meter is not None:
+            phase_name = meter.phases[-1].name if meter.phases else "mine"
+            meter.merge(worker_meter, rename_to=phase_name)

@@ -52,6 +52,10 @@ class ConversionError(TreeError):
     """CFP-tree to CFP-array conversion failed an internal consistency check."""
 
 
+class ParallelMineError(ReproError):
+    """The parallel mine phase lost its worker pool or shared-memory segment."""
+
+
 class DatasetError(ReproError):
     """A dataset could not be parsed, generated, or validated."""
 

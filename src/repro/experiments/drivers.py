@@ -27,6 +27,7 @@ from repro.algorithms.nonordfp import NonordArrays
 from repro.algorithms.nonordfp import _mine as nonordfp_mine
 from repro.core.cfp_growth import mine_array
 from repro.core.conversion import convert
+from repro.core.parallel import mine_array_parallel
 from repro.core.ternary import TernaryCfpTree
 from repro.errors import ExperimentError
 from repro.fptree.growth import CountCollector, mine_tree
@@ -83,7 +84,7 @@ def _scan_phase(meter: Meter, transactions, fimi_bytes: int) -> int:
     return occurrences
 
 
-def _drive_cfp_growth(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_cfp_growth(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
     meter.add_ops(occurrences, occurrences * 8)
@@ -94,11 +95,14 @@ def _drive_cfp_growth(meter, transactions, n_ranks, min_support, occurrences):
     del tree
     meter.begin_phase("mine", SEQ_MINE)
     collector = CountCollector()
-    mine_array(array, min_support, collector, (), meter)
+    if jobs > 1:
+        mine_array_parallel(array, min_support, collector, (), meter, jobs=jobs)
+    else:
+        mine_array(array, min_support, collector, (), meter)
     return collector.count
 
 
-def _drive_fp_growth(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_fp_growth(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     tree = FPTree.from_rank_transactions(transactions, n_ranks)
     meter.add_ops(occurrences, occurrences * FP_NODE_BYTES)
@@ -109,7 +113,7 @@ def _drive_fp_growth(meter, transactions, n_ranks, min_support, occurrences):
     return collector.count
 
 
-def _drive_nonordfp(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_nonordfp(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     tree = FPTree.from_rank_transactions(transactions, n_ranks)
     meter.add_ops(occurrences, occurrences * FP_NODE_BYTES)
@@ -127,7 +131,7 @@ def _drive_nonordfp(meter, transactions, n_ranks, min_support, occurrences):
     return collector.count
 
 
-def _drive_fp_array(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_fp_array(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     meter.on_structure_built(dataset_bytes(transactions))
     tree = FPTree.from_rank_transactions(transactions, n_ranks)
@@ -147,7 +151,7 @@ def _drive_fp_array(meter, transactions, n_ranks, min_support, occurrences):
     return collector.count
 
 
-def _drive_fp_growth_tiny(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_fp_growth_tiny(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     # fpgrowth_tiny_ranks builds and mines in one sweep over the big tree;
     # charge the build before it runs so the phases split correctly.
     meter.begin_phase("build", SEQ_BUILD)
@@ -157,7 +161,7 @@ def _drive_fp_growth_tiny(meter, transactions, n_ranks, min_support, occurrences
     return len(results)
 
 
-def _drive_lcm(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_lcm(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     meter.add_ops(occurrences, occurrences * 4)
     meter.begin_phase("mine", SEQ_MINE)
@@ -165,7 +169,7 @@ def _drive_lcm(meter, transactions, n_ranks, min_support, occurrences):
     return len(results)
 
 
-def _drive_afopt(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_afopt(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     root = build_afopt_tree(transactions)
     meter.add_ops(occurrences, occurrences * AFOPT_NODE_BYTES)
@@ -176,7 +180,7 @@ def _drive_afopt(meter, transactions, n_ranks, min_support, occurrences):
     return results.count
 
 
-def _drive_ct_pro(meter, transactions, n_ranks, min_support, occurrences):
+def _drive_ct_pro(meter, transactions, n_ranks, min_support, occurrences, jobs=1):
     meter.begin_phase("build", SEQ_BUILD)
     compressed = CompressedTree(FPTree.from_rank_transactions(transactions, n_ranks))
     meter.add_ops(occurrences + compressed.total_nodes, occurrences * CT_NODE_BYTES)
@@ -212,12 +216,18 @@ def run_metered(
     fimi_bytes: int,
     spec: MachineSpec | None = None,
     tree_nodes: int | None = None,
+    jobs: int = 1,
 ) -> RunResult:
     """Execute one algorithm with full instrumentation and price the run.
 
     ``tree_nodes`` (the initial FP-tree size, shared across algorithms at a
     sweep point) can be precomputed with :func:`initial_tree_size` to avoid
     rebuilding it per algorithm.
+
+    ``jobs`` (default 1, serial — which keeps every paper-figure experiment
+    comparable) fans the cfp-growth mine phase out to that many workers;
+    per-worker meters are merged back into the run's meter, so the record
+    stays complete. Other algorithms ignore it.
     """
     try:
         driver = _DRIVERS[algorithm]
@@ -230,7 +240,7 @@ def run_metered(
         tree_nodes = initial_tree_size(transactions, n_ranks)
     meter = Meter()
     occurrences = _scan_phase(meter, transactions, fimi_bytes)
-    itemsets = driver(meter, transactions, n_ranks, min_support, occurrences)
+    itemsets = driver(meter, transactions, n_ranks, min_support, occurrences, jobs=jobs)
     estimate = SimulatedMachine(spec).estimate(meter)
     return RunResult(
         algorithm=algorithm,

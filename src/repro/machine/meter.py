@@ -90,6 +90,41 @@ class Meter:
         self.live_bytes -= size_bytes
 
     # ------------------------------------------------------------------
+    # Cross-worker aggregation
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Meter", rename_to: str | None = None) -> None:
+        """Fold another meter's record into this one.
+
+        The parallel mine phase gives every worker its own ``Meter`` and
+        merges them back, in deterministic task order, instead of silently
+        dropping instrumentation when ``jobs > 1``. Phases are matched by
+        name — or all mapped onto ``rename_to`` when given, which is how a
+        worker's default ``"run"`` phase lands in the parent's current
+        ``"mine"`` phase. Counters (ops, bytes touched, I/O) are summed;
+        a phase's footprint takes the maximum.
+
+        Workers run concurrently, so exact peak accounting is unknowable
+        from the pieces; ``peak_bytes`` takes the conservative stacking
+        estimate ``max(self.peak, self.live + other.peak)`` — exact when
+        the merged work actually ran on top of this meter's live bytes.
+        """
+        for phase in other.phases:
+            name = rename_to if rename_to is not None else phase.name
+            target = next((p for p in self.phases if p.name == name), None)
+            if target is None:
+                target = self.begin_phase(name, phase.sequential_fraction)
+            target.ops += phase.ops
+            target.bytes_touched += phase.bytes_touched
+            target.io_bytes += phase.io_bytes
+            if phase.footprint_bytes > target.footprint_bytes:
+                target.footprint_bytes = phase.footprint_bytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes + other.peak_bytes)
+        self.live_bytes += other.live_bytes
+        self._integral += other._integral
+        self._total_ops += other._total_ops
+
+    # ------------------------------------------------------------------
     # Algorithm-specific hooks used by the CFP-growth driver
     # ------------------------------------------------------------------
 

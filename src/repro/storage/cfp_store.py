@@ -281,8 +281,27 @@ class DiskCfpArray:
         path.reverse()
         return path
 
+    def prefix_paths(self, rank: int) -> list[tuple[list[int], int]]:
+        """Prefix paths of every node in ``rank``'s subarray, in storage order.
+
+        Mirrors :meth:`repro.core.CfpArray.prefix_paths` but resolves each
+        ancestor through the buffer pool — the per-node backward walk *is*
+        the out-of-core access pattern §4.3 measures, so no bulk-decode
+        shortcut is taken here.
+        """
+        return [
+            (self.path_ranks(rank, local), count)
+            for local, __, __, count in self.iter_subarray(rank)
+        ]
+
     def rank_support(self, rank: int) -> int:
         return sum(count for __, __, __, count in self.iter_subarray(rank))
+
+    @property
+    def cache_budget(self) -> int:
+        """Decoded-subarray cache budget for conditional arrays (disabled:
+        out-of-core runs measure the buffer pool, not an in-memory cache)."""
+        return 0
 
     def active_ranks_descending(self) -> Iterator[int]:
         for rank in range(self.n_ranks, 0, -1):

@@ -25,6 +25,7 @@ ALL_MINERS = [
     "ct-pro",
     "patricia",
     "cfp-growth",
+    "cfp-growth-par",  # cfp-growth with a 2-worker parallel mine phase
 ]
 
 

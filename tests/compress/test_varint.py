@@ -135,3 +135,95 @@ class TestProperties:
         assert not encoded[-1] & 0x80
         for byte in encoded[:-1]:
             assert byte & 0x80
+
+
+def _triple_blob(triples):
+    """Encode (delta_item, dpos, count) triples the way conversion does."""
+    blob = bytearray()
+    offsets = []
+    for delta_item, dpos, count in triples:
+        offsets.append(len(blob))
+        blob += varint.encode(delta_item)
+        blob += varint.encode(varint.zigzag(dpos))
+        blob += varint.encode(count)
+    return bytes(blob), offsets
+
+
+class TestDecodeTriples:
+    def test_matches_repeated_decode_from(self):
+        triples = [(0, 0, 5), (2, -3, 1), (300, 1 << 20, 7)]
+        blob, offsets = _triple_blob(triples)
+        decoded = varint.decode_triples(blob, 0, len(blob))
+        assert [(d, p, c) for __, d, p, c in decoded] == triples
+        assert [local for local, *__ in decoded] == offsets
+
+    def test_respects_subarray_window(self):
+        blob, offsets = _triple_blob([(1, 1, 1), (2, -2, 2), (3, 3, 3)])
+        # Decode only the middle triple by windowing [start, end).
+        start = offsets[1]
+        end = offsets[2]
+        [(local, delta, dpos, count)] = varint.decode_triples(blob, start, end)
+        assert (local, delta, dpos, count) == (0, 2, -2, 2)
+
+    def test_empty_window(self):
+        blob, __ = _triple_blob([(1, 1, 1)])
+        assert varint.decode_triples(blob, 3, 3) == []
+
+    def test_bounds_outside_buffer_raise(self):
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples(b"\x01", 0, 2)
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples(b"\x01\x01\x01", 2, 1)
+
+    def test_truncated_triple_raises(self):
+        blob, __ = _triple_blob([(5, -1, 9)])
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples(blob, 0, len(blob) - 1)
+
+    def test_truncated_multibyte_varint_raises(self):
+        # A continuation bit with no following byte inside the window.
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples(b"\x80", 0, 1)
+
+    def test_overlong_varint_raises(self):
+        blob = b"\x80" * varint.MAX_ENCODED_LENGTH + b"\x01\x00\x00"
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples(blob, 0, len(blob))
+
+    def test_canonical_mode_rejects_padded_encoding(self):
+        # 0x81 0x00 decodes to 1 but wastes a byte (trailing zero byte).
+        blob = b"\x81\x00" + b"\x00\x00"
+        assert varint.decode_triples(blob, 0, len(blob))[0][1] == 1
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples(blob, 0, len(blob), canonical=True)
+
+    def test_accepts_memoryview_and_bytearray(self):
+        blob, __ = _triple_blob([(7, 4, 2)])
+        for wrapped in (bytearray(blob), memoryview(blob)):
+            [(__, delta, dpos, count)] = varint.decode_triples(
+                wrapped, 0, len(blob)
+            )
+            assert (delta, dpos, count) == (7, 4, 2)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 16),
+                st.integers(min_value=-(1 << 16), max_value=1 << 16),
+                st.integers(min_value=0, max_value=1 << 16),
+            ),
+            max_size=30,
+        )
+    )
+    def test_property_matches_decode_from(self, triples):
+        blob, offsets = _triple_blob(triples)
+        decoded = varint.decode_triples(blob, 0, len(blob))
+        expected = []
+        offset = 0
+        for local in offsets:
+            delta, offset = varint.decode_from(blob, offset)
+            dpos_raw, offset = varint.decode_from(blob, offset)
+            count, offset = varint.decode_from(blob, offset)
+            expected.append((local, delta, varint.unzigzag(dpos_raw), count))
+        assert decoded == expected
+        assert offset == len(blob)

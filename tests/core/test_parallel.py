@@ -1,0 +1,207 @@
+"""Determinism and lifecycle tests for the parallel mine phase.
+
+The central contract of :mod:`repro.core.parallel` is byte-identity: for
+ANY worker count and ANY task scheduling order, the emitted (itemset,
+support) sequence equals the serial miner's exactly — not just as a set.
+These tests exercise that across worker counts, shuffled rank orders,
+synthetic + Quest datasets, and hypothesis-generated databases, plus the
+shared-memory publish/attach protocol and its failure paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import parallel
+from repro.core.cfp_growth import mine_array, mine_rank_transactions
+from repro.core.conversion import convert
+from repro.core.parallel import attach_array, mine_array_parallel, publish_array
+from repro.core.ternary import TernaryCfpTree
+from repro.datasets.quest import QuestGenerator
+from repro.datasets.synthetic import make_retail
+from repro.errors import ParallelMineError
+from repro.fptree.growth import CountCollector, ListCollector
+from repro.machine import Meter
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, paper_example_database, random_database
+
+JOB_COUNTS = [1, 2, 4]
+
+
+def _prepared(database, min_support):
+    table, transactions = prepare_transactions(database, min_support)
+    return transactions, len(table)
+
+
+def _serial_itemsets(transactions, n_ranks, min_support):
+    collector = mine_rank_transactions(transactions, n_ranks, min_support)
+    return collector.itemsets
+
+
+def _build_array(transactions, n_ranks):
+    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+    assert tree.single_path() is None, "array tests need a branching tree"
+    return convert(tree)
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_paper_example(self, jobs):
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        expected = _serial_itemsets(transactions, n_ranks, 2)
+        collector = mine_rank_transactions(transactions, n_ranks, 2, jobs=jobs)
+        assert collector.itemsets == expected
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_databases(self, jobs, seed):
+        database = random_database(seed)
+        transactions, n_ranks = _prepared(database, 3)
+        expected = _serial_itemsets(transactions, n_ranks, 3)
+        collector = mine_rank_transactions(transactions, n_ranks, 3, jobs=jobs)
+        assert collector.itemsets == expected
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_retail_synthetic(self, jobs):
+        database = make_retail(n_transactions=300, n_items=120, seed=5)
+        transactions, n_ranks = _prepared(database, 6)
+        expected = _serial_itemsets(transactions, n_ranks, 6)
+        collector = mine_rank_transactions(transactions, n_ranks, 6, jobs=jobs)
+        assert collector.itemsets == expected
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_quest_synthetic(self, jobs):
+        database = QuestGenerator(
+            n_transactions=250,
+            avg_transaction_length=8.0,
+            avg_pattern_length=3.0,
+            n_items=80,
+            n_patterns=30,
+            seed=23,
+        ).generate()
+        transactions, n_ranks = _prepared(database, 5)
+        expected = _serial_itemsets(transactions, n_ranks, 5)
+        collector = mine_rank_transactions(transactions, n_ranks, 5, jobs=jobs)
+        assert collector.itemsets == expected
+
+    def test_count_collector_combinatorics_survive_fanout(self):
+        # Workers replay emit_path_subsets events, so a CountCollector must
+        # count single-path subsets combinatorially, not materialized.
+        database = random_database(7, n_transactions=80)
+        transactions, n_ranks = _prepared(database, 2)
+        serial = mine_rank_transactions(
+            transactions, n_ranks, 2, collector=CountCollector()
+        )
+        parallel_run = mine_rank_transactions(
+            transactions, n_ranks, 2, collector=CountCollector(), jobs=3
+        )
+        assert parallel_run.count == serial.count
+
+    @settings(max_examples=15, deadline=None)
+    @given(database=db_strategy)
+    def test_property_identity(self, database):
+        transactions, n_ranks = _prepared(database, 2)
+        expected = _serial_itemsets(transactions, n_ranks, 2)
+        collector = mine_rank_transactions(transactions, n_ranks, 2, jobs=2)
+        assert collector.itemsets == expected
+
+
+class TestSchedulingOrder:
+    def test_shuffled_rank_order_is_invisible(self):
+        database = random_database(11, n_transactions=100)
+        transactions, n_ranks = _prepared(database, 2)
+        array = _build_array(transactions, n_ranks)
+        serial = ListCollector()
+        mine_array(array, 2, serial)
+        ranks = list(array.active_ranks_descending())
+        rng = random.Random(42)
+        for __ in range(4):
+            rng.shuffle(ranks)
+            collector = ListCollector()
+            mine_array_parallel(array, 2, collector, jobs=3, rank_order=list(ranks))
+            assert collector.itemsets == serial.itemsets
+
+    def test_bad_rank_order_rejected(self):
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        with pytest.raises(ParallelMineError):
+            mine_array_parallel(
+                array, 2, ListCollector(), jobs=2, rank_order=[0, 1]
+            )
+
+
+class TestMeterMergeParity:
+    def test_parallel_meter_matches_serial_ops(self):
+        database = random_database(3, n_transactions=80)
+        transactions, n_ranks = _prepared(database, 2)
+        serial_meter = Meter()
+        mine_rank_transactions(transactions, n_ranks, 2, meter=serial_meter)
+        parallel_meter = Meter()
+        mine_rank_transactions(
+            transactions, n_ranks, 2, meter=parallel_meter, jobs=2
+        )
+        assert parallel_meter.total_ops == serial_meter.total_ops
+
+
+class TestSharedMemoryProtocol:
+    def test_publish_attach_roundtrip(self):
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        segment = publish_array(array)
+        try:
+            attached = attach_array(segment.name)
+            assert attached.n_ranks == array.n_ranks
+            assert attached.starts == array.starts
+            assert bytes(attached.buffer) == bytes(array.buffer)
+            serial = ListCollector()
+            mine_array(array, 2, serial)
+            roundtrip = ListCollector()
+            mine_array(attached, 2, roundtrip)
+            assert roundtrip.itemsets == serial.itemsets
+        finally:
+            parallel._detach_all()
+            segment.close()
+            segment.unlink()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            segment.buf[:8] = b"notcfp\x00\x00"
+            with pytest.raises(ParallelMineError):
+                attach_array(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_segment_unlinked_after_mine(self):
+        import pathlib
+
+        shm = pathlib.Path("/dev/shm")
+        if not shm.is_dir():  # pragma: no cover - non-POSIX-shm platform
+            pytest.skip("no /dev/shm to observe")
+        before = {p.name for p in shm.glob("psm_*")}
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        collector = ListCollector()
+        mine_array_parallel(array, 2, collector, jobs=2)
+        assert collector.itemsets  # the run produced output
+        # The parent closes AND unlinks in a finally, so the run must not
+        # leave a new segment behind.
+        leaked = {p.name for p in shm.glob("psm_*")} - before
+        assert leaked == set()
+
+    def test_serial_fallback_paths(self):
+        # jobs<=1 and empty arrays must delegate to the serial miner.
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        serial = ListCollector()
+        mine_array(array, 2, serial)
+        for jobs in (0, 1):
+            collector = ListCollector()
+            mine_array_parallel(array, 2, collector, jobs=jobs)
+            assert collector.itemsets == serial.itemsets

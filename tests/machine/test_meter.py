@@ -106,3 +106,82 @@ class TestCfpHooks:
         # CFP-array may remain live.
         assert meter.peak_bytes > 0
         assert 0 <= meter.live_bytes <= meter.peak_bytes
+
+
+class TestMerge:
+    def test_counters_sum_into_matching_phase(self):
+        parent = Meter()
+        parent.begin_phase("mine")
+        parent.add_ops(10, bytes_touched=100)
+        worker = Meter()
+        worker.begin_phase("mine")
+        worker.add_ops(5, bytes_touched=50)
+        worker.add_io(7)
+        parent.merge(worker)
+        assert len(parent.phases) == 1
+        assert parent.phases[0].ops == 15
+        assert parent.phases[0].bytes_touched == 150
+        assert parent.phases[0].io_bytes == 7
+        assert parent.total_ops == 15
+
+    def test_rename_to_folds_default_phase_into_mine(self):
+        # Workers meter into an implicit "run" phase; the parent lands it
+        # in its current "mine" phase via rename_to.
+        parent = Meter()
+        parent.begin_phase("mine")
+        worker = Meter()
+        worker.add_ops(3)  # implicit "run" phase
+        parent.merge(worker, rename_to="mine")
+        assert [p.name for p in parent.phases] == ["mine"]
+        assert parent.phases[0].ops == 3
+
+    def test_unmatched_phase_is_created(self):
+        parent = Meter()
+        worker = Meter()
+        worker.begin_phase("scan", 1.0)
+        worker.add_ops(4)
+        parent.merge(worker)
+        assert [p.name for p in parent.phases] == ["scan"]
+        assert parent.phases[0].sequential_fraction == 1.0
+
+    def test_footprint_takes_max(self):
+        parent = Meter()
+        phase = parent.begin_phase("mine")
+        parent.on_structure_built(100)
+        worker = Meter()
+        worker.begin_phase("mine")
+        worker.on_structure_built(300)
+        parent.merge(worker)
+        assert phase.footprint_bytes == 300
+
+    def test_peak_is_conservative_stacking(self):
+        parent = Meter()
+        parent.on_structure_built(100)  # live 100, peak 100
+        worker = Meter()
+        worker.on_structure_built(80)
+        worker.on_structure_freed(80)  # live 0, peak 80
+        parent.merge(worker)
+        assert parent.peak_bytes == 180  # parent's live + worker's peak
+        assert parent.live_bytes == 100  # worker freed everything it built
+
+    def test_merge_preserves_avg_weighting(self):
+        a = Meter()
+        a.on_structure_built(100)
+        a.add_ops(10)
+        b = Meter()
+        b.on_structure_built(200)
+        b.add_ops(10)
+        a.merge(b)
+        # Combined integral: 10*100 + 10*200 over 20 ops.
+        assert a.avg_bytes == 150.0
+
+    def test_merging_several_workers_accumulates(self):
+        parent = Meter()
+        parent.begin_phase("mine")
+        for __ in range(3):
+            worker = Meter()
+            worker.begin_phase("mine")
+            worker.add_ops(2, bytes_touched=5)
+            parent.merge(worker)
+        assert parent.phases[0].ops == 6
+        assert parent.phases[0].bytes_touched == 15

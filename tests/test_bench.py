@@ -1,0 +1,164 @@
+"""Tests for the wall-clock benchmark harness (`repro bench`).
+
+Real benchmark runs are timing-dependent, so these tests inject tiny
+datasets through ``run_bench(datasets=...)`` and exercise the report
+plumbing (schema, persistence, comparison gate, CLI exit codes) rather
+than asserting on wall times.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import bench
+from tests.conftest import paper_example_database, random_database
+
+
+def _tiny_run(jobs=(1, 2)):
+    return bench.run_bench(
+        jobs=jobs,
+        datasets={
+            "paper": (paper_example_database(), 2),
+            "random": (random_database(1), 3),
+        },
+    )
+
+
+class TestRunBench:
+    def test_report_shape(self):
+        report = _tiny_run()
+        assert report["schema"] == bench.SCHEMA_VERSION
+        assert set(report["datasets"]) == {"paper", "random"}
+        entry = report["datasets"]["paper"]
+        assert entry["transactions"] == 10
+        assert entry["nodes"] > 0
+        assert set(entry["mine"]) == {"1", "2"}
+        for mine in entry["mine"].values():
+            assert mine["wall_s"] >= 0
+            assert mine["itemsets"] > 0
+        assert report["peak_rss_kb"] > 0
+
+    def test_serial_always_measured_for_speedup(self):
+        # Asking only for jobs=2 still measures jobs=1 first: speedups are
+        # relative to the same run's serial mine.
+        report = bench.run_bench(
+            jobs=(2,), datasets={"paper": (paper_example_database(), 2)}
+        )
+        assert set(report["datasets"]["paper"]["mine"]) == {"1", "2"}
+
+    def test_itemset_counts_agree_across_worker_counts(self):
+        # The built-in correctness tripwire: worker count must not change
+        # the number of frequent itemsets.
+        report = _tiny_run(jobs=(1, 2, 4))
+        for entry in report["datasets"].values():
+            counts = {m["itemsets"] for m in entry["mine"].values()}
+            assert len(counts) == 1
+
+
+class TestPersistence:
+    def test_write_and_find_previous(self, tmp_path):
+        report = _tiny_run()
+        path = bench.write_report(report, tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        assert json.loads(path.read_text())["schema"] == bench.SCHEMA_VERSION
+        assert bench.find_previous(tmp_path) == path
+        assert bench.find_previous(tmp_path, exclude=path) is None
+
+    def test_baseline_never_found_implicitly(self, tmp_path):
+        (tmp_path / "BENCH_baseline.json").write_text("{}")
+        assert bench.find_previous(tmp_path) is None
+
+
+class TestCompareReports:
+    def _reports(self, before_s, after_s):
+        def make(seconds):
+            return {
+                "datasets": {
+                    "d": {
+                        "build_s": 0.0,
+                        "convert_s": 0.0,
+                        "mine": {"1": {"wall_s": seconds}},
+                    }
+                }
+            }
+
+        return make(after_s), make(before_s)
+
+    def test_regression_beyond_tolerance_flagged(self):
+        current, previous = self._reports(before_s=1.0, after_s=1.5)
+        regressions = bench.compare_reports(current, previous, tolerance=0.3)
+        assert len(regressions) == 1
+        assert "d/mine@1" in regressions[0]
+
+    def test_within_tolerance_passes(self):
+        current, previous = self._reports(before_s=1.0, after_s=1.2)
+        assert bench.compare_reports(current, previous, tolerance=0.3) == []
+
+    def test_speedup_never_fails(self):
+        current, previous = self._reports(before_s=1.0, after_s=0.2)
+        assert bench.compare_reports(current, previous, tolerance=0.0) == []
+
+    def test_noise_floor_suppresses_micro_jitter(self):
+        # 10ms -> 40ms is a 300% "regression" but only 30ms of wall time.
+        current, previous = self._reports(before_s=0.01, after_s=0.04)
+        assert bench.compare_reports(current, previous, tolerance=0.3) == []
+
+    def test_unknown_datasets_ignored(self):
+        current, __ = self._reports(before_s=1.0, after_s=9.0)
+        assert bench.compare_reports(current, {"datasets": {}}, 0.3) == []
+
+
+class TestMain:
+    def test_quick_run_writes_report_and_passes(self, tmp_path, capsys):
+        # A real (tiny, via --datasets) end-to-end run through the CLI glue.
+        code = bench.main(
+            ["--quick", "--datasets", "retail", "--jobs", "1,2",
+             "--output-dir", str(tmp_path), "--no-compare"]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("BENCH_*.json"))
+        assert "retail" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        # Forge a much-faster baseline so the real run must look regressed
+        # (with the noise floor lowered so tiny wall times still count).
+        monkeypatch.setattr(bench, "NOISE_FLOOR_SECONDS", 0.0)
+        baseline = {
+            "datasets": {
+                "kosarak": {
+                    "build_s": 1e-9,
+                    "convert_s": 1e-9,
+                    "mine": {"1": {"wall_s": 1e-9}},
+                }
+            }
+        }
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = bench.main(
+            ["--quick", "--datasets", "kosarak",
+             "--jobs", "1", "--output-dir", str(tmp_path),
+             "--baseline", str(baseline_path), "--tolerance", "0.0"]
+        )
+        assert code == 1
+        assert "perf regressions" in capsys.readouterr().err
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        code = bench.main(
+            ["--output-dir", str(tmp_path), "--baseline", str(tmp_path / "no.json")]
+        )
+        assert code == 2
+
+    def test_bad_jobs_is_usage_error(self, tmp_path):
+        assert bench.main(["--jobs", "two", "--output-dir", str(tmp_path)]) == 2
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            bench.run_bench(dataset_names=["nope"])
+
+    def test_format_summary_mentions_every_dataset(self):
+        report = _tiny_run()
+        summary = bench.format_summary(report)
+        assert "paper" in summary and "random" in summary
+        assert "peak RSS" in summary

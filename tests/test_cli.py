@@ -96,3 +96,28 @@ class TestExperiment:
     def test_rejects_unknown(self, capsys):
         with pytest.raises(SystemExit):
             main(["experiment", "nope"])
+
+
+class TestJobs:
+    def test_parallel_mine_matches_serial(self, data_file, capsys):
+        assert main(["mine", data_file, "--min-support", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["mine", data_file, "--min-support", "2", "--jobs", "3"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_warns_for_serial_only_miner(self, data_file, capsys):
+        assert main(
+            ["mine", data_file, "--min-support", "2", "--algorithm", "lcm",
+             "--jobs", "4"]
+        ) == 0
+        assert "--jobs ignored" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_dispatches_with_passthrough_args(self, tmp_path, capsys):
+        # The bench subcommand forwards everything to repro.bench.main —
+        # --help must come from the bench parser, not the repro parser.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--help"])
+        assert excinfo.value.code == 0
+        assert "--tolerance" in capsys.readouterr().out

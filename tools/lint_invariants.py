@@ -302,10 +302,14 @@ def main(argv: list[str] | None = None) -> int:
         "paths",
         nargs="*",
         type=Path,
-        help="files or directories (default: src/repro and tools/)",
+        help="files or directories (default: src/repro, tools/ and benchmarks/)",
     )
     args = parser.parse_args(argv)
-    paths = args.paths or [SRC_ROOT / "repro", REPO_ROOT / "tools"]
+    paths = args.paths or [
+        SRC_ROOT / "repro",
+        REPO_ROOT / "tools",
+        REPO_ROOT / "benchmarks",
+    ]
     for path in paths:
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
