@@ -146,6 +146,51 @@ def bench_dataset(
     return entry
 
 
+def measure_trace_overhead(
+    database: list[list[int]], min_support: int, repeats: int = 3
+) -> dict:
+    """Cost of tracing on the serial mine phase, best-of-``repeats``.
+
+    Times the identical mine (same prepared CFP-array, fresh collector)
+    with no tracer installed and with a fresh :class:`repro.obs.Tracer`,
+    interleaved, and reports the relative overhead of the traced runs.
+    The observability contract (docs/observability.md) is <2% traced and
+    ~0% disabled; ``repro bench --trace-overhead`` gates the former.
+    """
+    from repro import obs
+    from repro.obs.tracer import Tracer
+
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+    array = convert(tree)
+    array.set_cache_budget(DEFAULT_CACHE_BUDGET)
+    del tree
+
+    def mine_once() -> float:
+        collector = CountCollector()
+        started = time.perf_counter()
+        mine_array(array, min_support, collector)
+        return time.perf_counter() - started
+
+    mine_once()  # warm-up: decode caches, allocator, branch predictors
+    plain: list[float] = []
+    traced: list[float] = []
+    for _ in range(max(1, repeats)):
+        plain.append(mine_once())
+        previous = obs.set_tracer(Tracer())
+        try:
+            traced.append(mine_once())
+        finally:
+            obs.set_tracer(previous)
+    base = min(plain)
+    overhead = (min(traced) - base) / base if base > 0 else 0.0
+    return {
+        "plain_s": round(base, 4),
+        "traced_s": round(min(traced), 4),
+        "overhead_pct": round(overhead * 100.0, 2),
+    }
+
+
 def run_bench(
     dataset_names: Iterable[str] | None = None,
     jobs: Iterable[int] = DEFAULT_JOBS,
@@ -320,6 +365,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-compare", action="store_true", help="measure and write only"
     )
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="record a JSONL span trace of the whole run (docs/observability.md)",
+    )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="measure tracing overhead on the serial mine phase and gate it",
+    )
+    parser.add_argument(
+        "--trace-overhead-max",
+        type=float,
+        default=2.0,
+        help="max allowed tracing overhead in percent (default 2.0)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -338,10 +400,47 @@ def main(argv: list[str] | None = None) -> int:
     else:
         previous_path = find_previous(args.output_dir)
 
-    report = run_bench(names, jobs, quick=args.quick)
+    tracer = None
+    if args.trace:
+        from repro import obs
+        from repro.obs.tracer import Tracer
+
+        obs.metrics.reset()
+        tracer = Tracer()
+        obs.set_tracer(tracer)
+    try:
+        report = run_bench(names, jobs, quick=args.quick)
+    finally:
+        if tracer is not None:
+            from repro import obs
+
+            obs.set_tracer(None)
+            lines = tracer.write_jsonl(args.trace, registry=obs.metrics)
+            print(f"trace: {lines} lines -> {args.trace}")
+    if args.trace_overhead:
+        # Measured after the bench tracer is gone: the "plain" arm must
+        # run with tracing fully disabled. Quick-sized probe regardless of
+        # --quick so the gate's runtime stays bounded.
+        sample_name = (names or list(DATASETS))[0]
+        database, min_support = DATASETS[sample_name](True)
+        report["trace_overhead"] = measure_trace_overhead(database, min_support)
     path = write_report(report, args.output_dir)
     print(format_summary(report))
     print(f"report: {path}")
+    if args.trace_overhead:
+        oh = report["trace_overhead"]
+        print(
+            f"trace overhead: {oh['overhead_pct']:.2f}% "
+            f"({oh['plain_s']:.3f}s plain vs {oh['traced_s']:.3f}s traced, "
+            f"max {args.trace_overhead_max:.1f}%)"
+        )
+        if oh["overhead_pct"] > args.trace_overhead_max:
+            print(
+                f"error: tracing overhead {oh['overhead_pct']:.2f}% exceeds "
+                f"the {args.trace_overhead_max:.1f}% budget",
+                file=sys.stderr,
+            )
+            return 1
 
     if args.no_compare or previous_path is None:
         if previous_path is None and not args.no_compare:

@@ -5,7 +5,9 @@ Usage (after installation)::
     python -m repro mine data.fimi --min-support 100
     python -m repro mine data.fimi --min-support 100 --algorithm lcm --closed
     python -m repro mine data.fimi --min-support 100 --jobs 4
+    python -m repro mine data.fimi --min-support 100 --trace out.jsonl
     python -m repro stats data.fimi
+    python -m repro stats out.jsonl          # per-phase trace summary
     python -m repro convert data.fimi data.bin
     python -m repro check tree.cfpt array.cfpa
     python -m repro experiment table1
@@ -14,6 +16,9 @@ Usage (after installation)::
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
 ``--jobs N`` parallelizes the mine phase for miners that support it
 (currently cfp-growth); other miners ignore it with a warning.
+``--trace FILE`` records a span trace plus metric counters
+(docs/observability.md); ``stats`` renders trace files as a per-phase
+summary table.
 
 ``check`` exit codes: 0 every file intact, 1 corruption diagnostics,
 2 usage error, 3 a path could not be read at all.
@@ -24,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 
 from repro.algorithms import get_miner, iter_miners
 from repro.datasets.binary import read_binary, write_binary
@@ -53,30 +59,61 @@ def _load(path: str) -> list[list[int]]:
     return read_fimi(path)
 
 
+@contextmanager
+def _tracing(trace_path):
+    """Install a process-wide tracer for the wrapped command.
+
+    On exit the previous tracer is restored and the trace file (spans plus
+    the metric-registry snapshot) is written, even when the command raised.
+    No-op when ``trace_path`` is falsy.
+    """
+    if not trace_path:
+        yield
+        return
+    from repro import obs
+    from repro.obs.tracer import Tracer
+
+    obs.metrics.reset()  # the file must reflect this run only
+    tracer = Tracer()
+    previous = obs.set_tracer(tracer)
+    try:
+        yield
+    finally:
+        obs.set_tracer(previous)
+        lines = tracer.write_jsonl(trace_path, registry=obs.metrics)
+        print(
+            f"# trace: {lines} lines -> {trace_path} "
+            f"(render with `repro stats {trace_path}`)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_mine(args) -> int:
     database = _load(args.file)
     started = time.perf_counter()
-    if args.top_k:
-        results = top_k_itemsets(database, args.top_k)
-        kind = f"top-{args.top_k}"
-    elif args.closed:
-        results = closed_itemsets(database, args.min_support)
-        kind = "closed"
-    elif args.maximal:
-        results = maximal_itemsets(database, args.min_support)
-        kind = "maximal"
-    else:
-        miner = get_miner(args.algorithm)
-        if args.jobs > 1:
-            if hasattr(miner, "jobs"):
-                miner.jobs = args.jobs
-            else:
-                print(
-                    f"warning: --jobs ignored ({args.algorithm} mines serially)",
-                    file=sys.stderr,
-                )
-        results = miner.mine(database, args.min_support)
-        kind = "frequent"
+    with _tracing(args.trace):
+        if args.top_k:
+            results = top_k_itemsets(database, args.top_k)
+            kind = f"top-{args.top_k}"
+        elif args.closed:
+            results = closed_itemsets(database, args.min_support)
+            kind = "closed"
+        elif args.maximal:
+            results = maximal_itemsets(database, args.min_support)
+            kind = "maximal"
+        else:
+            miner = get_miner(args.algorithm)
+            if args.jobs > 1:
+                if hasattr(miner, "jobs"):
+                    miner.jobs = args.jobs
+                else:
+                    print(
+                        f"warning: --jobs ignored "
+                        f"({args.algorithm} mines serially)",
+                        file=sys.stderr,
+                    )
+            results = miner.mine(database, args.min_support)
+            kind = "frequent"
     elapsed = time.perf_counter() - started
     results = sorted(results, key=lambda r: (-r[1], len(r[0])))
     limit = args.limit if args.limit else len(results)
@@ -92,6 +129,11 @@ def _cmd_mine(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    from repro.obs import report as obs_report
+
+    if obs_report.is_trace_file(args.file):
+        print(obs_report.format_trace_summary(obs_report.read_trace(args.file)))
+        return 0
     database = _load(args.file)
     stats = dataset_stats(args.file, database)
     print(f"transactions:     {stats.n_transactions:,}")
@@ -172,7 +214,9 @@ def _cmd_experiment(args) -> int:
     import importlib
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    print(module.format_report(module.run()))
+    with _tracing(args.trace):
+        report = module.run()
+    print(module.format_report(report))
     return 0
 
 
@@ -199,10 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="mine-phase worker processes (cfp-growth only; default 1 = serial)",
     )
+    mine.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write a JSONL span trace + metrics to FILE (see docs/observability.md)",
+    )
     mine.set_defaults(func=_cmd_mine)
 
-    stats = sub.add_parser("stats", help="dataset summary statistics")
-    stats.add_argument("file")
+    stats = sub.add_parser(
+        "stats", help="dataset summary statistics (or a trace-file summary)"
+    )
+    stats.add_argument("file", help="dataset, or a --trace output file")
     stats.set_defaults(func=_cmd_stats)
 
     convert = sub.add_parser("convert", help="convert between text and binary")
@@ -227,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write a JSONL span trace + metrics to FILE",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     # `bench` is listed for discoverability but dispatched early in main():

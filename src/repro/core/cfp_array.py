@@ -35,6 +35,7 @@ from typing import Iterator, Union
 from repro.compress import varint
 from repro.errors import TreeError
 from repro.memman.pointers import POINTER_SIZE
+from repro.obs.registry import MetricsRegistry
 
 #: One decoded node: ``(local, delta_item, dpos, count)``.
 Triple = tuple[int, int, int, int]
@@ -60,6 +61,8 @@ class _SubarrayCache:
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
         self._entries: OrderedDict[int, tuple[list[Triple], int]] = OrderedDict()
 
     def get(self, rank: int) -> list[Triple] | None:
@@ -72,13 +75,34 @@ class _SubarrayCache:
         return entry[0]
 
     def put(self, rank: int, triples: list[Triple], charge: int) -> None:
-        if charge > self.budget_bytes or rank in self._entries:
+        if rank in self._entries:
+            # A re-put is a recency signal: the rank is in active use, so
+            # it must move to the MRU end exactly as a `get` hit would —
+            # silently dropping it used to leave the entry first in line
+            # for eviction despite being hot.
+            self._entries.move_to_end(rank)
+            return
+        if charge > self.budget_bytes:
+            # Larger than the whole budget: never cacheable. Count it so
+            # a mis-sized budget shows up in the metrics instead of
+            # manifesting as a mysterious 0% hit ratio.
+            self.rejected += 1
             return
         while self._entries and self.used_bytes + charge > self.budget_bytes:
             __, (__, evicted_charge) = self._entries.popitem(last=False)
             self.used_bytes -= evicted_charge
+            self.evictions += 1
         self._entries[rank] = (triples, charge)
         self.used_bytes += charge
+
+    def counts(self) -> dict[str, int]:
+        """Current counter values, for delta-based publication."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+        }
 
 
 class CfpArray:
@@ -137,6 +161,28 @@ class CfpArray:
         way — the cache only trades memory for repeated decode work.
         """
         self._cache = _SubarrayCache(budget_bytes) if budget_bytes > 0 else None
+
+    def cache_counts(self) -> dict[str, int]:
+        """Subarray-cache counters (all zero when the cache is off)."""
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "evictions": 0, "rejected": 0}
+        return self._cache.counts()
+
+    def publish_cache_metrics(
+        self, registry: MetricsRegistry, baseline: dict[str, int] | None = None
+    ) -> None:
+        """Add this array's cache counters to a metric registry.
+
+        ``baseline`` (an earlier :meth:`cache_counts` snapshot) turns the
+        publication into a delta, which is how long-lived arrays — the
+        workers' cached shared-memory attachments — publish per-task.
+        """
+        counts = self.cache_counts()
+        for name, value in counts.items():
+            if baseline is not None:
+                value -= baseline[name]
+            if value:
+                registry.add(f"subarray_cache.{name}", value)
 
     # ------------------------------------------------------------------
     # Size accounting

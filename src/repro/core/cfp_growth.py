@@ -21,11 +21,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Hashable, Protocol
 
+from repro import obs
 from repro.algorithms.base import register
 from repro.core.cfp_array import CfpArray
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
 from repro.fptree.growth import ListCollector
+from repro.machine.meter import Meter
+from repro.obs.tracer import Span, Tracer
 from repro.util.items import TransactionDatabase, prepare_transactions
 
 
@@ -39,6 +42,35 @@ class SupportCollector(Protocol):
     ) -> None: ...
 
 
+def _meter_counts(meter: Any) -> tuple[int, int, int, float]:
+    """Snapshot of a meter's cumulative counters, for span deltas."""
+    return (
+        meter._total_ops,
+        sum(p.bytes_touched for p in meter.phases),
+        sum(p.io_bytes for p in meter.phases),
+        meter._integral,
+    )
+
+
+def _attach_meter_delta(
+    span: Span, meter: Any, before: tuple[int, int, int, float]
+) -> None:
+    """Write the meter's movement since ``before`` onto a span.
+
+    This is the meter->span bridge: every traced span's ``ops`` /
+    ``bytes_touched`` numbers are *deltas of the one live Meter*, so the
+    trace and the meter cannot disagree —
+    :func:`repro.obs.report.meter_from_trace` rebuilds the same totals.
+    """
+    ops, touched, io_bytes, integral = _meter_counts(meter)
+    span.set("ops", ops - before[0])
+    span.set("bytes_touched", touched - before[1])
+    if io_bytes - before[2]:
+        span.set("io_bytes", io_bytes - before[2])
+    span.set("integral", integral - before[3])
+    span.set("peak_bytes", meter.peak_bytes)
+
+
 def mine_array(
     array: CfpArray,
     min_support: int,
@@ -46,9 +78,44 @@ def mine_array(
     suffix: tuple[int, ...] = (),
     meter: Any = None,
 ) -> None:
-    """Recursively mine a CFP-array (the §2.1 mine loop on §3.4 structures)."""
+    """Recursively mine a CFP-array (the §2.1 mine loop on §3.4 structures).
+
+    With a tracer installed (:func:`repro.obs.set_tracer`) the *top-level*
+    loop (``suffix == ()``) emits one ``mine_rank`` span per rank, carrying
+    meter deltas — the same per-rank granularity the parallel miner ships
+    back from its workers, so serial and parallel traces have one shape.
+    Recursive (conditional) calls are never traced per-span: tracing must
+    not change the mine phase's asymptotics.
+    """
+    tracer = obs.get_tracer()
+    if tracer is not None and not suffix:
+        _mine_array_traced(array, min_support, collector, meter, tracer)
+        return
     for rank in array.active_ranks_descending():
         mine_rank(array, rank, min_support, collector, suffix, meter)
+
+
+def _mine_array_traced(
+    array: CfpArray,
+    min_support: int,
+    collector: SupportCollector,
+    meter: Any,
+    tracer: Tracer,
+) -> None:
+    """Top-level mine loop with per-rank spans (serial tracing path)."""
+    # Results never depend on the meter; a local one supplies span deltas
+    # when the caller did not pass its own.
+    if meter is None:
+        meter = Meter()
+    cache_before = array.cache_counts()
+    for rank in array.active_ranks_descending():
+        with tracer.span(
+            "mine_rank", rank=rank, subarray_bytes=array.subarray_bytes(rank)
+        ) as span:
+            before = _meter_counts(meter)
+            mine_rank(array, rank, min_support, collector, (), meter)
+            _attach_meter_delta(span, meter, before)
+    array.publish_cache_metrics(obs.metrics, baseline=cache_before)
 
 
 def mine_rank(
@@ -87,6 +154,11 @@ def mine_rank(
     # The conditional tree is discarded here; only the array recurses.
     del conditional
     mine_array(cond_array, min_support, collector, itemset, meter)
+    if obs.get_tracer() is not None:
+        # Conditional arrays are ephemeral; fold their cache counters into
+        # the registry before they vanish (traced runs only — one publish
+        # per conditional tree, never per node).
+        cond_array.publish_cache_metrics(obs.metrics)
     if meter is not None:
         meter.on_structure_freed(cond_array.memory_bytes)
 
@@ -144,19 +216,43 @@ def mine_rank_transactions(
     """
     if collector is None:
         collector = ListCollector()
-    tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
-    if meter is not None:
-        meter.on_build(tree)
+    tracer = obs.get_tracer()
+    if tracer is not None and meter is None:
+        meter = Meter()  # supplies span deltas; results are unaffected
+    if meter is not None and tracer is not None:
+        # Sequential fractions as in repro.experiments.drivers.
+        meter.begin_phase("build", 0.2)
+    with obs.maybe_span("build") as span:
+        before = _meter_counts(meter) if meter is not None else None
+        tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+        if meter is not None:
+            meter.on_build(tree)
+            _attach_meter_delta(span, meter, before)  # type: ignore[arg-type]
+        if tracer is not None:
+            span.set("transactions", tree.transaction_count)
+            span.set("logical_nodes", tree.logical_node_count)
+            span.set("tree_bytes", tree.memory_bytes)
+            span.set("arena_allocs", tree.arena.stats().alloc_count)
     path = tree.single_path()
     if path is not None:
         if path:
             collector.emit_path_subsets(path, ())
         return collector
-    array = convert(tree)
-    array.set_cache_budget(cache_budget)
-    if meter is not None:
-        meter.on_conversion(tree, array)
+    if meter is not None and tracer is not None:
+        meter.begin_phase("convert", 0.9)
+    with obs.maybe_span("convert") as span:
+        before = _meter_counts(meter) if meter is not None else None
+        array = convert(tree)
+        array.set_cache_budget(cache_budget)
+        if meter is not None:
+            meter.on_conversion(tree, array)
+            _attach_meter_delta(span, meter, before)  # type: ignore[arg-type]
+        if tracer is not None:
+            span.set("nodes", array.node_count)
+            span.set("array_bytes", array.memory_bytes)
     del tree  # §3.5: the CFP-tree is discarded right after conversion.
+    if meter is not None and tracer is not None:
+        meter.begin_phase("mine", 0.4)
     if jobs > 1:
         from repro.core.parallel import mine_array_parallel
 

@@ -21,9 +21,13 @@ as tasks on a persistent worker pool:
   replays them into the caller's collector — so a ``CountCollector``
   keeps counting single-path subsets combinatorially instead of having
   them materialized in the workers.
-* **Metering survives the fan-out.** When the caller passes a
-  :class:`repro.machine.Meter`, each worker runs its own and the parent
-  folds them back deterministically via :meth:`Meter.merge`.
+* **Instrumentation survives the fan-out.** When the caller passes a
+  :class:`repro.machine.Meter` or has a tracer installed
+  (:func:`repro.obs.set_tracer`), each worker runs its own meter and
+  tracer; the worker's span records — the meter state rides inside the
+  ``mine_rank`` span — come back through the same result channel as the
+  events and are folded in deterministically (descending rank), so a
+  ``--jobs N`` trace merges identically run to run.
 
 Lifecycle: the parent creates the segment, workers attach per task (and
 de-register it from their resource tracker — the parent owns unlinking),
@@ -44,10 +48,18 @@ from multiprocessing import shared_memory
 from multiprocessing.context import BaseContext
 from typing import Any, Sequence
 
+from repro import obs
 from repro.core.cfp_array import CfpArray
-from repro.core.cfp_growth import SupportCollector, mine_array, mine_rank
+from repro.core.cfp_growth import (
+    SupportCollector,
+    _attach_meter_delta,
+    _meter_counts,
+    mine_array,
+    mine_rank,
+)
 from repro.errors import ParallelMineError
 from repro.machine import Meter
+from repro.obs.tracer import Tracer
 
 #: Segment layout: magic, format version, n_ranks, buffer length — followed
 #: by ``n_ranks + 2`` little-endian u64 item-index entries, then the buffer.
@@ -60,6 +72,10 @@ _FORMAT_VERSION = 1
 #: One recorded collector call: ``("i", itemset, support)`` or
 #: ``("p", path, suffix)``.
 _Event = tuple[str, Any, Any]
+
+#: One worker task's result: replayable events, exported span records
+#: (None when uninstrumented), and the worker's metric-registry movement.
+_TaskResult = tuple[list[_Event], list[dict[str, Any]] | None, dict[str, int] | None]
 
 #: Worker pools keyed by worker count, reused across mine calls so repeated
 #: parallel mining (benchmarks, experiments, tests) pays pool start-up once.
@@ -188,13 +204,56 @@ def _mine_rank_task(
     suffix: tuple[int, ...],
     cache_budget: int,
     want_meter: bool,
-) -> tuple[list[_Event], Meter | None]:
-    """Run one top-level rank through the serial per-rank code path."""
+    want_trace: bool,
+) -> tuple[list[_Event], list[dict[str, Any]] | None, dict[str, int] | None]:
+    """Run one top-level rank through the serial per-rank code path.
+
+    Returns ``(events, span_records, metrics_delta)``. Instrumentation
+    travels exclusively as span records: the worker's Meter state rides
+    in the ``mine_rank`` span's ``meter`` attribute and the parent folds
+    it back with :meth:`Meter.from_record` + :meth:`Meter.merge` — the
+    span stream is the one channel, so trace and meter cannot drift.
+    ``metrics_delta`` carries this task's movement of the worker-local
+    metric registry (conditional-cache publications) plus the shared
+    attachment's subarray-cache delta.
+    """
     array = attach_array(name, cache_budget)
     collector = _EventCollector()
-    meter = Meter() if want_meter else None
-    mine_rank(array, rank, min_support, collector, suffix, meter)
-    return collector.events, meter
+    if not (want_meter or want_trace):
+        mine_rank(array, rank, min_support, collector, suffix, None)
+        return collector.events, None, None
+    meter = Meter()
+    tracer = Tracer()
+    # Install the worker tracer only for traced runs: it gates the
+    # conditional-cache metric publications inside mine_rank, which a
+    # meter-only run must skip exactly like the serial miner does.
+    previous = obs.set_tracer(tracer) if want_trace else None
+    registry_before = obs.metrics.counters() if want_trace else {}
+    cache_before = array.cache_counts()
+    try:
+        with tracer.span(
+            "mine_rank", rank=rank, subarray_bytes=array.subarray_bytes(rank)
+        ) as span:
+            before = _meter_counts(meter)
+            mine_rank(array, rank, min_support, collector, suffix, meter)
+            _attach_meter_delta(span, meter, before)
+            span.set("meter", meter.to_record())
+    finally:
+        if want_trace:
+            obs.set_tracer(previous)
+    delta: dict[str, int] = {}
+    if want_trace:
+        for key, value in obs.metrics.counters().items():
+            moved = value - registry_before.get(key, 0)
+            if moved:
+                delta[key] = moved
+        for key, value in array.cache_counts().items():
+            moved = value - cache_before[key]
+            if moved:
+                delta[f"subarray_cache.{key}"] = delta.get(
+                    f"subarray_cache.{key}", 0
+                ) + moved
+    return collector.events, tracer.export(), delta or None
 
 
 # ----------------------------------------------------------------------
@@ -266,45 +325,66 @@ def mine_array_parallel(
                 "rank_order must be a permutation of the active ranks"
             )
     workers = min(jobs, len(ranks))
+    parent_tracer = obs.get_tracer()
+    want_trace = parent_tracer is not None
     segment = publish_array(array)
-    results: dict[int, tuple[list[_Event], Meter | None]] = {}
-    try:
-        pool = _get_pool(workers)
-        futures = {
-            rank: pool.submit(
-                _mine_rank_task,
-                segment.name,
-                rank,
-                min_support,
-                suffix,
-                array.cache_budget,
-                meter is not None,
-            )
-            for rank in order
-        }
+    results: dict[int, _TaskResult] = {}
+    with obs.maybe_span("mine_parallel", jobs=workers, ranks=len(ranks)):
+        parent_span_id = (
+            parent_tracer.current_span_id if parent_tracer is not None else None
+        )
         try:
-            for rank in ranks:
-                results[rank] = futures[rank].result()
-        except BrokenProcessPool as exc:
-            shutdown_pools()  # a dead worker poisons the pool; rebuild next call
-            raise ParallelMineError(
-                f"a mine worker died while processing {len(ranks)} tasks"
-            ) from exc
-    finally:
-        segment.close()
-        try:
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already reclaimed
-            pass
-    # Deterministic merge: replay per-rank events in the serial loop's
-    # order (descending rank), regardless of completion order.
-    for rank in ranks:
-        events, worker_meter = results[rank]
-        for kind, first, second in events:
-            if kind == "i":
-                collector.emit(first, second)
-            else:
-                collector.emit_path_subsets(first, second)
-        if meter is not None and worker_meter is not None:
-            phase_name = meter.phases[-1].name if meter.phases else "mine"
-            meter.merge(worker_meter, rename_to=phase_name)
+            pool = _get_pool(workers)
+            futures = {
+                rank: pool.submit(
+                    _mine_rank_task,
+                    segment.name,
+                    rank,
+                    min_support,
+                    suffix,
+                    array.cache_budget,
+                    meter is not None,
+                    want_trace,
+                )
+                for rank in order
+            }
+            try:
+                for rank in ranks:
+                    results[rank] = futures[rank].result()
+            except BrokenProcessPool as exc:
+                shutdown_pools()  # a dead worker poisons the pool; rebuild next
+                raise ParallelMineError(
+                    f"a mine worker died while processing {len(ranks)} tasks"
+                ) from exc
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        # Deterministic merge: replay per-rank events (and fold in per-rank
+        # instrumentation) in the serial loop's order (descending rank),
+        # regardless of completion order.
+        for index, rank in enumerate(ranks):
+            events, records, metrics_delta = results[rank]
+            for kind, first, second in events:
+                if kind == "i":
+                    collector.emit(first, second)
+                else:
+                    collector.emit_path_subsets(first, second)
+            if records is not None:
+                meter_record = None
+                for record in records:
+                    popped = (record.get("attrs") or {}).pop("meter", None)
+                    if popped is not None:
+                        meter_record = popped
+                if meter is not None and meter_record is not None:
+                    phase_name = meter.phases[-1].name if meter.phases else "mine"
+                    meter.merge(Meter.from_record(meter_record), rename_to=phase_name)
+                if parent_tracer is not None:
+                    parent_tracer.ingest(
+                        records, parent_id=parent_span_id, worker=index
+                    )
+            if metrics_delta:
+                for key, value in metrics_delta.items():
+                    obs.metrics.add(key, value)

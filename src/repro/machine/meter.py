@@ -125,6 +125,56 @@ class Meter:
         self._total_ops += other._total_ops
 
     # ------------------------------------------------------------------
+    # Span-stream serialization (repro.obs)
+    # ------------------------------------------------------------------
+
+    def to_record(self) -> dict:
+        """The meter's full state as a JSON-able dict.
+
+        The parallel miner attaches this to a worker's span instead of
+        pickling the Meter object, so the span stream is the single
+        channel instrumentation travels through; :meth:`from_record`
+        rebuilds an equivalent meter on the parent side.
+        """
+        return {
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "integral": self._integral,
+            "total_ops": self._total_ops,
+            "phases": [
+                {
+                    "name": p.name,
+                    "sequential_fraction": p.sequential_fraction,
+                    "ops": p.ops,
+                    "bytes_touched": p.bytes_touched,
+                    "footprint_bytes": p.footprint_bytes,
+                    "io_bytes": p.io_bytes,
+                }
+                for p in self.phases
+            ],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Meter":
+        """Inverse of :meth:`to_record` — merge-equivalent to the original."""
+        meter = cls(
+            live_bytes=record["live_bytes"], peak_bytes=record["peak_bytes"]
+        )
+        meter._integral = record["integral"]
+        meter._total_ops = record["total_ops"]
+        for entry in record["phases"]:
+            phase = Phase(
+                entry["name"],
+                entry["sequential_fraction"],
+                ops=entry["ops"],
+                bytes_touched=entry["bytes_touched"],
+                footprint_bytes=entry["footprint_bytes"],
+                io_bytes=entry["io_bytes"],
+            )
+            meter.phases.append(phase)
+        return meter
+
+    # ------------------------------------------------------------------
     # Algorithm-specific hooks used by the CFP-growth driver
     # ------------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""Process-wide counter/gauge registry — the numeric half of ``repro.obs``.
+
+Components keep their hot-path counters as plain attributes (``hits += 1``
+on a cache object costs nothing extra) and *publish* them here in bulk at
+phase boundaries: end of a mine, close of a disk array, merge of a worker.
+The registry is therefore an aggregation point, not a hot path — reading
+it mid-run gives whatever has been published so far.
+
+One module-level instance, :data:`metrics`, is the process-wide registry
+the instrumented call sites use; tests may construct private registries.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Named monotonic counters plus last-write-wins gauges."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- counters -------------------------------------------------------
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never written)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """All counters (a copy)."""
+        return dict(self._counters)
+
+    # -- gauges ---------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of gauge ``name``."""
+        self._gauges[name] = value
+
+    def get_gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def gauges(self) -> dict[str, float]:
+        """All gauges (a copy)."""
+        return dict(self._gauges)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Counters and gauges as one JSON-able mapping."""
+        return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
+
+    def reset(self) -> None:
+        """Drop every counter and gauge (tests and fresh CLI runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+
+    def ratio(self, numerator: str, *parts: str) -> float:
+        """``numerator / sum(parts)`` over counters; 0.0 on an empty sum."""
+        total = sum(self._counters.get(p, 0) for p in parts)
+        if total == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / total
+
+
+#: The process-wide registry instrumented components publish into.
+metrics = MetricsRegistry()

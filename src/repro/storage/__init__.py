@@ -25,6 +25,7 @@ from repro.storage.cfp_store import (
     DiskCfpArray,
     load_cfp_array,
     load_cfp_tree,
+    load_cfp_tree_checkpoint,
     save_cfp_array,
     save_cfp_tree,
 )
@@ -40,4 +41,5 @@ __all__ = [
     "DiskCfpArray",
     "save_cfp_tree",
     "load_cfp_tree",
+    "load_cfp_tree_checkpoint",
 ]

@@ -75,9 +75,21 @@ class BufferPool:
         return data
 
     def read(self, offset: int, size: int) -> bytes:
-        """Read an arbitrary byte range through the pool."""
+        """Read an arbitrary byte range through the pool.
+
+        The range is validated against the file size *before* any page is
+        fetched: a request past EOF raises :class:`BufferPoolError` with
+        the pool's statistics untouched, instead of surfacing a raw
+        page-file error mid-loop after some pages were already counted.
+        """
         if size < 0 or offset < 0:
             raise BufferPoolError(f"invalid range ({offset}, {size})")
+        file_bytes = self._file.page_count * PAGE_SIZE
+        if offset + size > file_bytes:
+            raise BufferPoolError(
+                f"range ({offset}, {size}) ends at byte {offset + size}, "
+                f"past the file's {file_bytes} bytes"
+            )
         parts = []
         remaining = size
         position = offset
@@ -113,6 +125,21 @@ class BufferPool:
     def pinned_pages(self) -> dict[int, int]:
         """Pin count per pinned page (a copy)."""
         return dict(self._pins)
+
+    def publish_metrics(self, registry=None) -> None:
+        """Add the pool's counters (and page-file I/O) to a registry.
+
+        Defaults to the process-wide :data:`repro.obs.metrics` registry.
+        Called once per pool lifetime (e.g. :meth:`DiskCfpArray.close`),
+        so it is an aggregation point, not a hot path.
+        """
+        if registry is None:
+            from repro.obs import metrics as registry
+        registry.add("bufferpool.hits", self.stats.hits)
+        registry.add("bufferpool.faults", self.stats.faults)
+        registry.add("bufferpool.evictions", self.stats.evictions)
+        registry.add("pagefile.reads", self._file.reads)
+        registry.add("pagefile.writes", self._file.writes)
 
     def _make_room(self) -> None:
         while len(self._frames) >= self.capacity_pages:

@@ -35,6 +35,7 @@ from repro.core.cfp_array import CfpArray
 from repro.core.ternary import TernaryCfpTree
 from repro.errors import ReproError
 from repro.memman.arena import Arena
+from repro.obs import maybe_span
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pagefile import PAGE_SIZE, PageFile
 
@@ -161,7 +162,10 @@ def save_cfp_array(array: CfpArray, path: str | os.PathLike[str]) -> int:
     header += struct.pack("<QQ", array.n_ranks, len(array.buffer))
     for start in array.starts:
         header += struct.pack("<Q", start)
-    return _write_store(path, bytes(header), bytes(array.buffer))
+    with maybe_span("store_save_array", path=str(path)) as span:
+        size = _write_store(path, bytes(header), bytes(array.buffer))
+        span.set("bytes", size)
+    return size
 
 
 def _header_pages(n_ranks: int) -> int:
@@ -233,6 +237,7 @@ class DiskCfpArray:
         self.pool = BufferPool(self._pagefile, pool_pages)
 
     def close(self) -> None:
+        self.pool.publish_metrics()
         self._pagefile.close()
 
     def __enter__(self) -> "DiskCfpArray":
@@ -338,8 +343,18 @@ class TreeHeader(NamedTuple):
         return self.data_page + self.payload_pages
 
 
-def save_cfp_tree(tree: TernaryCfpTree, path: str | os.PathLike[str]) -> int:
-    """Checkpoint a CFP-tree (arena contents + allocator + metadata)."""
+def save_cfp_tree(
+    tree: TernaryCfpTree,
+    path: str | os.PathLike[str],
+    extra_meta: dict[str, Any] | None = None,
+) -> int:
+    """Checkpoint a CFP-tree (arena contents + allocator + metadata).
+
+    ``extra_meta`` rides along under the ``"extra"`` key for callers that
+    checkpoint more than the tree — :meth:`repro.streaming.StreamingBuilder`
+    stores its batch cursor and ItemTable fingerprint there. The tree
+    restore path ignores it; :func:`load_cfp_tree_checkpoint` returns it.
+    """
     arena = tree.arena
     meta = {
         "n_ranks": tree.n_ranks,
@@ -355,9 +370,14 @@ def save_cfp_tree(tree: TernaryCfpTree, path: str | os.PathLike[str]) -> int:
         "capacity": arena.capacity,
         "max_chunk_size": arena.max_chunk_size,
     }
+    if extra_meta is not None:
+        meta["extra"] = extra_meta
     meta_blob = json.dumps(meta).encode("ascii")
     header = _TREE_MAGIC + struct.pack("<IQ", FORMAT_VERSION, len(meta_blob))
-    return _write_store(path, header + meta_blob, arena.snapshot())
+    with maybe_span("store_save_tree", path=str(path)) as span:
+        size = _write_store(path, header + meta_blob, arena.snapshot())
+        span.set("bytes", size)
+    return size
 
 
 def read_tree_header(pagefile: PageFile) -> TreeHeader:
@@ -410,15 +430,32 @@ def restore_tree(header: TreeHeader, blob: bytes) -> TernaryCfpTree:
     )
 
 
+def load_cfp_tree_checkpoint(
+    path: str | os.PathLike[str],
+) -> tuple[TernaryCfpTree, dict[str, Any]]:
+    """Restore a checkpointed tree plus the saver's ``extra_meta`` dict.
+
+    The extra dict is empty for checkpoints written without one (all
+    pre-``extra`` files included), so callers can distinguish "no extra
+    metadata recorded" from any recorded value.
+    """
+    with maybe_span("store_load_tree", path=str(path)):
+        with PageFile.open_readonly(path) as pagefile:
+            header = read_tree_header(pagefile)
+            _verify_content(pagefile, header.content_pages, header.version)
+            blob = bytearray()
+            for page_no in range(header.data_page, header.content_pages):
+                blob += pagefile.read_page(page_no)
+        extra = header.meta.get("extra")
+        if not isinstance(extra, dict):
+            extra = {}
+        return restore_tree(header, bytes(blob)), extra
+
+
 def load_cfp_tree(path: str | os.PathLike[str]) -> TernaryCfpTree:
     """Restore a checkpointed CFP-tree (checksums verified); inserts may continue."""
-    with PageFile.open_readonly(path) as pagefile:
-        header = read_tree_header(pagefile)
-        _verify_content(pagefile, header.content_pages, header.version)
-        blob = bytearray()
-        for page_no in range(header.data_page, header.content_pages):
-            blob += pagefile.read_page(page_no)
-    return restore_tree(header, bytes(blob))
+    tree, __ = load_cfp_tree_checkpoint(path)
+    return tree
 
 
 __all__ = [
@@ -435,6 +472,7 @@ __all__ = [
     "DiskCfpArray",
     "save_cfp_tree",
     "load_cfp_tree",
+    "load_cfp_tree_checkpoint",
     "StorageFormatError",
     "page_checksum",
     "checksum_trailer",

@@ -21,12 +21,13 @@ import os
 from collections import Counter
 from typing import Hashable, Iterable
 
+from repro import obs
 from repro.core.cfp_growth import mine_array
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
 from repro.errors import DatasetError
 from repro.fptree.growth import ListCollector
-from repro.storage import load_cfp_tree, save_cfp_tree
+from repro.storage import load_cfp_tree_checkpoint, save_cfp_tree
 from repro.util.items import ItemTable, Transaction
 
 
@@ -70,32 +71,64 @@ class StreamingBuilder:
         """Insert one batch; returns transactions actually inserted."""
         rank_of = self.table.rank_of
         inserted = 0
-        for transaction in batch:
-            ranks = sorted(
-                {rank_of[item] for item in transaction if item in rank_of}
-            )
-            if ranks:
-                self.tree.insert(ranks)
-                inserted += 1
-        self.batches_consumed += 1
+        with obs.maybe_span("stream_batch", batch=self.batches_consumed) as span:
+            for transaction in batch:
+                ranks = sorted(
+                    {rank_of[item] for item in transaction if item in rank_of}
+                )
+                if ranks:
+                    self.tree.insert(ranks)
+                    inserted += 1
+            self.batches_consumed += 1
+            span.set("inserted", inserted)
+            span.set("tree_bytes", self.tree.memory_bytes)
         return inserted
 
     def checkpoint(self, path: str | os.PathLike) -> int:
-        """Persist the build state; returns bytes written."""
-        return save_cfp_tree(self.tree, path)
+        """Persist the build state; returns bytes written.
+
+        Alongside the tree, the checkpoint records the batch cursor and
+        the ItemTable's content fingerprint so :meth:`resume` can verify
+        it was handed the *original* table, not merely one of the same
+        size.
+        """
+        return save_cfp_tree(
+            self.tree,
+            path,
+            extra_meta={
+                "batches_consumed": self.batches_consumed,
+                "table_fingerprint": self.table.fingerprint(),
+            },
+        )
 
     @classmethod
     def resume(cls, table: ItemTable, path: str | os.PathLike) -> "StreamingBuilder":
-        """Continue a checkpointed build (the table must be the original)."""
+        """Continue a checkpointed build (the table must be the original).
+
+        The checkpoint's table fingerprint is checked against ``table``;
+        a mismatch raises :class:`DatasetError`. (Validating only the
+        rank *count*, as this method once did, let a different table of
+        the same length silently remap every rank — yielding wrong
+        itemsets with no error.) ``batches_consumed`` is restored from
+        the checkpoint rather than reset to zero, so the batch cursor
+        survives a suspend/resume cycle.
+        """
         builder = cls.__new__(cls)
         builder.table = table
-        builder.tree = load_cfp_tree(path)
-        builder.batches_consumed = 0
+        builder.tree, extra = load_cfp_tree_checkpoint(path)
         if builder.tree.n_ranks != len(table):
             raise DatasetError(
                 f"checkpoint has {builder.tree.n_ranks} ranks, table has "
                 f"{len(table)}"
             )
+        recorded = extra.get("table_fingerprint")
+        if recorded is not None and recorded != table.fingerprint():
+            raise DatasetError(
+                "checkpoint was built with a different ItemTable "
+                f"(fingerprint {recorded[:12]}… != {table.fingerprint()[:12]}…); "
+                "resuming would silently yield wrong itemsets"
+            )
+        builder.batches_consumed = int(extra.get("batches_consumed", 0))
         return builder
 
     def finish(self) -> list[tuple[tuple[Hashable, ...], int]]:

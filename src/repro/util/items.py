@@ -21,6 +21,7 @@ be reported in the caller's vocabulary.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
@@ -77,6 +78,25 @@ class ItemTable:
     def ranks_to_items(self, ranks: Iterable[int]) -> tuple:
         """Translate a rank itemset back to original items."""
         return tuple(self.item_of[rank] for rank in ranks)
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the table's exact rank assignment.
+
+        Covers ``min_support`` and every ``(item, support)`` pair in rank
+        order, so two tables fingerprint equal iff they map the same items
+        to the same ranks with the same supports — the property the
+        checkpoint-resume path (:mod:`repro.streaming`) must verify.
+        ``repr`` keys the items: it is what already disambiguates mixed
+        item types in the rank sort above.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"min_support={self.min_support}".encode())
+        for rank in range(1, len(self.item_of)):
+            digest.update(
+                f"\x00{rank}\x01{self.item_of[rank]!r}"
+                f"\x02{self.rank_supports[rank]}".encode()
+            )
+        return digest.hexdigest()
 
 
 def count_items(database: TransactionDatabase) -> Counter:

@@ -157,3 +157,57 @@ class TestPragmaSuppression:
             "    pass\n"
         )
         assert [v.code for v in lint.lint_file(path)] == ["INV004"]
+
+
+class TestObsFreeLoopsRule:
+    def test_obs_attr_in_for_loop_flagged(self, lint):
+        src = (
+            "from repro import obs\n"
+            "for node in nodes:\n"
+            "    obs.metrics.add('nodes')\n"
+        )
+        assert violations_for(lint, "repro/core/validate.py", src) == {"INV006"}
+
+    def test_direct_import_in_while_flagged(self, lint):
+        src = (
+            "from repro.obs import maybe_span\n"
+            "while cursor:\n"
+            "    with maybe_span('hop'):\n"
+            "        cursor = cursor.next\n"
+        )
+        assert violations_for(lint, "repro/analysis/arraycheck.py", src) == {
+            "INV006"
+        }
+
+    def test_module_import_attribute_flagged(self, lint):
+        src = (
+            "import repro.obs\n"
+            "for node in nodes:\n"
+            "    repro.obs.metrics.add('n')\n"
+        )
+        assert violations_for(lint, "repro/core/validate.py", src) == {"INV006"}
+
+    def test_usage_outside_loops_allowed(self, lint):
+        src = (
+            "from repro import obs\n"
+            "for node in nodes:\n"
+            "    pass\n"
+            "obs.metrics.add('nodes', len(nodes))\n"
+        )
+        assert violations_for(lint, "repro/core/validate.py", src) == set()
+
+    def test_other_modules_exempt(self, lint):
+        src = (
+            "from repro import obs\n"
+            "for rank in ranks:\n"
+            "    obs.metrics.add('ranks')\n"
+        )
+        assert violations_for(lint, "repro/core/cfp_growth.py", src) == set()
+
+    def test_unrelated_names_in_loops_ignored(self, lint):
+        src = (
+            "from repro import obs\n"
+            "for node in nodes:\n"
+            "    total = node.count\n"
+        )
+        assert violations_for(lint, "repro/core/validate.py", src) == set()

@@ -211,3 +211,78 @@ def _canonical(array):
             for local, __, __, count in array.iter_subarray(rank)
         )
     return content
+
+
+class TestSubarrayCache:
+    """LRU semantics and counters of the decoded-subarray cache."""
+
+    def _cache(self, budget=100):
+        from repro.core.cfp_array import _SubarrayCache
+
+        return _SubarrayCache(budget)
+
+    def test_reput_refreshes_recency(self):
+        # Regression: put() on an already-cached rank used to return
+        # without touching LRU order, leaving a hot entry first in line
+        # for eviction.
+        cache = self._cache(budget=100)
+        cache.put(1, ["a"], 40)
+        cache.put(2, ["b"], 40)
+        cache.put(1, ["a"], 40)  # re-put: rank 1 is in active use
+        cache.put(3, ["c"], 40)  # must evict rank 2, not rank 1
+        assert cache.get(1) == ["a"]
+        assert cache.get(2) is None
+        assert cache.get(3) == ["c"]
+        assert cache.evictions == 1
+
+    def test_eviction_counter(self):
+        cache = self._cache(budget=100)
+        for rank in range(1, 5):
+            cache.put(rank, [], 40)
+        assert cache.evictions == 2  # 4 x 40 into a 100-byte budget
+
+    def test_oversized_entry_rejected_and_counted(self):
+        cache = self._cache(budget=100)
+        cache.put(1, ["big"], 101)
+        assert cache.get(1) is None
+        assert cache.rejected == 1
+        assert cache.evictions == 0  # nothing was evicted to make room
+
+    def test_counts_snapshot(self):
+        cache = self._cache(budget=100)
+        cache.put(1, ["a"], 40)
+        cache.get(1)
+        cache.get(2)
+        assert cache.counts() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "rejected": 0,
+        }
+
+    def test_array_counts_zero_without_cache(self, small_db):
+        __, __, __, array = build(small_db)
+        assert set(array.cache_counts()) == {
+            "hits",
+            "misses",
+            "evictions",
+            "rejected",
+        }
+        assert all(v == 0 for v in array.cache_counts().values())
+
+    def test_publish_cache_metrics_delta(self, small_db):
+        from repro.obs.registry import MetricsRegistry
+
+        __, __, __, array = build(small_db)
+        array.set_cache_budget(1 << 16)
+        for rank in array.active_ranks_descending():
+            list(array.prefix_paths(rank))
+            list(array.prefix_paths(rank))
+        registry = MetricsRegistry()
+        array.publish_cache_metrics(registry)
+        hits = registry.get("subarray_cache.hits")
+        assert hits > 0
+        # Publishing again with the current counts as baseline is a no-op:
+        # that is what prevents repeated mines from double-counting.
+        array.publish_cache_metrics(registry, baseline=array.cache_counts())
+        assert registry.get("subarray_cache.hits") == hits

@@ -1,6 +1,110 @@
 """Unit tests for the run meter."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.machine import Meter
+
+
+@st.composite
+def meters(draw):
+    """A Meter driven through a random but physically consistent history.
+
+    Structures are never freed beyond what was built, so ``live_bytes``
+    stays non-negative — the precondition for merge's peak estimate being
+    a true upper bound.
+    """
+    meter = Meter()
+    built_total = 0
+    for __ in range(draw(st.integers(min_value=0, max_value=4))):
+        meter.begin_phase(
+            draw(st.sampled_from(["build", "convert", "mine", "run"])),
+            draw(st.sampled_from([0.2, 0.5, 0.9])),
+        )
+        meter.add_ops(
+            draw(st.integers(min_value=0, max_value=200)),
+            bytes_touched=draw(st.integers(min_value=0, max_value=4096)),
+        )
+        meter.add_io(draw(st.integers(min_value=0, max_value=512)))
+        built = draw(st.integers(min_value=0, max_value=1024))
+        meter.on_structure_built(built)
+        built_total += built
+        freed = draw(st.integers(min_value=0, max_value=built_total))
+        meter.on_structure_freed(freed)
+        built_total -= freed
+    return meter
+
+
+def _counter_totals(meter):
+    return {
+        "ops": sum(p.ops for p in meter.phases),
+        "bytes_touched": sum(p.bytes_touched for p in meter.phases),
+        "io_bytes": sum(p.io_bytes for p in meter.phases),
+        "total_ops": meter.total_ops,
+        "integral": meter._integral,
+        "live": meter.live_bytes,
+    }
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(meters(), meters())
+    def test_counters_sum_exactly(self, a, b):
+        expected = {
+            key: _counter_totals(a)[key] + _counter_totals(b)[key]
+            for key in _counter_totals(a)
+        }
+        a.merge(b)
+        assert _counter_totals(a) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(meters(), meters())
+    def test_peak_at_least_each_input(self, a, b):
+        peaks = (a.peak_bytes, b.peak_bytes)
+        a.merge(b)
+        assert a.peak_bytes >= max(peaks)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meters(), meters(), meters())
+    def test_commutative_fields_are_order_insensitive(self, base, x, y):
+        def merged(first, second):
+            target = Meter.from_record(base.to_record())
+            target.merge(Meter.from_record(first.to_record()))
+            target.merge(Meter.from_record(second.to_record()))
+            return target
+
+        xy = merged(x, y)
+        yx = merged(y, x)
+        # The summed counters are commutative. peak_bytes and
+        # footprint_bytes are not (both are conservative estimates that
+        # depend on the live bytes at merge time) and are excluded.
+        assert _counter_totals(xy) == _counter_totals(yx)
+
+        def by_phase(meter):
+            phases = {}
+            for p in meter.phases:
+                entry = phases.setdefault(p.name, [0, 0, 0])
+                entry[0] += p.ops
+                entry[1] += p.bytes_touched
+                entry[2] += p.io_bytes
+            return phases
+
+        assert by_phase(xy) == by_phase(yx)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meters())
+    def test_record_roundtrip_is_merge_equivalent(self, meter):
+        clone = Meter.from_record(meter.to_record())
+        assert _counter_totals(clone) == _counter_totals(meter)
+        assert clone.peak_bytes == meter.peak_bytes
+        assert [p.name for p in clone.phases] == [p.name for p in meter.phases]
+
+        target_a = Meter()
+        target_a.merge(meter)
+        target_b = Meter()
+        target_b.merge(clone)
+        assert _counter_totals(target_a) == _counter_totals(target_b)
+        assert target_a.peak_bytes == target_b.peak_bytes
 
 
 class TestStructureTracking:

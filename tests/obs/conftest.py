@@ -1,0 +1,15 @@
+"""Shared fixtures: keep the process-wide observability state clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Tests must never leak an installed tracer or registry counts."""
+    previous = obs.set_tracer(None)
+    obs.metrics.reset()
+    yield
+    obs.set_tracer(previous)
+    obs.metrics.reset()

@@ -162,3 +162,15 @@ class TestMain:
         summary = bench.format_summary(report)
         assert "paper" in summary and "random" in summary
         assert "peak RSS" in summary
+
+
+class TestTraceOverhead:
+    def test_measure_returns_schema(self):
+        result = bench.measure_trace_overhead(
+            random_database(2, n_transactions=60, n_items=10, max_length=7),
+            2,
+            repeats=1,
+        )
+        assert set(result) == {"plain_s", "traced_s", "overhead_pct"}
+        assert result["plain_s"] > 0
+        assert result["traced_s"] > 0

@@ -121,3 +121,84 @@ class TestBench:
             main(["bench", "--help"])
         assert excinfo.value.code == 0
         assert "--tolerance" in capsys.readouterr().out
+
+
+class TestTrace:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+
+        obs.set_tracer(None)
+        obs.metrics.reset()
+        yield
+        obs.set_tracer(None)
+        obs.metrics.reset()
+
+    def _validator(self):
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "check_trace", root / "tools" / "check_trace.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        return module
+
+    def test_mine_trace_writes_valid_file(self, data_file, tmp_path, capsys):
+        trace = tmp_path / "mine.jsonl"
+        assert main(
+            ["mine", data_file, "--min-support", "2", "--trace", str(trace)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "trace" in captured.err
+        assert self._validator().validate_trace(trace) == []
+
+    def test_mine_trace_restores_tracer(self, data_file, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "mine.jsonl"
+        assert main(
+            ["mine", data_file, "--min-support", "2", "--trace", str(trace)]
+        ) == 0
+        assert obs.get_tracer() is None
+
+    def test_stats_renders_trace_file(self, data_file, tmp_path, capsys):
+        trace = tmp_path / "mine.jsonl"
+        assert main(
+            ["mine", data_file, "--min-support", "2", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace v1" in out
+        assert "meter totals" in out
+
+    def test_parallel_trace_merges_worker_spans(self, data_file, tmp_path):
+        from repro.obs.report import read_trace
+
+        trace = tmp_path / "par.jsonl"
+        assert main(
+            ["mine", data_file, "--min-support", "2", "--jobs", "2",
+             "--trace", str(trace)]
+        ) == 0
+        spans = read_trace(trace).spans
+        names = {s["name"] for s in spans}
+        assert "mine_parallel" in names
+        workers = [
+            s["worker"] for s in spans
+            if s["name"] == "mine_rank" and s.get("worker") is not None
+        ]
+        assert workers, "expected worker-tagged mine_rank spans"
+
+    def test_trace_output_matches_untraced(self, data_file, tmp_path, capsys):
+        assert main(["mine", data_file, "--min-support", "2"]) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "mine.jsonl"
+        assert main(
+            ["mine", data_file, "--min-support", "2", "--trace", str(trace)]
+        ) == 0
+        assert capsys.readouterr().out == plain

@@ -70,6 +70,61 @@ class TestStreamingBuilder:
         with pytest.raises(DatasetError):
             StreamingBuilder.resume(wrong_table, path)
 
+    def test_resume_restores_batch_cursor(self, tmp_path):
+        # Regression: resume() used to reset batches_consumed to 0, so a
+        # resumed pipeline re-fed already-consumed batches (or mislabeled
+        # progress). The cursor must survive the suspend/resume cycle.
+        db = random_database(15, n_transactions=40, n_items=9, max_length=6)
+        phase = CountingPhase()
+        phase.add_batch(db)
+        table = phase.finish(2)
+        builder = StreamingBuilder(table)
+        builder.add_batch(db[:10])
+        builder.add_batch(db[10:20])
+        assert builder.batches_consumed == 2
+        path = tmp_path / "stream.cfpt"
+        builder.checkpoint(path)
+        resumed = StreamingBuilder.resume(table, path)
+        assert resumed.batches_consumed == 2
+        resumed.add_batch(db[20:])
+        assert resumed.batches_consumed == 3
+
+    def test_resume_rejects_same_length_different_table(self, tmp_path):
+        # Regression: the old check compared only len(table), so a table
+        # with the same number of ranks but different items/ranking slid
+        # through and silently remapped every rank.
+        db = [[1, 2], [1, 2], [1]]
+        phase = CountingPhase()
+        phase.add_batch(db)
+        table = phase.finish(2)  # items {1, 2}
+        builder = StreamingBuilder(table)
+        builder.add_batch(db)
+        path = tmp_path / "stream.cfpt"
+        builder.checkpoint(path)
+        other = CountingPhase()
+        other.add_batch([[1, 3], [1, 3], [1]])
+        wrong_table = other.finish(2)  # items {1, 3} — same length
+        assert len(wrong_table) == len(table)
+        with pytest.raises(DatasetError, match="fingerprint"):
+            StreamingBuilder.resume(wrong_table, path)
+
+    def test_resume_accepts_legacy_checkpoint(self, tmp_path):
+        # Checkpoints written before the batch cursor / fingerprint were
+        # recorded must still resume (cursor defaults to 0).
+        from repro.storage import save_cfp_tree
+
+        db = [[1, 2], [1, 2], [2]]
+        phase = CountingPhase()
+        phase.add_batch(db)
+        table = phase.finish(2)
+        builder = StreamingBuilder(table)
+        builder.add_batch(db)
+        path = tmp_path / "legacy.cfpt"
+        save_cfp_tree(builder.tree, path)  # no extra metadata
+        resumed = StreamingBuilder.resume(table, path)
+        assert resumed.batches_consumed == 0
+        assert resumed.tree.n_ranks == builder.tree.n_ranks
+
     def test_insert_count_reported(self):
         phase = CountingPhase()
         phase.add_batch([[1], [1], [2]])

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Schema validator for ``--trace`` JSONL files (docs/observability.md).
+
+Checks, per file:
+
+* line 1 is a ``meta`` record with the supported ``version`` and a
+  ``spans`` count matching the number of span lines;
+* every span line carries the required keys with sane types, a unique
+  ``id``, a ``parent`` that is ``null`` or another span's id, and
+  non-negative ``t0``/``dur`` (children close before their parents, so a
+  span's parent may legitimately appear *later* in the file);
+* metric lines name a ``counter`` or ``gauge`` with a numeric value and
+  appear only after all span lines;
+* no unknown record types.
+
+Usage::
+
+    python tools/check_trace.py TRACE.jsonl [TRACE2.jsonl ...]
+
+Exit codes: 0 valid, 1 schema violations (printed one per line),
+2 usage error / unreadable file. Importable: :func:`validate_trace`
+returns the problem list for one file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Trace schema versions this validator understands.
+SUPPORTED_VERSIONS = (1,)
+
+_SPAN_KEYS = {
+    "id": int,
+    "name": str,
+    "t0": (int, float),
+    "dur": (int, float),
+    "attrs": dict,
+}
+
+_METRIC_KINDS = ("counter", "gauge")
+
+
+def _check_span(line_no: int, record: dict, problems: list[str]) -> int | None:
+    """Validate one span record; returns its id when usable."""
+    for key, types in _SPAN_KEYS.items():
+        if key not in record:
+            problems.append(f"line {line_no}: span missing key {key!r}")
+            return None
+        if not isinstance(record[key], types) or isinstance(record[key], bool):
+            problems.append(
+                f"line {line_no}: span key {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+            return None
+    parent = record.get("parent")
+    if parent is not None and (not isinstance(parent, int) or isinstance(parent, bool)):
+        problems.append(f"line {line_no}: span parent must be null or an int id")
+    worker = record.get("worker")
+    if worker is not None and (not isinstance(worker, int) or isinstance(worker, bool)):
+        problems.append(f"line {line_no}: span worker must be null or an int")
+    if record["t0"] < 0:
+        problems.append(f"line {line_no}: span t0 is negative")
+    if record["dur"] < 0:
+        problems.append(f"line {line_no}: span dur is negative")
+    return record["id"]
+
+
+def validate_trace(path: str | Path) -> list[str]:
+    """All schema problems in one trace file (empty list = valid)."""
+    problems: list[str] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return ["file is empty"]
+    spans: dict[int, int | None] = {}  # id -> parent
+    declared_spans: int | None = None
+    seen_metric = False
+    for line_no, raw in enumerate(lines, start=1):
+        if not raw.strip():
+            problems.append(f"line {line_no}: blank line")
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {line_no}: not JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {line_no}: record is not an object")
+            continue
+        kind = record.get("type")
+        if line_no == 1:
+            if kind != "meta":
+                problems.append("line 1: first record must be the meta line")
+                continue
+            version = record.get("version")
+            if version not in SUPPORTED_VERSIONS:
+                problems.append(f"line 1: unsupported trace version {version!r}")
+            if not isinstance(record.get("spans"), int):
+                problems.append("line 1: meta 'spans' count missing or not an int")
+            else:
+                declared_spans = record["spans"]
+            continue
+        if kind == "meta":
+            problems.append(f"line {line_no}: duplicate meta record")
+        elif kind == "span":
+            if seen_metric:
+                problems.append(f"line {line_no}: span appears after metric lines")
+            span_id = _check_span(line_no, record, problems)
+            if span_id is not None:
+                if span_id in spans:
+                    problems.append(f"line {line_no}: duplicate span id {span_id}")
+                spans[span_id] = record.get("parent")
+        elif kind == "metric":
+            seen_metric = True
+            if record.get("kind") not in _METRIC_KINDS:
+                problems.append(
+                    f"line {line_no}: metric kind must be one of {_METRIC_KINDS}"
+                )
+            if not isinstance(record.get("name"), str):
+                problems.append(f"line {line_no}: metric name must be a string")
+            value = record.get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"line {line_no}: metric value must be numeric")
+        else:
+            problems.append(f"line {line_no}: unknown record type {kind!r}")
+    if declared_spans is not None and declared_spans != len(spans):
+        problems.append(
+            f"meta declares {declared_spans} spans but the file has {len(spans)}"
+        )
+    for span_id, parent in spans.items():
+        if parent is not None and parent not in spans:
+            problems.append(f"span {span_id} references unknown parent {parent}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: check_trace.py TRACE.jsonl [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        try:
+            problems = validate_trace(path)
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            return 2
+        for problem in problems:
+            print(f"{path}: {problem}")
+            failed = True
+        if not problems:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,19 @@ This linter turns those rules into machine-checked invariants:
 
 ``INV005``
     Functions in the typed packages (``repro/core``, ``repro/compress``,
-    ``repro/memman``, ``repro/analysis``) must have complete signatures:
-    every parameter and the return type annotated. This mirrors the CI
-    mypy gate so the check also runs where mypy is not installed.
+    ``repro/memman``, ``repro/analysis``, ``repro/obs``) must have
+    complete signatures: every parameter and the return type annotated.
+    This mirrors the CI mypy gate so the check also runs where mypy is
+    not installed.
+
+``INV006``
+    The verification modules (``repro/core/validate.py``,
+    ``repro/analysis/arraycheck.py``) must not call observability hooks
+    (anything imported from :mod:`repro.obs`) inside ``for``/``while``
+    loop bodies. Verification walks every node of a structure; a per-node
+    span or counter would dominate its runtime and — worse — tempt
+    instrumentation-dependent behaviour into code whose only job is to
+    report the truth. Phase-level instrumentation outside loops is fine.
 
 Suppress a finding with a trailing ``# lint: ignore[INV00x]`` comment on
 the offending line.
@@ -74,6 +84,13 @@ TYPED_PACKAGES = (
     "repro/compress/",
     "repro/memman/",
     "repro/analysis/",
+    "repro/obs/",
+)
+
+#: Verification modules whose loops must stay instrumentation-free (INV006).
+OBS_FREE_LOOPS = (
+    "repro/core/validate.py",
+    "repro/analysis/arraycheck.py",
 )
 
 #: Constructor names whose call as a default argument is mutable (INV003).
@@ -122,7 +139,11 @@ class _FileChecker(ast.NodeVisitor):
         self.arena_allowed = _matches(module, ARENA_BUF_ALLOWED)
         self.masks_allowed = _matches(module, MASK_ALLOWED)
         self.typed = _matches(module, TYPED_PACKAGES)
+        self.obs_free_loops = _matches(module, OBS_FREE_LOOPS)
         self._buf_aliases: set[str] = set()
+        self._obs_names: set[str] = set()
+        self._obs_module_imported = False
+        self._loop_depth = 0
 
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -245,6 +266,72 @@ class _FileChecker(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_def(node)
+        self.generic_visit(node)
+
+    # -- INV006: no observability hooks in verification loops ----------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
+                # `import repro.obs` binds `repro`; usage is `repro.obs.*`.
+                self._obs_module_imported = True
+                if alias.asname is not None:
+                    self._obs_names.add(alias.asname)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "repro.obs" or module.startswith("repro.obs."):
+            for alias in node.names:
+                self._obs_names.add(alias.asname or alias.name)
+        elif module == "repro":
+            for alias in node.names:
+                if alias.name == "obs":
+                    self._obs_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def _flag_obs_use(self, node: ast.AST, what: str) -> None:
+        self._add(
+            node,
+            "INV006",
+            f"observability hook {what} used inside a verification loop; "
+            "validate/arraycheck loops must stay instrumentation-free",
+        )
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            self.obs_free_loops
+            and self._loop_depth > 0
+            and isinstance(node.ctx, ast.Load)
+            and node.id in self._obs_names
+        ):
+            self._flag_obs_use(node, repr(node.id))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self.obs_free_loops
+            and self._loop_depth > 0
+            and self._obs_module_imported
+            and node.attr == "obs"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "repro"
+        ):
+            self._flag_obs_use(node, "'repro.obs'")
         self.generic_visit(node)
 
     # -- INV004: exception hygiene ------------------------------------
