@@ -32,9 +32,10 @@ import time
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.core.build_parallel import build_tree_parallel
 from repro.core.cfp_growth import DEFAULT_CACHE_BUDGET, mine_array
 from repro.core.conversion import convert
-from repro.core.parallel import mine_array_parallel
+from repro.core.parallel import mine_array_parallel, warm_pool
 from repro.core.ternary import TernaryCfpTree
 from repro.datasets.quest import QuestGenerator
 from repro.datasets.synthetic import make_kosarak, make_retail
@@ -42,7 +43,10 @@ from repro.fptree.growth import CountCollector
 from repro.util.items import prepare_transactions
 
 #: Report schema version, bumped on incompatible layout changes.
-SCHEMA_VERSION = 1
+#: v2 adds the per-jobs ``build`` map (parallel build phase) next to the
+#: serial ``build_s``/``convert_s`` scalars, which remain for comparability
+#: with v1 reports.
+SCHEMA_VERSION = 2
 
 #: Regressions smaller than this many seconds are ignored regardless of
 #: ratio — they are timer jitter, not performance.
@@ -50,6 +54,9 @@ NOISE_FLOOR_SECONDS = 0.05
 
 #: Default worker counts benchmarked for the mine phase.
 DEFAULT_JOBS = (1, 2, 4)
+
+#: Default worker counts benchmarked for the build phase.
+DEFAULT_BUILD_JOBS = (1, 2, 4)
 
 
 def _quest_t10i4(quick: bool) -> tuple[list[list[int]], int]:
@@ -95,6 +102,7 @@ def bench_dataset(
     database: list[list[int]],
     min_support: int,
     jobs: Iterable[int] = DEFAULT_JOBS,
+    build_jobs: Iterable[int] = DEFAULT_BUILD_JOBS,
 ) -> dict:
     """Time build/convert/mine for one dataset; returns its report entry."""
     started = time.perf_counter()
@@ -121,8 +129,38 @@ def bench_dataset(
         "prepare_s": round(prepare_s, 4),
         "build_s": round(build_s, 4),
         "convert_s": round(convert_s, 4),
+        "build": {},
         "mine": {},
     }
+    # Per-jobs build map: jobs=1 is the serial legs above (tree build plus
+    # conversion — the phase build_tree_parallel subsumes); jobs>1 times the
+    # sharded build end-to-end, with a byte-identity tripwire against the
+    # serial array. Pools are warmed outside the timed region so the fork
+    # cost is not billed to the phase.
+    serial_build_wall = build_s + convert_s
+    entry["build"]["1"] = {
+        "wall_s": round(serial_build_wall, 4),
+        "speedup": 1.0,
+        "identical": True,
+    }
+    for build_job_count in sorted(set(int(j) for j in build_jobs)):
+        if build_job_count <= 1:
+            continue
+        warm_pool(build_job_count)
+        started = time.perf_counter()
+        parallel_array = build_tree_parallel(
+            transactions, len(table), jobs=build_job_count
+        )
+        wall = time.perf_counter() - started
+        entry["build"][str(build_job_count)] = {
+            "wall_s": round(wall, 4),
+            "speedup": round(serial_build_wall / wall, 3) if wall > 0 else 1.0,
+            "identical": (
+                bytes(parallel_array.buffer) == bytes(array.buffer)
+                and parallel_array.starts == array.starts
+            ),
+        }
+        del parallel_array
     job_list = sorted(set(int(j) for j in jobs))
     if 1 not in job_list:
         job_list.insert(0, 1)  # speedups are relative to this run's serial mine
@@ -196,6 +234,7 @@ def run_bench(
     jobs: Iterable[int] = DEFAULT_JOBS,
     quick: bool = False,
     datasets: dict[str, tuple[list[list[int]], int]] | None = None,
+    build_jobs: Iterable[int] = DEFAULT_BUILD_JOBS,
 ) -> dict:
     """Run the benchmark suite and return the report dict.
 
@@ -225,7 +264,9 @@ def run_bench(
         "datasets": {},
     }
     for name, (database, min_support) in datasets.items():
-        report["datasets"][name] = bench_dataset(database, min_support, jobs)
+        report["datasets"][name] = bench_dataset(
+            database, min_support, jobs, build_jobs
+        )
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 
@@ -283,6 +324,18 @@ def compare_reports(current: dict, previous: dict, tolerance: float = 0.3) -> li
             continue
         for phase in ("build_s", "convert_s"):
             check(f"{name}/{phase[:-2]}", entry.get(phase), before_entry.get(phase))
+        # Per-jobs build map (schema v2); a v1 report on either side simply
+        # has no "build" key and this loop is skipped — the serial scalars
+        # above still compare.
+        for job_count, build in entry.get("build", {}).items():
+            before_build = before_entry.get("build", {}).get(job_count)
+            if before_build is None:
+                continue
+            check(
+                f"{name}/build@{job_count}",
+                build.get("wall_s"),
+                before_build.get("wall_s"),
+            )
         for job_count, mine in entry.get("mine", {}).items():
             before_mine = before_entry.get("mine", {}).get(job_count)
             if before_mine is None:
@@ -317,6 +370,16 @@ def format_summary(report: dict) -> str:
                 f"{mine['speedup']:>6.2f}x {mine['nodes_per_s'] or 0:>9}"
             )
             first = False
+        for job_count, build in sorted(
+            entry.get("build", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            if job_count == "1":
+                continue
+            flag = "" if build.get("identical", True) else "  BYTE MISMATCH"
+            lines.append(
+                f"{'':<14} build@{job_count}: {build['wall_s']:.3f}s "
+                f"{build['speedup']:.2f}x{flag}"
+            )
     lines.append(f"peak RSS: {report['peak_rss_kb']:,} KiB")
     return "\n".join(lines)
 
@@ -347,6 +410,11 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs",
         default=",".join(str(j) for j in DEFAULT_JOBS),
         help="comma-separated worker counts for the mine phase (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--build-jobs",
+        default=",".join(str(j) for j in DEFAULT_BUILD_JOBS),
+        help="comma-separated worker counts for the build phase (default 1,2,4)",
     )
     parser.add_argument(
         "--output-dir", default="benchmarks", help="where BENCH_*.json lands"
@@ -389,6 +457,14 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError:
         print(f"error: --jobs must be comma-separated ints: {args.jobs!r}", file=sys.stderr)
         return 2
+    try:
+        build_jobs = [int(j) for j in args.build_jobs.split(",") if j.strip()]
+    except ValueError:
+        print(
+            f"error: --build-jobs must be comma-separated ints: {args.build_jobs!r}",
+            file=sys.stderr,
+        )
+        return 2
     names = args.datasets.split(",") if args.datasets else None
 
     previous_path: Path | None
@@ -409,7 +485,7 @@ def main(argv: list[str] | None = None) -> int:
         tracer = Tracer()
         obs.set_tracer(tracer)
     try:
-        report = run_bench(names, jobs, quick=args.quick)
+        report = run_bench(names, jobs, quick=args.quick, build_jobs=build_jobs)
     finally:
         if tracer is not None:
             from repro import obs
@@ -427,6 +503,19 @@ def main(argv: list[str] | None = None) -> int:
     path = write_report(report, args.output_dir)
     print(format_summary(report))
     print(f"report: {path}")
+    mismatches = [
+        f"{name}/build@{job_count}"
+        for name, entry in report["datasets"].items()
+        for job_count, build in entry.get("build", {}).items()
+        if not build.get("identical", True)
+    ]
+    if mismatches:
+        print(
+            f"error: parallel build produced a different CFP-array than the "
+            f"serial build: {', '.join(sorted(mismatches))}",
+            file=sys.stderr,
+        )
+        return 1
     if args.trace_overhead:
         oh = report["trace_overhead"]
         print(

@@ -15,7 +15,8 @@ Usage (after installation)::
 
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
 ``--jobs N`` parallelizes the mine phase for miners that support it
-(currently cfp-growth); other miners ignore it with a warning.
+(currently cfp-growth); ``--build-jobs N`` does the same for the build
+phase; other miners ignore both with a warning.
 ``--trace FILE`` records a span trace plus metric counters
 (docs/observability.md); ``stats`` renders trace files as a per-phase
 summary table.
@@ -110,6 +111,15 @@ def _cmd_mine(args) -> int:
                     print(
                         f"warning: --jobs ignored "
                         f"({args.algorithm} mines serially)",
+                        file=sys.stderr,
+                    )
+            if args.build_jobs > 1:
+                if hasattr(miner, "build_jobs"):
+                    miner.build_jobs = args.build_jobs
+                else:
+                    print(
+                        f"warning: --build-jobs ignored "
+                        f"({args.algorithm} builds serially)",
                         file=sys.stderr,
                     )
             results = miner.mine(database, args.min_support)
@@ -242,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="mine-phase worker processes (cfp-growth only; default 1 = serial)",
+    )
+    mine.add_argument(
+        "--build-jobs",
+        type=int,
+        default=1,
+        help="build-phase worker processes (cfp-growth only; default 1 = serial)",
     )
     mine.add_argument(
         "--trace",

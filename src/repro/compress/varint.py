@@ -16,7 +16,7 @@ length cannot be looked up without scanning the continuation bits.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
 
 from repro.errors import CorruptBufferError, ValueOutOfRangeError
 
@@ -200,6 +200,92 @@ def decode_triples(
             dpos = dpos_raw >> 1
         append((local, fields[0], dpos, fields[2]))
     return triples
+
+
+def triple_size(delta_item: int, dpos: int, count: int) -> int:
+    """Return the encoded byte size of one ``(delta_item, dpos, count)`` triple.
+
+    ``dpos`` is signed; zigzag mapping is applied inline. One call replaces
+    three :func:`encoded_size` calls on the conversion sizing path.
+
+    >>> triple_size(1, 0, 1), triple_size(200, -100, 1)
+    (3, 5)
+    """
+    if delta_item < 0 or delta_item > MAX_VALUE:
+        raise ValueOutOfRangeError(f"varint value out of range: {delta_item}")
+    if count < 0 or count > MAX_VALUE:
+        raise ValueOutOfRangeError(f"varint value out of range: {count}")
+    if dpos >= 0:
+        zz = dpos << 1
+    else:
+        zz = ((-dpos) << 1) - 1
+    if zz > MAX_VALUE:
+        raise ValueOutOfRangeError(f"varint value out of range: {dpos}")
+    size = 3
+    while delta_item >= 0x80:
+        delta_item >>= 7
+        size += 1
+    while zz >= 0x80:
+        zz >>= 7
+        size += 1
+    while count >= 0x80:
+        count >>= 7
+        size += 1
+    return size
+
+
+def encode_triples(
+    buf: bytearray, offset: int, triples: Sequence[tuple[int, int, int]]
+) -> int:
+    """Bulk-encode CFP-array ``(delta_item, dpos, count)`` triples into ``buf``.
+
+    The encode-side mirror of :func:`decode_triples`: writes every triple
+    back-to-back starting at ``offset`` in one tight loop — no per-field
+    function calls — with the signed ``dpos`` zigzag-mapped inline. ``buf``
+    must already be large enough (conversion presizes each subarray from the
+    sizing pass). Returns the offset just past the last byte written.
+
+    The produced bytes are identical to three sequential :func:`encode_into`
+    calls per triple (with :func:`zigzag` applied to ``dpos``), so existing
+    buffers and checksums are unaffected.
+
+    Raises :class:`ValueOutOfRangeError` when a field falls outside the
+    codec's 64-bit range (``delta_item``/``count`` must be non-negative).
+    """
+    for delta_item, dpos, count in triples:
+        if dpos >= 0:
+            zz = dpos << 1
+        else:
+            zz = ((-dpos) << 1) - 1
+        if (
+            delta_item < 0
+            or delta_item > MAX_VALUE
+            or zz > MAX_VALUE
+            or count < 0
+            or count > MAX_VALUE
+        ):
+            raise ValueOutOfRangeError(
+                f"varint triple out of range: ({delta_item}, {dpos}, {count})"
+            )
+        while delta_item >= 0x80:
+            buf[offset] = (delta_item & 0x7F) | 0x80
+            delta_item >>= 7
+            offset += 1
+        buf[offset] = delta_item
+        offset += 1
+        while zz >= 0x80:
+            buf[offset] = (zz & 0x7F) | 0x80
+            zz >>= 7
+            offset += 1
+        buf[offset] = zz
+        offset += 1
+        while count >= 0x80:
+            buf[offset] = (count & 0x7F) | 0x80
+            count >>= 7
+            offset += 1
+        buf[offset] = count
+        offset += 1
+    return offset
 
 
 def zigzag(value: int) -> int:

@@ -1,0 +1,316 @@
+"""Parallel sharded build phase (leading-rank partitioning).
+
+The build phase inserts one ranked transaction at a time into the ternary
+CFP-tree — the last fully serial hot path now that the mine phase fans out.
+This module parallelizes it with the projection idea used by partition-based
+miners (see PAPERS.md): a transaction ``[r1 < r2 < ...]`` only ever touches
+the root's level-1 subtree rooted at its *leading rank* ``r1``, so routing
+transactions by leading rank makes the per-shard trees fully independent.
+
+* **Ownership sets.** The distinct leading ranks are partitioned into
+  ``jobs`` disjoint sets, LPT-balanced by the counting-phase weight of each
+  rank (total ranks across its transactions — a direct proxy for insert
+  cost). Each worker builds one :class:`~repro.core.ternary.TernaryCfpTree`
+  shard, in its own arena, from exactly the transactions whose leading rank
+  it owns, via the sorted-insert fast path.
+* **One segment, no copies.** The prepared transactions are published once
+  through :mod:`multiprocessing.shared_memory` as ``[header | offsets |
+  flat ranks]``; workers attach, filter by leading rank, and detach. Only
+  the (small) ownership set is pickled per task.
+* **Deterministic rank-ordered merge.** Workers return their shards
+  *flattened* (:func:`repro.core.conversion.flatten_subtrees`): per level-1
+  subtree, the preorder ``(ranks, parents, counts)`` arrays with cumulative
+  counts already folded in. The parent splices the subtrees in ascending
+  leading-rank order through :func:`repro.core.conversion.splice_subtree` —
+  the same cursor walk the serial converter uses — rebasing every ``dpos``
+  against the global per-rank cursors, then bulk-encodes the subarrays.
+  Because the serial DFS is exactly the concatenation of the level-1
+  subtree DFSs in ascending leading-rank order, and the CFP-tree is
+  insertion-order independent, the resulting :class:`CfpArray` is
+  **byte-identical to the serial build+convert for any worker count**.
+  (Splicing raw per-shard *bytes* would not be: a rebased ``dpos`` can
+  change its varint width, which shifts every later local position in the
+  same subarray — the merge must re-run the sizing walk, which the flat
+  arrays make a tight loop instead of a tree traversal.)
+
+The worker pool is shared with the mine phase (:mod:`repro.core.parallel`),
+so a ``--build-jobs N --jobs N`` run forks exactly one pool.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array as _flatarray
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+from repro import obs
+from repro.core.cfp_array import CfpArray
+from repro.core.conversion import (
+    Layout,
+    assemble,
+    convert,
+    flatten_subtrees,
+    splice_subtree,
+)
+from repro.core.parallel import _attach_untracked, _get_pool, shutdown_pools
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import ParallelBuildError
+from repro.obs.tracer import Tracer
+
+#: Segment layout: magic, format version, n_ranks, transaction count, flat
+#: rank count — followed by ``n_txns + 1`` little-endian u64 offsets into the
+#: flat rank area, then the concatenated transaction ranks as u32s.
+_TXN_HEADER = struct.Struct("<8sHxxxxxxQQQ")
+
+_TXN_MAGIC = b"CFPTXN\x00\x00"
+
+_TXN_FORMAT_VERSION = 1
+
+#: One flattened shard subtree shipped back by a worker:
+#: ``(leading_rank, ranks_blob, parents_blob, counts_blob)`` with the flat
+#: preorder arrays packed as little-endian i64 bytes (cheap to pickle).
+_SubtreeBlob = tuple[int, bytes, bytes, bytes]
+
+#: One build task's result: subtree blobs, exported span records (None when
+#: untraced), and the worker's metric-registry movement.
+_BuildResult = tuple[
+    list[_SubtreeBlob], list[dict[str, Any]] | None, dict[str, int] | None
+]
+
+
+def _pack(values: list[int]) -> bytes:
+    return _flatarray("q", values).tobytes()
+
+
+def _unpack(blob: bytes) -> list[int]:
+    values = _flatarray("q")
+    values.frombytes(blob)
+    return values.tolist()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory publication (parent side)
+# ----------------------------------------------------------------------
+
+
+def publish_transactions(
+    transactions: Sequence[list[int]], n_ranks: int
+) -> tuple[shared_memory.SharedMemory, dict[int, int]]:
+    """Copy the prepared transactions into a fresh shared-memory segment.
+
+    Returns ``(segment, weights)`` where ``weights`` maps each distinct
+    leading rank to the total number of ranks across its transactions —
+    the LPT balance weight for :func:`partition_leading_ranks`. The caller
+    owns the segment and must ``close()`` and ``unlink()`` it.
+    """
+    n_txns = len(transactions)
+    flat_len = sum(len(txn) for txn in transactions)
+    offsets_size = (n_txns + 1) * 8
+    total = _TXN_HEADER.size + offsets_size + flat_len * 4
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    view = memoryview(segment.buf)
+    weights: dict[int, int] = {}
+    try:
+        _TXN_HEADER.pack_into(
+            view, 0, _TXN_MAGIC, _TXN_FORMAT_VERSION, n_ranks, n_txns, flat_len
+        )
+        offsets = view[_TXN_HEADER.size : _TXN_HEADER.size + offsets_size].cast("Q")
+        flat = view[_TXN_HEADER.size + offsets_size :].cast("I")
+        try:
+            cursor = 0
+            for index, txn in enumerate(transactions):
+                offsets[index] = cursor
+                flat[cursor : cursor + len(txn)] = _flatarray("I", txn)
+                cursor += len(txn)
+                lead = txn[0]
+                weights[lead] = weights.get(lead, 0) + len(txn)
+            offsets[n_txns] = cursor
+        finally:
+            offsets.release()
+            flat.release()
+    finally:
+        view.release()
+    return segment, weights
+
+
+def partition_leading_ranks(
+    weights: dict[int, int], jobs: int
+) -> list[frozenset[int]]:
+    """LPT-partition the distinct leading ranks into ``jobs`` ownership sets.
+
+    Classic longest-processing-time: ranks are taken heaviest first and
+    assigned to the least-loaded worker, with deterministic tie-breaks
+    (rank ascending among equal weights, lowest worker index among equal
+    loads). Determinism here is a debugging nicety, not a correctness
+    requirement — any disjoint cover yields byte-identical output.
+    """
+    loads = [0] * jobs
+    owned: list[set[int]] = [set() for __ in range(jobs)]
+    for rank in sorted(weights, key=lambda r: (-weights[r], r)):
+        worker = loads.index(min(loads))
+        owned[worker].add(rank)
+        loads[worker] += weights[rank]
+    return [frozenset(ranks) for ranks in owned]
+
+
+# ----------------------------------------------------------------------
+# Worker task
+# ----------------------------------------------------------------------
+
+
+def _build_shard_task(
+    name: str, owned: frozenset[int], want_trace: bool
+) -> _BuildResult:
+    """Build one tree shard from the owned leading ranks and flatten it.
+
+    Attaches to the published transaction segment, inserts every owned
+    transaction through the sorted-insert fast path, and returns the
+    shard's level-1 subtrees as flat preorder arrays — the merge input of
+    :func:`build_tree_parallel`. The attachment is released before the
+    task returns; the parent owns the unlink.
+    """
+    segment = _attach_untracked(name)
+    base = memoryview(segment.buf)
+    try:
+        magic, version, n_ranks, n_txns, flat_len = _TXN_HEADER.unpack_from(base, 0)
+        if magic != _TXN_MAGIC or version != _TXN_FORMAT_VERSION:
+            raise ParallelBuildError(
+                f"shared segment {name!r} is not a v{_TXN_FORMAT_VERSION} "
+                f"transaction block"
+            )
+        offsets_end = _TXN_HEADER.size + (n_txns + 1) * 8
+        offsets = base[_TXN_HEADER.size : offsets_end].cast("Q")
+        flat = base[offsets_end : offsets_end + flat_len * 4].cast("I")
+        try:
+            txns: list[list[int]] = []
+            for index in range(n_txns):
+                start = offsets[index]
+                if flat[start] in owned:
+                    txns.append(list(flat[start : offsets[index + 1]]))
+        finally:
+            offsets.release()
+            flat.release()
+    finally:
+        base.release()
+        segment.close()
+    tracer = Tracer() if want_trace else None
+    previous = obs.set_tracer(tracer) if want_trace else None
+    registry_before = obs.metrics.counters() if want_trace else {}
+    try:
+        with obs.maybe_span(
+            "build_shard", ranks_owned=len(owned), transactions=len(txns)
+        ) as span:
+            tree = TernaryCfpTree(n_ranks)
+            tree.insert_batch(txns)
+            if want_trace:
+                span.set("logical_nodes", tree.logical_node_count)
+                span.set("tree_bytes", tree.memory_bytes)
+                span.set("prefix_skip_hits", tree.prefix_skip_hits)
+        blobs: list[_SubtreeBlob] = [
+            (lead, _pack(ranks), _pack(parents), _pack(counts))
+            for lead, ranks, parents, counts in flatten_subtrees(tree)
+        ]
+    finally:
+        if want_trace:
+            obs.set_tracer(previous)
+    delta: dict[str, int] = {}
+    if want_trace:
+        for key, value in obs.metrics.counters().items():
+            moved = value - registry_before.get(key, 0)
+            if moved:
+                delta[key] = moved
+    records = tracer.export() if tracer is not None else None
+    return blobs, records, delta or None
+
+
+# ----------------------------------------------------------------------
+# The parallel build phase
+# ----------------------------------------------------------------------
+
+
+def build_tree_parallel(
+    transactions: Sequence[list[int]], n_ranks: int, jobs: int = 1
+) -> CfpArray:
+    """Build the top-level CFP-array from prepared rank transactions.
+
+    ``jobs <= 1`` (or a transaction set with fewer than two distinct
+    leading ranks) runs the serial path: sorted-insert batch build plus
+    :func:`repro.core.conversion.convert`. ``jobs > 1`` shards the build by
+    leading rank across the shared worker pool and merges the flattened
+    shards in ascending leading-rank order. The produced array is
+    byte-identical for any worker count.
+
+    Note the result has no cache budget set (like a raw ``convert``);
+    callers that mine it should call :meth:`CfpArray.set_cache_budget`.
+    """
+    txns = transactions if isinstance(transactions, list) else list(transactions)
+    if jobs <= 1:
+        return convert(TernaryCfpTree.from_rank_transactions(txns, n_ranks))
+    # Empty transactions are no-ops (insert_batch skips them) but would make
+    # a worker read the *next* transaction's leading rank through an empty
+    # slice — drop them before publishing.
+    if any(not txn for txn in txns):
+        txns = [txn for txn in txns if txn]
+    leads = {txn[0] for txn in txns}
+    if len(leads) < 2:
+        return convert(TernaryCfpTree.from_rank_transactions(txns, n_ranks))
+    parent_tracer = obs.get_tracer()
+    want_trace = parent_tracer is not None
+    segment, weights = publish_transactions(txns, n_ranks)
+    owned_sets = partition_leading_ranks(weights, min(jobs, len(weights)))
+    results: list[_BuildResult] = []
+    with obs.maybe_span(
+        "build_parallel", jobs=len(owned_sets), transactions=len(txns)
+    ):
+        parent_span_id = (
+            parent_tracer.current_span_id if parent_tracer is not None else None
+        )
+        try:
+            pool = _get_pool(len(owned_sets))
+            futures = [
+                pool.submit(_build_shard_task, segment.name, owned, want_trace)
+                for owned in owned_sets
+            ]
+            try:
+                results = [future.result() for future in futures]
+            except BrokenProcessPool as exc:
+                shutdown_pools()  # a dead worker poisons the pool; rebuild next
+                raise ParallelBuildError(
+                    f"a build worker died while building {len(owned_sets)} shards"
+                ) from exc
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        # Deterministic merge: splice every shard subtree in ascending
+        # leading-rank order — the serial DFS order — rebasing dpos values
+        # against the global per-rank cursors, then bulk-encode.
+        subtrees: dict[int, tuple[bytes, bytes, bytes]] = {}
+        for worker, (blobs, records, metrics_delta) in enumerate(results):
+            for lead, ranks_blob, parents_blob, counts_blob in blobs:
+                if lead in subtrees:
+                    raise ParallelBuildError(
+                        f"leading rank {lead} produced by two build shards"
+                    )
+                subtrees[lead] = (ranks_blob, parents_blob, counts_blob)
+            if records is not None and parent_tracer is not None:
+                parent_tracer.ingest(records, parent_id=parent_span_id, worker=worker)
+            if metrics_delta:
+                for key, value in metrics_delta.items():
+                    obs.metrics.add(key, value)
+        if set(subtrees) != leads:
+            missing = sorted(leads - set(subtrees))
+            raise ParallelBuildError(
+                f"build shards returned no subtree for leading ranks {missing}"
+            )
+        layout = Layout(n_ranks)
+        for lead in sorted(subtrees):
+            ranks_blob, parents_blob, counts_blob = subtrees.pop(lead)
+            splice_subtree(
+                layout, _unpack(ranks_blob), _unpack(parents_blob), _unpack(counts_blob)
+            )
+        return assemble(layout)

@@ -333,6 +333,31 @@ class CfpArray:
             if self.starts[rank + 1] > self.starts[rank]:
                 yield rank
 
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """The array's single path as ``(rank, count)`` pairs, or None.
+
+        Array counterpart of :meth:`TernaryCfpTree.single_path`, for the
+        single-path mining shortcut when the array was produced by the
+        parallel build and no whole tree ever existed. A single path means
+        every active rank holds exactly one node and each node's parent is
+        the previous active rank. Counts are stored cumulatively, so they
+        already equal the tree method's suffix-summed counts.
+        """
+        path: list[tuple[int, int]] = []
+        prev_rank = 0
+        for rank in range(1, self.n_ranks + 1):
+            if self.starts[rank + 1] == self.starts[rank]:
+                continue
+            triples = self.decode_subarray(rank)
+            if len(triples) != 1:
+                return None
+            __, delta_item, dpos, count = triples[0]
+            if rank - delta_item != prev_rank or dpos != 0:
+                return None
+            path.append((rank, count))
+            prev_rank = rank
+        return path
+
     def item_of_position(self, offset: int) -> int:
         """Rank owning the byte at ``offset`` — largest start <= offset.
 

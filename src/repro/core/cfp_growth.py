@@ -206,6 +206,7 @@ def mine_rank_transactions(
     meter: Any = None,
     jobs: int = 1,
     cache_budget: int = DEFAULT_CACHE_BUDGET,
+    build_jobs: int = 1,
 ) -> SupportCollector:
     """Full CFP-growth over prepared rank transactions; returns the collector.
 
@@ -213,44 +214,65 @@ def mine_rank_transactions(
     pool (:mod:`repro.core.parallel`); output is byte-identical to the
     serial run for any worker count. ``jobs=1`` is the unchanged serial
     path with its full Meter instrumentation.
+
+    ``build_jobs > 1`` shards the build phase by leading rank
+    (:func:`repro.core.build_parallel.build_tree_parallel`) and merges
+    straight into the CFP-array — still byte-identical, but the
+    intermediate CFP-tree never exists in the parent, so the tree-level
+    Meter probes (``on_build``/``on_conversion``) report through the
+    build-worker spans instead of the parent meter.
     """
     if collector is None:
         collector = ListCollector()
     tracer = obs.get_tracer()
     if tracer is not None and meter is None:
         meter = Meter()  # supplies span deltas; results are unaffected
-    if meter is not None and tracer is not None:
-        # Sequential fractions as in repro.experiments.drivers.
-        meter.begin_phase("build", 0.2)
-    with obs.maybe_span("build") as span:
-        before = _meter_counts(meter) if meter is not None else None
-        tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
-        if meter is not None:
-            meter.on_build(tree)
-            _attach_meter_delta(span, meter, before)  # type: ignore[arg-type]
-        if tracer is not None:
-            span.set("transactions", tree.transaction_count)
-            span.set("logical_nodes", tree.logical_node_count)
-            span.set("tree_bytes", tree.memory_bytes)
-            span.set("arena_allocs", tree.arena.stats().alloc_count)
-    path = tree.single_path()
-    if path is not None:
-        if path:
-            collector.emit_path_subsets(path, ())
-        return collector
-    if meter is not None and tracer is not None:
-        meter.begin_phase("convert", 0.9)
-    with obs.maybe_span("convert") as span:
-        before = _meter_counts(meter) if meter is not None else None
-        array = convert(tree)
+    if build_jobs > 1:
+        from repro.core.build_parallel import build_tree_parallel
+
+        if meter is not None and tracer is not None:
+            # Sequential fractions as in repro.experiments.drivers.
+            meter.begin_phase("build", 0.2)
+        array = build_tree_parallel(transactions, n_ranks, jobs=build_jobs)
         array.set_cache_budget(cache_budget)
-        if meter is not None:
-            meter.on_conversion(tree, array)
-            _attach_meter_delta(span, meter, before)  # type: ignore[arg-type]
-        if tracer is not None:
-            span.set("nodes", array.node_count)
-            span.set("array_bytes", array.memory_bytes)
-    del tree  # §3.5: the CFP-tree is discarded right after conversion.
+        path = array.single_path()
+        if path is not None:
+            if path:
+                collector.emit_path_subsets(path, ())
+            return collector
+    else:
+        if meter is not None and tracer is not None:
+            # Sequential fractions as in repro.experiments.drivers.
+            meter.begin_phase("build", 0.2)
+        with obs.maybe_span("build") as span:
+            before = _meter_counts(meter) if meter is not None else None
+            tree = TernaryCfpTree.from_rank_transactions(transactions, n_ranks)
+            if meter is not None:
+                meter.on_build(tree)
+                _attach_meter_delta(span, meter, before)  # type: ignore[arg-type]
+            if tracer is not None:
+                span.set("transactions", tree.transaction_count)
+                span.set("logical_nodes", tree.logical_node_count)
+                span.set("tree_bytes", tree.memory_bytes)
+                span.set("arena_allocs", tree.arena.stats().alloc_count)
+        path = tree.single_path()
+        if path is not None:
+            if path:
+                collector.emit_path_subsets(path, ())
+            return collector
+        if meter is not None and tracer is not None:
+            meter.begin_phase("convert", 0.9)
+        with obs.maybe_span("convert") as span:
+            before = _meter_counts(meter) if meter is not None else None
+            array = convert(tree)
+            array.set_cache_budget(cache_budget)
+            if meter is not None:
+                meter.on_conversion(tree, array)
+                _attach_meter_delta(span, meter, before)  # type: ignore[arg-type]
+            if tracer is not None:
+                span.set("nodes", array.node_count)
+                span.set("array_bytes", array.memory_bytes)
+        del tree  # §3.5: the CFP-tree is discarded right after conversion.
     if meter is not None and tracer is not None:
         meter.begin_phase("mine", 0.4)
     if jobs > 1:
@@ -263,13 +285,21 @@ def mine_rank_transactions(
 
 
 def cfp_growth(
-    database: TransactionDatabase, min_support: int, jobs: int = 1
+    database: TransactionDatabase,
+    min_support: int,
+    jobs: int = 1,
+    build_jobs: int = 1,
 ) -> list[tuple[tuple[Hashable, ...], int]]:
     """End-to-end CFP-growth over an item-level database."""
     table, transactions = prepare_transactions(database, min_support)
     collector = ListCollector()
     mine_rank_transactions(
-        transactions, len(table), min_support, collector, jobs=jobs
+        transactions,
+        len(table),
+        min_support,
+        collector,
+        jobs=jobs,
+        build_jobs=build_jobs,
     )
     return [
         (table.ranks_to_items(ranks), support)
@@ -287,10 +317,16 @@ class CfpGrowth:
     #: overrides this on the instance.
     jobs = 1
 
+    #: Worker count for the build phase; 1 = serial. The CLI's
+    #: ``--build-jobs`` overrides this on the instance.
+    build_jobs = 1
+
     def mine(
         self, database: TransactionDatabase, min_support: int
     ) -> list[tuple[tuple[Hashable, ...], int]]:
-        return cfp_growth(database, min_support, jobs=self.jobs)
+        return cfp_growth(
+            database, min_support, jobs=self.jobs, build_jobs=self.build_jobs
+        )
 
 
 @register

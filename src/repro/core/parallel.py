@@ -40,6 +40,7 @@ segment arrives. See docs/performance.md for the full walk-through.
 from __future__ import annotations
 
 import atexit
+import os
 import struct
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -80,6 +81,24 @@ _TaskResult = tuple[list[_Event], list[dict[str, Any]] | None, dict[str, int] | 
 #: Worker pools keyed by worker count, reused across mine calls so repeated
 #: parallel mining (benchmarks, experiments, tests) pays pool start-up once.
 _POOLS: dict[int, ProcessPoolExecutor] = {}
+
+#: Below this CFP-array size the fan-out overhead (segment copy, task
+#: submission, event replay) reliably exceeds the mining work itself, so
+#: :func:`mine_array_parallel` falls back to the serial miner. Override with
+#: the ``REPRO_PARALLEL_MIN_BYTES`` environment variable (0 disables the
+#: fallback); ``force=True`` bypasses it per call.
+DEFAULT_PARALLEL_MIN_BYTES = 256 * 1024
+
+
+def _parallel_min_bytes() -> int:
+    """The serial-fallback threshold, read from the environment at call time."""
+    raw = os.environ.get("REPRO_PARALLEL_MIN_BYTES")
+    if raw is None:
+        return DEFAULT_PARALLEL_MIN_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_PARALLEL_MIN_BYTES
 
 #: Worker-side cache: segment name -> (segment, payload view, array).
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, memoryview, CfpArray]] = {}
@@ -283,6 +302,23 @@ def shutdown_pools() -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _noop() -> None:  # pragma: no cover - trivial warm-up task body
+    return None
+
+
+def warm_pool(workers: int) -> None:
+    """Start (and fully spawn) the cached pool for ``workers`` workers.
+
+    ``ProcessPoolExecutor`` forks its processes lazily on first submit, so
+    the first parallel call after import pays the whole spawn cost.
+    Benchmarks call this before their timed legs so pool start-up is not
+    attributed to the phase under measurement.
+    """
+    pool = _get_pool(workers)
+    for future in [pool.submit(_noop) for __ in range(workers)]:
+        future.result()
+
+
 atexit.register(shutdown_pools)
 
 
@@ -299,12 +335,19 @@ def mine_array_parallel(
     meter: Any = None,
     jobs: int = 1,
     rank_order: Sequence[int] | None = None,
+    force: bool = False,
 ) -> None:
     """Mine ``array`` with ``jobs`` workers; output is byte-identical to
     :func:`repro.core.cfp_growth.mine_array` for any worker count.
 
     ``jobs <= 1`` (or a trivially small array) delegates to the serial
     miner unchanged, preserving its in-process Meter instrumentation.
+    Arrays under :data:`DEFAULT_PARALLEL_MIN_BYTES` (override via the
+    ``REPRO_PARALLEL_MIN_BYTES`` environment variable) also run serially —
+    on small inputs the fan-out overhead dwarfs the mining itself, and a
+    ``--jobs N`` run should never be slower than ``--jobs 1``. ``force``
+    bypasses the size fallback (tests of the parallel machinery on small
+    fixtures, overhead measurements), never the argument validation.
 
     ``rank_order`` overrides the size-aware submission order — it must be
     a permutation of the active ranks. Scheduling order never affects
@@ -324,6 +367,14 @@ def mine_array_parallel(
             raise ParallelMineError(
                 "rank_order must be a permutation of the active ranks"
             )
+    if not force and array.memory_bytes < _parallel_min_bytes():
+        # Small array: the serial miner wins outright. Count the decision
+        # so a trace of a --jobs N run explains why no workers appear
+        # (gated on a tracer like every other metric publication).
+        if obs.get_tracer() is not None:
+            obs.metrics.add("parallel.serial_fallback")
+        mine_array(array, min_support, collector, suffix, meter)
+        return
     workers = min(jobs, len(ranks))
     parent_tracer = obs.get_tracer()
     want_trace = parent_tracer is not None

@@ -44,6 +44,7 @@ from repro.core.node_codec import (
 from repro.compress.zero_suppression import payload_size_2bit, payload_size_3bit
 from repro.errors import TreeError
 from repro.memman import Arena
+from repro.obs import get_tracer, metrics
 from repro.memman.arena import MIN_CHUNK_SIZE
 from repro.memman.pointers import POINTER_SIZE
 
@@ -95,14 +96,16 @@ class TernaryCfpTree:
         self._root_slot = self.arena.alloc(POINTER_SIZE)
         self.logical_node_count = 0
         self.transaction_count = 0
+        #: Sorted-insert fast-path counters (see :meth:`insert_batch`).
+        self.prefix_skip_hits = 0
+        self.prefix_skip_levels = 0
 
     @classmethod
     def from_rank_transactions(
         cls, transactions: Iterable[list[int]], n_ranks: int, **kwargs: Any
     ) -> "TernaryCfpTree":
         tree = cls(n_ranks, **kwargs)
-        for ranks in transactions:
-            tree.insert(ranks)
+        tree.insert_batch(transactions)
         return tree
 
     @classmethod
@@ -132,6 +135,8 @@ class TernaryCfpTree:
         tree._root_slot = root_slot
         tree.logical_node_count = logical_node_count
         tree.transaction_count = transaction_count
+        tree.prefix_skip_hits = 0
+        tree.prefix_skip_levels = 0
         return tree
 
     # ------------------------------------------------------------------
@@ -162,6 +167,81 @@ class TernaryCfpTree:
         """Insert a rank-sorted transaction, adding ``count`` to its pcount."""
         if not ranks:
             return
+        self._validate_ranks(ranks)
+        self.transaction_count += count
+        self._insert_from(ranks, count, self._root_slot, 0, 0, None)
+
+    def insert_batch(self, transactions: Iterable[list[int]]) -> int:
+        """Insert many transactions via the sorted-insert fast path.
+
+        The batch is sorted lexicographically (a cheap scan skips the sort
+        when it arrives already sorted), so consecutive transactions share
+        rank prefixes. Each insert then resumes from the deepest still-valid
+        node of the previous insert's path instead of descending from the
+        root: the *trail* records, per depth, the slot referencing the node
+        the previous insert matched there, and an insert re-enters at the
+        first divergent rank. Sorted order makes the resume O(1) even in
+        degenerate sibling BSTs: the divergent rank is always >= the
+        recorded node's rank, so the search continues below it rather than
+        re-walking the sibling BST from its root. Trail entries below a
+        mutated depth are discarded — a resize there may have relocated the
+        chunks they point into (see :meth:`_replace`); sorting is mandatory
+        for the same reason (a smaller rank would resume into the wrong
+        BST subtree).
+
+        Returns the number of non-empty transactions inserted. The logical
+        tree is identical to per-transaction :meth:`insert` calls in any
+        order (and so is the converted CFP-array); the physical arena
+        layout may differ, because insertion order steers chain and sibling
+        creation.
+        """
+        txns = list(transactions)
+        if any(txns[k] < txns[k - 1] for k in range(1, len(txns))):
+            txns = sorted(txns)
+        trail: list[tuple[int, int] | None] = [None]
+        prev: list[int] = []
+        valid = 0  # trail[:valid] may be resumed
+        inserted = 0
+        hits_before = self.prefix_skip_hits
+        for ranks in txns:
+            if not ranks:
+                continue
+            self._validate_ranks(ranks)
+            inserted += 1
+            self.transaction_count += 1
+            n = len(ranks)
+            limit = min(len(prev), n, valid)
+            lcp = 0
+            while lcp < limit and prev[lcp] == ranks[lcp]:
+                lcp += 1
+            resume = min(lcp, valid - 1, n - 1)
+            while resume > 0 and trail[resume] is None:
+                resume -= 1
+            if len(trail) <= n:
+                trail.extend([None] * (n + 1 - len(trail)))
+            if resume > 0:
+                entry = trail[resume]
+                assert entry is not None
+                slot, base = entry
+                self.prefix_skip_hits += 1
+                self.prefix_skip_levels += resume
+            else:
+                resume = 0
+                slot, base = self._root_slot, 0
+            stop = self._insert_from(ranks, 1, slot, base, resume, trail)
+            valid = stop + 1
+            prev = ranks
+        # Metric publication is gated on an installed tracer, like every
+        # other component: an untraced run keeps the registry empty.
+        if inserted and get_tracer() is not None:
+            metrics.add("build.batch_transactions", inserted)
+            metrics.add(
+                "build.prefix_skip_hits", self.prefix_skip_hits - hits_before
+            )
+        return inserted
+
+    @staticmethod
+    def _validate_ranks(ranks: list[int]) -> None:
         previous = 0
         for rank in ranks:
             if rank <= previous:
@@ -170,11 +250,34 @@ class TernaryCfpTree:
                     f"positive: {ranks}"
                 )
             previous = rank
-        self.transaction_count += count
+
+    def _insert_from(
+        self,
+        ranks: list[int],
+        count: int,
+        slot: int,
+        base: int,
+        i: int,
+        trail: list[tuple[int, int] | None] | None,
+    ) -> int:
+        """Run the §3.3 insert descent for ``ranks[i:]`` starting at ``slot``.
+
+        ``slot`` must reference a position in the sibling BST of depth ``i``
+        (the root slot, a suffix slot, or a left/right slot) with ``base``
+        the depth ``i-1`` rank on the path. When ``trail`` is given, the
+        slot found referencing this transaction's node at each depth is
+        recorded at ``trail[depth]`` as ``(slot, base)``; depths interior to
+        a chain chunk get ``None`` (there is no per-depth slot to resume at
+        inside a chain).
+
+        Returns the *stop depth*: the first depth of the chunk the final
+        mutation touched. Trail entries at depths <= stop keep pointing into
+        chunks this insert cannot have relocated: every relocation patches
+        the single slot referencing the moved chunk, and that slot lives
+        outside it — while slots *inside* the moved chunk reference strictly
+        deeper nodes, whose trail depths exceed the returned stop.
+        """
         buf = self.arena.buf
-        slot = self._root_slot
-        base = 0
-        i = 0
         n = len(ranks)
         while True:
             delta = ranks[i] - base
@@ -182,7 +285,9 @@ class TernaryCfpTree:
             if raw == codec.NULL_SLOT:
                 content = self._build_path(ranks, i, base, count)
                 self._write_slot(slot, content)
-                return
+                if trail is not None:
+                    trail[i] = (slot, base)
+                return i
             if slot_is_embedded(raw):
                 leaf_delta, leaf_pcount = decode_embedded_leaf(raw)
                 if leaf_delta == delta and i == n - 1:
@@ -194,7 +299,9 @@ class TernaryCfpTree:
                     else:
                         node = StandardNode(leaf_delta, new_pcount)
                         self._write_slot(slot, pointer_slot(self._store(node)))
-                    return
+                    if trail is not None:
+                        trail[i] = (slot, base)
+                    return i
                 # The leaf gains a child or a sibling: promote to standard.
                 node = StandardNode(leaf_delta, leaf_pcount)
                 self._write_slot(slot, pointer_slot(self._store(node)))
@@ -202,22 +309,25 @@ class TernaryCfpTree:
                 continue
             addr = slot_address(raw)
             if is_chain_at(buf, addr):
-                result = self._step_chain(slot, addr, ranks, i, base, count)
+                chain_depth = i
+                result = self._step_chain(slot, addr, ranks, i, base, count, trail)
                 if result is None:
-                    return
+                    return chain_depth
                 slot, base, i = result
                 buf = self.arena.buf
                 continue
             node, size = StandardNode.decode(buf, addr)
             if node.delta_item == delta:
+                if trail is not None:
+                    trail[i] = (slot, base)
                 if i == n - 1:
                     node.pcount += count
                     self._replace(slot, addr, size, node)
-                    return
+                    return i
                 if node.suffix is None:
                     node.suffix = self._build_path(ranks, i + 1, ranks[i], count)
                     self._replace(slot, addr, size, node)
-                    return
+                    return i
                 slot = addr + size - POINTER_SIZE
                 base = ranks[i]
                 i += 1
@@ -225,18 +335,35 @@ class TernaryCfpTree:
             if delta < node.delta_item:
                 if node.left is None:
                     node.left = self._build_path(ranks, i, base, count)
-                    self._replace(slot, addr, size, node)
-                    return
+                    new_addr = self._replace(slot, addr, size, node)
+                    if trail is not None:
+                        trail[i] = (
+                            new_addr + self._standard_left_offset(node),
+                            base,
+                        )
+                    return i
                 slot = addr + self._standard_left_offset(node)
                 continue
             if node.right is None:
                 node.right = self._build_path(ranks, i, base, count)
-                self._replace(slot, addr, size, node)
-                return
+                new_addr = self._replace(slot, addr, size, node)
+                if trail is not None:
+                    trail[i] = (
+                        new_addr + self._standard_right_offset(node),
+                        base,
+                    )
+                return i
             slot = addr + self._standard_right_offset(node)
 
     def _step_chain(
-        self, slot: int, addr: int, ranks: list[int], i: int, base: int, count: int
+        self,
+        slot: int,
+        addr: int,
+        ranks: list[int],
+        i: int,
+        base: int,
+        count: int,
+        trail: list[tuple[int, int] | None] | None = None,
     ) -> tuple[int, int, int] | None:
         """Advance an insert through the chain node at ``addr``.
 
@@ -254,14 +381,34 @@ class TernaryCfpTree:
             if delta < first_delta:
                 if chain.left is None:
                     chain.left = self._build_path(ranks, i, base, count)
-                    self._replace(slot, addr, size, chain)
+                    new_addr = self._replace(slot, addr, size, chain)
+                    if trail is not None:
+                        trail[i] = (
+                            new_addr
+                            + self._chain_pointer_offset(
+                                chain, chain.encoded_size(), "left"
+                            ),
+                            base,
+                        )
                     return None
                 return addr + self._chain_pointer_offset(chain, size, "left"), base, i
             if chain.right is None:
                 chain.right = self._build_path(ranks, i, base, count)
-                self._replace(slot, addr, size, chain)
+                new_addr = self._replace(slot, addr, size, chain)
+                if trail is not None:
+                    trail[i] = (
+                        new_addr
+                        + self._chain_pointer_offset(
+                            chain, chain.encoded_size(), "right"
+                        ),
+                        base,
+                    )
                 return None
             return addr + self._chain_pointer_offset(chain, size, "right"), base, i
+        if trail is not None:
+            # The chain's first entry is this transaction's depth-``i`` node,
+            # reachable through the chain's referencing slot.
+            trail[i] = (slot, base)
         j = 0
         while True:
             # entries[j] matches ranks[i].
@@ -280,6 +427,10 @@ class TernaryCfpTree:
                     self._replace(slot, addr, size, chain)
                     return None
                 return addr + size - POINTER_SIZE, base, i
+            # Depth i sits inside this chain chunk: no slot to resume at.
+            # A split overwrites this via the level-root recording on return.
+            if trail is not None:
+                trail[i] = None
             if entries[j][0] != delta:
                 suffix_slot = self._split_chain(slot, addr, size, chain, j)
                 return suffix_slot, base, i

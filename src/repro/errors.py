@@ -56,6 +56,10 @@ class ParallelMineError(ReproError):
     """The parallel mine phase lost its worker pool or shared-memory segment."""
 
 
+class ParallelBuildError(ReproError):
+    """The parallel build phase lost a worker or produced inconsistent shards."""
+
+
 class DatasetError(ReproError):
     """A dataset could not be parsed, generated, or validated."""
 

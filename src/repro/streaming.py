@@ -68,17 +68,20 @@ class StreamingBuilder:
         self.batches_consumed = 0
 
     def add_batch(self, batch: Iterable[Transaction]) -> int:
-        """Insert one batch; returns transactions actually inserted."""
+        """Insert one batch; returns transactions actually inserted.
+
+        The batch goes through :meth:`TernaryCfpTree.insert_batch`, which
+        sorts it lexicographically to enable the shared-prefix fast path —
+        the logical tree (and any checkpoint of it) is identical to
+        per-transaction inserts in arrival order.
+        """
         rank_of = self.table.rank_of
-        inserted = 0
         with obs.maybe_span("stream_batch", batch=self.batches_consumed) as span:
-            for transaction in batch:
-                ranks = sorted(
-                    {rank_of[item] for item in transaction if item in rank_of}
-                )
-                if ranks:
-                    self.tree.insert(ranks)
-                    inserted += 1
+            ranked = [
+                sorted({rank_of[item] for item in transaction if item in rank_of})
+                for transaction in batch
+            ]
+            inserted = self.tree.insert_batch(ranked)
             self.batches_consumed += 1
             span.set("inserted", inserted)
             span.set("tree_bytes", self.tree.memory_bytes)

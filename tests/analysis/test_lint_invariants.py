@@ -211,3 +211,49 @@ class TestObsFreeLoopsRule:
             "    total = node.count\n"
         )
         assert violations_for(lint, "repro/core/validate.py", src) == set()
+
+
+class TestBulkEncodeRule:
+    def test_per_field_encode_into_flagged(self, lint):
+        src = (
+            "from repro.compress import varint\n"
+            "def place(buf: bytearray, offset: int, value: int) -> int:\n"
+            "    return varint.encode_into(buf, offset, value)\n"
+        )
+        assert violations_for(lint, "repro/core/conversion.py", src) == {
+            "INV007"
+        }
+
+    def test_bare_encode_call_flagged(self, lint):
+        src = (
+            "from repro.compress.varint import encode\n"
+            "def place(value: int) -> bytes:\n"
+            "    return encode(value)\n"
+        )
+        assert violations_for(lint, "repro/core/conversion.py", src) == {
+            "INV007"
+        }
+
+    def test_bulk_kernel_allowed(self, lint):
+        src = (
+            "from repro.compress import varint\n"
+            "def place(buf: bytearray, start: int, triples: list) -> int:\n"
+            "    return varint.encode_triples(buf, start, triples)\n"
+        )
+        assert violations_for(lint, "repro/core/conversion.py", src) == set()
+
+    def test_sizing_helpers_allowed(self, lint):
+        src = (
+            "from repro.compress import varint\n"
+            "def size(value: int) -> int:\n"
+            "    return varint.encoded_size(value) + varint.triple_size(1, 0, 1)\n"
+        )
+        assert violations_for(lint, "repro/core/conversion.py", src) == set()
+
+    def test_other_modules_exempt(self, lint):
+        src = (
+            "from repro.compress import varint\n"
+            "def write(buf: bytearray, offset: int, value: int) -> int:\n"
+            "    return varint.encode_into(buf, offset, value)\n"
+        )
+        assert violations_for(lint, "repro/core/cfp_array.py", src) == set()

@@ -227,3 +227,69 @@ class TestDecodeTriples:
             expected.append((local, delta, varint.unzigzag(dpos_raw), count))
         assert decoded == expected
         assert offset == len(blob)
+
+
+class TestEncodeTriples:
+    def test_matches_sequential_encode(self):
+        triples = [(0, 0, 5), (2, -3, 1), (300, 1 << 20, 7)]
+        blob, __ = _triple_blob(triples)
+        buf = bytearray(len(blob))
+        end = varint.encode_triples(buf, 0, triples)
+        assert end == len(blob)
+        assert bytes(buf) == blob
+
+    def test_writes_at_offset(self):
+        triples = [(1, -1, 2)]
+        blob, __ = _triple_blob(triples)
+        buf = bytearray(4 + len(blob))
+        end = varint.encode_triples(buf, 4, triples)
+        assert end == 4 + len(blob)
+        assert bytes(buf[:4]) == b"\x00\x00\x00\x00"
+        assert bytes(buf[4:]) == blob
+
+    def test_empty_triples_write_nothing(self):
+        buf = bytearray(3)
+        assert varint.encode_triples(buf, 1, []) == 1
+        assert bytes(buf) == b"\x00\x00\x00"
+
+    def test_roundtrips_through_decode_triples(self):
+        triples = [(9, 0, 1), (0, -(1 << 30), 1 << 40), (1, 1, 1)]
+        size = sum(varint.triple_size(*t) for t in triples)
+        buf = bytearray(size)
+        assert varint.encode_triples(buf, 0, triples) == size
+        decoded = varint.decode_triples(buf, 0, size)
+        assert [(d, p, c) for __, d, p, c in decoded] == triples
+
+    def test_out_of_range_values_raise(self):
+        buf = bytearray(64)
+        with pytest.raises(ValueOutOfRangeError):
+            varint.encode_triples(buf, 0, [(-1, 0, 0)])
+        with pytest.raises(ValueOutOfRangeError):
+            varint.encode_triples(buf, 0, [(0, 0, varint.MAX_VALUE + 1)])
+
+    def test_triple_size_matches_encoding(self):
+        for triple in [(0, 0, 0), (5, -7, 300), (1 << 32, 1 << 31, 1)]:
+            buf = bytearray(varint.triple_size(*triple))
+            assert varint.encode_triples(buf, 0, [triple]) == len(buf)
+
+    def test_triple_size_out_of_range_raises(self):
+        with pytest.raises(ValueOutOfRangeError):
+            varint.triple_size(varint.MAX_VALUE + 1, 0, 0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 16),
+                st.integers(min_value=-(1 << 16), max_value=1 << 16),
+                st.integers(min_value=0, max_value=1 << 16),
+            ),
+            max_size=30,
+        )
+    )
+    def test_property_identical_to_sequential(self, triples):
+        blob, __ = _triple_blob(triples)
+        size = sum(varint.triple_size(*t) for t in triples)
+        assert size == len(blob)
+        buf = bytearray(size)
+        assert varint.encode_triples(buf, 0, triples) == size
+        assert bytes(buf) == blob

@@ -1,0 +1,164 @@
+"""Byte-identity and lifecycle tests for the parallel sharded build.
+
+The central contract of :mod:`repro.core.build_parallel` mirrors the
+parallel miner's: for ANY worker count and ANY transaction order, the
+produced CFP-array is byte-for-byte the serial build+convert's. These
+tests exercise that across worker counts, shuffled transaction orders,
+synthetic datasets, and hypothesis-generated databases, plus the
+leading-rank partitioner and the shared-memory transaction block.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.build_parallel import (
+    build_tree_parallel,
+    partition_leading_ranks,
+    publish_transactions,
+)
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.datasets.synthetic import make_retail
+from repro.errors import TreeError
+from repro.util.items import prepare_transactions
+from tests.conftest import db_strategy, paper_example_database, random_database
+
+JOB_COUNTS = [1, 2, 4]
+
+
+def _prepared(database, min_support):
+    table, transactions = prepare_transactions(database, min_support)
+    return transactions, len(table)
+
+
+def _serial_array(transactions, n_ranks):
+    return convert(TernaryCfpTree.from_rank_transactions(transactions, n_ranks))
+
+
+def _assert_identical(actual, expected):
+    assert bytes(actual.buffer) == bytes(expected.buffer)
+    assert actual.starts == expected.starts
+    assert actual.node_count == expected.node_count
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_paper_example(self, jobs):
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        expected = _serial_array(transactions, n_ranks)
+        _assert_identical(build_tree_parallel(transactions, n_ranks, jobs=jobs), expected)
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_databases(self, jobs, seed):
+        database = random_database(seed, n_transactions=120)
+        transactions, n_ranks = _prepared(database, 2)
+        expected = _serial_array(transactions, n_ranks)
+        _assert_identical(build_tree_parallel(transactions, n_ranks, jobs=jobs), expected)
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_retail_synthetic(self, jobs):
+        database = make_retail(n_transactions=300, n_items=120, seed=5)
+        transactions, n_ranks = _prepared(database, 6)
+        expected = _serial_array(transactions, n_ranks)
+        _assert_identical(build_tree_parallel(transactions, n_ranks, jobs=jobs), expected)
+
+    def test_shuffled_transaction_order_is_invisible(self):
+        # The CFP-array is insertion-order invariant, so shuffling the
+        # transaction list must not change a single byte — serial or sharded.
+        database = random_database(11, n_transactions=100)
+        transactions, n_ranks = _prepared(database, 2)
+        expected = _serial_array(transactions, n_ranks)
+        rng = random.Random(42)
+        for jobs in (1, 2, 4):
+            shuffled = list(transactions)
+            rng.shuffle(shuffled)
+            _assert_identical(
+                build_tree_parallel(shuffled, n_ranks, jobs=jobs), expected
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(database=db_strategy, jobs=st.sampled_from([1, 2, 4]))
+    def test_property_identity(self, database, jobs):
+        transactions, n_ranks = _prepared(database, 2)
+        expected = _serial_array(transactions, n_ranks)
+        _assert_identical(
+            build_tree_parallel(transactions, n_ranks, jobs=jobs), expected
+        )
+
+    def test_empty_transactions_are_dropped(self):
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        expected = _serial_array(transactions, n_ranks)
+        padded = [[]] + list(transactions) + [[]]
+        _assert_identical(build_tree_parallel(padded, n_ranks, jobs=2), expected)
+
+    def test_single_leading_rank_runs_serial(self):
+        # Every transaction starts at rank 1: nothing to shard, and the
+        # serial path must still produce the right array.
+        transactions = [[1, 2, 3], [1, 2], [1, 3], [1]]
+        expected = _serial_array(transactions, 3)
+        _assert_identical(build_tree_parallel(transactions, 3, jobs=4), expected)
+
+    def test_invalid_transaction_rejected(self):
+        with pytest.raises(TreeError):
+            build_tree_parallel([[2, 1]], 2, jobs=2)
+
+
+class TestPartitioner:
+    def test_sets_are_disjoint_and_cover(self):
+        weights = {r: 100 - r for r in range(1, 30)}
+        owned = partition_leading_ranks(weights, 4)
+        assert len(owned) == 4
+        union: set[int] = set()
+        for ranks in owned:
+            assert not (union & ranks)
+            union |= ranks
+        assert union == set(weights)
+
+    def test_lpt_balances_loads(self):
+        # One dominant rank plus a tail: LPT must not stack the tail on
+        # the dominant rank's worker.
+        weights = {1: 1000, 2: 300, 3: 300, 4: 300, 5: 100}
+        owned = partition_leading_ranks(weights, 2)
+        loads = sorted(sum(weights[r] for r in ranks) for ranks in owned)
+        assert loads == [1000, 1000]
+
+    def test_deterministic(self):
+        weights = {r: (r * 7919) % 100 for r in range(1, 50)}
+        assert partition_leading_ranks(weights, 4) == partition_leading_ranks(
+            weights, 4
+        )
+
+    def test_more_workers_than_ranks_leaves_empty_sets(self):
+        owned = partition_leading_ranks({1: 5, 2: 3}, 4)
+        assert len(owned) == 4
+        assert {r for ranks in owned for r in ranks} == {1, 2}
+
+
+class TestTransactionBlock:
+    def test_publish_computes_leading_rank_weights(self):
+        transactions = [[1, 2, 3], [1, 5], [2, 4], [3]]
+        segment, weights = publish_transactions(transactions, 5)
+        try:
+            assert weights == {1: 5, 2: 2, 3: 1}
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_segment_unlinked_after_build(self):
+        import pathlib
+
+        shm = pathlib.Path("/dev/shm")
+        if not shm.is_dir():  # pragma: no cover - non-POSIX-shm platform
+            pytest.skip("no /dev/shm to observe")
+        before = {p.name for p in shm.glob("psm_*")}
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = build_tree_parallel(transactions, n_ranks, jobs=2)
+        assert array.node_count > 0
+        leaked = {p.name for p in shm.glob("psm_*")} - before
+        assert leaked == set()

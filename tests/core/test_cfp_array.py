@@ -286,3 +286,49 @@ class TestSubarrayCache:
         # that is what prevents repeated mines from double-counting.
         array.publish_cache_metrics(registry, baseline=array.cache_counts())
         assert registry.get("subarray_cache.hits") == hits
+
+
+class TestSinglePath:
+    """Array-level single-path detection mirrors the tree's (§3.4)."""
+
+    def _array_for(self, transactions, n_ranks):
+        tree = TernaryCfpTree(n_ranks)
+        for ranks in transactions:
+            tree.insert(ranks)
+        return tree, convert(tree)
+
+    def test_single_path_matches_tree(self):
+        tree, array = self._array_for([[1, 2, 3], [1, 2, 3], [1, 2]], 3)
+        assert array.single_path() == tree.single_path()
+        assert array.single_path() == [(1, 3), (2, 3), (3, 2)]
+
+    def test_path_with_rank_gaps(self):
+        tree, array = self._array_for([[2, 5], [2, 5, 7]], 8)
+        assert array.single_path() == tree.single_path()
+        assert array.single_path() == [(2, 2), (5, 2), (7, 1)]
+
+    def test_branching_returns_none(self):
+        __, array = self._array_for([[1, 2], [1, 3]], 3)
+        assert array.single_path() is None
+
+    def test_two_roots_return_none(self):
+        __, array = self._array_for([[1], [2]], 2)
+        assert array.single_path() is None
+
+    def test_disconnected_single_nodes_return_none(self):
+        # One triple per rank but rank 3's parent is rank 1, not rank 2 —
+        # the nodes do not chain into one path.
+        __, array = self._array_for([[1, 2], [1, 3]], 3)
+        assert array.single_path() is None
+
+    def test_empty_array_is_trivial_path(self):
+        __, array = self._array_for([], 3)
+        assert array.single_path() == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(db_strategy)
+    def test_property_matches_tree(self, database):
+        table, transactions = prepare_transactions(database, 1)
+        tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        array = convert(tree)
+        assert array.single_path() == tree.single_path()

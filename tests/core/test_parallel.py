@@ -31,6 +31,14 @@ from tests.conftest import db_strategy, paper_example_database, random_database
 JOB_COUNTS = [1, 2, 4]
 
 
+@pytest.fixture(autouse=True)
+def _no_serial_fallback(monkeypatch):
+    # Every fixture array here is far below the small-array threshold;
+    # disable the serial fallback so these tests keep exercising the real
+    # fan-out machinery. TestSerialFallback overrides this per test.
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "0")
+
+
 def _prepared(database, min_support):
     table, transactions = prepare_transactions(database, min_support)
     return transactions, len(table)
@@ -205,3 +213,87 @@ class TestSharedMemoryProtocol:
             collector = ListCollector()
             mine_array_parallel(array, 2, collector, jobs=jobs)
             assert collector.itemsets == serial.itemsets
+
+
+class TestSmallArrayFallback:
+    """The adaptive serial fallback for arrays below the size threshold."""
+
+    def _run_traced(self, array, **kwargs):
+        from repro import obs
+        from repro.obs.tracer import Tracer
+
+        obs.metrics.reset()
+        tracer = Tracer()
+        previous = obs.set_tracer(tracer)
+        collector = ListCollector()
+        try:
+            mine_array_parallel(array, 2, collector, jobs=2, **kwargs)
+        finally:
+            obs.set_tracer(previous)
+            obs.metrics.reset()
+        return collector, tracer
+
+    def test_small_array_runs_serial(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv("REPRO_PARALLEL_MIN_BYTES", raising=False)
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        assert array.memory_bytes < parallel.DEFAULT_PARALLEL_MIN_BYTES
+        serial = ListCollector()
+        mine_array(array, 2, serial)
+        obs.metrics.reset()
+        collector, tracer = self._run_traced(array)
+        assert collector.itemsets == serial.itemsets
+        names = {record.name for record in tracer.records}
+        assert "mine_parallel" not in names  # no fan-out happened
+
+    def test_fallback_decision_is_counted(self, monkeypatch):
+        from repro import obs
+        from repro.obs.tracer import Tracer
+
+        monkeypatch.delenv("REPRO_PARALLEL_MIN_BYTES", raising=False)
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        obs.metrics.reset()
+        previous = obs.set_tracer(Tracer())
+        try:
+            mine_array_parallel(array, 2, ListCollector(), jobs=2)
+            assert obs.metrics.counters().get("parallel.serial_fallback") == 1
+        finally:
+            obs.set_tracer(previous)
+            obs.metrics.reset()
+
+    def test_force_bypasses_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_MIN_BYTES", raising=False)
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        serial = ListCollector()
+        mine_array(array, 2, serial)
+        collector, tracer = self._run_traced(array, force=True)
+        assert collector.itemsets == serial.itemsets
+        names = {record.name for record in tracer.records}
+        assert "mine_parallel" in names  # fan-out despite the tiny array
+
+    def test_env_threshold_respected(self, monkeypatch):
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", str(array.memory_bytes))
+        __, tracer = self._run_traced(array)
+        assert "mine_parallel" in {record.name for record in tracer.records}
+        monkeypatch.setenv(
+            "REPRO_PARALLEL_MIN_BYTES", str(array.memory_bytes + 1)
+        )
+        __, tracer = self._run_traced(array)
+        assert "mine_parallel" not in {record.name for record in tracer.records}
+
+    def test_rank_order_still_validated_on_fallback(self, monkeypatch):
+        # Argument validation precedes the size fallback: a bad rank_order
+        # must raise even when the array would have run serially anyway.
+        monkeypatch.delenv("REPRO_PARALLEL_MIN_BYTES", raising=False)
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        with pytest.raises(ParallelMineError):
+            mine_array_parallel(
+                array, 2, ListCollector(), jobs=2, rank_order=[0, 1]
+            )

@@ -340,6 +340,81 @@ class TestEquivalence:
         assert_equivalent(transactions, 12, max_chain_length=3)
 
 
+class TestInsertBatch:
+    """The sorted-insert fast path: same logical tree, fewer descents."""
+
+    def _batch_equivalent(self, transactions, n_ranks, **options):
+        batched = TernaryCfpTree(n_ranks, **options)
+        batched.insert_batch(transactions)
+        loop = TernaryCfpTree(n_ranks, **options)
+        for ranks in transactions:
+            loop.insert(ranks)
+        assert snapshot(batched.to_logical()) == snapshot(loop.to_logical())
+        assert batched.transaction_count == loop.transaction_count
+        return batched
+
+    def test_no_shared_prefix_batch(self):
+        # Regression: every transaction starts at a different rank, so the
+        # trail never helps — the batch must degrade to plain inserts, not
+        # resume below a node from an unrelated subtree.
+        transactions = [[5, 6], [3, 4], [1, 2], [7, 8], [2, 9]]
+        tree = self._batch_equivalent(transactions, 9)
+        assert tree.prefix_skip_hits == 0
+
+    def test_shared_prefixes_register_skips(self):
+        transactions = [[1, 2, 3, 4], [1, 2, 3, 5], [1, 2, 3, 6], [1, 2, 7]]
+        tree = self._batch_equivalent(transactions, 7)
+        assert tree.prefix_skip_hits > 0
+        assert tree.prefix_skip_levels >= tree.prefix_skip_hits
+
+    def test_unsorted_input_is_sorted_first(self):
+        transactions = [[3, 4], [1, 2], [1, 2, 3], [2, 4], [1]]
+        self._batch_equivalent(transactions, 4)
+
+    def test_duplicates_bump_counts(self):
+        tree = self._batch_equivalent([[1, 2]] * 5 + [[1, 2, 3]] * 3, 3)
+        assert tree.transaction_count == 8
+
+    def test_empty_transactions_skipped(self):
+        tree = TernaryCfpTree(3)
+        assert tree.insert_batch([[], [1, 2], [], [2]]) == 2
+        assert tree.transaction_count == 2
+
+    def test_invalid_transaction_rejected(self):
+        tree = TernaryCfpTree(3)
+        with pytest.raises(TreeError):
+            tree.insert_batch([[1, 2], [2, 1]])
+
+    def test_batch_then_single_inserts_compose(self):
+        transactions = [[1, 2, 3], [1, 2], [2, 3], [1, 3]]
+        tree = TernaryCfpTree(3)
+        tree.insert_batch(transactions[:2])
+        for ranks in transactions[2:]:
+            tree.insert(ranks)
+        loop = TernaryCfpTree(3)
+        for ranks in transactions:
+            loop.insert(ranks)
+        assert snapshot(tree.to_logical()) == snapshot(loop.to_logical())
+
+    def test_all_configs_random(self):
+        for seed in range(4):
+            db = random_database(seed, n_transactions=80, n_items=15, max_length=10)
+            table, transactions = prepare_transactions(db, 2)
+            for options in (
+                {},
+                {"enable_chains": False},
+                {"enable_embedding": False},
+                {"max_chain_length": 2},
+            ):
+                self._batch_equivalent(transactions, len(table), **options)
+
+    @settings(max_examples=40, deadline=None)
+    @given(db_strategy)
+    def test_property_batch_equivalence(self, database):
+        table, transactions = prepare_transactions(database, 1)
+        self._batch_equivalent(transactions, len(table))
+
+
 class TestIterNodesWithParent:
     def test_parent_ranks(self):
         tree = TernaryCfpTree(4)

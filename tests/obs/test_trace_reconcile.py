@@ -46,6 +46,13 @@ def prepared():
     return table, transactions
 
 
+@pytest.fixture(autouse=True)
+def _no_serial_fallback(monkeypatch):
+    # The fixture array is tiny; disable the small-array serial fallback so
+    # jobs=2 runs genuinely exercise the worker span channel.
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "0")
+
+
 def _traced_run(prepared, jobs):
     table, transactions = prepared
     obs.metrics.reset()

@@ -177,9 +177,14 @@ class TestTrace:
         assert "trace v1" in out
         assert "meter totals" in out
 
-    def test_parallel_trace_merges_worker_spans(self, data_file, tmp_path):
+    def test_parallel_trace_merges_worker_spans(
+        self, data_file, tmp_path, monkeypatch
+    ):
         from repro.obs.report import read_trace
 
+        # The fixture database is tiny; disable the small-array serial
+        # fallback so --jobs 2 actually fans out.
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "0")
         trace = tmp_path / "par.jsonl"
         assert main(
             ["mine", data_file, "--min-support", "2", "--jobs", "2",

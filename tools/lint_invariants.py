@@ -43,6 +43,13 @@ This linter turns those rules into machine-checked invariants:
     instrumentation-dependent behaviour into code whose only job is to
     report the truth. Phase-level instrumentation outside loops is fine.
 
+``INV007``
+    The conversion hot path (``repro/core/conversion.py``) must not
+    encode varints one field at a time: calls named ``encode`` or
+    ``encode_into`` are forbidden there. Per-node triple writes go
+    through the bulk :func:`repro.compress.varint.encode_triples`
+    kernel, whose single loop the placement pass is sized against.
+
 Suppress a finding with a trailing ``# lint: ignore[INV00x]`` comment on
 the offending line.
 
@@ -93,6 +100,13 @@ OBS_FREE_LOOPS = (
     "repro/analysis/arraycheck.py",
 )
 
+#: Modules that must use the bulk triple encoder, never per-field encodes
+#: (INV007).
+BULK_ENCODE_ONLY = ("repro/core/conversion.py",)
+
+#: Call names that bypass the bulk encode kernel (INV007).
+_PER_FIELD_ENCODES = frozenset({"encode", "encode_into"})
+
 #: Constructor names whose call as a default argument is mutable (INV003).
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
 
@@ -140,6 +154,7 @@ class _FileChecker(ast.NodeVisitor):
         self.masks_allowed = _matches(module, MASK_ALLOWED)
         self.typed = _matches(module, TYPED_PACKAGES)
         self.obs_free_loops = _matches(module, OBS_FREE_LOOPS)
+        self.bulk_encode_only = _matches(module, BULK_ENCODE_ONLY)
         self._buf_aliases: set[str] = set()
         self._obs_names: set[str] = set()
         self._obs_module_imported = False
@@ -332,6 +347,25 @@ class _FileChecker(ast.NodeVisitor):
             and node.value.id == "repro"
         ):
             self._flag_obs_use(node, "'repro.obs'")
+        self.generic_visit(node)
+
+    # -- INV007: bulk triple encoding in conversion --------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.bulk_encode_only:
+            func = node.func
+            called = None
+            if isinstance(func, ast.Name):
+                called = func.id
+            elif isinstance(func, ast.Attribute):
+                called = func.attr
+            if called in _PER_FIELD_ENCODES:
+                self._add(
+                    node,
+                    "INV007",
+                    f"per-field {called!r} call in the conversion hot path; "
+                    "use varint.encode_triples to write whole subarrays",
+                )
         self.generic_visit(node)
 
     # -- INV004: exception hygiene ------------------------------------
