@@ -16,7 +16,11 @@ Usage (after installation)::
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
 ``--jobs N`` parallelizes the mine phase for miners that support it
 (currently cfp-growth); ``--build-jobs N`` does the same for the build
-phase; other miners ignore both with a warning.
+phase; other miners ignore both with a warning. Parallel phases run
+supervised (docs/robustness.md): ``--task-timeout`` sets the per-task
+deadline in seconds (0 = none), ``--max-retries`` bounds per-task
+re-execution after worker crashes/timeouts, and ``--no-fallback``
+disables the degraded-serial path so supervision failures raise.
 ``--trace FILE`` records a span trace plus metric counters
 (docs/observability.md); ``stats`` renders trace files as a per-phase
 summary table.
@@ -90,6 +94,14 @@ def _tracing(trace_path):
 
 
 def _cmd_mine(args) -> int:
+    from repro import runtime
+
+    runtime.configure(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        # Only an explicit --no-fallback overrides REPRO_NO_FALLBACK.
+        fallback=False if args.no_fallback else None,
+    )
     database = _load(args.file)
     started = time.perf_counter()
     with _tracing(args.trace):
@@ -264,6 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="FILE",
         help="write a JSONL span trace + metrics to FILE (see docs/observability.md)",
+    )
+    mine.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline for supervised parallel phases "
+        "(0 = no deadline; default from REPRO_TASK_TIMEOUT)",
+    )
+    mine.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed parallel task before degrading "
+        "(default from REPRO_MAX_RETRIES, else 2)",
+    )
+    mine.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail instead of degrading to the serial path when parallel "
+        "supervision is exhausted",
     )
     mine.set_defaults(func=_cmd_mine)
 

@@ -41,11 +41,10 @@ from __future__ import annotations
 
 import struct
 from array import array as _flatarray
-from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Any, Sequence
 
-from repro import obs
+from repro import faultinject, obs
 from repro.core.cfp_array import CfpArray
 from repro.core.conversion import (
     Layout,
@@ -56,8 +55,9 @@ from repro.core.conversion import (
 )
 from repro.core.parallel import _attach_untracked, _get_pool, shutdown_pools
 from repro.core.ternary import TernaryCfpTree
-from repro.errors import ParallelBuildError
+from repro.errors import ParallelBuildError, SupervisionError
 from repro.obs.tracer import Tracer
+from repro.runtime import RetryPolicy, Supervisor, default_policy
 
 #: Segment layout: magic, format version, n_ranks, transaction count, flat
 #: rank count — followed by ``n_txns + 1`` little-endian u64 offsets into the
@@ -161,7 +161,10 @@ def partition_leading_ranks(
 
 
 def _build_shard_task(
-    name: str, owned: frozenset[int], want_trace: bool
+    name: str,
+    owned: frozenset[int],
+    want_trace: bool,
+    faults: tuple[str, str | None] | None = None,
 ) -> _BuildResult:
     """Build one tree shard from the owned leading ranks and flatten it.
 
@@ -170,7 +173,13 @@ def _build_shard_task(
     shard's level-1 subtrees as flat preorder arrays — the merge input of
     :func:`build_tree_parallel`. The attachment is released before the
     task returns; the parent owns the unlink.
+
+    ``faults`` is the parent's exported fault-injection plan (``None``
+    outside chaos runs), adopted before anything else so count-bounded
+    faults share one cross-process budget.
     """
+    faultinject.adopt(faults)
+    faultinject.fire("build.worker", shard=min(owned, default=-1))
     segment = _attach_untracked(name)
     base = memoryview(segment.buf)
     try:
@@ -231,7 +240,10 @@ def _build_shard_task(
 
 
 def build_tree_parallel(
-    transactions: Sequence[list[int]], n_ranks: int, jobs: int = 1
+    transactions: Sequence[list[int]],
+    n_ranks: int,
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
 ) -> CfpArray:
     """Build the top-level CFP-array from prepared rank transactions.
 
@@ -241,6 +253,15 @@ def build_tree_parallel(
     leading rank across the shared worker pool and merges the flattened
     shards in ascending leading-rank order. The produced array is
     byte-identical for any worker count.
+
+    Shard tasks run under a :class:`repro.runtime.Supervisor` with
+    ``policy`` (default :func:`repro.runtime.default_policy`): a dead or
+    hung worker re-executes only its own shard — finished shards are
+    kept, and the ascending-leading-rank merge is indifferent to which
+    attempt produced a blob. If supervision fails outright the build
+    degrades to the serial path (counting ``parallel.degraded_serial``)
+    unless ``policy.fallback_serial`` is off, in which case it raises
+    :class:`repro.errors.ParallelBuildError`.
 
     Note the result has no cache budget set (like a raw ``convert``);
     callers that mine it should call :meth:`CfpArray.set_cache_budget`.
@@ -256,6 +277,8 @@ def build_tree_parallel(
     leads = {txn[0] for txn in txns}
     if len(leads) < 2:
         return convert(TernaryCfpTree.from_rank_transactions(txns, n_ranks))
+    if policy is None:
+        policy = default_policy()
     parent_tracer = obs.get_tracer()
     want_trace = parent_tracer is not None
     segment, weights = publish_transactions(txns, n_ranks)
@@ -268,18 +291,36 @@ def build_tree_parallel(
             parent_tracer.current_span_id if parent_tracer is not None else None
         )
         try:
-            pool = _get_pool(len(owned_sets))
-            futures = [
-                pool.submit(_build_shard_task, segment.name, owned, want_trace)
-                for owned in owned_sets
-            ]
+            faults = faultinject.exported()
+            tasks: dict[int, tuple[Any, tuple[Any, ...]]] = {
+                worker: (
+                    _build_shard_task,
+                    (segment.name, owned, want_trace, faults),
+                )
+                for worker, owned in enumerate(owned_sets)
+            }
+            supervisor = Supervisor(
+                lambda: _get_pool(len(owned_sets)),
+                policy,
+                phase="build",
+                pool_reset=shutdown_pools,
+            )
             try:
-                results = [future.result() for future in futures]
-            except BrokenProcessPool as exc:
-                shutdown_pools()  # a dead worker poisons the pool; rebuild next
-                raise ParallelBuildError(
-                    f"a build worker died while building {len(owned_sets)} shards"
-                ) from exc
+                keyed = supervisor.run(tasks)
+            except SupervisionError as exc:
+                if not policy.fallback_serial:
+                    raise ParallelBuildError(
+                        f"parallel build failed ({exc}) and serial fallback "
+                        f"is disabled"
+                    ) from exc
+                obs.metrics.add("parallel.degraded_serial")
+                with obs.maybe_span(
+                    "parallel.degraded_serial", phase="build", reason=exc.kind
+                ):
+                    return convert(
+                        TernaryCfpTree.from_rank_transactions(txns, n_ranks)
+                    )
+            results = [keyed[worker] for worker in range(len(owned_sets))]
         finally:
             segment.close()
             try:

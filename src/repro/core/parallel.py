@@ -43,13 +43,12 @@ import atexit
 import os
 import struct
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_all_start_methods, get_context, resource_tracker
 from multiprocessing import shared_memory
 from multiprocessing.context import BaseContext
 from typing import Any, Sequence
 
-from repro import obs
+from repro import faultinject, obs
 from repro.core.cfp_array import CfpArray
 from repro.core.cfp_growth import (
     SupportCollector,
@@ -58,9 +57,10 @@ from repro.core.cfp_growth import (
     mine_array,
     mine_rank,
 )
-from repro.errors import ParallelMineError
+from repro.errors import ParallelMineError, SupervisionError
 from repro.machine import Meter
 from repro.obs.tracer import Tracer
+from repro.runtime import RetryPolicy, Supervisor, default_policy
 
 #: Segment layout: magic, format version, n_ranks, buffer length — followed
 #: by ``n_ranks + 2`` little-endian u64 item-index entries, then the buffer.
@@ -156,6 +156,7 @@ def attach_array(name: str, cache_budget: int = 0) -> CfpArray:
     cached = _ATTACHED.get(name)
     if cached is not None:
         return cached[2]
+    faultinject.fire("parallel.attach", segment=name)
     _detach_all()
     segment = _attach_untracked(name)
     base = memoryview(segment.buf)
@@ -224,6 +225,7 @@ def _mine_rank_task(
     cache_budget: int,
     want_meter: bool,
     want_trace: bool,
+    faults: tuple[str, str | None] | None = None,
 ) -> tuple[list[_Event], list[dict[str, Any]] | None, dict[str, int] | None]:
     """Run one top-level rank through the serial per-rank code path.
 
@@ -235,7 +237,13 @@ def _mine_rank_task(
     ``metrics_delta`` carries this task's movement of the worker-local
     metric registry (conditional-cache publications) plus the shared
     attachment's subarray-cache delta.
+
+    ``faults`` is the parent's exported fault-injection plan (``None``
+    outside chaos runs); it is adopted before anything else so count-
+    bounded faults share one cross-process budget.
     """
+    faultinject.adopt(faults)
+    faultinject.fire("mine.worker", rank=rank)
     array = attach_array(name, cache_budget)
     collector = _EventCollector()
     if not (want_meter or want_trace):
@@ -336,6 +344,7 @@ def mine_array_parallel(
     jobs: int = 1,
     rank_order: Sequence[int] | None = None,
     force: bool = False,
+    policy: RetryPolicy | None = None,
 ) -> None:
     """Mine ``array`` with ``jobs`` workers; output is byte-identical to
     :func:`repro.core.cfp_growth.mine_array` for any worker count.
@@ -354,6 +363,16 @@ def mine_array_parallel(
     output (the determinism property tests shuffle it to prove that);
     the default orders by subarray byte length, largest first, so the
     most expensive conditional trees start before the long tail.
+
+    Tasks run under a :class:`repro.runtime.Supervisor` with ``policy``
+    (default :func:`repro.runtime.default_policy`): a dead worker, hung
+    task, or transient attach failure re-executes only the affected
+    ranks — completed per-rank results are kept, and the fixed
+    descending-rank merge keeps the output byte-identical across any
+    retry schedule. When supervision fails outright the call degrades
+    to the serial miner (counting ``parallel.degraded_serial``) unless
+    ``policy.fallback_serial`` is off, in which case it raises
+    :class:`repro.errors.ParallelMineError`.
     """
     ranks = list(array.active_ranks_descending())
     if jobs <= 1 or len(ranks) <= 1 or len(array.buffer) == 0:
@@ -375,6 +394,8 @@ def mine_array_parallel(
             obs.metrics.add("parallel.serial_fallback")
         mine_array(array, min_support, collector, suffix, meter)
         return
+    if policy is None:
+        policy = default_policy()
     workers = min(jobs, len(ranks))
     parent_tracer = obs.get_tracer()
     want_trace = parent_tracer is not None
@@ -385,28 +406,46 @@ def mine_array_parallel(
             parent_tracer.current_span_id if parent_tracer is not None else None
         )
         try:
-            pool = _get_pool(workers)
-            futures = {
-                rank: pool.submit(
+            faults = faultinject.exported()
+            tasks: dict[int, tuple[Any, tuple[Any, ...]]] = {
+                rank: (
                     _mine_rank_task,
-                    segment.name,
-                    rank,
-                    min_support,
-                    suffix,
-                    array.cache_budget,
-                    meter is not None,
-                    want_trace,
+                    (
+                        segment.name,
+                        rank,
+                        min_support,
+                        suffix,
+                        array.cache_budget,
+                        meter is not None,
+                        want_trace,
+                        faults,
+                    ),
                 )
                 for rank in order
             }
+            supervisor = Supervisor(
+                lambda: _get_pool(workers),
+                policy,
+                phase="mine",
+                pool_reset=shutdown_pools,
+            )
             try:
-                for rank in ranks:
-                    results[rank] = futures[rank].result()
-            except BrokenProcessPool as exc:
-                shutdown_pools()  # a dead worker poisons the pool; rebuild next
-                raise ParallelMineError(
-                    f"a mine worker died while processing {len(ranks)} tasks"
-                ) from exc
+                results = supervisor.run(tasks)
+            except SupervisionError as exc:
+                if not policy.fallback_serial:
+                    raise ParallelMineError(
+                        f"parallel mine failed ({exc}) and serial fallback "
+                        f"is disabled"
+                    ) from exc
+                # Nothing has been emitted yet (events replay only after
+                # every task succeeds), so the serial miner can take over
+                # from scratch with byte-identical output.
+                obs.metrics.add("parallel.degraded_serial")
+                with obs.maybe_span(
+                    "parallel.degraded_serial", phase="mine", reason=exc.kind
+                ):
+                    mine_array(array, min_support, collector, suffix, meter)
+                return
         finally:
             segment.close()
             try:

@@ -60,6 +60,54 @@ class ParallelBuildError(ReproError):
     """The parallel build phase lost a worker or produced inconsistent shards."""
 
 
+class TransientIOError(ReproError):
+    """An I/O operation failed in a way that a bounded retry may fix.
+
+    Raised by the storage layer for retryable OS errors (``EINTR``,
+    ``EAGAIN``, ``EIO``) and by the fault-injection layer's ``flake``
+    action. :class:`repro.storage.BufferPool` retries these with backoff
+    before letting them escape; the runtime supervisor classifies them
+    as retryable when a worker surfaces one.
+    """
+
+
+class InjectedFault(ReproError):
+    """An error raised on purpose by :mod:`repro.faultinject`.
+
+    Deliberately *not* transient: the supervisor classifies it as a
+    poisoned task, exercising the no-retry path. Use the ``flake``
+    action (which raises :class:`TransientIOError`) to test retries.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection spec string could not be parsed."""
+
+
+class TaskTimeoutError(ReproError):
+    """A supervised worker task exceeded its per-task deadline."""
+
+
+class SupervisionError(ReproError):
+    """Supervised parallel execution could not complete.
+
+    Raised by :class:`repro.runtime.Supervisor` when retries are
+    exhausted, a task fails deterministically (poisoned), or the worker
+    pool cannot be (re)created. Carries the dominant
+    :class:`repro.runtime.FailureKind` as ``kind`` (a string value) and
+    a per-task failure summary so callers can decide whether to degrade
+    to the serial path.
+    """
+
+    def __init__(self, message: str, kind: str = "", failures: dict | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.failures: dict = failures or {}
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.kind, self.failures))
+
+
 class DatasetError(ReproError):
     """A dataset could not be parsed, generated, or validated."""
 

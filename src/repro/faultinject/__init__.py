@@ -1,0 +1,278 @@
+"""Deterministic fault injection for the fault-tolerant runtime.
+
+Recovery code that is only ever exercised "in anger" is recovery code
+that does not work. This package lets tests (and the chaos CI job) plant
+failures at named *sites* in the real code paths — kill a worker
+mid-shard, delay it past its deadline, make a page read flake, truncate
+a checkpoint — and have them fire deterministically, including exactly-N
+-times semantics that hold across worker processes.
+
+**Sites.** An instrumented call site invokes :func:`fire` with its site
+name and some context, e.g. ``fire("mine.worker", rank=rank)``. With no
+plan installed this is one module-global ``None`` check — the production
+cost of the whole facility.
+
+**Specs.** A plan is a semicolon-separated list of specs::
+
+    site:action[:key=value,...]
+
+    mine.worker:kill:times=1            # first mine task exits hard, once
+    mine.worker:kill:rank=7             # every task for rank 7 exits hard
+    build.worker:delay:seconds=0.5      # stall each build shard 500 ms
+    pagefile.read:flake:times=2         # two transient read errors
+    checkpoint.write:truncate           # tear the checkpoint just written
+
+Actions: ``kill`` (``os._exit`` — a hard worker death, the OOM-killer
+case), ``raise`` (:class:`repro.errors.InjectedFault`, a poisoned task),
+``flake`` (:class:`repro.errors.TransientIOError`, a retryable error),
+``delay`` (sleep ``seconds``, default 0.05 — deadline/watchdog testing),
+``truncate`` (cut the file named by the site's ``path`` context — torn
+checkpoint writes). Any other ``key=value`` is a match condition against
+the :func:`fire` context (compared as strings); ``times=N`` bounds how
+often the spec fires in total.
+
+**Cross-process state.** ``times=N`` must mean *N firings across every
+process* — a retried task must not be re-killed by a spec that already
+spent its budget, or recovery could never converge. Firings are claimed
+by atomically creating marker files in a shared state directory
+(``O_CREAT | O_EXCL`` — the claim either succeeds in exactly one process
+or has already happened). The parallel runtime ships ``exported()``
+plans to its workers inside the task payload and the task body calls
+:func:`adopt` first, so plans reach workers regardless of start method
+or pool reuse.
+
+Plans come from :func:`install` (tests) or the ``REPRO_FAULTS`` /
+``REPRO_FAULTS_STATE`` environment variables (the chaos CI job), read
+lazily on the first :func:`fire`. See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import FaultSpecError, InjectedFault, TransientIOError
+
+_ACTIONS = ("kill", "raise", "flake", "delay", "truncate")
+
+#: Spec keys that configure the action instead of matching context.
+_RESERVED_KEYS = ("times", "seconds", "bytes")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: where it fires, what it does, and how often."""
+
+    site: str
+    action: str
+    match: tuple[tuple[str, str], ...] = ()
+    times: int = 0  #: max total firings; 0 = unlimited
+    seconds: float = 0.05  #: sleep for ``delay``
+    drop_bytes: int = 0  #: bytes cut by ``truncate``; 0 = half the file
+    spec_id: str = ""  #: stable id for cross-process firing state
+
+    def matches(self, site: str, ctx: dict[str, object]) -> bool:
+        if site != self.site:
+            return False
+        return all(
+            key in ctx and str(ctx[key]) == value for key, value in self.match
+        )
+
+
+@dataclass
+class FaultPlan:
+    """An installed set of specs plus the shared firing-state directory."""
+
+    specs: tuple[FaultSpec, ...]
+    state_dir: str | None = None
+    text: str = ""
+    _fired: dict[str, int] = field(default_factory=dict)
+
+    def claim(self, spec: FaultSpec) -> bool:
+        """Try to consume one firing of ``spec``; False if budget spent."""
+        if spec.times <= 0:
+            return True
+        if self.state_dir is None:
+            count = self._fired.get(spec.spec_id, 0)
+            if count >= spec.times:
+                return False
+            self._fired[spec.spec_id] = count + 1
+            return True
+        for firing in range(spec.times):
+            marker = os.path.join(self.state_dir, f"{spec.spec_id}.{firing}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+
+def parse_specs(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a plan string (see module docstring for the grammar)."""
+    specs: list[FaultSpec] = []
+    for index, chunk in enumerate(part for part in text.split(";") if part.strip()):
+        fields = chunk.strip().split(":")
+        if len(fields) < 2 or len(fields) > 3:
+            raise FaultSpecError(f"fault spec {chunk!r} is not site:action[:params]")
+        site, action = fields[0].strip(), fields[1].strip()
+        if not site or action not in _ACTIONS:
+            raise FaultSpecError(
+                f"fault spec {chunk!r}: action must be one of {', '.join(_ACTIONS)}"
+            )
+        match: list[tuple[str, str]] = []
+        times = 0
+        seconds = 0.05
+        drop_bytes = 0
+        if len(fields) == 3 and fields[2].strip():
+            for pair in fields[2].split(","):
+                if "=" not in pair:
+                    raise FaultSpecError(
+                        f"fault spec {chunk!r}: parameter {pair!r} is not key=value"
+                    )
+                key, __, value = pair.partition("=")
+                key, value = key.strip(), value.strip()
+                try:
+                    if key == "times":
+                        times = int(value)
+                    elif key == "seconds":
+                        seconds = float(value)
+                    elif key == "bytes":
+                        drop_bytes = int(value)
+                    else:
+                        match.append((key, value))
+                except ValueError as exc:
+                    raise FaultSpecError(
+                        f"fault spec {chunk!r}: bad {key}={value!r}"
+                    ) from exc
+        specs.append(
+            FaultSpec(
+                site=site,
+                action=action,
+                match=tuple(match),
+                times=times,
+                seconds=seconds,
+                drop_bytes=drop_bytes,
+                spec_id=f"{index}-{site}-{action}",
+            )
+        )
+    return tuple(specs)
+
+
+#: The active plan. ``None`` + ``_ENV_CHECKED`` means fire() is a no-op.
+_ACTIVE: FaultPlan | None = None
+_ENV_CHECKED = False
+
+
+def install(text: str, state_dir: str | None = None) -> FaultPlan:
+    """Install a plan from a spec string; returns it for inspection.
+
+    A state directory is created when any spec is count-bounded and none
+    was given, so ``times=N`` holds across processes out of the box.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    specs = parse_specs(text)
+    if state_dir is None and any(spec.times > 0 for spec in specs):
+        state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    _ACTIVE = FaultPlan(specs=specs, state_dir=state_dir, text=text)
+    _ENV_CHECKED = True
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Drop the active plan (and forget the env lookup)."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = False
+
+
+def _active() -> FaultPlan | None:
+    """The installed plan, reading ``REPRO_FAULTS`` on first use."""
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        text = os.environ.get("REPRO_FAULTS", "")
+        if text:
+            install(text, state_dir=os.environ.get("REPRO_FAULTS_STATE") or None)
+    return _ACTIVE
+
+
+def exported() -> tuple[str, str | None] | None:
+    """The active plan as a ``(spec_text, state_dir)`` token for workers.
+
+    ``None`` when no faults are configured — the common case, in which
+    the parallel runtime ships nothing and workers skip :func:`adopt`.
+    """
+    plan = _active()
+    if plan is None:
+        return None
+    return plan.text, plan.state_dir
+
+
+def adopt(token: tuple[str, str | None] | None) -> None:
+    """Install an exported plan in a worker process.
+
+    Must run before the worker's first :func:`fire` so a worker never
+    falls back to its own environment-derived state directory and splits
+    the ``times=N`` budget. A ``None`` token is authoritative too: a
+    cached (or forked) worker may still hold the plan of an *earlier*
+    supervised run, and must drop it rather than keep firing faults the
+    parent has since reset.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    if token is None:
+        _ACTIVE = None
+        _ENV_CHECKED = True  # the parent already decided: no plan
+        return
+    text, state_dir = token
+    plan = _active()
+    if plan is not None and plan.text == text and plan.state_dir == state_dir:
+        return  # forked workers inherit the parent's plan object
+    install(text, state_dir=state_dir)
+
+
+def fire(site: str, **ctx: object) -> None:
+    """Trigger any faults planted at ``site`` (no-op without a plan).
+
+    Counts every firing in ``faultinject.fired`` on the process-local
+    metrics registry (worker registries merge back through the parallel
+    runtime's delta channel), so a trace shows which faults actually
+    went off.
+    """
+    plan = _active()
+    if plan is None:
+        return
+    for spec in plan.specs:
+        if not spec.matches(site, ctx) or not plan.claim(spec):
+            continue
+        from repro import obs
+
+        obs.metrics.add("faultinject.fired")
+        obs.metrics.add(f"faultinject.fired.{spec.site}.{spec.action}")
+        if spec.action == "kill":
+            os._exit(17)
+        elif spec.action == "raise":
+            raise InjectedFault(f"injected fault at {site}")
+        elif spec.action == "flake":
+            raise TransientIOError(f"injected transient I/O failure at {site}")
+        elif spec.action == "delay":
+            time.sleep(spec.seconds)
+        elif spec.action == "truncate":
+            path = str(ctx["path"])
+            size = os.path.getsize(path)
+            drop = spec.drop_bytes if spec.drop_bytes > 0 else size // 2
+            os.truncate(path, max(0, size - drop))
+
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "parse_specs",
+    "install",
+    "reset",
+    "exported",
+    "adopt",
+    "fire",
+]

@@ -1,0 +1,35 @@
+"""Fault-tolerant supervised execution for the parallel phases.
+
+Public surface of :mod:`repro.runtime.supervisor`: the
+:class:`Supervisor` (heartbeat watchdog, per-task deadlines, failure
+classification, bounded exponential-backoff retry), the
+:class:`RetryPolicy` it runs under, and the :func:`configure` /
+:func:`default_policy` pair the CLI uses to set the process-wide policy.
+Both :func:`repro.core.parallel.mine_array_parallel` and
+:func:`repro.core.build_parallel.build_tree_parallel` execute their
+worker tasks through this layer. See docs/robustness.md.
+"""
+
+from repro.runtime.supervisor import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    RetryPolicy,
+    Supervisor,
+    TaskSpec,
+    classify_failure,
+    configure,
+    default_policy,
+    reset_configuration,
+)
+
+__all__ = [
+    "FailureKind",
+    "RETRYABLE_KINDS",
+    "RetryPolicy",
+    "Supervisor",
+    "TaskSpec",
+    "classify_failure",
+    "configure",
+    "default_policy",
+    "reset_configuration",
+]

@@ -1,0 +1,412 @@
+"""Supervised task execution for the parallel build and mine phases.
+
+``ProcessPoolExecutor`` turns any worker death — OOM kill, fork failure,
+a corrupted shared segment taking the interpreter down — into one opaque
+``BrokenProcessPool`` that poisons every outstanding future. For a
+system whose point is keeping huge mining problems *in core on one
+machine* (where the OOM killer is a fact of life), that is not a
+failure model; it is the absence of one. This module wraps pool
+execution in a :class:`Supervisor` that provides the discipline the
+secondary-memory miners apply to partition-level restarts (PAPERS.md):
+
+* **Heartbeat watchdog.** Instead of blocking on each future, the
+  supervisor wakes every ``heartbeat_interval`` seconds, harvests
+  completed tasks, and checks every running task against its per-task
+  deadline. A hung worker is *terminated*, not waited on.
+* **Failure classification.** Each failure is classified as a
+  :class:`FailureKind` — worker crash, deadline timeout, shared-memory
+  attach failure, transient I/O, poisoned task (a deterministic
+  exception), or pool-unavailable — and only the retryable kinds are
+  retried.
+* **Bounded retry with exponential backoff.** Only the *failed* tasks
+  are re-executed (completed shard results are kept); tasks that were
+  merely in flight on a broken pool are resubmitted without being
+  charged an attempt. Task bodies are pure functions over an immutable
+  shared segment and results are merged by the caller in a fixed order,
+  so a retry cannot perturb the byte-identical-to-serial guarantee.
+* **Graceful degradation.** When retries are exhausted, a task is
+  poisoned, or the pool cannot be (re)created, the supervisor raises
+  :class:`repro.errors.SupervisionError`; both parallel phases catch it
+  and fall back to the serial path (unless ``--no-fallback``), so a
+  ``--jobs N`` run completes wherever a ``--jobs 1`` run would.
+
+Every event is counted in the :data:`repro.obs.metrics` registry
+(``parallel.retries``, ``parallel.worker_deaths``, ``parallel.timeouts``,
+``parallel.heartbeats``, ``parallel.failures.*``; the callers count
+``parallel.degraded_serial``) and each retry round opens a trace span,
+so a chaotic run explains itself. See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from concurrent.futures import Executor, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Hashable, Mapping, TypeVar
+
+from repro import obs
+from repro.errors import SupervisionError, TaskTimeoutError, TransientIOError
+
+K = TypeVar("K", bound=Hashable)
+
+#: One task: a picklable callable plus its positional arguments.
+TaskSpec = tuple[Callable[..., Any], tuple[Any, ...]]
+
+
+class FailureKind(enum.Enum):
+    """Why a supervised task attempt failed."""
+
+    WORKER_CRASH = "worker_crash"  #: the worker process died (pool broken)
+    TIMEOUT = "timeout"  #: the attempt exceeded the per-task deadline
+    ATTACH_FAILURE = "attach_failure"  #: the shared segment could not be opened
+    TRANSIENT_IO = "transient_io"  #: a retryable I/O error escaped the task
+    POISONED = "poisoned"  #: a deterministic exception; retrying cannot help
+    POOL_UNAVAILABLE = "pool_unavailable"  #: the worker pool cannot be created
+
+
+#: Kinds worth another attempt. POISONED is deterministic and
+#: POOL_UNAVAILABLE blocks every task, so both fail supervision outright.
+RETRYABLE_KINDS = frozenset(
+    {
+        FailureKind.WORKER_CRASH,
+        FailureKind.TIMEOUT,
+        FailureKind.ATTACH_FAILURE,
+        FailureKind.TRANSIENT_IO,
+    }
+)
+
+
+def classify_failure(exc: BaseException) -> FailureKind:
+    """Map an exception surfaced by a task future to a :class:`FailureKind`."""
+    if isinstance(exc, BrokenProcessPool):
+        return FailureKind.WORKER_CRASH
+    if isinstance(exc, TaskTimeoutError):
+        return FailureKind.TIMEOUT
+    if isinstance(exc, TransientIOError):
+        return FailureKind.TRANSIENT_IO
+    if isinstance(exc, FileNotFoundError):
+        # The only files a worker task opens by name are shared-memory
+        # segments; a vanished name is an attach race, not a task bug.
+        return FailureKind.ATTACH_FAILURE
+    return FailureKind.POISONED
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadlines, retry budget, and backoff shape for supervised runs."""
+
+    max_retries: int = 2  #: attempts charged to one task beyond the first
+    task_timeout: float | None = None  #: per-attempt deadline in seconds
+    backoff_base: float = 0.05  #: first retry delay in seconds
+    backoff_factor: float = 2.0  #: growth per subsequent retry
+    backoff_max: float = 2.0  #: delay ceiling in seconds
+    heartbeat_interval: float = 0.25  #: watchdog wake period in seconds
+    fallback_serial: bool = True  #: degrade to the serial path on failure
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based): bounded exponential.
+
+        ``backoff(1) == backoff_base``; each further attempt multiplies
+        by ``backoff_factor``, clamped to ``backoff_max``. Deliberately
+        jitter-free — supervised runs must stay deterministic.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        return min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+
+
+#: Process-wide policy overrides installed by :func:`configure` (the CLI).
+_OVERRIDES: dict[str, Any] = {}
+
+
+def configure(
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    fallback: bool | None = None,
+) -> None:
+    """Set process-wide policy fields (``None`` leaves a field alone).
+
+    The CLI maps ``--task-timeout`` / ``--max-retries`` / ``--no-fallback``
+    here so the policy reaches both phases without threading a parameter
+    through every mining layer. ``task_timeout=0`` disables the deadline.
+    """
+    if task_timeout is not None:
+        _OVERRIDES["task_timeout"] = task_timeout if task_timeout > 0 else None
+    if max_retries is not None:
+        _OVERRIDES["max_retries"] = max(0, max_retries)
+    if fallback is not None:
+        _OVERRIDES["fallback_serial"] = fallback
+
+
+def reset_configuration() -> None:
+    """Drop every :func:`configure` override (tests)."""
+    _OVERRIDES.clear()
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def default_policy() -> RetryPolicy:
+    """The effective policy: defaults, then environment, then CLI overrides.
+
+    Environment knobs: ``REPRO_TASK_TIMEOUT`` (seconds; 0 disables),
+    ``REPRO_MAX_RETRIES``, ``REPRO_NO_FALLBACK`` (any non-empty value
+    disables serial degradation).
+    """
+    policy = RetryPolicy()
+    timeout = _env_float("REPRO_TASK_TIMEOUT")
+    if timeout is not None:
+        policy = replace(policy, task_timeout=timeout if timeout > 0 else None)
+    retries = _env_int("REPRO_MAX_RETRIES")
+    if retries is not None:
+        policy = replace(policy, max_retries=max(0, retries))
+    if os.environ.get("REPRO_NO_FALLBACK"):
+        policy = replace(policy, fallback_serial=False)
+    if _OVERRIDES:
+        policy = replace(policy, **_OVERRIDES)
+    return policy
+
+
+def _terminate_pool(pool: Executor) -> None:
+    """Hard-stop a pool's worker processes (deadline enforcement).
+
+    ``Executor.shutdown`` merely *waits* for running tasks, which is
+    exactly wrong for a hung worker. Process pools expose their worker
+    table as ``_processes``; anything without one (a thread pool in
+    tests) has nothing to terminate.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class Supervisor:
+    """Run a keyed batch of pool tasks to completion under a retry policy.
+
+    ``pool_factory`` returns the executor to submit to (it may cache and
+    it may raise — a raise is classified :data:`FailureKind.POOL_UNAVAILABLE`);
+    ``pool_reset`` discards the cached pool after it broke or was
+    terminated so the next round starts fresh. ``phase`` labels spans and
+    error messages (``"mine"`` / ``"build"``).
+    """
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], Executor],
+        policy: RetryPolicy,
+        phase: str,
+        pool_reset: Callable[[], None],
+    ) -> None:
+        self._pool_factory = pool_factory
+        self._policy = policy
+        self._phase = phase
+        self._pool_reset = pool_reset
+
+    def run(self, tasks: Mapping[K, TaskSpec]) -> dict[K, Any]:
+        """Execute every task, retrying per policy; returns key -> result.
+
+        Raises :class:`repro.errors.SupervisionError` when any task
+        cannot be completed. Results of tasks that already finished are
+        kept across retry rounds — only failed (or preempted) tasks are
+        re-executed.
+        """
+        remaining: dict[K, TaskSpec] = dict(tasks)
+        attempts: dict[K, int] = {key: 0 for key in tasks}
+        results: dict[K, Any] = {}
+        round_no = 0
+        barren_rounds = 0
+        while remaining:
+            round_no += 1
+            before = len(remaining)
+            failed = self._run_round(remaining, results)
+            if not failed:
+                # A round that completed nothing and charged nobody (a pool
+                # that broke before accepting a single task) must not spin:
+                # two in a row means the pool is effectively unavailable.
+                if len(remaining) == before:
+                    barren_rounds += 1
+                    if barren_rounds > 1:
+                        raise SupervisionError(
+                            f"{self._phase}: worker pool broke twice before "
+                            f"accepting any task",
+                            kind=FailureKind.POOL_UNAVAILABLE.value,
+                        )
+                else:
+                    barren_rounds = 0
+                continue
+            barren_rounds = 0
+            delay = self._charge_and_classify(failed, attempts)
+            with obs.maybe_span(
+                "parallel.retry",
+                phase=self._phase,
+                round=round_no,
+                tasks=len(failed),
+                kinds=",".join(sorted({kind.value for kind in failed.values()})),
+                backoff_s=delay,
+            ):
+                obs.metrics.add("parallel.retries", len(failed))
+                if delay > 0:
+                    time.sleep(delay)
+        return results
+
+    # ------------------------------------------------------------------
+    # One submission round
+    # ------------------------------------------------------------------
+
+    def _run_round(
+        self, remaining: dict[K, TaskSpec], results: dict[K, Any]
+    ) -> dict[K, FailureKind]:
+        """Submit every remaining task once; harvest under the watchdog.
+
+        Completed tasks move from ``remaining`` into ``results``. Returns
+        the tasks that must be charged a retry attempt; tasks that were
+        merely in flight when the pool broke stay in ``remaining``
+        uncharged.
+        """
+        try:
+            pool = self._pool_factory()
+        except Exception as exc:  # lint: ignore[INV004] - classification point
+            raise SupervisionError(
+                f"{self._phase}: worker pool unavailable: {exc}",
+                kind=FailureKind.POOL_UNAVAILABLE.value,
+            ) from exc
+        key_of: dict[Future[Any], K] = {}
+        started: dict[K, float] = {}
+        failed: dict[K, FailureKind] = {}
+        pool_dead = False
+        for key, (fn, args) in remaining.items():
+            try:
+                future = pool.submit(fn, *args)
+            except Exception:  # lint: ignore[INV004] - classification point
+                # The pool broke mid-submission (a worker died while later
+                # tasks were still being handed over). Harvest whatever was
+                # submitted — those futures carry the real failure — and
+                # leave the rest in `remaining` for the next round.
+                pool_dead = True
+                break
+            key_of[future] = key
+            started[key] = time.monotonic()
+        if pool_dead and not key_of:
+            obs.metrics.add("parallel.worker_deaths")
+            self._pool_reset()
+            return failed
+        pending = set(key_of)
+        while pending:
+            done, pending = wait(pending, timeout=self._policy.heartbeat_interval)
+            if obs.get_tracer() is not None:
+                # Routine-path counter: untraced runs keep the registry
+                # empty (failure counters below fire on exceptions only).
+                obs.metrics.add("parallel.heartbeats")
+            for future in done:
+                key = key_of[future]
+                try:
+                    results[key] = future.result()
+                    del remaining[key]
+                except Exception as exc:  # lint: ignore[INV004] - classification point
+                    kind = classify_failure(exc)
+                    failed[key] = kind
+                    obs.metrics.add(f"parallel.failures.{kind.value}")
+                    if kind is FailureKind.WORKER_CRASH:
+                        pool_dead = True
+            if pool_dead:
+                # A broken pool fails every outstanding future; the tasks
+                # still pending here were victims, not causes — leave them
+                # in `remaining` uncharged for the next round.
+                obs.metrics.add("parallel.worker_deaths")
+                break
+            if self._policy.task_timeout is not None and pending:
+                now = time.monotonic()
+                overdue = [
+                    key_of[future]
+                    for future in pending
+                    if now - started[key_of[future]] > self._policy.task_timeout
+                ]
+                if overdue:
+                    # The deadline is enforced by killing the workers: a
+                    # future past its deadline cannot be cancelled, only
+                    # orphaned. Unexpired in-flight tasks become victims.
+                    for key in overdue:
+                        failed[key] = FailureKind.TIMEOUT
+                        obs.metrics.add(f"parallel.failures.{FailureKind.TIMEOUT.value}")
+                    obs.metrics.add("parallel.timeouts", len(overdue))
+                    _terminate_pool(pool)
+                    pool_dead = True
+                    break
+        if pool_dead:
+            self._pool_reset()
+        return failed
+
+    # ------------------------------------------------------------------
+    # Retry accounting
+    # ------------------------------------------------------------------
+
+    def _charge_and_classify(
+        self, failed: dict[K, FailureKind], attempts: dict[K, int]
+    ) -> float:
+        """Charge one attempt per failed task; returns the backoff delay.
+
+        Raises :class:`SupervisionError` for non-retryable failures and
+        for tasks whose retry budget is exhausted.
+        """
+        for key, kind in failed.items():
+            if kind not in RETRYABLE_KINDS:
+                raise SupervisionError(
+                    f"{self._phase}: task {key!r} failed deterministically "
+                    f"({kind.value}); not retrying",
+                    kind=kind.value,
+                    failures={str(key): kind.value},
+                )
+            attempts[key] += 1
+        exhausted = {
+            key: kind
+            for key, kind in failed.items()
+            if attempts[key] > self._policy.max_retries
+        }
+        if exhausted:
+            dominant = next(iter(exhausted.values()))
+            raise SupervisionError(
+                f"{self._phase}: {len(exhausted)} task(s) failed after "
+                f"{self._policy.max_retries} retries "
+                f"(kinds: {sorted({kind.value for kind in exhausted.values()})})",
+                kind=dominant.value,
+                failures={str(key): kind.value for key, kind in exhausted.items()},
+            )
+        return self._policy.backoff(max(attempts[key] for key in failed))
+
+
+__all__ = [
+    "FailureKind",
+    "RETRYABLE_KINDS",
+    "RetryPolicy",
+    "Supervisor",
+    "TaskSpec",
+    "classify_failure",
+    "configure",
+    "default_policy",
+    "reset_configuration",
+]

@@ -6,19 +6,66 @@ least-recently-used unpinned page. The statistics drive the out-of-core
 experiments: with a pool smaller than the structure, sequential scans
 fault once per page while random backward traversals fault per access —
 the asymmetry behind the paper's §4.3 observations.
+
+Disk reads that fail with :class:`repro.errors.TransientIOError` (a
+retryable OS error mapped by :class:`repro.storage.pagefile.PageFile`, or
+an injected ``pagefile.read:flake`` fault) are retried here with bounded
+exponential backoff before the error is allowed to escape — a page-read
+hiccup must not abort an hours-long out-of-core mine. The retry budget
+comes from ``REPRO_IO_RETRIES`` (default 3) and the first delay from
+``REPRO_IO_BACKOFF`` (seconds, default 0.01, doubling per attempt);
+every retry is counted in ``stats.read_retries`` and published as
+``bufferpool.read_retries``. See docs/robustness.md.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientIOError
 from repro.storage.pagefile import PAGE_SIZE, PageFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class BufferPoolError(ReproError):
     """Pin bookkeeping or capacity misuse."""
+
+
+#: Retries of a transient page read before the error escapes (env override
+#: ``REPRO_IO_RETRIES``; 0 disables retrying).
+DEFAULT_IO_RETRIES = 3
+
+#: First retry delay in seconds, doubled per attempt and capped at
+#: :data:`IO_BACKOFF_MAX` (env override ``REPRO_IO_BACKOFF``).
+DEFAULT_IO_BACKOFF = 0.01
+
+IO_BACKOFF_MAX = 0.25
+
+
+def _io_retries() -> int:
+    raw = os.environ.get("REPRO_IO_RETRIES")
+    if raw is None:
+        return DEFAULT_IO_RETRIES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_IO_RETRIES
+
+
+def _io_backoff() -> float:
+    raw = os.environ.get("REPRO_IO_BACKOFF")
+    if raw is None:
+        return DEFAULT_IO_BACKOFF
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return DEFAULT_IO_BACKOFF
 
 
 @dataclass
@@ -28,6 +75,7 @@ class BufferPoolStats:
     hits: int = 0
     faults: int = 0
     evictions: int = 0
+    read_retries: int = 0
 
     @property
     def accesses(self) -> int:
@@ -43,7 +91,7 @@ class BufferPoolStats:
 class BufferPool:
     """Fixed-capacity LRU cache of pages with pin counts."""
 
-    def __init__(self, pagefile: PageFile, capacity_pages: int):
+    def __init__(self, pagefile: PageFile, capacity_pages: int) -> None:
         if capacity_pages < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity_pages}")
         self._file = pagefile
@@ -61,6 +109,28 @@ class BufferPool:
         """The underlying page file (read-only use by checkers/stats)."""
         return self._file
 
+    def _read_page_resilient(self, page_no: int) -> bytes:
+        """Read from disk, retrying transient errors with backoff.
+
+        Only :class:`TransientIOError` is retried — a hard fault (bad
+        page number, closed file, checksum problems upstream) surfaces
+        immediately. After the budget is spent the *original* transient
+        error escapes, so callers see what actually went wrong.
+        """
+        budget = _io_retries()
+        delay = _io_backoff()
+        attempt = 0
+        while True:
+            try:
+                return self._file.read_page(page_no)
+            except TransientIOError:
+                if attempt >= budget:
+                    raise
+                attempt += 1
+                self.stats.read_retries += 1
+                if delay > 0:
+                    time.sleep(min(delay * 2 ** (attempt - 1), IO_BACKOFF_MAX))
+
     def get_page(self, page_no: int) -> bytes:
         """Fetch a page, through the cache."""
         frame = self._frames.get(page_no)
@@ -69,7 +139,7 @@ class BufferPool:
             self.stats.hits += 1
             return frame
         self.stats.faults += 1
-        data = self._file.read_page(page_no)
+        data = self._read_page_resilient(page_no)
         self._make_room()
         self._frames[page_no] = data
         return data
@@ -126,7 +196,7 @@ class BufferPool:
         """Pin count per pinned page (a copy)."""
         return dict(self._pins)
 
-    def publish_metrics(self, registry=None) -> None:
+    def publish_metrics(self, registry: "MetricsRegistry | None" = None) -> None:
         """Add the pool's counters (and page-file I/O) to a registry.
 
         Defaults to the process-wide :data:`repro.obs.metrics` registry.
@@ -134,10 +204,12 @@ class BufferPool:
         so it is an aggregation point, not a hot path.
         """
         if registry is None:
-            from repro.obs import metrics as registry
+            from repro.obs import metrics as registry  # type: ignore[no-redef]
+        assert registry is not None
         registry.add("bufferpool.hits", self.stats.hits)
         registry.add("bufferpool.faults", self.stats.faults)
         registry.add("bufferpool.evictions", self.stats.evictions)
+        registry.add("bufferpool.read_retries", self.stats.read_retries)
         registry.add("pagefile.reads", self._file.reads)
         registry.add("pagefile.writes", self._file.writes)
 

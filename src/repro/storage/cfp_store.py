@@ -30,6 +30,7 @@ import struct
 import zlib
 from typing import Any, BinaryIO, Iterator, NamedTuple
 
+from repro import faultinject
 from repro.compress import varint
 from repro.core.cfp_array import CfpArray
 from repro.core.ternary import TernaryCfpTree
@@ -377,6 +378,10 @@ def save_cfp_tree(
     with maybe_span("store_save_tree", path=str(path)) as span:
         size = _write_store(path, header + meta_blob, arena.snapshot())
         span.set("bytes", size)
+    # Chaos hook: the `truncate` action tears the checkpoint that was just
+    # written, simulating a crash mid-write — the recovery path
+    # (StreamingBuilder.resume_or_restart) must detect and survive it.
+    faultinject.fire("checkpoint.write", path=str(path))
     return size
 
 

@@ -7,12 +7,22 @@ so the buffer pool above it can count faults exactly.
 
 from __future__ import annotations
 
+import errno
 import os
+from typing import BinaryIO
 
-from repro.errors import ReproError
+from repro import faultinject
+from repro.errors import ReproError, TransientIOError
 
 #: Page size in bytes (the common OS page size; §4.3's unit of thrashing).
 PAGE_SIZE = 4096
+
+#: OS errors worth retrying: interrupted syscalls, spurious unavailability,
+#: and the classic flaky-medium read error. Anything else (ENOSPC, EBADF,
+#: EROFS, ...) is a hard fault and surfaces unchanged.
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EINTR, errno.EAGAIN, getattr(errno, "EIO", 5)}
+)
 
 
 class PageFileError(ReproError):
@@ -29,8 +39,8 @@ class PageFile:
             data = pf.read_page(page_no)
     """
 
-    def __init__(self, handle, writable: bool):
-        self._handle = handle
+    def __init__(self, handle: BinaryIO, writable: bool) -> None:
+        self._handle: BinaryIO | None = handle
         self._writable = writable
         handle.seek(0, os.SEEK_END)
         size = handle.tell()
@@ -65,7 +75,7 @@ class PageFile:
     def __enter__(self) -> "PageFile":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -77,14 +87,30 @@ class PageFile:
         return self._page_count
 
     def read_page(self, page_no: int) -> bytes:
-        """Read one full page."""
+        """Read one full page.
+
+        Transient OS errors (``EINTR``/``EAGAIN``/``EIO``) are re-raised
+        as :class:`repro.errors.TransientIOError` so the buffer pool can
+        retry them with backoff instead of aborting an out-of-core mine
+        on a flaky read. The ``pagefile.read`` fault-injection site fires
+        before the read (its ``flake`` action raises the same error).
+        """
         self._check_open()
         if not 0 <= page_no < self._page_count:
             raise PageFileError(
                 f"page {page_no} out of range [0, {self._page_count})"
             )
-        self._handle.seek(page_no * PAGE_SIZE)
-        data = self._handle.read(PAGE_SIZE)
+        faultinject.fire("pagefile.read", page=page_no)
+        assert self._handle is not None  # _check_open guarantees it
+        try:
+            self._handle.seek(page_no * PAGE_SIZE)
+            data = self._handle.read(PAGE_SIZE)
+        except OSError as exc:
+            if exc.errno in _TRANSIENT_ERRNOS:
+                raise TransientIOError(
+                    f"transient error reading page {page_no}: {exc}"
+                ) from exc
+            raise
         if len(data) != PAGE_SIZE:
             raise PageFileError(f"short read on page {page_no}")
         self.reads += 1
@@ -101,6 +127,7 @@ class PageFile:
             )
         if len(data) > PAGE_SIZE:
             raise PageFileError(f"page data too large: {len(data)}")
+        assert self._handle is not None  # _check_open guarantees it
         self._handle.seek(page_no * PAGE_SIZE)
         self._handle.write(data.ljust(PAGE_SIZE, b"\x00"))
         self.writes += 1
@@ -113,6 +140,7 @@ class PageFile:
         if len(data) > PAGE_SIZE:
             raise PageFileError(f"page data too large: {len(data)}")
         page_no = self._page_count
+        assert self._handle is not None  # _check_open guarantees it
         self._handle.seek(page_no * PAGE_SIZE)
         self._handle.write(data.ljust(PAGE_SIZE, b"\x00"))
         self._page_count += 1

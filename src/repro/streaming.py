@@ -25,7 +25,7 @@ from repro import obs
 from repro.core.cfp_growth import mine_array
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
-from repro.errors import DatasetError
+from repro.errors import DatasetError, ReproError
 from repro.fptree.growth import ListCollector
 from repro.storage import load_cfp_tree_checkpoint, save_cfp_tree
 from repro.util.items import ItemTable, Transaction
@@ -134,6 +134,33 @@ class StreamingBuilder:
         builder.batches_consumed = int(extra.get("batches_consumed", 0))
         return builder
 
+    @classmethod
+    def resume_or_restart(
+        cls, table: ItemTable, path: str | os.PathLike
+    ) -> tuple["StreamingBuilder", bool]:
+        """Resume from ``path`` if possible, else start a fresh build.
+
+        Returns ``(builder, resumed)``. This is the crash-recovery
+        entrypoint: a checkpoint that is missing (the build died before
+        its first checkpoint) or unreadable (torn write — truncated
+        file, bad page checksum, mangled metadata) is *discarded* and
+        the build restarts from batch zero, which is always correct
+        because the caller replays batches from ``batches_consumed``.
+        A fingerprint/shape mismatch (a checkpoint from a different
+        table) is also treated as unusable rather than fatal — counted
+        separately, since it usually means a stale file, not a crash.
+        Discards are counted in ``streaming.checkpoint_discarded``.
+        """
+        try:
+            return cls.resume(table, path), True
+        except FileNotFoundError:
+            return cls(table), False
+        except ReproError:
+            # Torn or foreign checkpoint: recovery means starting over,
+            # not crashing the resumed build a second time.
+            obs.metrics.add("streaming.checkpoint_discarded")
+            return cls(table), False
+
     def finish(self) -> list[tuple[tuple[Hashable, ...], int]]:
         """Convert and mine; the builder must not be reused afterwards."""
         array = convert(self.tree)
@@ -156,4 +183,37 @@ def mine_in_batches(
     builder = StreamingBuilder(table)
     for batch in batches:
         builder.add_batch(batch)
+    return builder.finish()
+
+
+def mine_in_batches_resilient(
+    batches: list[list[Transaction]],
+    min_support: int,
+    checkpoint_path: str | os.PathLike,
+) -> list[tuple[tuple[Hashable, ...], int]]:
+    """The two-phase pipeline, checkpointed after every batch.
+
+    Identical output to :func:`mine_in_batches`, but the pass-2 build
+    survives a crash: each consumed batch is followed by a checkpoint to
+    ``checkpoint_path``, and a re-invocation resumes from the last
+    *loadable* checkpoint's batch cursor — replaying only the batches
+    after it. A checkpoint torn by the crash itself is detected
+    (checksums/geometry) and discarded, restarting from batch zero;
+    either way the result is byte-identical to an uninterrupted run,
+    because the CFP-tree is insertion-order independent and batches are
+    replayed from the cursor in their original order.
+    """
+    counting = CountingPhase()
+    for batch in batches:
+        counting.add_batch(batch)
+    table = counting.finish(min_support)
+    builder, __ = StreamingBuilder.resume_or_restart(table, checkpoint_path)
+    if builder.batches_consumed > len(batches):
+        raise DatasetError(
+            f"checkpoint consumed {builder.batches_consumed} batches but only "
+            f"{len(batches)} were provided; wrong checkpoint for this stream?"
+        )
+    for batch in batches[builder.batches_consumed :]:
+        builder.add_batch(batch)
+        builder.checkpoint(checkpoint_path)
     return builder.finish()

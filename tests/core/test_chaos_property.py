@@ -1,0 +1,162 @@
+"""Chaos property: injected failures never change parallel output.
+
+The contract under test is the strongest one the runtime makes: for ANY
+schedule of injected single-worker failures — a hard kill (the OOM-killer
+case), a transient error escaping a task — the supervised parallel build
+and mine phases produce *byte-identical* output to the failure-free
+serial path. Hypothesis draws the failure schedule; the assertion never
+changes.
+
+Real process pools are used (a kill must actually break a pool), so
+example counts are kept small; the exhaustive unit-level coverage lives
+in ``tests/core/test_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faultinject, obs
+from repro.core.build_parallel import build_tree_parallel
+from repro.core.cfp_growth import mine_rank_transactions
+from repro.core.conversion import convert
+from repro.core.parallel import mine_array_parallel, shutdown_pools
+from repro.core.ternary import TernaryCfpTree
+from repro.fptree.growth import ListCollector
+from repro.runtime import RetryPolicy
+from repro.util.items import prepare_transactions
+from tests.conftest import random_database
+
+#: Ample retry budget and no real backoff: chaos schedules inject at most
+#: a handful of failures, and the property is identity, not latency.
+CHAOS_POLICY = RetryPolicy(
+    max_retries=4, backoff_base=0.0, heartbeat_interval=0.02
+)
+
+#: One injectable failure per draw: (site, action). ``kill`` breaks the
+#: pool outright; ``flake`` surfaces a retryable error from the task.
+FAILURE_POINTS = [
+    ("mine.worker", "kill"),
+    ("mine.worker", "flake"),
+    ("build.worker", "kill"),
+    ("build.worker", "flake"),
+]
+
+#: Failure schedules: a non-empty subset of the failure points, each
+#: firing exactly once (``times=1`` holds across worker processes).
+schedules = st.lists(
+    st.sampled_from(FAILURE_POINTS), min_size=1, max_size=3, unique=True
+)
+
+
+@pytest.fixture(autouse=True)
+def _chaos_hygiene(monkeypatch):
+    # Fixture arrays are tiny; keep the real fan-out machinery engaged.
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "0")
+    yield
+    faultinject.reset()
+    shutdown_pools()  # injected kills leave broken pools behind
+    obs.metrics.reset()
+
+
+def _serial_reference(database, min_support):
+    table, transactions = prepare_transactions(database, min_support)
+    n_ranks = len(table)
+    array = convert(TernaryCfpTree.from_rank_transactions(transactions, n_ranks))
+    collector = mine_rank_transactions(transactions, n_ranks, min_support)
+    return transactions, n_ranks, array, collector.itemsets
+
+
+def _install(schedule):
+    text = ";".join(f"{site}:{action}:times=1" for site, action in schedule)
+    state_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    faultinject.install(text, state_dir=state_dir)
+    return state_dir
+
+
+class TestChaosIdentity:
+    @given(schedule=schedules, seed=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=6, deadline=None)
+    def test_any_failure_schedule_preserves_identity(self, schedule, seed):
+        database = random_database(seed, n_transactions=50, n_items=10)
+        transactions, n_ranks, want_array, want_itemsets = _serial_reference(
+            database, min_support=3
+        )
+        state_dir = _install(schedule)
+        try:
+            built = build_tree_parallel(
+                transactions, n_ranks, jobs=2, policy=CHAOS_POLICY
+            )
+            assert bytes(built.buffer) == bytes(want_array.buffer)
+            collector = ListCollector()
+            mine_array_parallel(
+                want_array, 3, collector, jobs=2, policy=CHAOS_POLICY
+            )
+            assert collector.itemsets == want_itemsets
+        finally:
+            faultinject.reset()
+            shutdown_pools()
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+    def test_kill_every_attempt_degrades_to_identical_serial(self):
+        # Unlimited kills exhaust the retry budget; the degraded-serial
+        # path must still produce the exact bytes and itemsets.
+        database = random_database(4, n_transactions=50, n_items=10)
+        transactions, n_ranks, want_array, want_itemsets = _serial_reference(
+            database, min_support=3
+        )
+        policy = RetryPolicy(
+            max_retries=0, backoff_base=0.0, heartbeat_interval=0.02
+        )
+        obs.metrics.reset()
+        faultinject.install("mine.worker:kill;build.worker:kill")
+        built = build_tree_parallel(transactions, n_ranks, jobs=2, policy=policy)
+        assert bytes(built.buffer) == bytes(want_array.buffer)
+        collector = ListCollector()
+        mine_array_parallel(want_array, 3, collector, jobs=2, policy=policy)
+        assert collector.itemsets == want_itemsets
+        assert obs.metrics.get("parallel.degraded_serial") == 2
+        assert obs.metrics.get("parallel.worker_deaths") > 0
+
+    def test_no_fallback_raises_instead_of_degrading(self):
+        from repro.errors import ParallelBuildError, ParallelMineError
+
+        database = random_database(5, n_transactions=50, n_items=10)
+        transactions, n_ranks, want_array, __ = _serial_reference(
+            database, min_support=3
+        )
+        policy = RetryPolicy(
+            max_retries=0,
+            backoff_base=0.0,
+            heartbeat_interval=0.02,
+            fallback_serial=False,
+        )
+        faultinject.install("mine.worker:kill;build.worker:kill")
+        with pytest.raises(ParallelBuildError):
+            build_tree_parallel(transactions, n_ranks, jobs=2, policy=policy)
+        with pytest.raises(ParallelMineError):
+            mine_array_parallel(want_array, 3, ListCollector(), jobs=2, policy=policy)
+
+    def test_retries_are_observable(self):
+        database = random_database(6, n_transactions=50, n_items=10)
+        transactions, n_ranks, want_array, want_itemsets = _serial_reference(
+            database, min_support=3
+        )
+        obs.metrics.reset()
+        state_dir = _install([("mine.worker", "kill")])
+        try:
+            collector = ListCollector()
+            mine_array_parallel(
+                want_array, 3, collector, jobs=2, policy=CHAOS_POLICY
+            )
+            assert collector.itemsets == want_itemsets
+            assert obs.metrics.get("parallel.retries") > 0
+            assert obs.metrics.get("parallel.worker_deaths") > 0
+            assert obs.metrics.get("parallel.degraded_serial") == 0
+        finally:
+            shutil.rmtree(state_dir, ignore_errors=True)

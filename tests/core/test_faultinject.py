@@ -1,0 +1,186 @@
+"""Unit tests for the deterministic fault-injection facility."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import faultinject, obs
+from repro.errors import FaultSpecError, InjectedFault, TransientIOError
+from repro.faultinject import FaultPlan, parse_specs
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+    obs.metrics.reset()
+
+
+class TestParsing:
+    def test_minimal_spec(self):
+        (spec,) = parse_specs("mine.worker:kill")
+        assert spec.site == "mine.worker"
+        assert spec.action == "kill"
+        assert spec.times == 0  # unlimited
+        assert spec.match == ()
+
+    def test_full_spec(self):
+        (spec,) = parse_specs("build.worker:delay:seconds=0.5,times=3,shard=2")
+        assert spec.seconds == 0.5
+        assert spec.times == 3
+        assert spec.match == (("shard", "2"),)
+
+    def test_multiple_specs_and_whitespace(self):
+        specs = parse_specs(" mine.worker:kill:times=1 ; pagefile.read:flake ;")
+        assert [s.site for s in specs] == ["mine.worker", "pagefile.read"]
+
+    def test_spec_ids_are_distinct(self):
+        specs = parse_specs("a.site:kill;a.site:kill")
+        assert specs[0].spec_id != specs[1].spec_id
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "justasite",  # no action
+            "site:explode",  # unknown action
+            ":kill",  # empty site
+            "site:kill:times",  # parameter without '='
+            "site:kill:times=soon",  # non-integer count
+            "site:delay:seconds=abc",  # non-float delay
+            "a:b:c:d",  # too many fields
+        ],
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(FaultSpecError):
+            parse_specs(text)
+
+
+class TestMatching:
+    def test_context_match(self):
+        (spec,) = parse_specs("mine.worker:raise:rank=7")
+        assert spec.matches("mine.worker", {"rank": 7})
+        assert not spec.matches("mine.worker", {"rank": 8})
+        assert not spec.matches("mine.worker", {})
+        assert not spec.matches("build.worker", {"rank": 7})
+
+    def test_unmatched_site_does_not_fire(self):
+        faultinject.install("mine.worker:raise:rank=1")
+        faultinject.fire("mine.worker", rank=2)  # no exception
+        with pytest.raises(InjectedFault):
+            faultinject.fire("mine.worker", rank=1)
+
+
+class TestFiringBudget:
+    def test_in_process_budget(self):
+        plan = FaultPlan(specs=parse_specs("s:raise:times=2"))
+        spec = plan.specs[0]
+        assert plan.claim(spec)
+        assert plan.claim(spec)
+        assert not plan.claim(spec)
+
+    def test_unlimited_budget(self):
+        plan = FaultPlan(specs=parse_specs("s:raise"))
+        assert all(plan.claim(plan.specs[0]) for __ in range(10))
+
+    def test_budget_is_shared_across_plans(self, tmp_path):
+        # Two plans over one state directory model two processes: the
+        # total number of successful claims is the spec's budget.
+        state = str(tmp_path)
+        a = FaultPlan(specs=parse_specs("s:kill:times=3"), state_dir=state)
+        b = FaultPlan(specs=parse_specs("s:kill:times=3"), state_dir=state)
+        claims = [a.claim(a.specs[0]), b.claim(b.specs[0]), a.claim(a.specs[0])]
+        assert all(claims)
+        assert not a.claim(a.specs[0])
+        assert not b.claim(b.specs[0])
+        assert len(os.listdir(state)) == 3  # one marker per firing
+
+    def test_install_creates_state_dir_for_bounded_specs(self):
+        plan = faultinject.install("s:kill:times=1")
+        assert plan.state_dir is not None
+        assert os.path.isdir(plan.state_dir)
+        unbounded = faultinject.install("s:raise")
+        assert unbounded.state_dir is None
+
+
+class TestActions:
+    def test_raise_action(self):
+        faultinject.install("s:raise")
+        with pytest.raises(InjectedFault):
+            faultinject.fire("s")
+
+    def test_flake_action_is_transient(self):
+        faultinject.install("s:flake")
+        with pytest.raises(TransientIOError):
+            faultinject.fire("s")
+
+    def test_delay_action_sleeps(self):
+        faultinject.install("s:delay:seconds=0.05")
+        started = time.perf_counter()
+        faultinject.fire("s")
+        assert time.perf_counter() - started >= 0.04
+
+    def test_truncate_action_halves_by_default(self, tmp_path):
+        victim = tmp_path / "checkpoint.bin"
+        victim.write_bytes(b"x" * 100)
+        faultinject.install("checkpoint.write:truncate:times=1")
+        faultinject.fire("checkpoint.write", path=str(victim))
+        assert victim.stat().st_size == 50
+        faultinject.fire("checkpoint.write", path=str(victim))  # budget spent
+        assert victim.stat().st_size == 50
+
+    def test_truncate_action_drops_exact_bytes(self, tmp_path):
+        victim = tmp_path / "checkpoint.bin"
+        victim.write_bytes(b"x" * 100)
+        faultinject.install("checkpoint.write:truncate:bytes=99")
+        faultinject.fire("checkpoint.write", path=str(victim))
+        assert victim.stat().st_size == 1
+
+    def test_firings_are_counted(self):
+        obs.metrics.reset()
+        faultinject.install("s:flake:times=1")
+        with pytest.raises(TransientIOError):
+            faultinject.fire("s")
+        faultinject.fire("s")  # budget spent; must not count again
+        assert obs.metrics.get("faultinject.fired") == 1
+        assert obs.metrics.get("faultinject.fired.s.flake") == 1
+
+
+class TestPlanLifecycle:
+    def test_no_plan_fire_is_noop(self):
+        faultinject.fire("anything", rank=1)
+
+    def test_reset_disarms(self):
+        faultinject.install("s:raise")
+        faultinject.reset()
+        faultinject.fire("s")
+
+    def test_environment_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "s:raise")
+        faultinject.reset()  # force the lazy env read
+        with pytest.raises(InjectedFault):
+            faultinject.fire("s")
+
+    def test_exported_and_adopt_roundtrip(self, tmp_path):
+        faultinject.install("s:raise:times=1", state_dir=str(tmp_path))
+        token = faultinject.exported()
+        assert token == ("s:raise:times=1", str(tmp_path))
+        faultinject.reset()
+        faultinject.adopt(token)
+        with pytest.raises(InjectedFault):
+            faultinject.fire("s")
+        faultinject.fire("s")  # the adopted plan kept the shared budget
+
+    def test_exported_none_without_plan(self):
+        assert faultinject.exported() is None
+
+    def test_adopt_none_clears_stale_plan(self, monkeypatch):
+        # A cached worker holding an old plan must disarm when the parent
+        # ships no faults — even if REPRO_FAULTS is still in its env.
+        monkeypatch.setenv("REPRO_FAULTS", "s:raise")
+        faultinject.install("s:raise")
+        faultinject.adopt(None)
+        faultinject.fire("s")  # no exception, and no env re-read

@@ -1,0 +1,272 @@
+"""Unit tests for the supervised runtime: policy, classification, retry.
+
+The :class:`repro.runtime.Supervisor` is exercised here against thread
+pools and scripted fakes so every control path — retry, exhaustion,
+poisoning, timeouts, broken pools — is hit deterministically and fast.
+End-to-end chaos against real process pools lives in
+``tests/core/test_chaos_property.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro import runtime
+from repro.errors import (
+    SupervisionError,
+    TaskTimeoutError,
+    TransientIOError,
+)
+from repro.runtime import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    RetryPolicy,
+    Supervisor,
+    classify_failure,
+    default_policy,
+)
+
+#: A fast policy for supervisor tests: no real sleeping between rounds.
+FAST = RetryPolicy(max_retries=2, backoff_base=0.0, heartbeat_interval=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _clean_configuration():
+    runtime.reset_configuration()
+    yield
+    runtime.reset_configuration()
+
+
+class TestBackoff:
+    def test_first_retry_waits_the_base(self):
+        assert RetryPolicy(backoff_base=0.1).backoff(1) == pytest.approx(0.1)
+
+    def test_growth_is_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=3.0, backoff_max=100)
+        assert policy.backoff(2) == pytest.approx(0.3)
+        assert policy.backoff(3) == pytest.approx(0.9)
+
+    def test_monotone_until_capped(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=2.0, backoff_max=2.0)
+        delays = [policy.backoff(n) for n in range(1, 12)]
+        assert delays == sorted(delays)
+        assert max(delays) == policy.backoff_max
+
+    def test_cap_is_respected(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0, backoff_max=1.5)
+        assert policy.backoff(50) == 1.5
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestClassifyFailure:
+    @pytest.mark.parametrize(
+        "exc, kind",
+        [
+            (BrokenProcessPool("worker died"), FailureKind.WORKER_CRASH),
+            (TaskTimeoutError("too slow"), FailureKind.TIMEOUT),
+            (TransientIOError("flaky read"), FailureKind.TRANSIENT_IO),
+            (FileNotFoundError("/dev/shm/gone"), FailureKind.ATTACH_FAILURE),
+            (ValueError("bad input"), FailureKind.POISONED),
+            (ZeroDivisionError(), FailureKind.POISONED),
+        ],
+    )
+    def test_mapping(self, exc, kind):
+        assert classify_failure(exc) is kind
+
+    def test_poisoned_and_pool_unavailable_are_terminal(self):
+        assert FailureKind.POISONED not in RETRYABLE_KINDS
+        assert FailureKind.POOL_UNAVAILABLE not in RETRYABLE_KINDS
+        assert len(RETRYABLE_KINDS) == 4
+
+
+class TestPolicyConfiguration:
+    def test_defaults(self):
+        policy = default_policy()
+        assert policy.max_retries == 2
+        assert policy.task_timeout is None
+        assert policy.fallback_serial is True
+
+    def test_environment_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "7.5")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_NO_FALLBACK", "1")
+        policy = default_policy()
+        assert policy.task_timeout == 7.5
+        assert policy.max_retries == 5
+        assert policy.fallback_serial is False
+
+    def test_zero_timeout_means_no_deadline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+        assert default_policy().task_timeout is None
+        runtime.configure(task_timeout=0)
+        assert default_policy().task_timeout is None
+
+    def test_garbage_environment_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "lots")
+        policy = default_policy()
+        assert policy.task_timeout is None
+        assert policy.max_retries == 2
+
+    def test_configure_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_NO_FALLBACK", "1")
+        runtime.configure(max_retries=1)
+        policy = default_policy()
+        assert policy.max_retries == 1
+        # configure(fallback=None) left the env decision alone.
+        assert policy.fallback_serial is False
+
+    def test_reset_configuration(self):
+        runtime.configure(max_retries=9)
+        runtime.reset_configuration()
+        assert default_policy().max_retries == 2
+
+
+# ----------------------------------------------------------------------
+# Supervisor control flow (thread pools; no real processes)
+# ----------------------------------------------------------------------
+
+#: Scripted failures: task key -> list of exceptions to raise before
+#: succeeding. Module-level so thread tasks can share it.
+_SCRIPT: dict[str, list[BaseException]] = {}
+_CALLS: dict[str, int] = {}
+_LOCK = threading.Lock()
+
+
+def _scripted(key: str):
+    with _LOCK:
+        _CALLS[key] = _CALLS.get(key, 0) + 1
+        failures = _SCRIPT.get(key)
+        if failures:
+            raise failures.pop(0)
+    return f"result-{key}"
+
+
+@pytest.fixture(autouse=True)
+def _clean_script():
+    _SCRIPT.clear()
+    _CALLS.clear()
+    yield
+    _SCRIPT.clear()
+    _CALLS.clear()
+
+
+def _supervise(tasks, policy=FAST, pool_factory=None, resets=None):
+    pool_factory = pool_factory or (lambda: ThreadPoolExecutor(max_workers=2))
+    resets = resets if resets is not None else []
+    supervisor = Supervisor(
+        pool_factory, policy, phase="test", pool_reset=lambda: resets.append(1)
+    )
+    return supervisor.run(tasks)
+
+
+class TestSupervisorRuns:
+    def test_all_success(self):
+        tasks = {k: (_scripted, (k,)) for k in ("a", "b", "c")}
+        assert _supervise(tasks) == {
+            "a": "result-a",
+            "b": "result-b",
+            "c": "result-c",
+        }
+        assert _CALLS == {"a": 1, "b": 1, "c": 1}
+
+    def test_transient_failure_is_retried_to_success(self):
+        _SCRIPT["a"] = [TransientIOError("once"), TransientIOError("twice")]
+        tasks = {k: (_scripted, (k,)) for k in ("a", "b")}
+        assert _supervise(tasks) == {"a": "result-a", "b": "result-b"}
+        assert _CALLS["a"] == 3
+
+    def test_completed_results_kept_across_rounds(self):
+        _SCRIPT["slowpoke"] = [TransientIOError("flake")]
+        tasks = {k: (_scripted, (k,)) for k in ("done", "slowpoke")}
+        results = _supervise(tasks)
+        assert results["done"] == "result-done"
+        # The healthy task was never re-executed by the retry round.
+        assert _CALLS["done"] == 1
+
+    def test_poisoned_task_is_not_retried(self):
+        _SCRIPT["bad"] = [ValueError("deterministic bug")]
+        with pytest.raises(SupervisionError) as info:
+            _supervise({"bad": (_scripted, ("bad",))})
+        assert info.value.kind == FailureKind.POISONED.value
+        assert _CALLS["bad"] == 1
+
+    def test_retry_budget_exhaustion(self):
+        _SCRIPT["a"] = [TransientIOError(str(n)) for n in range(10)]
+        policy = RetryPolicy(max_retries=1, backoff_base=0.0, heartbeat_interval=0.01)
+        with pytest.raises(SupervisionError) as info:
+            _supervise({"a": (_scripted, ("a",))}, policy=policy)
+        assert info.value.kind == FailureKind.TRANSIENT_IO.value
+        assert info.value.failures == {"a": "transient_io"}
+        assert _CALLS["a"] == 2  # first attempt + one retry
+
+    def test_zero_retries_fails_on_first_failure(self):
+        _SCRIPT["a"] = [TransientIOError("once")]
+        policy = RetryPolicy(max_retries=0, backoff_base=0.0, heartbeat_interval=0.01)
+        with pytest.raises(SupervisionError):
+            _supervise({"a": (_scripted, ("a",))}, policy=policy)
+        assert _CALLS["a"] == 1
+
+    def test_pool_factory_failure_is_pool_unavailable(self):
+        def refuse():
+            raise OSError("fork: resource temporarily unavailable")
+
+        with pytest.raises(SupervisionError) as info:
+            _supervise({"a": (_scripted, ("a",))}, pool_factory=refuse)
+        assert info.value.kind == FailureKind.POOL_UNAVAILABLE.value
+
+    def test_pool_that_never_accepts_tasks_does_not_spin(self):
+        class DeadPool:
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("dead on arrival")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        resets = []
+        with pytest.raises(SupervisionError) as info:
+            _supervise(
+                {"a": (_scripted, ("a",))},
+                pool_factory=DeadPool,
+                resets=resets,
+            )
+        assert info.value.kind == FailureKind.POOL_UNAVAILABLE.value
+        # Each barren round discarded the pool before the next attempt.
+        assert len(resets) == 2
+
+    def test_timeout_charges_and_retries_the_hung_task(self):
+        done = threading.Event()
+
+        def hang_once(key):
+            with _LOCK:
+                _CALLS[key] = _CALLS.get(key, 0) + 1
+                first = _CALLS[key] == 1
+            if first:
+                done.wait(0.5)  # well past the deadline
+                raise TransientIOError("should have been abandoned")
+            return f"result-{key}"
+
+        policy = RetryPolicy(
+            max_retries=2,
+            task_timeout=0.05,
+            backoff_base=0.0,
+            heartbeat_interval=0.01,
+        )
+        resets = []
+        try:
+            results = _supervise(
+                {"hung": (hang_once, ("hung",))}, policy=policy, resets=resets
+            )
+        finally:
+            done.set()  # release the abandoned first attempt
+        assert results == {"hung": "result-hung"}
+        assert _CALLS["hung"] == 2
+        assert resets  # the timed-out pool was discarded

@@ -1,0 +1,81 @@
+"""Transient-read retry in the buffer pool (and its fault-injection site)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faultinject, obs
+from repro.errors import InjectedFault, TransientIOError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import PAGE_SIZE, PageFile
+
+
+@pytest.fixture(autouse=True)
+def _fast_and_clean(monkeypatch):
+    monkeypatch.setenv("REPRO_IO_BACKOFF", "0")  # no real sleeping in tests
+    faultinject.reset()
+    yield
+    faultinject.reset()
+    obs.metrics.reset()
+
+
+@pytest.fixture
+def pool(tmp_path):
+    path = tmp_path / "pages.bin"
+    with PageFile.create(path) as pf:
+        for page_no in range(4):
+            pf.append(bytes([page_no]) * 16)
+    pagefile = PageFile.open_readonly(path)
+    yield BufferPool(pagefile, capacity_pages=2)
+    pagefile.close()
+
+
+class TestTransientRetry:
+    def test_flaky_read_is_retried_to_success(self, pool):
+        faultinject.install("pagefile.read:flake:times=2")
+        data = pool.get_page(1)
+        assert data == (b"\x01" * 16).ljust(PAGE_SIZE, b"\x00")
+        assert pool.stats.read_retries == 2
+        assert pool.stats.faults == 1  # one logical fault despite retries
+
+    def test_cached_pages_bypass_the_disk_entirely(self, pool):
+        pool.get_page(1)
+        faultinject.install("pagefile.read:flake")
+        assert pool.get_page(1)[0] == 1  # hit: no read, no fault to fire
+        assert pool.stats.read_retries == 0
+
+    def test_budget_exhaustion_reraises_the_original_error(self, pool, monkeypatch):
+        monkeypatch.setenv("REPRO_IO_RETRIES", "2")
+        faultinject.install("pagefile.read:flake")
+        with pytest.raises(TransientIOError):
+            pool.get_page(0)
+        assert pool.stats.read_retries == 2
+
+    def test_zero_retries_disables_retrying(self, pool, monkeypatch):
+        monkeypatch.setenv("REPRO_IO_RETRIES", "0")
+        faultinject.install("pagefile.read:flake:times=1")
+        with pytest.raises(TransientIOError):
+            pool.get_page(0)
+        assert pool.stats.read_retries == 0
+
+    def test_hard_faults_are_not_retried(self, pool):
+        # A deterministic (non-transient) error must escape on the first
+        # attempt — retrying it would just stall real corruption reports.
+        faultinject.install("pagefile.read:raise")
+        with pytest.raises(InjectedFault):
+            pool.get_page(0)
+        assert pool.stats.read_retries == 0
+
+    def test_page_match_condition_scopes_the_fault(self, pool):
+        faultinject.install("pagefile.read:flake:page=2,times=1")
+        assert pool.get_page(0)[0] == 0  # untouched page reads cleanly
+        assert pool.stats.read_retries == 0
+        assert pool.get_page(2)[0] == 2  # targeted page flakes, then retries
+        assert pool.stats.read_retries > 0
+
+    def test_retries_are_published(self, pool):
+        faultinject.install("pagefile.read:flake:times=1")
+        pool.get_page(0)
+        obs.metrics.reset()
+        pool.publish_metrics()
+        assert obs.metrics.get("bufferpool.read_retries") == 1

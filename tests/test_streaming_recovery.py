@@ -1,0 +1,144 @@
+"""Crash recovery for the streaming build: torn checkpoints and resume."""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import faultinject, obs
+from repro.errors import DatasetError
+from repro.streaming import (
+    CountingPhase,
+    StreamingBuilder,
+    mine_in_batches,
+    mine_in_batches_resilient,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+    obs.metrics.reset()
+
+
+def _batches(seed=7, n_batches=4, per_batch=40):
+    rng = random.Random(seed)
+    return [
+        [
+            [rng.randrange(1, 30) for __ in range(rng.randrange(2, 8))]
+            for __ in range(per_batch)
+        ]
+        for __ in range(n_batches)
+    ]
+
+
+@pytest.fixture
+def batches():
+    return _batches()
+
+
+def _table_for(batches, min_support=5):
+    counting = CountingPhase()
+    for batch in batches:
+        counting.add_batch(batch)
+    return counting.finish(min_support)
+
+
+class TestResumeOrRestart:
+    def test_missing_checkpoint_starts_fresh(self, tmp_path, batches):
+        builder, resumed = StreamingBuilder.resume_or_restart(
+            _table_for(batches), tmp_path / "never-written.cfpt"
+        )
+        assert not resumed
+        assert builder.batches_consumed == 0
+
+    def test_healthy_checkpoint_resumes_the_cursor(self, tmp_path, batches):
+        table = _table_for(batches)
+        checkpoint = tmp_path / "build.cfpt"
+        builder = StreamingBuilder(table)
+        builder.add_batch(batches[0])
+        builder.add_batch(batches[1])
+        builder.checkpoint(checkpoint)
+
+        resumed, ok = StreamingBuilder.resume_or_restart(table, checkpoint)
+        assert ok
+        assert resumed.batches_consumed == 2
+        for batch in batches[2:]:
+            resumed.add_batch(batch)
+        assert sorted(resumed.finish()) == sorted(mine_in_batches(batches, 5))
+
+    def test_torn_checkpoint_is_discarded_and_counted(self, tmp_path, batches):
+        table = _table_for(batches)
+        checkpoint = tmp_path / "build.cfpt"
+        builder = StreamingBuilder(table)
+        builder.add_batch(batches[0])
+        builder.checkpoint(checkpoint)
+        with open(checkpoint, "r+b") as handle:  # the crash tore the write
+            handle.truncate(os.path.getsize(checkpoint) // 2)
+
+        obs.metrics.reset()
+        fresh, resumed = StreamingBuilder.resume_or_restart(table, checkpoint)
+        assert not resumed
+        assert fresh.batches_consumed == 0
+        assert obs.metrics.get("streaming.checkpoint_discarded") == 1
+
+    def test_foreign_checkpoint_is_discarded(self, tmp_path, batches):
+        # A checkpoint from a different ItemTable must restart, not crash.
+        checkpoint = tmp_path / "build.cfpt"
+        other = _batches(seed=99)
+        foreign = StreamingBuilder(_table_for(other))
+        foreign.add_batch(other[0])
+        foreign.checkpoint(checkpoint)
+
+        builder, resumed = StreamingBuilder.resume_or_restart(
+            _table_for(batches), checkpoint
+        )
+        assert not resumed
+        assert builder.batches_consumed == 0
+
+
+class TestResilientPipeline:
+    def test_matches_the_plain_pipeline(self, tmp_path, batches):
+        want = mine_in_batches(batches, 5)
+        got = mine_in_batches_resilient(batches, 5, tmp_path / "ck.cfpt")
+        assert sorted(got) == sorted(want)
+
+    def test_recovers_from_an_injected_torn_checkpoint(self, tmp_path, batches):
+        checkpoint = tmp_path / "ck.cfpt"
+        want = sorted(mine_in_batches(batches, 5))
+        # First run completes, leaving a full checkpoint behind...
+        assert sorted(mine_in_batches_resilient(batches, 5, checkpoint)) == want
+        # ...which the injected fault tears on the next run's first write,
+        # as if that run crashed mid-checkpoint. The run after it must
+        # discard the torn file and still produce identical output.
+        faultinject.install("checkpoint.write:truncate:times=1")
+        assert sorted(mine_in_batches_resilient(batches, 5, checkpoint)) == want
+        faultinject.reset()
+        assert sorted(mine_in_batches_resilient(batches, 5, checkpoint)) == want
+
+    def test_resumes_mid_stream_after_a_crash(self, tmp_path, batches):
+        checkpoint = tmp_path / "ck.cfpt"
+        table = _table_for(batches)
+        # Simulate a run that died after checkpointing two batches.
+        builder = StreamingBuilder(table)
+        builder.add_batch(batches[0])
+        builder.add_batch(batches[1])
+        builder.checkpoint(checkpoint)
+
+        got = mine_in_batches_resilient(batches, 5, checkpoint)
+        assert sorted(got) == sorted(mine_in_batches(batches, 5))
+
+    def test_checkpoint_from_a_longer_stream_is_rejected(self, tmp_path, batches):
+        # Same table (so the fingerprint check passes) but a cursor past
+        # the provided stream: the wrong-checkpoint guard must fire.
+        checkpoint = tmp_path / "ck.cfpt"
+        builder = StreamingBuilder(_table_for(batches[:2]))
+        for batch in batches:
+            builder.add_batch(batch)
+        builder.checkpoint(checkpoint)
+        with pytest.raises(DatasetError):
+            mine_in_batches_resilient(batches[:2], 5, checkpoint)

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""End-to-end chaos check: injected failures must not change output.
+
+The CI chaos job runs this script. It mines one synthetic dataset four
+ways through the real CLI (each leg a fresh process, like a real run):
+
+1. **serial** — ``--jobs 1``; the reference stdout.
+2. **healthy parallel** — ``--jobs 2 --build-jobs 2``; must match byte
+   for byte.
+3. **chaos parallel** — same, but ``REPRO_FAULTS`` kills one worker in
+   the build phase and one in the mine phase (``times=1`` held across
+   processes via ``REPRO_FAULTS_STATE``). Must match byte for byte, and
+   the trace must show the supervisor actually earned it: nonzero
+   ``parallel.retries`` and ``parallel.worker_deaths``.
+4. **degraded parallel** — unlimited kills with ``--max-retries 0``;
+   must match byte for byte with ``parallel.degraded_serial`` in the
+   trace, proving the serial fallback engaged instead of the run dying
+   with a BrokenProcessPool.
+
+A fifth leg re-runs leg 4 with ``--no-fallback`` and asserts the run
+*fails* — the flag must disable the degraded path.
+
+Exit code 0 when every leg holds, 1 with a diagnostic otherwise.
+See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MIN_SUPPORT = 3
+MINE = [sys.executable, "-m", "repro", "mine", "--min-support", str(MIN_SUPPORT)]
+
+
+def _fail(message: str) -> None:
+    print(f"chaos-check: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _make_dataset(path: str) -> None:
+    from repro.datasets.fimi import write_fimi
+    from repro.datasets.quest import QuestGenerator
+
+    database = QuestGenerator(
+        n_transactions=600,
+        avg_transaction_length=8.0,
+        avg_pattern_length=4.0,
+        n_items=60,
+        n_patterns=30,
+        seed=42,
+    ).generate()
+    write_fimi(path, database)
+
+
+def _mine(dataset: str, *args: str, env: dict[str, str] | None = None) -> str:
+    """Run one CLI mine leg; returns its stdout (the itemset listing)."""
+    run_env = dict(os.environ)
+    run_env["PYTHONPATH"] = "src"
+    # Tiny CI datasets sit below the fan-out threshold; the whole point
+    # here is exercising the real parallel machinery.
+    run_env["REPRO_PARALLEL_MIN_BYTES"] = "0"
+    run_env.update(env or {})
+    result = subprocess.run(
+        MINE + [dataset, *args],
+        capture_output=True,
+        text=True,
+        env=run_env,
+        timeout=600,
+    )
+    if result.returncode != 0:
+        _fail(
+            f"mine {' '.join(args)} exited {result.returncode}:\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def _trace_counters(path: str) -> dict[str, int]:
+    counters: dict[str, int] = {}
+    with open(path, encoding="ascii") as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record.get("type") == "metric" and record.get("kind") == "counter":
+                counters[record["name"]] = record["value"]
+    return counters
+
+
+def _expect(counters: dict[str, int], name: str, leg: str) -> None:
+    if counters.get(name, 0) <= 0:
+        _fail(f"{leg}: expected nonzero {name} in trace, got {counters}")
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-check-")
+    dataset = os.path.join(workdir, "chaos.fimi")
+    _make_dataset(dataset)
+    parallel = ["--jobs", "2", "--build-jobs", "2"]
+
+    serial = _mine(dataset)
+    print(f"chaos-check: serial reference: {len(serial.splitlines())} itemsets")
+
+    healthy = _mine(dataset, *parallel)
+    if healthy != serial:
+        _fail("healthy parallel output differs from serial")
+    print("chaos-check: healthy parallel identical")
+
+    chaos_trace = os.path.join(workdir, "chaos.jsonl")
+    chaos = _mine(
+        dataset,
+        *parallel,
+        "--trace",
+        chaos_trace,
+        env={
+            "REPRO_FAULTS": "build.worker:kill:times=1;mine.worker:kill:times=1",
+            "REPRO_FAULTS_STATE": tempfile.mkdtemp(prefix="faults-", dir=workdir),
+        },
+    )
+    if chaos != serial:
+        _fail("chaos parallel output differs from serial")
+    counters = _trace_counters(chaos_trace)
+    # (`faultinject.fired` is counted in the worker that fired it, and a
+    # killed worker takes its registry down with it — only supervisor-side
+    # counters are observable for kill faults.)
+    _expect(counters, "parallel.retries", "chaos leg")
+    _expect(counters, "parallel.worker_deaths", "chaos leg")
+    print(
+        "chaos-check: one worker killed per phase, output identical "
+        f"(retries={counters['parallel.retries']}, "
+        f"deaths={counters['parallel.worker_deaths']})"
+    )
+
+    degraded_trace = os.path.join(workdir, "degraded.jsonl")
+    degraded = _mine(
+        dataset,
+        *parallel,
+        "--max-retries",
+        "0",
+        "--trace",
+        degraded_trace,
+        env={"REPRO_FAULTS": "build.worker:kill;mine.worker:kill"},
+    )
+    if degraded != serial:
+        _fail("degraded-serial output differs from serial")
+    counters = _trace_counters(degraded_trace)
+    _expect(counters, "parallel.degraded_serial", "degraded leg")
+    print(
+        "chaos-check: retries exhausted, degraded to serial "
+        f"(degraded_serial={counters['parallel.degraded_serial']})"
+    )
+
+    run_env = dict(os.environ)
+    run_env.update(
+        PYTHONPATH="src",
+        REPRO_PARALLEL_MIN_BYTES="0",
+        REPRO_FAULTS="build.worker:kill;mine.worker:kill",
+    )
+    refused = subprocess.run(
+        MINE + [dataset, *parallel, "--max-retries", "0", "--no-fallback"],
+        capture_output=True,
+        text=True,
+        env=run_env,
+        timeout=600,
+    )
+    if refused.returncode == 0:
+        _fail("--no-fallback run succeeded; it must fail when retries exhaust")
+    print("chaos-check: --no-fallback correctly refused to degrade")
+
+    print("chaos-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    sys.exit(main())

@@ -92,6 +92,9 @@ TYPED_PACKAGES = (
     "repro/memman/",
     "repro/analysis/",
     "repro/obs/",
+    "repro/storage/",
+    "repro/runtime/",
+    "repro/faultinject/",
 )
 
 #: Verification modules whose loops must stay instrumentation-free (INV006).
