@@ -1,0 +1,65 @@
+"""Whole-program static analysis for the repro package.
+
+Grown out of ``tools/lint_invariants.py`` (now a thin shim): one
+:class:`~repro.analysis.staticcheck.index.ProgramIndex` is built per
+run, and pluggable passes share it plus common finding / suppression /
+exit-code machinery. See docs/static-analysis.md for every rule id.
+
+Passes:
+
+* ``invariants`` — INV001–INV007, the byte-format layering rules.
+* ``worker-effect`` — EFF001–EFF004, the race checker over code
+  reachable from pool-worker entry points.
+* ``fault-site-drift`` / ``metric-drift`` / ``env-var-drift`` —
+  DRIFT001–DRIFT003, string-registry cross-checks against docs and
+  tests.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.staticcheck.findings import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    filter_suppressed,
+    findings_to_json,
+    is_suppressed,
+    suppressed_codes,
+)
+from repro.analysis.staticcheck.index import (
+    FunctionInfo,
+    ModuleInfo,
+    ProgramIndex,
+    SourceParseError,
+)
+from repro.analysis.staticcheck.passes import Pass, all_passes
+from repro.analysis.staticcheck.runner import (
+    default_paths,
+    default_repo_root,
+    dump_registries,
+    main,
+    run,
+)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Pass",
+    "ProgramIndex",
+    "SourceParseError",
+    "all_passes",
+    "default_paths",
+    "default_repo_root",
+    "dump_registries",
+    "filter_suppressed",
+    "findings_to_json",
+    "is_suppressed",
+    "main",
+    "run",
+    "suppressed_codes",
+]

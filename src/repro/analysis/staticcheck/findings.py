@@ -1,0 +1,102 @@
+"""Shared finding/suppression/exit-code machinery for the static analyzer.
+
+Every pass reports :class:`Finding` records — the same shape the old
+``tools/lint_invariants.py`` printed (``path:line: CODE message``) so the
+migration is invisible to humans and CI log scrapers alike. On top of
+that the subsystem adds:
+
+* **Suppressions.** A trailing ``# lint: ignore[CODE]`` comment on the
+  offending line silences a finding. Brackets may carry several codes
+  (``# lint: ignore[INV004, EFF001]``), and the marker may sit anywhere
+  in the line's trailing comment, so explanatory text after the bracket
+  is fine.
+* **JSON output.** :func:`findings_to_json` renders findings as a stable
+  machine-readable list for CI annotation tooling.
+* **Exit codes.** ``0`` clean, ``1`` findings, ``2`` usage error or
+  unparsable source — identical to the old linter's contract.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+#: Exit code when no findings survive suppression.
+EXIT_CLEAN = 0
+#: Exit code when at least one finding is reported.
+EXIT_FINDINGS = 1
+#: Exit code for usage errors and unparsable source files.
+EXIT_ERROR = 2
+
+#: A suppression marker: ``lint: ignore[CODE]`` or ``lint: ignore[A, B]``.
+_SUPPRESS_RE = re.compile(r"lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, pinned to a file and line."""
+
+    path: str  #: repo-relative posix path (``repro/...`` for src modules)
+    line: int
+    code: str  #: rule id (``INV001``..., ``EFF001``..., ``DRIFT001``...)
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able representation (stable key order via dataclass order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def suppressed_codes(line: str) -> frozenset[str]:
+    """Every rule code suppressed by markers on ``line``.
+
+    Multiple markers and multiple comma-separated codes per marker all
+    accumulate; an empty set means the line suppresses nothing.
+    """
+    codes: set[str] = set()
+    for match in _SUPPRESS_RE.finditer(line):
+        for code in match.group(1).split(","):
+            code = code.strip()
+            if code:
+                codes.add(code)
+    return frozenset(codes)
+
+
+def is_suppressed(finding: Finding, source_lines: list[str]) -> bool:
+    """True when the finding's source line carries a matching marker."""
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    return finding.code in suppressed_codes(source_lines[finding.line - 1])
+
+
+def filter_suppressed(
+    findings: list[Finding], source_lines: list[str]
+) -> list[Finding]:
+    """Drop findings whose line carries a matching suppression marker."""
+    return [f for f in findings if not is_suppressed(f, source_lines)]
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """Render findings as a deterministic JSON array."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.code, f.message))
+    return json.dumps([f.to_dict() for f in ordered], indent=2)
+
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+    "Finding",
+    "suppressed_codes",
+    "is_suppressed",
+    "filter_suppressed",
+    "findings_to_json",
+]

@@ -1,0 +1,304 @@
+"""Whole-program AST index shared by every static-analysis pass.
+
+The old invariant linter re-parsed each file inside a single monolithic
+checker; the passes that motivated this subsystem (worker-effect
+reachability, registry drift) need *cross-file* knowledge — which module
+defines which function, what an imported name resolves to, which string
+literals feed which registries. This module parses the analysis roots
+**once** into a :class:`ProgramIndex` every pass shares:
+
+* :class:`ModuleInfo` — one parsed file: its AST, source lines, the
+  repo-relative posix path (the matching key the invariant rules use)
+  and, for ``src/repro`` files, the dotted module name.
+* :class:`FunctionInfo` — every function and method definition, keyed by
+  a dotted qualname (``repro.core.parallel._mine_rank_task``,
+  ``repro.obs.registry.MetricsRegistry.add``).
+* Import maps — per module, what each local name binds to (a module or
+  a ``module:attr`` pair), with one level of re-export following so
+  ``from repro import obs; obs.set_tracer(...)`` resolves to the
+  function in ``repro.obs.tracer``.
+
+The index is deliberately *syntactic*: no imports are executed, so the
+analyzer can inspect a tree that would not even import (and the corpus
+of seeded violations stays inert test data).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path  #: absolute filesystem path
+    module: str  #: repo-relative posix path, e.g. ``repro/core/parallel.py``
+    dotted: str  #: dotted module name (``repro.core.parallel``; "" if not a package module)
+    tree: ast.Module
+    source_lines: list[str]
+    #: local name -> "pkg.mod" (module import) or "pkg.mod:attr" (from-import)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: names assigned at module top level (globals of this module)
+    module_globals: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  #: dotted, e.g. ``repro.obs.registry.MetricsRegistry.add``
+    module: str  #: owning module's repo-relative posix path
+    dotted_module: str  #: owning module's dotted name
+    name: str  #: bare function name
+    class_name: str | None  #: enclosing class, if a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+class SourceParseError(Exception):
+    """A source file under an analysis root could not be parsed."""
+
+
+def _module_identity(path: Path, src_root: Path, repo_root: Path) -> tuple[str, str]:
+    """``(relative posix path, dotted name)`` for one file.
+
+    The relative path matches against ``src/`` first, then the repo root
+    — exactly the old linter's scheme, so path-pattern rules (INV001's
+    allowlist etc.) keep their meaning. The dotted name is only set for
+    files importable from ``src/`` (``repro.*``).
+    """
+    resolved = path.resolve()
+    for root in (src_root, repo_root):
+        try:
+            relative = resolved.relative_to(root)
+        except ValueError:
+            continue
+        posix = relative.as_posix()
+        if root == src_root:
+            parts = list(relative.parts)
+            if parts[-1] == "__init__.py":
+                parts = parts[:-1]
+            else:
+                parts[-1] = parts[-1][: -len(".py")]
+            return posix, ".".join(parts)
+        return posix, ""
+    return resolved.as_posix(), ""
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Top-level (and function-level) import bindings of one module.
+
+    Returns ``local name -> "pkg.mod"`` for ``import pkg.mod [as name]``
+    and ``local name -> "pkg.mod:attr"`` for ``from pkg.mod import attr``.
+    Function-local imports are folded into the same namespace: for effect
+    analysis a lazily imported module mutated inside a worker is exactly
+    as interesting as a top-level one.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports don't occur in this tree
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{module}:{alias.name}"
+    return imports
+
+
+def _collect_module_globals(tree: ast.Module) -> set[str]:
+    """Names bound by assignment at module top level."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(
+                    element.id
+                    for element in target.elts
+                    if isinstance(element, ast.Name)
+                )
+    return names
+
+
+class ProgramIndex:
+    """Parsed view of every Python file under the analysis roots."""
+
+    def __init__(self, repo_root: Path) -> None:
+        self.repo_root = repo_root
+        self.src_root = repo_root / "src"
+        self.modules: dict[str, ModuleInfo] = {}  #: rel posix path -> info
+        self.by_dotted: dict[str, ModuleInfo] = {}  #: dotted name -> info
+        self.functions: dict[str, FunctionInfo] = {}  #: qualname -> info
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, repo_root: Path, roots: list[Path]) -> "ProgramIndex":
+        """Parse every ``*.py`` under ``roots`` (files or directories)."""
+        index = cls(repo_root)
+        for root in roots:
+            files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+            for file in files:
+                index.add_file(file)
+        return index
+
+    def add_file(self, path: Path) -> ModuleInfo:
+        """Parse and register one file; raises :class:`SourceParseError`."""
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise SourceParseError(
+                f"cannot parse {exc.filename}:{exc.lineno}"
+            ) from exc
+        module, dotted = _module_identity(path, self.src_root, self.repo_root)
+        info = ModuleInfo(
+            path=path,
+            module=module,
+            dotted=dotted,
+            tree=tree,
+            source_lines=source.splitlines(),
+            imports=_collect_imports(tree),
+            module_globals=_collect_module_globals(tree),
+        )
+        self.modules[module] = info
+        if dotted:
+            self.by_dotted[dotted] = info
+        self._register_functions(info)
+        return info
+
+    def _register_functions(self, info: ModuleInfo) -> None:
+        prefix = info.dotted or info.module
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, node, prefix, None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(
+                            info, item, f"{prefix}.{node.name}", node.name
+                        )
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        function = FunctionInfo(
+            qualname=f"{prefix}.{node.name}",
+            module=info.module,
+            dotted_module=info.dotted,
+            name=node.name,
+            class_name=class_name,
+            node=node,
+        )
+        self.functions[function.qualname] = function
+        if class_name is not None:
+            self.methods_by_name.setdefault(node.name, []).append(function)
+
+    # -- resolution -----------------------------------------------------
+
+    def repro_modules(self) -> list[ModuleInfo]:
+        """Every indexed module importable as ``repro.*`` (sorted)."""
+        return [
+            self.by_dotted[name]
+            for name in sorted(self.by_dotted)
+            if name == "repro" or name.startswith("repro.")
+        ]
+
+    def resolve_export(self, dotted_module: str, attr: str) -> str | None:
+        """Resolve ``dotted_module.attr`` to a defining qualname.
+
+        Follows from-import re-exports (``repro.obs.set_tracer`` defined
+        in ``repro.obs.tracer``) up to a small fixed depth so package
+        ``__init__`` façades stay transparent without risking cycles.
+        """
+        seen: set[tuple[str, str]] = set()
+        module, name = dotted_module, attr
+        for __ in range(4):
+            if (module, name) in seen:
+                return None
+            seen.add((module, name))
+            info = self.by_dotted.get(module)
+            if info is None:
+                return None
+            qualname = f"{module}.{name}"
+            if qualname in self.functions:
+                return qualname
+            binding = info.imports.get(name)
+            if binding is None:
+                return None
+            if ":" in binding:
+                module, name = binding.split(":", 1)
+            else:
+                # `import x.y as name`: attr lookup would need another hop
+                # the callers never take; treat the module itself as the
+                # resolution target (not a function).
+                return None
+        return None
+
+    def resolve_call(
+        self, info: ModuleInfo, call: ast.Call
+    ) -> FunctionInfo | None:
+        """Best-effort static resolution of a call to an indexed function.
+
+        Handles ``f(...)`` via the module's own defs and from-imports, and
+        ``mod.f(...)`` via imported-module bindings (with re-export
+        following). Method calls through objects are left to the caller's
+        fallback (:attr:`methods_by_name`) — resolving receiver types is
+        out of scope for a syntactic index.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            prefix = info.dotted or info.module
+            local = self.functions.get(f"{prefix}.{func.id}")
+            if local is not None:
+                return local
+            binding = info.imports.get(func.id)
+            if binding is not None and ":" in binding:
+                module, name = binding.split(":", 1)
+                qualname = self.resolve_export(module, name)
+                if qualname is not None:
+                    return self.functions.get(qualname)
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            binding = info.imports.get(func.value.id)
+            if binding is None:
+                return None
+            if ":" in binding:
+                module, name = binding.split(":", 1)
+                # `from repro import obs` binds a *module*; the call is
+                # then an attribute of that module.
+                target = f"{module}.{name}"
+                if target in self.by_dotted:
+                    qualname = self.resolve_export(target, func.attr)
+                    return self.functions.get(qualname) if qualname else None
+                return None
+            if binding in self.by_dotted:
+                qualname = self.resolve_export(binding, func.attr)
+                return self.functions.get(qualname) if qualname else None
+        return None
+
+
+__all__ = [
+    "FunctionInfo",
+    "SourceParseError",
+    "ModuleInfo",
+    "ProgramIndex",
+]

@@ -1,0 +1,54 @@
+"""The pluggable pass registry.
+
+A pass is any object with a ``name`` (CLI-selectable), a ``codes``
+tuple (the rule ids it can emit), and ``run(index) -> list[Finding]``.
+``ALL_PASSES`` is the default battery, in deterministic execution
+order; the runner's ``--select`` filters it by pass name or rule code.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.analysis.staticcheck.findings import Finding
+from repro.analysis.staticcheck.index import ProgramIndex
+from repro.analysis.staticcheck.passes.drift import (
+    EnvVarDriftPass,
+    FaultSiteDriftPass,
+    MetricDriftPass,
+)
+from repro.analysis.staticcheck.passes.invariants import InvariantsPass
+from repro.analysis.staticcheck.passes.workereffect import WorkerEffectPass
+
+
+class Pass(Protocol):
+    """Structural interface every analyzer pass satisfies."""
+
+    name: str
+    codes: tuple[str, ...]
+
+    def run(self, index: ProgramIndex) -> list[Finding]:
+        """All unsuppressed findings for the indexed program."""
+        ...
+
+
+def all_passes() -> list[Pass]:
+    """A fresh instance of every registered pass, in execution order."""
+    return [
+        InvariantsPass(),
+        WorkerEffectPass(),
+        FaultSiteDriftPass(),
+        MetricDriftPass(),
+        EnvVarDriftPass(),
+    ]
+
+
+__all__ = [
+    "EnvVarDriftPass",
+    "FaultSiteDriftPass",
+    "InvariantsPass",
+    "MetricDriftPass",
+    "Pass",
+    "WorkerEffectPass",
+    "all_passes",
+]

@@ -1,0 +1,479 @@
+"""EFF001–EFF004: the worker-effect (race) checker.
+
+The parallel mine/build phases promise output **byte-identical to the
+serial code path for any worker count and any retry schedule** (see
+docs/performance.md and docs/robustness.md). That guarantee holds only
+if the code shipped to pool workers is effect-free over state shared
+between processes or between retries of the same task:
+
+* a write to a module-level global leaks across tasks that reuse a
+  pooled worker (and silently diverges under ``fork`` vs ``spawn``);
+* a write into an attached shared-memory segment races the parent and
+  every sibling worker;
+* ``os.environ`` mutation is invisible cross-process config drift;
+* unseeded RNG makes a retried task produce different bytes than its
+  first attempt.
+
+This pass finds every function that can be *shipped to a worker* —
+entry points passed to ``pool.submit(...)`` or packed as ``(function,
+args)`` task tuples for a :class:`repro.runtime.Supervisor` — walks
+their transitive call graph inside ``repro``, and flags:
+
+``EFF001``
+    store to a module-level global (``global`` declaration, subscript or
+    attribute store on a module global, or a store through an imported
+    name).
+``EFF002``
+    subscript store into an attached shared-memory buffer (anything
+    derived from ``attach_array`` / ``_attach_untracked`` /
+    ``SharedMemory`` by slicing, ``memoryview``, ``.buf``, ``.cast`` or
+    wrapping).
+``EFF003``
+    ``os.environ`` mutation (item store/delete, ``update`` /
+    ``setdefault`` / ``pop`` / ``clear``, ``os.putenv`` /
+    ``os.unsetenv``).
+``EFF004``
+    unseeded randomness: module-level :mod:`random` functions (the
+    process-wide shared ``Random``), ``random.Random()`` /
+    ``numpy.random.default_rng()`` with no seed argument, and
+    ``numpy.random`` module-level samplers.
+
+Sanctioned exceptions (the fault-injection plan adoption, the worker's
+attachment cache, the tracer installation) carry inline
+``# lint: ignore[EFF001]`` markers at the store site — the shared
+suppression machinery, so every exemption is visible in the diff.
+
+The call graph resolution is syntactic: direct calls resolve through
+the import maps (with re-export following); method calls through
+objects fall back to *every* indexed method of that name — deliberately
+over-approximate, because missing a reachable effect is worse than
+walking a few extra instance methods (whose ``self.x`` stores are not
+flagged anyway).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.staticcheck.findings import Finding, filter_suppressed
+from repro.analysis.staticcheck.index import (
+    FunctionInfo,
+    ModuleInfo,
+    ProgramIndex,
+)
+
+#: Calls whose result is (or wraps) an attached shared-memory buffer.
+_ATTACH_PROVIDERS = frozenset({"attach_array", "_attach_untracked", "SharedMemory"})
+
+#: ``os.environ`` methods that mutate the process environment.
+_ENVIRON_MUTATORS = frozenset({"update", "setdefault", "pop", "clear", "popitem"})
+
+#: ``os``-level environment mutators.
+_OS_ENV_CALLS = frozenset({"putenv", "unsetenv"})
+
+#: Module-level :mod:`random` functions backed by the shared global Random.
+_RNG_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker-entry discovery
+# ----------------------------------------------------------------------
+
+
+def _resolve_name(
+    index: ProgramIndex, info: ModuleInfo, name: str
+) -> FunctionInfo | None:
+    """Resolve a bare name reference to an indexed function."""
+    prefix = info.dotted or info.module
+    local = index.functions.get(f"{prefix}.{name}")
+    if local is not None:
+        return local
+    binding = info.imports.get(name)
+    if binding is not None and ":" in binding:
+        module, attr = binding.split(":", 1)
+        qualname = index.resolve_export(module, attr)
+        if qualname is not None:
+            return index.functions.get(qualname)
+    return None
+
+
+def _references_supervisor(info: ModuleInfo) -> bool:
+    if info.dotted.startswith("repro.runtime"):
+        return True
+    return any(
+        binding.endswith(":Supervisor") or binding == "repro.runtime"
+        for binding in info.imports.values()
+    )
+
+
+def discover_worker_entries(index: ProgramIndex) -> dict[str, FunctionInfo]:
+    """Every function the parallel runtime can ship to a pool worker.
+
+    Two shapes count as shipping: a direct ``something.submit(f, ...)``
+    call, and a ``(f, args)`` tuple used as a dict value in a module
+    that references :class:`repro.runtime.Supervisor` — the task-table
+    shape both :func:`repro.core.parallel.mine_array_parallel` and
+    :func:`repro.core.build_parallel.build_tree_parallel` feed to
+    ``Supervisor.run``.
+    """
+    entries: dict[str, FunctionInfo] = {}
+
+    def _note(target: ast.expr, info: ModuleInfo) -> None:
+        if isinstance(target, ast.Name):
+            resolved = _resolve_name(index, info, target.id)
+            if resolved is not None:
+                entries[resolved.qualname] = resolved
+
+    for info in index.repro_modules():
+        supervised = _references_supervisor(info)
+        for node in ast.walk(info.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+                and node.args
+            ):
+                _note(node.args[0], info)
+            elif supervised and isinstance(node, ast.Dict):
+                for value in node.values:
+                    if isinstance(value, ast.Tuple) and value.elts:
+                        _note(value.elts[0], info)
+            elif supervised and isinstance(node, ast.DictComp):
+                if isinstance(node.value, ast.Tuple) and node.value.elts:
+                    _note(node.value.elts[0], info)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Transitive call-graph walk
+# ----------------------------------------------------------------------
+
+
+def reachable_functions(
+    index: ProgramIndex, entries: dict[str, FunctionInfo]
+) -> dict[str, str]:
+    """Map of reachable function qualname -> the entry it is reached from."""
+    reached: dict[str, str] = {}
+    queue: deque[tuple[FunctionInfo, str]] = deque(
+        (func, func.qualname) for __, func in sorted(entries.items())
+    )
+    while queue:
+        func, entry = queue.popleft()
+        if func.qualname in reached:
+            continue
+        reached[func.qualname] = entry
+        info = index.modules.get(func.module)
+        if info is None:
+            continue
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = index.resolve_call(info, node)
+            if resolved is not None:
+                if resolved.qualname not in reached:
+                    queue.append((resolved, entry))
+                continue
+            if isinstance(node.func, ast.Attribute):
+                for method in index.methods_by_name.get(node.func.attr, []):
+                    if method.qualname not in reached:
+                        queue.append((method, entry))
+    return reached
+
+
+# ----------------------------------------------------------------------
+# Per-function effect checks
+# ----------------------------------------------------------------------
+
+
+class _EffectChecker:
+    """Checks one reachable function for cross-process side effects."""
+
+    def __init__(
+        self, func: FunctionInfo, info: ModuleInfo, entry: str
+    ) -> None:
+        self.func = func
+        self.info = info
+        self.entry = entry
+        self.findings: list[Finding] = []
+        self._globals = self._declared_globals()
+        self._locals = self._local_names()
+        self._tainted = self._tainted_names()
+
+    # -- scope collection ----------------------------------------------
+
+    def _declared_globals(self) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(self.func.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                names.update(node.names)
+        return names
+
+    def _local_names(self) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(self.func.node):
+            if isinstance(node, ast.arg):
+                names.add(node.arg)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                names.add(node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+        return names - self._globals
+
+    def _tainted_names(self) -> set[str]:
+        """Names holding attached shared-memory state (fixpoint)."""
+        assignments: list[tuple[list[str], ast.expr]] = []
+        for node in ast.walk(self.func.node):
+            value: ast.expr | None = None
+            targets: list[str] = []
+            if isinstance(node, ast.Assign):
+                value = node.value
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+                if isinstance(node.target, ast.Name):
+                    targets = [node.target.id]
+            if value is not None and targets:
+                assignments.append((targets, value))
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for targets, value in assignments:
+                if self._taints(value, tainted):
+                    for name in targets:
+                        if name not in tainted:
+                            tainted.add(name)
+                            changed = True
+        return tainted
+
+    def _taints(self, node: ast.expr, tainted: set[str]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            return self._taints(node.value, tainted)
+        if isinstance(node, ast.Call):
+            called = _called_name(node.func)
+            if called in _ATTACH_PROVIDERS:
+                return True
+            if isinstance(node.func, ast.Attribute) and self._taints(
+                node.func.value, tainted
+            ):
+                return True  # e.g. base[...].cast("Q")
+            return any(
+                self._taints(arg, tainted)
+                for arg in node.args
+                if isinstance(arg, (ast.Name, ast.Attribute, ast.Subscript, ast.Call))
+            )
+        return False
+
+    # -- environment chain detection ------------------------------------
+
+    def _is_environ(self, node: ast.expr) -> bool:
+        """True for expressions denoting ``os.environ``."""
+        if isinstance(node, ast.Attribute) and node.attr == "environ":
+            return isinstance(node.value, ast.Name) and node.value.id == "os"
+        if isinstance(node, ast.Name):
+            return self.info.imports.get(node.id) == "os:environ"
+        return False
+
+    # -- reporting -------------------------------------------------------
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.info.module,
+                getattr(node, "lineno", 0),
+                code,
+                f"{message} (reachable from worker entry "
+                f"'{self.entry}' via '{self.func.qualname}')",
+            )
+        )
+
+    # -- the walk --------------------------------------------------------
+
+    def check(self) -> list[Finding]:
+        for node in ast.walk(self.func.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._check_store(target, node)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                self._check_store(node.target, node)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and self._is_environ(
+                        target.value
+                    ):
+                        self._add(node, "EFF003", "deletes an os.environ entry")
+            elif isinstance(node, ast.Call):
+                self._check_call(node)
+        return self.findings
+
+    def _check_store(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element, node)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_store(target.value, node)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self._globals:
+                self._add(
+                    node,
+                    "EFF001",
+                    f"writes module-level global {target.id!r}",
+                )
+            return
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return
+        if isinstance(target, ast.Subscript) and self._is_environ(target.value):
+            self._add(node, "EFF003", "mutates os.environ")
+            return
+        root = _root_name(target)
+        if root is None:
+            return
+        if isinstance(target, ast.Subscript) and root in self._tainted:
+            self._add(
+                node,
+                "EFF002",
+                "writes into an attached shared-memory buffer "
+                f"(through {root!r})",
+            )
+            return
+        if root in self._globals or (
+            root not in self._locals
+            and (root in self.info.module_globals or root in self.info.imports)
+        ):
+            self._add(
+                node,
+                "EFF001",
+                f"stores through module-level name {root!r}",
+            )
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _ENVIRON_MUTATORS and self._is_environ(func.value):
+                self._add(node, "EFF003", f"mutates os.environ via .{func.attr}()")
+                return
+            if (
+                func.attr in _OS_ENV_CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                self._add(node, "EFF003", f"mutates the environment via os.{func.attr}()")
+                return
+        self._check_rng(node)
+
+    def _check_rng(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            binding = self.info.imports.get(base, "")
+            if binding == "random" or base == "random":
+                if func.attr in _RNG_FUNCS:
+                    self._add(
+                        node,
+                        "EFF004",
+                        f"shared-global RNG call random.{func.attr}()",
+                    )
+                elif func.attr == "Random" and not node.args:
+                    self._add(node, "EFF004", "unseeded random.Random()")
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and self.info.imports.get(func.value.value.id, "") == "numpy"
+        ):
+            if func.attr == "default_rng" and node.args:
+                return
+            self._add(
+                node,
+                "EFF004",
+                f"unseeded numpy.random.{func.attr}() call",
+            )
+            return
+        if isinstance(func, ast.Name):
+            binding = self.info.imports.get(func.id, "")
+            if binding.startswith("random:"):
+                attr = binding.split(":", 1)[1]
+                if attr in _RNG_FUNCS:
+                    self._add(
+                        node,
+                        "EFF004",
+                        f"shared-global RNG call {func.id}() (random.{attr})",
+                    )
+                elif attr == "Random" and not node.args:
+                    self._add(node, "EFF004", "unseeded random.Random()")
+
+
+class WorkerEffectPass:
+    """Pass adapter: discover entries, walk, check every reachable function."""
+
+    name = "worker-effect"
+    codes = ("EFF001", "EFF002", "EFF003", "EFF004")
+
+    def run(self, index: ProgramIndex) -> list[Finding]:
+        entries = discover_worker_entries(index)
+        reached = reachable_functions(index, entries)
+        findings: list[Finding] = []
+        for qualname in sorted(reached):
+            func = index.functions.get(qualname)
+            if func is None:
+                continue
+            info = index.modules.get(func.module)
+            if info is None:
+                continue
+            checker = _EffectChecker(func, info, reached[qualname])
+            findings.extend(
+                filter_suppressed(checker.check(), info.source_lines)
+            )
+        return findings
+
+
+__all__ = [
+    "WorkerEffectPass",
+    "discover_worker_entries",
+    "reachable_functions",
+]

@@ -1,0 +1,178 @@
+"""Analyzer entry point: build the index once, run the selected passes.
+
+Used three ways, all converging on :func:`run`:
+
+* ``python -m repro.analysis.staticcheck [paths...]`` — the CLI, with
+  ``--json`` for machine-readable findings and ``--select`` to filter
+  passes by name or rule code;
+* ``repro check --static`` — the packaged CLI surface;
+* ``tools/lint_invariants.py`` — the legacy shim, which pins
+  ``--select invariants`` semantics through the compat helpers in
+  :mod:`repro.analysis.staticcheck.passes.invariants`.
+
+``--dump-registries`` prints the extracted string registries (fault
+sites, metric counters, span names, ``REPRO_*`` variables) as JSON —
+the source of the generated tables in docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.staticcheck.findings import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    findings_to_json,
+)
+from repro.analysis.staticcheck.index import ProgramIndex, SourceParseError
+from repro.analysis.staticcheck.passes import Pass, all_passes
+from repro.analysis.staticcheck.passes.drift import (
+    collect_env_vars,
+    collect_fault_sites,
+    collect_metric_names,
+    collect_span_names,
+    declared_sites,
+)
+
+
+def default_repo_root() -> Path:
+    """The repository root this package is installed from (``src/..``)."""
+    return Path(__file__).resolve().parents[4]
+
+
+def default_paths(repo_root: Path) -> list[Path]:
+    """The analysis roots the old linter covered by default."""
+    candidates = [repo_root / "src" / "repro", repo_root / "tools"]
+    benchmarks = repo_root / "benchmarks"
+    if benchmarks.is_dir():
+        candidates.append(benchmarks)
+    return [path for path in candidates if path.exists()]
+
+
+def select_passes(selectors: list[str] | None) -> list[Pass]:
+    """Filter the registry by pass name or rule-code prefix."""
+    battery = all_passes()
+    if not selectors:
+        return battery
+    wanted = {selector.strip() for selector in selectors if selector.strip()}
+    selected = [
+        candidate
+        for candidate in battery
+        if candidate.name in wanted
+        or any(code in wanted for code in candidate.codes)
+    ]
+    unknown = wanted - {c.name for c in battery} - {
+        code for c in battery for code in c.codes
+    }
+    if unknown:
+        raise ValueError(
+            f"unknown pass selector(s): {', '.join(sorted(unknown))}"
+        )
+    return selected
+
+
+def run(
+    paths: list[Path],
+    repo_root: Path,
+    selectors: list[str] | None = None,
+) -> list[Finding]:
+    """Index ``paths`` and run the selected passes; findings are sorted."""
+    index = ProgramIndex.build(repo_root, paths)
+    findings: list[Finding] = []
+    for analysis_pass in select_passes(selectors):
+        findings.extend(analysis_pass.run(index))
+    return sorted(
+        set(findings), key=lambda f: (f.path, f.line, f.code, f.message)
+    )
+
+
+def dump_registries(paths: list[Path], repo_root: Path) -> str:
+    """The extracted string registries as deterministic JSON."""
+    index = ProgramIndex.build(repo_root, paths)
+    sites = declared_sites(index)
+    metrics = collect_metric_names(index)
+    payload = {
+        "fault_sites": sorted(
+            {site.name for site in collect_fault_sites(index)}
+        ),
+        "declared_sites": sorted(sites) if sites is not None else None,
+        "metric_counters": sorted(
+            {m.name for m in metrics if not m.is_prefix}
+        ),
+        "metric_prefixes": sorted({m.name for m in metrics if m.is_prefix}),
+        "span_names": sorted(collect_span_names(index)),
+        "env_vars": sorted(collect_env_vars(index)),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-staticcheck",
+        description="whole-program static analysis for the repro package",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/repro, tools, "
+        "benchmarks under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for docs/tests cross-checks "
+        "(default: this checkout)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PASS|CODE",
+        help="run only the named passes / rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="list passes and exit"
+    )
+    parser.add_argument(
+        "--dump-registries",
+        action="store_true",
+        help="print the extracted string registries as JSON and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_passes:
+        for candidate in all_passes():
+            print(f"{candidate.name}: {', '.join(candidate.codes)}")
+        return EXIT_CLEAN
+    repo_root = (args.root or default_repo_root()).resolve()
+    paths = [path.resolve() for path in args.paths] or default_paths(repo_root)
+    if not paths:
+        print(f"error: no analysis roots under {repo_root}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        if args.dump_registries:
+            print(dump_registries(paths, repo_root))
+            return EXIT_CLEAN
+        findings = run(paths, repo_root, args.select)
+    except (SourceParseError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -35,6 +35,7 @@ import argparse
 import sys
 import time
 from contextlib import contextmanager
+from pathlib import Path
 
 from repro.algorithms import get_miner, iter_miners
 from repro.datasets.binary import read_binary, write_binary
@@ -179,8 +180,13 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_check(args) -> int:
+    if args.static:
+        return _cmd_check_static(args)
     from repro import analysis
 
+    if not args.paths:
+        print("error: check needs CFPA/CFPT paths (or --static)", file=sys.stderr)
+        return 2
     exit_code = analysis.EXIT_OK
     results = []
     for path in args.paths:
@@ -224,6 +230,28 @@ def _cmd_check(args) -> int:
             )
         )
     return exit_code
+
+
+def _cmd_check_static(args) -> int:
+    """Run the whole-program static analyzer (``repro check --static``)."""
+    from repro.analysis import staticcheck
+
+    repo_root = staticcheck.default_repo_root()
+    paths = [Path(p) for p in args.paths] or staticcheck.default_paths(repo_root)
+    if not paths:
+        print(f"error: no analysis roots under {repo_root}", file=sys.stderr)
+        return 2
+    try:
+        findings = staticcheck.run(paths, repo_root)
+    except staticcheck.SourceParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return staticcheck.EXIT_ERROR
+    if args.as_json:
+        print(staticcheck.findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding)
+    return staticcheck.EXIT_FINDINGS if findings else staticcheck.EXIT_CLEAN
 
 
 def _cmd_bench(args) -> int:  # pragma: no cover - dispatched early in main()
@@ -312,8 +340,21 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("target")
     convert.set_defaults(func=_cmd_convert)
 
-    check = sub.add_parser("check", help="verify CFP store files (fsck)")
-    check.add_argument("paths", nargs="+", help="CFPA/CFPT files to verify")
+    check = sub.add_parser(
+        "check", help="verify CFP store files (fsck) or run static analysis"
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="CFPA/CFPT files to verify (with --static: source roots, "
+        "default src/repro, tools, benchmarks)",
+    )
+    check.add_argument(
+        "--static",
+        action="store_true",
+        help="run the whole-program static analyzer "
+        "(repro.analysis.staticcheck) instead of the store fsck",
+    )
     check.add_argument(
         "--shallow",
         action="store_true",

@@ -172,7 +172,7 @@ def attach_array(name: str, cache_budget: int = 0) -> CfpArray:
     payload = base[starts_end:starts_end + buffer_len]
     base.release()
     array = CfpArray(n_ranks, payload, starts, cache_budget=cache_budget)
-    _ATTACHED[name] = (segment, payload, array)
+    _ATTACHED[name] = (segment, payload, array)  # lint: ignore[EFF001] - per-worker attachment cache, keyed by segment name
     return array
 
 
@@ -193,11 +193,11 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         if rtype != "shared_memory":  # pragma: no cover - other resources
             original_register(name, rtype)
 
-    resource_tracker.register = _skip  # type: ignore[assignment]
+    resource_tracker.register = _skip  # type: ignore[assignment]  # lint: ignore[EFF001] - scoped monkeypatch, restored in the finally below
     try:
         return shared_memory.SharedMemory(name=name)
     finally:
-        resource_tracker.register = original_register  # type: ignore[assignment]
+        resource_tracker.register = original_register  # type: ignore[assignment]  # lint: ignore[EFF001] - restores the original register
 
 
 def _detach_all() -> None:

@@ -84,6 +84,15 @@ class FaultSpecError(ReproError):
     """A fault-injection spec string could not be parsed."""
 
 
+class UnknownFaultSiteError(FaultSpecError):
+    """A fault spec or ``fire()`` call named a site outside ``SITES``.
+
+    Subclasses :class:`FaultSpecError` so existing broad handlers keep
+    working; raised instead of silently never firing, which is how a
+    typo in a ``REPRO_FAULTS`` spec used to pass a whole chaos run.
+    """
+
+
 class TaskTimeoutError(ReproError):
     """A supervised worker task exceeded its per-task deadline."""
 

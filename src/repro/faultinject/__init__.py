@@ -53,9 +53,30 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import FaultSpecError, InjectedFault, TransientIOError
+from repro.errors import (
+    FaultSpecError,
+    InjectedFault,
+    TransientIOError,
+    UnknownFaultSiteError,
+)
 
 _ACTIONS = ("kill", "raise", "flake", "delay", "truncate")
+
+#: The canonical registry of instrumented sites. Specs naming any other
+#: site are rejected at parse time (a typo used to be a silent no-op),
+#: and :func:`fire` rejects unknown sites whenever a plan is active.
+#: The static analyzer's DRIFT001 pass cross-checks this set against the
+#: ``fire()`` call sites, docs/robustness.md, and the chaos tests — keep
+#: all four in sync when instrumenting a new site.
+SITES = frozenset(
+    {
+        "build.worker",
+        "checkpoint.write",
+        "mine.worker",
+        "pagefile.read",
+        "parallel.attach",
+    }
+)
 
 #: Spec keys that configure the action instead of matching context.
 _RESERVED_KEYS = ("times", "seconds", "bytes")
@@ -122,6 +143,11 @@ def parse_specs(text: str) -> tuple[FaultSpec, ...]:
             raise FaultSpecError(
                 f"fault spec {chunk!r}: action must be one of {', '.join(_ACTIONS)}"
             )
+        if site not in SITES:
+            raise UnknownFaultSiteError(
+                f"fault spec {chunk!r}: unknown site {site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
         match: list[tuple[str, str]] = []
         times = 0
         seconds = 0.05
@@ -176,8 +202,8 @@ def install(text: str, state_dir: str | None = None) -> FaultPlan:
     specs = parse_specs(text)
     if state_dir is None and any(spec.times > 0 for spec in specs):
         state_dir = tempfile.mkdtemp(prefix="repro-faults-")
-    _ACTIVE = FaultPlan(specs=specs, state_dir=state_dir, text=text)
-    _ENV_CHECKED = True
+    _ACTIVE = FaultPlan(specs=specs, state_dir=state_dir, text=text)  # lint: ignore[EFF001] - plan installation is the sanctioned worker-side mutation (adopt)
+    _ENV_CHECKED = True  # lint: ignore[EFF001] - paired with the plan store above
     return _ACTIVE
 
 
@@ -192,7 +218,7 @@ def _active() -> FaultPlan | None:
     """The installed plan, reading ``REPRO_FAULTS`` on first use."""
     global _ACTIVE, _ENV_CHECKED
     if _ACTIVE is None and not _ENV_CHECKED:
-        _ENV_CHECKED = True
+        _ENV_CHECKED = True  # lint: ignore[EFF001] - memoizes the one-time env lookup
         text = os.environ.get("REPRO_FAULTS", "")
         if text:
             install(text, state_dir=os.environ.get("REPRO_FAULTS_STATE") or None)
@@ -223,8 +249,8 @@ def adopt(token: tuple[str, str | None] | None) -> None:
     """
     global _ACTIVE, _ENV_CHECKED
     if token is None:
-        _ACTIVE = None
-        _ENV_CHECKED = True  # the parent already decided: no plan
+        _ACTIVE = None  # lint: ignore[EFF001] - dropping a stale plan is adopt's contract
+        _ENV_CHECKED = True  # the parent already decided: no plan  # lint: ignore[EFF001]
         return
     text, state_dir = token
     plan = _active()
@@ -244,6 +270,14 @@ def fire(site: str, **ctx: object) -> None:
     plan = _active()
     if plan is None:
         return
+    if site not in SITES:
+        # Validated only under an active plan: the no-plan production
+        # path stays a single None check, and a mistyped instrumentation
+        # site cannot silently never fire during a chaos run.
+        raise UnknownFaultSiteError(
+            f"fire() called with unknown site {site!r}; known sites: "
+            f"{', '.join(sorted(SITES))}"
+        )
     for spec in plan.specs:
         if not spec.matches(site, ctx) or not plan.claim(spec):
             continue
@@ -267,6 +301,7 @@ def fire(site: str, **ctx: object) -> None:
 
 
 __all__ = [
+    "SITES",
     "FaultSpec",
     "FaultPlan",
     "parse_specs",

@@ -232,7 +232,7 @@ def set_tracer(tracer: Tracer | None) -> Tracer | None:
     """
     global _TRACER
     previous = _TRACER
-    _TRACER = tracer
+    _TRACER = tracer  # lint: ignore[EFF001] - installation point; workers install their own tracer and restore it per task
     return previous
 
 

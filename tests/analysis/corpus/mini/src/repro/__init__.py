@@ -1,0 +1,5 @@
+"""Seeded-violation mini package for the static-analyzer self-test.
+
+Nothing in this tree is ever imported — the analyzer's index is purely
+syntactic, and that property is exactly what this corpus exercises.
+"""

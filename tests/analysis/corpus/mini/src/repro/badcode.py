@@ -1,0 +1,29 @@
+"""Seeded INV001–INV004 violations (one per commented line)."""
+
+from contextlib import suppress
+
+
+def append_to(value, bucket=[]):  # INV003: mutable default
+    bucket.append(value)
+    return bucket
+
+
+def masked(flags):
+    return flags & 0x80  # INV002: raw mask literal outside repro.compress
+
+
+def peek(arena):
+    return arena.buf[0]  # INV001: arena bytes outside the codec layer
+
+
+def swallow(action):
+    try:
+        return action()
+    except Exception:  # INV004: overbroad except
+        return None
+
+
+def swallow_quietly(action):
+    with suppress(Exception):  # INV004: overbroad suppress()
+        return action()
+    return None

@@ -1,0 +1,20 @@
+"""Mini fault-site registry with seeded DRIFT001 violations.
+
+Seeds: ``typo.site`` is fired but absent from ``SITES``, the docs and
+the tests (three findings on one line); ``dead.site`` is declared in
+``SITES`` but fired nowhere (dead registry entry).
+"""
+
+SITES = frozenset({"good.site", "dead.site"})
+
+
+def fire(site, **context):
+    return (site, context)
+
+
+def trigger_documented():
+    fire("good.site")
+
+
+def trigger_typo():
+    fire("typo.site")

@@ -1,0 +1,29 @@
+"""Metric publications and env-var reads with seeded DRIFT002/DRIFT003.
+
+Seeds: ``mini.undocumented`` is published but never documented;
+``REPRO_MINI_SECRET`` is read but never documented. Their documented
+counterparts (``mini.documented``, ``REPRO_MINI_USED``) must stay
+finding-free.
+"""
+
+import os
+
+
+class _Registry:
+    def add(self, name, value):
+        return (name, value)
+
+
+metrics = _Registry()
+
+
+def publish():
+    metrics.add("mini.documented", 1)
+    metrics.add("mini.undocumented", 1)
+
+
+def read_config():
+    return (
+        os.environ.get("REPRO_MINI_USED"),
+        os.environ.get("REPRO_MINI_SECRET"),
+    )

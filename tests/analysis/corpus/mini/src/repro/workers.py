@@ -1,0 +1,35 @@
+"""Worker task with seeded EFF001–EFF004 violations.
+
+``_worker_task`` is packed into a ``(function, args)`` task tuple in a
+module that imports ``Supervisor``, so the worker-effect pass must
+discover it as a pool entry point and flag every effect below —
+including the EFF001 in ``_helper``, which is only reachable
+transitively.
+"""
+
+import os
+import random
+
+from repro.runtime import Supervisor
+
+_CACHE = {}
+
+
+def _helper(key, value):
+    _CACHE[key] = value
+
+
+def _worker_task(rank):
+    global _SEEN
+    _SEEN = rank
+    buf = attach_array("mini-segment")  # noqa: F821 - inert fixture
+    buf[0] = rank
+    os.environ["MINI_FLAG"] = "1"
+    jitter = random.random()
+    _helper(rank, jitter)
+    return rank
+
+
+def run_all():
+    tasks = {rank: (_worker_task, (rank,)) for rank in range(2)}
+    return Supervisor().run(tasks)

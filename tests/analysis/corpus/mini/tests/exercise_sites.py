@@ -1,0 +1,9 @@
+"""Chaos-style exercise referencing the documented fault site.
+
+Deliberately *not* named ``test_*.py`` so the real pytest run never
+collects corpus fixtures; the fault-site drift pass only greps this
+text for site names — it must mention exactly one (the documented one),
+or the seeded not-exercised finding disappears.
+"""
+
+EXERCISED = ["good.site"]

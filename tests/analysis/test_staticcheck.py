@@ -1,0 +1,329 @@
+"""Self-test for the whole-program static analyzer.
+
+Three layers of assurance:
+
+* the real tree is clean (zero findings — the analyzer gates CI, so
+  this is the same bar `python -m repro.analysis.staticcheck` enforces);
+* every pass fires on the seeded-violation corpus under
+  ``tests/analysis/corpus/mini/`` — at least one finding per rule
+  family, with the exact calibrated finding set pinned;
+* the shared machinery behaves: suppression comments, JSON output,
+  selectors, exit codes, and parity between the ``lint_invariants``
+  shim and the ``invariants`` pass.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.staticcheck import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    default_paths,
+    default_repo_root,
+    dump_registries,
+    findings_to_json,
+    run,
+)
+from repro.analysis.staticcheck.findings import (
+    filter_suppressed,
+    suppressed_codes,
+)
+from repro.analysis.staticcheck.passes import all_passes
+from repro.analysis.staticcheck.passes.invariants import (
+    check_module,
+    lint_paths,
+)
+from repro.analysis.staticcheck.runner import select_passes
+
+REPO_ROOT = default_repo_root()
+CORPUS_ROOT = Path(__file__).parent / "corpus" / "mini"
+CORPUS_SRC = CORPUS_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def real_findings():
+    return run(default_paths(REPO_ROOT), REPO_ROOT)
+
+
+@pytest.fixture(scope="module")
+def corpus_findings():
+    return run([CORPUS_SRC], CORPUS_ROOT)
+
+
+def _cli(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.staticcheck", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCleanTree:
+    def test_zero_findings(self, real_findings):
+        assert real_findings == []
+
+    def test_cli_exits_clean(self):
+        result = _cli()
+        assert result.returncode == EXIT_CLEAN, result.stdout + result.stderr
+        assert result.stdout == ""
+
+
+class TestCorpus:
+    """The seeded mini-repo must trip every pass."""
+
+    EXPECTED = {
+        # (path, line, code) for all 19 seeded violations.
+        ("docs/guide.md", 4, "DRIFT001"),
+        ("docs/guide.md", 7, "DRIFT002"),
+        ("docs/guide.md", 11, "DRIFT003"),
+        ("repro/badcode.py", 6, "INV003"),
+        ("repro/badcode.py", 12, "INV002"),
+        ("repro/badcode.py", 16, "INV001"),
+        ("repro/badcode.py", 22, "INV004"),
+        ("repro/badcode.py", 27, "INV004"),
+        ("repro/faultinject.py", 8, "DRIFT001"),  # dead.site never fired
+        ("repro/faultinject.py", 20, "DRIFT001"),  # typo.site x3
+        ("repro/metricsmod.py", 22, "DRIFT002"),
+        ("repro/metricsmod.py", 28, "DRIFT003"),
+        ("repro/workers.py", 19, "EFF001"),  # transitive, via _helper
+        ("repro/workers.py", 24, "EFF001"),
+        ("repro/workers.py", 26, "EFF002"),
+        ("repro/workers.py", 27, "EFF003"),
+        ("repro/workers.py", 28, "EFF004"),
+    }
+
+    def test_exact_finding_set(self, corpus_findings):
+        got = {(f.path, f.line, f.code) for f in corpus_findings}
+        assert got == self.EXPECTED
+
+    def test_every_rule_family_fires(self, corpus_findings):
+        codes = Counter(f.code for f in corpus_findings)
+        for code in (
+            "INV001",
+            "INV002",
+            "INV003",
+            "INV004",
+            "EFF001",
+            "EFF002",
+            "EFF003",
+            "EFF004",
+            "DRIFT001",
+            "DRIFT002",
+            "DRIFT003",
+        ):
+            assert codes[code] >= 1, f"{code} never fired on the corpus"
+        # typo.site trips all three DRIFT001 directions on one line.
+        assert codes["DRIFT001"] == 5
+        assert codes["EFF001"] == 2  # one direct, one transitive
+
+    def test_worker_findings_name_their_entry(self, corpus_findings):
+        effects = [f for f in corpus_findings if f.code.startswith("EFF")]
+        assert effects
+        for finding in effects:
+            assert "worker entry 'repro.workers._worker_task'" in finding.message
+
+    def test_transitive_reachability_is_reported(self, corpus_findings):
+        (helper,) = [
+            f
+            for f in corpus_findings
+            if f.code == "EFF001" and "via 'repro.workers._helper'" in f.message
+        ]
+        assert "_CACHE" in helper.message
+
+    def test_suppress_exception_is_inv004(self, corpus_findings):
+        messages = [
+            f.message for f in corpus_findings if f.code == "INV004"
+        ]
+        assert any("suppress(Exception)" in m for m in messages)
+
+    def test_doc_side_findings_anchor_to_the_doc(self, corpus_findings):
+        doc_codes = {
+            f.code for f in corpus_findings if f.path == "docs/guide.md"
+        }
+        assert doc_codes == {"DRIFT001", "DRIFT002", "DRIFT003"}
+
+    def test_registry_dump(self):
+        payload = json.loads(dump_registries([CORPUS_SRC], CORPUS_ROOT))
+        assert payload["declared_sites"] == ["dead.site", "good.site"]
+        assert payload["fault_sites"] == ["good.site", "typo.site"]
+        assert payload["metric_counters"] == [
+            "mini.documented",
+            "mini.undocumented",
+        ]
+        assert payload["env_vars"] == ["REPRO_MINI_SECRET", "REPRO_MINI_USED"]
+
+
+class TestSelectors:
+    def test_select_by_pass_name(self, corpus_findings):
+        findings = run([CORPUS_SRC], CORPUS_ROOT, ["invariants"])
+        assert findings == [
+            f for f in corpus_findings if f.code.startswith("INV")
+        ]
+
+    def test_select_by_rule_code(self):
+        findings = run([CORPUS_SRC], CORPUS_ROOT, ["EFF002"])
+        # Code selectors pick the owning pass (worker-effect).
+        assert {f.code for f in findings} == {
+            "EFF001",
+            "EFF002",
+            "EFF003",
+            "EFF004",
+        }
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass selector"):
+            select_passes(["no-such-pass"])
+
+    def test_every_pass_is_selectable_by_name(self):
+        for candidate in all_passes():
+            selected = select_passes([candidate.name])
+            assert [p.name for p in selected] == [candidate.name]
+
+
+class TestSuppression:
+    """Satellite coverage for the `# lint: ignore[...]` machinery."""
+
+    def _check(self, source: str) -> list[Finding]:
+        import ast
+
+        return check_module(
+            "repro/example.py", ast.parse(source), source.splitlines()
+        )
+
+    def test_matching_code_suppresses(self):
+        src = "def f(x=[]):  # lint: ignore[INV003]\n    return x\n"
+        assert self._check(src) == []
+
+    def test_multiple_codes_in_one_marker(self):
+        src = (
+            "def f(x=[], y={}):"
+            "  # lint: ignore[INV003, INV999] both on this line\n"
+            "    return x, y\n"
+        )
+        assert self._check(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "def f(x=[]):  # lint: ignore[INV004]\n    return x\n"
+        (finding,) = self._check(src)
+        assert finding.code == "INV003"
+
+    def test_trailing_explanation_after_bracket(self):
+        src = (
+            "def f(x=[]):  # lint: ignore[INV003] - shared scratch, "
+            "documented\n    return x\n"
+        )
+        assert self._check(src) == []
+
+    def test_marker_must_be_on_the_finding_line(self):
+        src = "# lint: ignore[INV003]\ndef f(x=[]):\n    return x\n"
+        (finding,) = self._check(src)
+        assert finding.code == "INV003"
+        assert finding.line == 2
+
+    def test_multiple_markers_accumulate(self):
+        line = "x = 1  # lint: ignore[EFF001] then lint: ignore[INV003]"
+        assert suppressed_codes(line) == frozenset({"EFF001", "INV003"})
+
+    def test_filter_respects_line_bounds(self):
+        phantom = Finding("repro/example.py", 99, "INV003", "out of range")
+        assert filter_suppressed([phantom], ["x = 1"]) == [phantom]
+
+
+class TestShimParity:
+    """The lint_invariants shim and the invariants pass agree exactly."""
+
+    def test_corpus_parity(self, corpus_findings):
+        via_pass = sorted(
+            (f.line, f.code, f.message)
+            for f in corpus_findings
+            if f.code.startswith("INV")
+        )
+        via_shim = sorted(
+            (f.line, f.code, f.message)
+            for f in lint_paths([CORPUS_SRC])
+            if f.path.endswith("badcode.py")
+        )
+        assert via_shim == via_pass
+
+    def test_real_tree_parity(self, real_findings):
+        assert [f for f in real_findings if f.code.startswith("INV")] == []
+        assert lint_paths(default_paths(REPO_ROOT)) == []
+
+    def test_shim_cli_flags_corpus(self):
+        result = subprocess.run(
+            [sys.executable, "tools/lint_invariants.py", str(CORPUS_SRC)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == EXIT_FINDINGS
+        assert "INV003" in result.stdout
+        assert "invariant violation(s)" in result.stderr
+
+
+class TestCli:
+    def test_json_output_shape(self):
+        result = _cli(
+            "--root", str(CORPUS_ROOT), str(CORPUS_SRC), "--json"
+        )
+        assert result.returncode == EXIT_FINDINGS
+        payload = json.loads(result.stdout)
+        assert len(payload) == 19
+        assert all(
+            set(entry) == {"path", "line", "code", "message"}
+            for entry in payload
+        )
+        # Deterministic: sorted by (path, line, code, message).
+        keys = [
+            (e["path"], e["line"], e["code"], e["message"]) for e in payload
+        ]
+        assert keys == sorted(keys)
+
+    def test_findings_to_json_round_trips(self, corpus_findings):
+        payload = json.loads(findings_to_json(corpus_findings))
+        assert len(payload) == len(corpus_findings)
+
+    def test_list_passes(self):
+        result = _cli("--list-passes")
+        assert result.returncode == EXIT_CLEAN
+        for name in (
+            "invariants",
+            "worker-effect",
+            "fault-site-drift",
+            "metric-drift",
+            "env-var-drift",
+        ):
+            assert name in result.stdout
+
+    def test_unknown_selector_exits_error(self):
+        result = _cli("--select", "bogus")
+        assert result.returncode == EXIT_ERROR
+        assert "unknown pass selector" in result.stderr
+
+    def test_unparsable_source_exits_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = _cli("--root", str(tmp_path), str(bad))
+        assert result.returncode == EXIT_ERROR
+        assert "cannot parse" in result.stderr
+
+    def test_repro_check_static_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "check", "--static"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == EXIT_CLEAN, result.stdout + result.stderr

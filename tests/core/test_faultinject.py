@@ -8,7 +8,12 @@ import time
 import pytest
 
 from repro import faultinject, obs
-from repro.errors import FaultSpecError, InjectedFault, TransientIOError
+from repro.errors import (
+    FaultSpecError,
+    InjectedFault,
+    TransientIOError,
+    UnknownFaultSiteError,
+)
 from repro.faultinject import FaultPlan, parse_specs
 
 
@@ -39,24 +44,56 @@ class TestParsing:
         assert [s.site for s in specs] == ["mine.worker", "pagefile.read"]
 
     def test_spec_ids_are_distinct(self):
-        specs = parse_specs("a.site:kill;a.site:kill")
+        specs = parse_specs("mine.worker:kill;mine.worker:kill")
         assert specs[0].spec_id != specs[1].spec_id
 
     @pytest.mark.parametrize(
         "text",
         [
             "justasite",  # no action
-            "site:explode",  # unknown action
+            "mine.worker:explode",  # unknown action
             ":kill",  # empty site
-            "site:kill:times",  # parameter without '='
-            "site:kill:times=soon",  # non-integer count
-            "site:delay:seconds=abc",  # non-float delay
+            "mine.worker:kill:times",  # parameter without '='
+            "mine.worker:kill:times=soon",  # non-integer count
+            "mine.worker:delay:seconds=abc",  # non-float delay
             "a:b:c:d",  # too many fields
         ],
     )
     def test_bad_specs_rejected(self, text):
         with pytest.raises(FaultSpecError):
             parse_specs(text)
+
+
+class TestSiteRegistry:
+    def test_canonical_sites(self):
+        assert faultinject.SITES == frozenset(
+            {
+                "build.worker",
+                "checkpoint.write",
+                "mine.worker",
+                "pagefile.read",
+                "parallel.attach",
+            }
+        )
+
+    def test_unknown_site_rejected_at_parse_time(self):
+        with pytest.raises(UnknownFaultSiteError):
+            parse_specs("mine.wroker:kill")  # the typo that used to no-op
+
+    def test_unknown_site_error_is_a_spec_error(self):
+        # Existing broad handlers (and REPRO_FAULTS plumbing) catch
+        # FaultSpecError; the typed subclass must stay inside that net.
+        assert issubclass(UnknownFaultSiteError, FaultSpecError)
+
+    def test_fire_unknown_site_rejected_under_active_plan(self):
+        faultinject.install("mine.worker:raise")
+        with pytest.raises(UnknownFaultSiteError):
+            faultinject.fire("not.a.site")
+
+    def test_fire_unknown_site_is_noop_without_plan(self):
+        # The production fast path stays one None check: no plan, no
+        # validation, no exception.
+        faultinject.fire("not.a.site")
 
 
 class TestMatching:
@@ -76,22 +113,22 @@ class TestMatching:
 
 class TestFiringBudget:
     def test_in_process_budget(self):
-        plan = FaultPlan(specs=parse_specs("s:raise:times=2"))
+        plan = FaultPlan(specs=parse_specs("mine.worker:raise:times=2"))
         spec = plan.specs[0]
         assert plan.claim(spec)
         assert plan.claim(spec)
         assert not plan.claim(spec)
 
     def test_unlimited_budget(self):
-        plan = FaultPlan(specs=parse_specs("s:raise"))
+        plan = FaultPlan(specs=parse_specs("mine.worker:raise"))
         assert all(plan.claim(plan.specs[0]) for __ in range(10))
 
     def test_budget_is_shared_across_plans(self, tmp_path):
         # Two plans over one state directory model two processes: the
         # total number of successful claims is the spec's budget.
         state = str(tmp_path)
-        a = FaultPlan(specs=parse_specs("s:kill:times=3"), state_dir=state)
-        b = FaultPlan(specs=parse_specs("s:kill:times=3"), state_dir=state)
+        a = FaultPlan(specs=parse_specs("mine.worker:kill:times=3"), state_dir=state)
+        b = FaultPlan(specs=parse_specs("mine.worker:kill:times=3"), state_dir=state)
         claims = [a.claim(a.specs[0]), b.claim(b.specs[0]), a.claim(a.specs[0])]
         assert all(claims)
         assert not a.claim(a.specs[0])
@@ -99,28 +136,28 @@ class TestFiringBudget:
         assert len(os.listdir(state)) == 3  # one marker per firing
 
     def test_install_creates_state_dir_for_bounded_specs(self):
-        plan = faultinject.install("s:kill:times=1")
+        plan = faultinject.install("mine.worker:kill:times=1")
         assert plan.state_dir is not None
         assert os.path.isdir(plan.state_dir)
-        unbounded = faultinject.install("s:raise")
+        unbounded = faultinject.install("mine.worker:raise")
         assert unbounded.state_dir is None
 
 
 class TestActions:
     def test_raise_action(self):
-        faultinject.install("s:raise")
+        faultinject.install("mine.worker:raise")
         with pytest.raises(InjectedFault):
-            faultinject.fire("s")
+            faultinject.fire("mine.worker")
 
     def test_flake_action_is_transient(self):
-        faultinject.install("s:flake")
+        faultinject.install("mine.worker:flake")
         with pytest.raises(TransientIOError):
-            faultinject.fire("s")
+            faultinject.fire("mine.worker")
 
     def test_delay_action_sleeps(self):
-        faultinject.install("s:delay:seconds=0.05")
+        faultinject.install("mine.worker:delay:seconds=0.05")
         started = time.perf_counter()
-        faultinject.fire("s")
+        faultinject.fire("mine.worker")
         assert time.perf_counter() - started >= 0.04
 
     def test_truncate_action_halves_by_default(self, tmp_path):
@@ -141,12 +178,12 @@ class TestActions:
 
     def test_firings_are_counted(self):
         obs.metrics.reset()
-        faultinject.install("s:flake:times=1")
+        faultinject.install("mine.worker:flake:times=1")
         with pytest.raises(TransientIOError):
-            faultinject.fire("s")
-        faultinject.fire("s")  # budget spent; must not count again
+            faultinject.fire("mine.worker")
+        faultinject.fire("mine.worker")  # budget spent; must not count again
         assert obs.metrics.get("faultinject.fired") == 1
-        assert obs.metrics.get("faultinject.fired.s.flake") == 1
+        assert obs.metrics.get("faultinject.fired.mine.worker.flake") == 1
 
 
 class TestPlanLifecycle:
@@ -154,25 +191,25 @@ class TestPlanLifecycle:
         faultinject.fire("anything", rank=1)
 
     def test_reset_disarms(self):
-        faultinject.install("s:raise")
+        faultinject.install("mine.worker:raise")
         faultinject.reset()
-        faultinject.fire("s")
+        faultinject.fire("mine.worker")
 
     def test_environment_plan(self, monkeypatch):
-        monkeypatch.setenv("REPRO_FAULTS", "s:raise")
+        monkeypatch.setenv("REPRO_FAULTS", "mine.worker:raise")
         faultinject.reset()  # force the lazy env read
         with pytest.raises(InjectedFault):
-            faultinject.fire("s")
+            faultinject.fire("mine.worker")
 
     def test_exported_and_adopt_roundtrip(self, tmp_path):
-        faultinject.install("s:raise:times=1", state_dir=str(tmp_path))
+        faultinject.install("mine.worker:raise:times=1", state_dir=str(tmp_path))
         token = faultinject.exported()
-        assert token == ("s:raise:times=1", str(tmp_path))
+        assert token == ("mine.worker:raise:times=1", str(tmp_path))
         faultinject.reset()
         faultinject.adopt(token)
         with pytest.raises(InjectedFault):
-            faultinject.fire("s")
-        faultinject.fire("s")  # the adopted plan kept the shared budget
+            faultinject.fire("mine.worker")
+        faultinject.fire("mine.worker")  # the adopted plan kept the shared budget
 
     def test_exported_none_without_plan(self):
         assert faultinject.exported() is None
@@ -180,7 +217,7 @@ class TestPlanLifecycle:
     def test_adopt_none_clears_stale_plan(self, monkeypatch):
         # A cached worker holding an old plan must disarm when the parent
         # ships no faults — even if REPRO_FAULTS is still in its env.
-        monkeypatch.setenv("REPRO_FAULTS", "s:raise")
-        faultinject.install("s:raise")
+        monkeypatch.setenv("REPRO_FAULTS", "mine.worker:raise")
+        faultinject.install("mine.worker:raise")
         faultinject.adopt(None)
-        faultinject.fire("s")  # no exception, and no env re-read
+        faultinject.fire("mine.worker")  # no exception, and no env re-read

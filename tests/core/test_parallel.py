@@ -186,6 +186,40 @@ class TestSharedMemoryProtocol:
             segment.close()
             segment.unlink()
 
+    def test_attach_fault_site_fires(self):
+        # The parallel.attach site fires before the segment lookup, so a
+        # planted fault surfaces as InjectedFault even for a bogus name.
+        from repro import faultinject
+        from repro.errors import InjectedFault
+
+        faultinject.install("parallel.attach:raise")
+        try:
+            with pytest.raises(InjectedFault):
+                attach_array("repro-test-no-such-segment")
+        finally:
+            faultinject.reset()
+
+    def test_attach_fault_flake_is_transient(self):
+        # A flaky attach is the retryable failure the supervisor retries;
+        # once the budget is spent the attach proceeds to the real error.
+        from repro import faultinject
+        from repro.errors import TransientIOError
+
+        transactions, n_ranks = _prepared(paper_example_database(), 2)
+        array = _build_array(transactions, n_ranks)
+        segment = publish_array(array)
+        faultinject.install("parallel.attach:flake:times=1")
+        try:
+            with pytest.raises(TransientIOError):
+                attach_array(segment.name)
+            attached = attach_array(segment.name)
+            assert bytes(attached.buffer) == bytes(array.buffer)
+        finally:
+            faultinject.reset()
+            parallel._detach_all()
+            segment.close()
+            segment.unlink()
+
     def test_segment_unlinked_after_mine(self):
         import pathlib
 

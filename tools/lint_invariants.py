@@ -1,423 +1,41 @@
 #!/usr/bin/env python3
-"""Project-specific AST lint: enforce the codebase's layering invariants.
+"""Repository invariant linter (compatibility shim).
 
-The byte formats at the heart of this reproduction are fragile by design —
-a compressed arena has no slack bytes for runtime checks, so correctness
-rests on a few *structural* rules about which code may touch which bytes.
-This linter turns those rules into machine-checked invariants:
+The checker logic moved into the static-analysis subsystem at
+:mod:`repro.analysis.staticcheck` — this entry point remains so existing
+invocations (CI, editor hooks, muscle memory) keep working, with the
+same CLI, exit codes (0 clean / 1 findings / 2 error) and public names
+(``Violation``, ``_FileChecker``, ``lint_file``, ``lint_paths``).
 
-``INV001``
-    Arena bytes (``.buf``) may be subscripted only by the arena itself,
-    :mod:`repro.core.node_codec`, and :mod:`repro.compress`. Everything
-    else must go through the codec helpers (``read_slot`` etc.) or the
-    arena's ``read``/``write`` API. Local aliases (``buf = x.arena.buf``)
-    are tracked.
+Prefer the full analyzer for new wiring::
 
-``INV002``
-    The node-mask bit literals (``0x80 0x7F 0xC0 0x38 0x07``) may appear
-    in bitwise expressions only inside :mod:`repro.compress`; other code
-    must use the named constants from :mod:`repro.compress.masks`.
+    PYTHONPATH=src python -m repro.analysis.staticcheck [paths...]
 
-``INV003``
-    No mutable default arguments (list/dict/set displays or constructor
-    calls) anywhere.
-
-``INV004``
-    No bare ``except:`` and no overbroad ``except Exception`` /
-    ``except BaseException`` — the :mod:`repro.errors` hierarchy exists
-    so corruption is never silently swallowed.
-
-``INV005``
-    Functions in the typed packages (``repro/core``, ``repro/compress``,
-    ``repro/memman``, ``repro/analysis``, ``repro/obs``) must have
-    complete signatures: every parameter and the return type annotated.
-    This mirrors the CI mypy gate so the check also runs where mypy is
-    not installed.
-
-``INV006``
-    The verification modules (``repro/core/validate.py``,
-    ``repro/analysis/arraycheck.py``) must not call observability hooks
-    (anything imported from :mod:`repro.obs`) inside ``for``/``while``
-    loop bodies. Verification walks every node of a structure; a per-node
-    span or counter would dominate its runtime and — worse — tempt
-    instrumentation-dependent behaviour into code whose only job is to
-    report the truth. Phase-level instrumentation outside loops is fine.
-
-``INV007``
-    The conversion hot path (``repro/core/conversion.py``) must not
-    encode varints one field at a time: calls named ``encode`` or
-    ``encode_into`` are forbidden there. Per-node triple writes go
-    through the bulk :func:`repro.compress.varint.encode_triples`
-    kernel, whose single loop the placement pass is sized against.
-
-Suppress a finding with a trailing ``# lint: ignore[INV00x]`` comment on
-the offending line.
-
-Usage::
-
-    python tools/lint_invariants.py            # lint src/repro and tools/
-    python tools/lint_invariants.py PATH...    # lint specific files/dirs
-
-Exit codes: 0 clean, 1 violations found, 2 usage or unparsable source.
+which also runs the worker-effect (EFF*) and registry-drift (DRIFT*)
+passes; this shim runs exactly the INV001–INV007 invariant rules over
+the given paths. See docs/static-analysis.md for every rule id.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
 
-#: Module paths (relative, posix) allowed to subscript arena ``.buf`` bytes.
-ARENA_BUF_ALLOWED = (
-    "repro/memman/arena.py",
-    "repro/core/node_codec.py",
-    "repro/compress/",
+if str(SRC_ROOT) not in sys.path:  # standalone invocation without PYTHONPATH
+    sys.path.insert(0, str(SRC_ROOT))
+
+from repro.analysis.staticcheck.findings import Finding as Violation  # noqa: E402
+from repro.analysis.staticcheck.passes.invariants import (  # noqa: E402
+    FileChecker as _FileChecker,
+    lint_file,
+    lint_paths,
 )
 
-#: Module paths allowed to use raw mask-bit literals in bitwise expressions.
-MASK_ALLOWED = ("repro/compress/",)
-
-#: The §3.3 mask-byte bit patterns guarded by INV002.
-MASK_LITERALS = frozenset({0x80, 0x7F, 0xC0, 0x38, 0x07})
-
-#: Packages whose functions must carry complete annotations (INV005).
-TYPED_PACKAGES = (
-    "repro/core/",
-    "repro/compress/",
-    "repro/memman/",
-    "repro/analysis/",
-    "repro/obs/",
-    "repro/storage/",
-    "repro/runtime/",
-    "repro/faultinject/",
-)
-
-#: Verification modules whose loops must stay instrumentation-free (INV006).
-OBS_FREE_LOOPS = (
-    "repro/core/validate.py",
-    "repro/analysis/arraycheck.py",
-)
-
-#: Modules that must use the bulk triple encoder, never per-field encodes
-#: (INV007).
-BULK_ENCODE_ONLY = ("repro/core/conversion.py",)
-
-#: Call names that bypass the bulk encode kernel (INV007).
-_PER_FIELD_ENCODES = frozenset({"encode", "encode_into"})
-
-#: Constructor names whose call as a default argument is mutable (INV003).
-_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
-
-#: Exception names too broad to catch (INV004).
-_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding."""
-
-    path: str
-    line: int
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.code} {self.message}"
-
-
-def _module_path(path: Path) -> str:
-    """Path relative to src/ (or the repo root), posix-style, for matching."""
-    for root in (SRC_ROOT, REPO_ROOT):
-        try:
-            return path.resolve().relative_to(root).as_posix()
-        except ValueError:
-            continue
-    return path.as_posix()
-
-
-def _matches(module: str, patterns: tuple[str, ...]) -> bool:
-    return any(
-        module == p or (p.endswith("/") and module.startswith(p))
-        for p in patterns
-    )
-
-
-class _FileChecker(ast.NodeVisitor):
-    """Single-file AST walk collecting violations."""
-
-    def __init__(self, module: str) -> None:
-        self.module = module
-        self.violations: list[Violation] = []
-        self.arena_allowed = _matches(module, ARENA_BUF_ALLOWED)
-        self.masks_allowed = _matches(module, MASK_ALLOWED)
-        self.typed = _matches(module, TYPED_PACKAGES)
-        self.obs_free_loops = _matches(module, OBS_FREE_LOOPS)
-        self.bulk_encode_only = _matches(module, BULK_ENCODE_ONLY)
-        self._buf_aliases: set[str] = set()
-        self._obs_names: set[str] = set()
-        self._obs_module_imported = False
-        self._loop_depth = 0
-
-    def _add(self, node: ast.AST, code: str, message: str) -> None:
-        self.violations.append(
-            Violation(self.module, getattr(node, "lineno", 0), code, message)
-        )
-
-    # -- INV001: arena byte access ------------------------------------
-
-    @staticmethod
-    def _is_buf_attribute(node: ast.expr) -> bool:
-        return isinstance(node, ast.Attribute) and node.attr == "buf"
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if self._is_buf_attribute(node.value):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self._buf_aliases.add(target.id)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if node.value is not None and self._is_buf_attribute(node.value):
-            if isinstance(node.target, ast.Name):
-                self._buf_aliases.add(node.target.id)
-        self.generic_visit(node)
-
-    def visit_Subscript(self, node: ast.Subscript) -> None:
-        if not self.arena_allowed:
-            if self._is_buf_attribute(node.value):
-                self._add(
-                    node,
-                    "INV001",
-                    "arena bytes subscripted outside the codec layer; "
-                    "use node_codec helpers or Arena.read/write",
-                )
-            elif (
-                isinstance(node.value, ast.Name)
-                and node.value.id in self._buf_aliases
-            ):
-                self._add(
-                    node,
-                    "INV001",
-                    f"arena buffer alias {node.value.id!r} subscripted "
-                    "outside the codec layer",
-                )
-        self.generic_visit(node)
-
-    # -- INV002: raw mask literals ------------------------------------
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        if not self.masks_allowed and isinstance(
-            node.op, (ast.BitAnd, ast.BitOr)
-        ):
-            for side in (node.left, node.right):
-                if (
-                    isinstance(side, ast.Constant)
-                    and type(side.value) is int
-                    and side.value in MASK_LITERALS
-                ):
-                    self._add(
-                        node,
-                        "INV002",
-                        f"raw mask literal {side.value:#04x} in a bitwise "
-                        "expression; use the repro.compress.masks constants",
-                    )
-        self.generic_visit(node)
-
-    # -- INV003/INV005: function signatures ---------------------------
-
-    @staticmethod
-    def _is_mutable_default(node: ast.expr) -> bool:
-        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
-            return True
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in _MUTABLE_CALLS
-        )
-
-    def _check_def(
-        self, node: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> None:
-        arguments = node.args
-        for default in list(arguments.defaults) + [
-            d for d in arguments.kw_defaults if d is not None
-        ]:
-            if self._is_mutable_default(default):
-                self._add(
-                    node,
-                    "INV003",
-                    f"mutable default argument in {node.name!r}",
-                )
-        if self.typed:
-            params = arguments.posonlyargs + arguments.args + arguments.kwonlyargs
-            missing = [
-                p.arg
-                for i, p in enumerate(params)
-                if p.annotation is None
-                and not (i == 0 and p.arg in ("self", "cls"))
-            ]
-            for extra in (arguments.vararg, arguments.kwarg):
-                if extra is not None and extra.annotation is None:
-                    missing.append(extra.arg)
-            if missing:
-                self._add(
-                    node,
-                    "INV005",
-                    f"{node.name!r} has unannotated parameters: "
-                    + ", ".join(missing),
-                )
-            if node.returns is None:
-                self._add(
-                    node,
-                    "INV005",
-                    f"{node.name!r} has no return annotation",
-                )
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_def(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_def(node)
-        self.generic_visit(node)
-
-    # -- INV006: no observability hooks in verification loops ----------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
-                # `import repro.obs` binds `repro`; usage is `repro.obs.*`.
-                self._obs_module_imported = True
-                if alias.asname is not None:
-                    self._obs_names.add(alias.asname)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        if module == "repro.obs" or module.startswith("repro.obs."):
-            for alias in node.names:
-                self._obs_names.add(alias.asname or alias.name)
-        elif module == "repro":
-            for alias in node.names:
-                if alias.name == "obs":
-                    self._obs_names.add(alias.asname or alias.name)
-        self.generic_visit(node)
-
-    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def visit_For(self, node: ast.For) -> None:
-        self._visit_loop(node)
-
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._visit_loop(node)
-
-    def visit_While(self, node: ast.While) -> None:
-        self._visit_loop(node)
-
-    def _flag_obs_use(self, node: ast.AST, what: str) -> None:
-        self._add(
-            node,
-            "INV006",
-            f"observability hook {what} used inside a verification loop; "
-            "validate/arraycheck loops must stay instrumentation-free",
-        )
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if (
-            self.obs_free_loops
-            and self._loop_depth > 0
-            and isinstance(node.ctx, ast.Load)
-            and node.id in self._obs_names
-        ):
-            self._flag_obs_use(node, repr(node.id))
-        self.generic_visit(node)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        if (
-            self.obs_free_loops
-            and self._loop_depth > 0
-            and self._obs_module_imported
-            and node.attr == "obs"
-            and isinstance(node.value, ast.Name)
-            and node.value.id == "repro"
-        ):
-            self._flag_obs_use(node, "'repro.obs'")
-        self.generic_visit(node)
-
-    # -- INV007: bulk triple encoding in conversion --------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if self.bulk_encode_only:
-            func = node.func
-            called = None
-            if isinstance(func, ast.Name):
-                called = func.id
-            elif isinstance(func, ast.Attribute):
-                called = func.attr
-            if called in _PER_FIELD_ENCODES:
-                self._add(
-                    node,
-                    "INV007",
-                    f"per-field {called!r} call in the conversion hot path; "
-                    "use varint.encode_triples to write whole subarrays",
-                )
-        self.generic_visit(node)
-
-    # -- INV004: exception hygiene ------------------------------------
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self._add(node, "INV004", "bare except")
-        else:
-            names = (
-                node.type.elts
-                if isinstance(node.type, ast.Tuple)
-                else [node.type]
-            )
-            for name in names:
-                if isinstance(name, ast.Name) and name.id in _BROAD_EXCEPTIONS:
-                    self._add(
-                        node,
-                        "INV004",
-                        f"overbroad 'except {name.id}'; catch a specific "
-                        "repro.errors type",
-                    )
-        self.generic_visit(node)
-
-
-def _suppressed(violation: Violation, source_lines: list[str]) -> bool:
-    if not 1 <= violation.line <= len(source_lines):
-        return False
-    line = source_lines[violation.line - 1]
-    return f"lint: ignore[{violation.code}]" in line
-
-
-def lint_file(path: Path) -> list[Violation]:
-    """Lint one Python file; raises SyntaxError on unparsable source."""
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
-    checker = _FileChecker(_module_path(path))
-    checker.visit(tree)
-    lines = source.splitlines()
-    return [v for v in checker.violations if not _suppressed(v, lines)]
-
-
-def lint_paths(paths: list[Path]) -> list[Violation]:
-    """Lint files and directory trees; returns all violations found."""
-    violations: list[Violation] = []
-    for path in paths:
-        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
-        for file in files:
-            violations.extend(lint_file(file))
-    return violations
+__all__ = ["Violation", "_FileChecker", "lint_file", "lint_paths", "main"]
 
 
 def main(argv: list[str] | None = None) -> int:
