@@ -7,7 +7,7 @@ exit-code machinery. See docs/static-analysis.md for every rule id.
 
 Passes:
 
-* ``invariants`` — INV001–INV007, the byte-format layering rules.
+* ``invariants`` — INV001–INV008, the byte-format layering rules.
 * ``worker-effect`` — EFF001–EFF004, the race checker over code
   reachable from pool-worker entry points.
 * ``fault-site-drift`` / ``metric-drift`` / ``env-var-drift`` —

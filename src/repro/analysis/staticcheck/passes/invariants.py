@@ -1,4 +1,4 @@
-"""INV001–INV007: the layering invariants, migrated from the old linter.
+"""INV001–INV008: the layering invariants, migrated from the old linter.
 
 The byte formats at the heart of this reproduction are fragile by design
 — a compressed arena has no slack bytes for runtime checks, so
@@ -28,6 +28,11 @@ ids, messages and file-pattern semantics as the original
 ``INV007``
     The conversion hot path must use the bulk triple-encode kernel,
     never per-field ``encode``/``encode_into`` calls.
+``INV008``
+    The mine hot path must consume subarrays through the columnar
+    kernels (``subarray_columns`` / ``decode_triples_columns``), never
+    by looping node-by-node over the per-node decode APIs
+    (``decode_subarray`` / ``iter_subarray`` / ``decode_triples``).
 """
 
 from __future__ import annotations
@@ -76,6 +81,20 @@ BULK_ENCODE_ONLY = ("repro/core/conversion.py",)
 #: Call names that bypass the bulk encode kernel (INV007).
 _PER_FIELD_ENCODES = frozenset({"encode", "encode_into"})
 
+#: Mine hot-path modules that must consume subarrays columnar-ly (INV008).
+MINE_HOT_PATH = (
+    "repro/core/cfp_array.py",
+    "repro/core/cfp_growth.py",
+    "repro/core/parallel.py",
+)
+
+#: Per-node decode calls that must not feed loops in the mine hot path
+#: (INV008) — each yields one Python tuple per node, which is exactly the
+#: per-node cost the columnar kernels exist to avoid.
+_PER_NODE_DECODES = frozenset(
+    {"decode_subarray", "iter_subarray", "decode_triples"}
+)
+
 #: Constructor names whose call as a default argument is mutable (INV003).
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
 
@@ -88,6 +107,15 @@ def _matches(module: str, patterns: tuple[str, ...]) -> bool:
         module == p or (p.endswith("/") and module.startswith(p))
         for p in patterns
     )
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """Terminal name of a call target (``f(...)`` or ``obj.f(...)``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
 
 
 class FileChecker(ast.NodeVisitor):
@@ -105,6 +133,7 @@ class FileChecker(ast.NodeVisitor):
         self.typed = _matches(module, TYPED_PACKAGES)
         self.obs_free_loops = _matches(module, OBS_FREE_LOOPS)
         self.bulk_encode_only = _matches(module, BULK_ENCODE_ONLY)
+        self.mine_hot_path = _matches(module, MINE_HOT_PATH)
         self._buf_aliases: set[str] = set()
         self._obs_names: set[str] = set()
         self._obs_module_imported = False
@@ -261,13 +290,53 @@ class FileChecker(ast.NodeVisitor):
         self._loop_depth -= 1
 
     def visit_For(self, node: ast.For) -> None:
+        self._check_per_node_iter(node, node.iter)
         self._visit_loop(node)
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_per_node_iter(node, node.iter)
         self._visit_loop(node)
 
     def visit_While(self, node: ast.While) -> None:
         self._visit_loop(node)
+
+    # -- INV008: no per-node decode loops in the mine hot path ---------
+
+    def _check_per_node_iter(self, node: ast.AST, iterable: ast.expr) -> None:
+        """Flag a loop/comprehension iterating a per-node decode call."""
+        if not self.mine_hot_path:
+            return
+        if not isinstance(iterable, ast.Call):
+            return
+        called = _call_name(iterable.func)
+        if called in _PER_NODE_DECODES:
+            self._add(
+                node,
+                "INV008",
+                f"per-node decode loop over {called!r} in the mine hot "
+                "path; consume the subarray through the columnar kernels "
+                "(subarray_columns / decode_triples_columns)",
+            )
+
+    def _visit_comprehension(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp,
+    ) -> None:
+        for generator in node.generators:
+            self._check_per_node_iter(node, generator.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
 
     def _flag_obs_use(self, node: ast.AST, what: str) -> None:
         self._add(
@@ -303,12 +372,7 @@ class FileChecker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         if self.bulk_encode_only:
-            func = node.func
-            called = None
-            if isinstance(func, ast.Name):
-                called = func.id
-            elif isinstance(func, ast.Attribute):
-                called = func.attr
+            called = _call_name(node.func)
             if called in _PER_FIELD_ENCODES:
                 self._add(
                     node,
@@ -326,13 +390,7 @@ class FileChecker(ast.NodeVisitor):
         ``except Exception: pass`` — the rule would be trivial to launder
         without this.
         """
-        func = node.func
-        called = None
-        if isinstance(func, ast.Name):
-            called = func.id
-        elif isinstance(func, ast.Attribute):
-            called = func.attr
-        if called != "suppress":
+        if _call_name(node.func) != "suppress":
             return
         for arg in node.args:
             if isinstance(arg, ast.Name) and arg.id in _BROAD_EXCEPTIONS:
@@ -386,6 +444,7 @@ class InvariantsPass:
         "INV005",
         "INV006",
         "INV007",
+        "INV008",
     )
 
     def run(self, index: ProgramIndex) -> list[Finding]:
@@ -435,6 +494,7 @@ __all__ = [
     "InvariantsPass",
     "MASK_ALLOWED",
     "MASK_LITERALS",
+    "MINE_HOT_PATH",
     "OBS_FREE_LOOPS",
     "TYPED_PACKAGES",
     "check_module",

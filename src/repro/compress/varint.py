@@ -16,12 +16,32 @@ length cannot be looked up without scanning the continuation bits.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+import os
+from array import array
+from typing import Any, Sequence, Union
 
 from repro.errors import CorruptBufferError, ValueOutOfRangeError
 
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _numpy  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - numpy-less environments
+    _numpy = None
+
+#: Optional vectorized backend for the columnar decode kernel. ``None``
+#: keeps every kernel on the stdlib ``array('q')`` path — numpy is an
+#: auto-detected accelerator, never a dependency. ``REPRO_NO_NUMPY``
+#: (any non-empty value) disables the detection for A/B runs and tests.
+_np: Any = None if os.environ.get("REPRO_NO_NUMPY") else _numpy
+
 #: Read-only byte sources the decoders accept.
 Buffer = Union[bytes, bytearray, memoryview]
+
+#: One decoded subarray as four parallel integer columns
+#: ``(locals, delta_items, dposes, counts)``. Normally ``array('q')``;
+#: plain lists only when a value overflows the signed-64 storage.
+TripleColumns = tuple[
+    Sequence[int], Sequence[int], Sequence[int], Sequence[int]
+]
 
 #: Largest value the codecs accept. The paper's fields are 32-bit; we allow
 #: the full 64-bit range so positions in large CFP-arrays always fit.
@@ -200,6 +220,179 @@ def decode_triples(
             dpos = dpos_raw >> 1
         append((local, fields[0], dpos, fields[2]))
     return triples
+
+
+#: Maps a byte to 1 when it terminates a varint (continuation bit clear).
+_TERMINATOR_TABLE = bytes(1 if byte < 0x80 else 0 for byte in range(256))
+
+#: Below this many subarray bytes the vectorized decode loses to the scalar
+#: loop — numpy's fixed per-call overhead (buffer wrap, mask, reduceat
+#: set-up) dwarfs the work on the tiny subarrays conditional CFP-arrays are
+#: made of. Both backends return identical columns, so the cutover is a
+#: pure latency knob, invisible to callers.
+_NP_MIN_BYTES = 256
+
+
+def count_triples(buf: Buffer, start: int, end: int) -> int:
+    """Count the triples in ``buf[start:end]`` without materializing them.
+
+    Every varint has exactly one terminator byte (continuation bit clear),
+    so the triple count is the terminator count divided by three — one
+    C-speed table scan instead of a full decode. Used by
+    :attr:`repro.core.CfpArray.node_count`'s lazy fallback, which must not
+    charge the decoded-subarray cache.
+
+    Raises :class:`CorruptBufferError` when the range ends mid-varint or
+    the terminator count is not a multiple of three.
+    """
+    if not 0 <= start <= end <= len(buf):
+        raise CorruptBufferError(
+            f"subarray bounds [{start}, {end}) outside buffer of {len(buf)} bytes"
+        )
+    view = memoryview(buf)[start:end]
+    data = view.tobytes()
+    if not data:
+        return 0
+    if data[-1] >= 0x80:
+        raise CorruptBufferError(
+            f"varint truncated at offset {end} (started inside [{start}, {end}))"
+        )
+    terminators = data.translate(_TERMINATOR_TABLE).count(1)
+    if terminators % 3:
+        raise CorruptBufferError(
+            f"subarray [{start}, {end}) holds {terminators} varints, "
+            "not a whole number of triples"
+        )
+    return terminators // 3
+
+
+def decode_triples_columns(buf: Buffer, start: int, end: int) -> TripleColumns:
+    """Bulk-decode one subarray into four parallel integer columns.
+
+    The columnar twin of :func:`decode_triples`: instead of one Python
+    tuple per node it returns ``(locals, delta_items, dposes, counts)``
+    columns (``array('q')``), which downstream kernels index, sum and
+    slice at C speed. ``dposes`` is already zigzag-decoded.
+
+    When numpy is importable (and ``REPRO_NO_NUMPY`` is unset) the whole
+    subarray is decoded vectorized — terminator mask, segment ids,
+    shift-and-reduce — and falls back to the scalar loop on any anomaly
+    (truncation, non-triple counts, varints past 8 bytes) so corrupt
+    buffers always raise the scalar path's exact
+    :class:`CorruptBufferError`. Both backends produce identical columns.
+    """
+    if not 0 <= start <= end <= len(buf):
+        raise CorruptBufferError(
+            f"subarray bounds [{start}, {end}) outside buffer of {len(buf)} bytes"
+        )
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    if start == end:
+        return array("q"), array("q"), array("q"), array("q")
+    if _np is not None and end - start >= _NP_MIN_BYTES:
+        columns = _decode_triples_columns_np(view, start, end)
+        if columns is not None:
+            return columns
+    return _decode_triples_columns_scalar(view, start, end)
+
+
+def _decode_triples_columns_scalar(
+    view: memoryview, start: int, end: int
+) -> TripleColumns:
+    """Stdlib columnar decode: the :func:`decode_triples` loop, by column."""
+    locals_col: list[int] = []
+    delta_col: list[int] = []
+    dpos_col: list[int] = []
+    count_col: list[int] = []
+    columns = (locals_col, delta_col, dpos_col, count_col)
+    fields = [0, 0, 0]
+    pos = start
+    while pos < end:
+        local = pos - start
+        for index in range(3):
+            field_start = pos
+            if pos >= end:
+                raise CorruptBufferError(
+                    f"varint truncated at offset {pos} (triple at {start + local})"
+                )
+            byte = view[pos]
+            pos += 1
+            if byte < 0x80:
+                fields[index] = byte
+                continue
+            value = byte & 0x7F
+            shift = 7
+            while True:
+                if pos >= end:
+                    raise CorruptBufferError(
+                        f"varint truncated at offset {pos} (started at {field_start})"
+                    )
+                if pos - field_start >= MAX_ENCODED_LENGTH:
+                    raise CorruptBufferError(
+                        f"varint longer than {MAX_ENCODED_LENGTH} bytes "
+                        f"at offset {field_start}"
+                    )
+                byte = view[pos]
+                pos += 1
+                value |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+            fields[index] = value
+        dpos_raw = fields[1]
+        if dpos_raw & 1:
+            dpos = -((dpos_raw + 1) >> 1)
+        else:
+            dpos = dpos_raw >> 1
+        locals_col.append(local)
+        delta_col.append(fields[0])
+        dpos_col.append(dpos)
+        count_col.append(fields[2])
+    try:
+        return tuple(array("q", column) for column in columns)  # type: ignore[return-value]
+    except OverflowError:
+        # A value >= 2**63 cannot live in a signed-64 column; plain lists
+        # satisfy the same Sequence contract (rare: hand-built buffers).
+        return columns
+
+
+def _decode_triples_columns_np(
+    view: memoryview, start: int, end: int
+) -> TripleColumns | None:
+    """Vectorized columnar decode; ``None`` defers to the scalar loop.
+
+    Layout: a terminator mask segments the byte range into varints; each
+    byte contributes its low 7 bits shifted by ``7 * position-in-segment``
+    and ``np.add.reduceat`` sums the segments. Any anomaly — truncated
+    tail, varint count not a multiple of three, encodings past 8 bytes
+    (whose shifts could leave int64) — returns ``None`` so the scalar
+    path reports it with its precise error (or decodes the legal
+    wide values the int64 columns cannot hold).
+    """
+    raw = _np.frombuffer(view[start:end], dtype=_np.uint8)
+    term = raw < 0x80
+    ends = _np.flatnonzero(term)
+    n_values = int(ends.size)
+    if n_values == 0 or n_values % 3 or int(ends[-1]) != raw.size - 1:
+        return None
+    value_starts = _np.empty(n_values, dtype=_np.int64)
+    value_starts[0] = 0
+    value_starts[1:] = ends[:-1] + 1
+    lengths = ends - value_starts + 1
+    if int(lengths.max()) > 8:
+        return None
+    offsets = _np.arange(raw.size, dtype=_np.int64)
+    shifts = 7 * (offsets - _np.repeat(value_starts, lengths))
+    payload = (raw & 0x7F).astype(_np.int64) << shifts
+    values = _np.add.reduceat(payload, value_starts)
+    dpos_raw = values[1::3]
+    dposes = _np.where(dpos_raw & 1, -((dpos_raw + 1) >> 1), dpos_raw >> 1)
+    locals_np = value_starts[0::3]
+    out: list[Sequence[int]] = []
+    for column in (locals_np, values[0::3], dposes, values[2::3]):
+        typed = array("q")
+        typed.frombytes(_np.ascontiguousarray(column, dtype=_np.int64).tobytes())
+        out.append(typed)
+    return out[0], out[1], out[2], out[3]
 
 
 def triple_size(delta_item: int, dpos: int, count: int) -> int:

@@ -30,7 +30,7 @@ delta_item``; ``parent_local = local - dpos``; the parent's global offset is
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Union
+from typing import Iterator, Sequence, Union
 
 from repro.compress import varint
 from repro.errors import TreeError
@@ -44,6 +44,64 @@ Triple = tuple[int, int, int, int]
 #: attachment to a ``multiprocessing.shared_memory`` segment
 #: (:mod:`repro.core.parallel`).
 ArrayBuffer = Union[bytearray, bytes, memoryview]
+
+#: Offsets fit in the 40-bit pointers of the item index, so a
+#: ``(rank, local)`` pair packs into one int key: ``rank << 40 | local``.
+_LOCAL_BITS = POINTER_SIZE * 8
+
+
+class DecodedSubarray:
+    """One subarray bulk-decoded into parallel integer columns.
+
+    The columnar cache entry: ``locals`` / ``delta_items`` / ``dposes`` /
+    ``counts`` are ``array('q')`` columns straight from
+    :func:`repro.compress.varint.decode_triples_columns`. Row views are
+    materialized lazily:
+
+    * :attr:`triples` — the classic ``(local, delta_item, dpos, count)``
+      rows, as an **immutable** tuple (callers used to receive the cached
+      list itself, so one stray ``.sort()`` poisoned every later hit);
+    * :meth:`index_of` — the local-offset -> row index map the backward
+      walks resolve parents through.
+    """
+
+    __slots__ = ("locals", "delta_items", "dposes", "counts", "_rows", "_by_local")
+
+    def __init__(
+        self,
+        locals_col: Sequence[int],
+        delta_items: Sequence[int],
+        dposes: Sequence[int],
+        counts: Sequence[int],
+    ) -> None:
+        self.locals = locals_col
+        self.delta_items = delta_items
+        self.dposes = dposes
+        self.counts = counts
+        self._rows: tuple[Triple, ...] | None = None
+        self._by_local: dict[int, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.locals)
+
+    @property
+    def triples(self) -> tuple[Triple, ...]:
+        """Row view, built once per entry and safe to hand out."""
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = tuple(
+                zip(self.locals, self.delta_items, self.dposes, self.counts)
+            )
+        return rows
+
+    def index_of(self, local: int) -> int | None:
+        """Row index of the node starting at byte ``local``, or ``None``."""
+        by_local = self._by_local
+        if by_local is None:
+            by_local = self._by_local = {
+                value: index for index, value in enumerate(self.locals)
+            }
+        return by_local.get(local)
 
 
 class _SubarrayCache:
@@ -63,9 +121,9 @@ class _SubarrayCache:
         self.misses = 0
         self.evictions = 0
         self.rejected = 0
-        self._entries: OrderedDict[int, tuple[list[Triple], int]] = OrderedDict()
+        self._entries: OrderedDict[int, tuple[DecodedSubarray, int]] = OrderedDict()
 
-    def get(self, rank: int) -> list[Triple] | None:
+    def get(self, rank: int) -> DecodedSubarray | None:
         entry = self._entries.get(rank)
         if entry is None:
             self.misses += 1
@@ -74,7 +132,7 @@ class _SubarrayCache:
         self.hits += 1
         return entry[0]
 
-    def put(self, rank: int, triples: list[Triple], charge: int) -> None:
+    def put(self, rank: int, triples: DecodedSubarray, charge: int) -> None:
         if rank in self._entries:
             # A re-put is a recency signal: the rank is in active use, so
             # it must move to the MRU end exactly as a `get` hit would —
@@ -119,9 +177,11 @@ class CfpArray:
     conditional-tree construction in the mine phase.
     """
 
-    #: Class-level default so hand-assembled instances (``__new__`` in the
+    #: Class-level defaults so hand-assembled instances (``__new__`` in the
     #: corruption-injection tests) behave like cache-off arrays.
     _cache: _SubarrayCache | None = None
+    _path_memo: dict[int, tuple[int, ...]] | None = None
+    _active_ranks: tuple[int, ...] | None = None
 
     def __init__(
         self,
@@ -130,6 +190,7 @@ class CfpArray:
         starts: list[int],
         node_count: int | None = None,
         cache_budget: int = 0,
+        active_ranks: Sequence[int] | None = None,
     ) -> None:
         if len(starts) != n_ranks + 2:
             raise TreeError(
@@ -144,6 +205,14 @@ class CfpArray:
         self.starts = starts
         self._node_count: int | None = node_count
         self._cache = _SubarrayCache(cache_budget) if cache_budget > 0 else None
+        self._path_memo = None
+        #: Builder-supplied active ranks (descending), so sparse conditional
+        #: arrays skip the dense index scan in active_ranks_descending().
+        self._active_ranks = (
+            tuple(sorted(active_ranks, reverse=True))
+            if active_ranks is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Decoded-subarray cache
@@ -157,10 +226,12 @@ class CfpArray:
     def set_cache_budget(self, budget_bytes: int) -> None:
         """Enable (or resize, or with 0 disable) the decoded-subarray cache.
 
-        Resizing drops all cached entries; results are unaffected either
-        way — the cache only trades memory for repeated decode work.
+        Resizing drops all cached entries and the resolved-path memo;
+        results are unaffected either way — both only trade memory for
+        repeated decode/walk work.
         """
         self._cache = _SubarrayCache(budget_bytes) if budget_bytes > 0 else None
+        self._path_memo = None
 
     def cache_counts(self) -> dict[str, int]:
         """Subarray-cache counters (all zero when the cache is off)."""
@@ -176,11 +247,30 @@ class CfpArray:
         ``baseline`` (an earlier :meth:`cache_counts` snapshot) turns the
         publication into a delta, which is how long-lived arrays — the
         workers' cached shared-memory attachments — publish per-task.
+
+        The no-baseline form reads the cache counters directly with
+        static metric names: traced mines publish once per ephemeral
+        conditional array, and building the counts dict (plus an
+        f-string per key) was a measurable slice of the traced-run
+        overhead budget.
         """
+        cache = self._cache
+        if baseline is None:
+            if cache is None:
+                return
+            add = registry.add
+            if cache.hits:
+                add("subarray_cache.hits", cache.hits)
+            if cache.misses:
+                add("subarray_cache.misses", cache.misses)
+            if cache.evictions:
+                add("subarray_cache.evictions", cache.evictions)
+            if cache.rejected:
+                add("subarray_cache.rejected", cache.rejected)
+            return
         counts = self.cache_counts()
         for name, value in counts.items():
-            if baseline is not None:
-                value -= baseline[name]
+            value -= baseline[name]
             if value:
                 registry.add(f"subarray_cache.{name}", value)
 
@@ -198,12 +288,14 @@ class CfpArray:
         """Total nodes across all subarrays.
 
         Recorded at build time by the converter; hand-built arrays that did
-        not pass ``node_count`` fall back to a lazy full-buffer scan.
+        not pass ``node_count`` fall back to a lazy full-buffer scan. The
+        scan counts varint terminators without decoding — it used to
+        bulk-decode every rank through :meth:`decode_subarray`, evicting
+        the hot working set from the LRU cache on cache-enabled arrays.
         """
         if self._node_count is None:
-            self._node_count = sum(
-                len(self.decode_subarray(rank))
-                for rank in range(1, self.n_ranks + 1)
+            self._node_count = varint.count_triples(
+                self.buffer, 0, len(self.buffer)
             )
         return self._node_count
 
@@ -223,71 +315,122 @@ class CfpArray:
     # Traversal
     # ------------------------------------------------------------------
 
-    def decode_subarray(self, rank: int) -> list[Triple]:
-        """Bulk-decode one rank's subarray via the tight varint kernel.
+    def subarray_columns(self, rank: int) -> DecodedSubarray:
+        """Bulk-decode one rank's subarray into its columnar form.
 
-        Returns ``(local, delta_item, dpos, count)`` tuples in storage
-        order; served from the LRU cache when a budget is set.
+        The mine-phase primitive: four parallel ``array('q')`` columns per
+        subarray (see :class:`DecodedSubarray`), decoded by the columnar
+        varint kernel — vectorized when numpy is available — and served
+        from the LRU cache when a budget is set.
         """
-        self._check_rank(rank)
         cache = self._cache
         if cache is not None:
             cached = cache.get(rank)
             if cached is not None:
                 return cached
-        triples = varint.decode_triples(
-            self.buffer, self.starts[rank], self.starts[rank + 1]
+        self._check_rank(rank)
+        entry = DecodedSubarray(
+            *varint.decode_triples_columns(
+                self.buffer, self.starts[rank], self.starts[rank + 1]
+            )
         )
         if cache is not None:
-            cache.put(rank, triples, self.starts[rank + 1] - self.starts[rank])
-        return triples
+            cache.put(rank, entry, self.starts[rank + 1] - self.starts[rank])
+        return entry
+
+    def decode_subarray(self, rank: int) -> tuple[Triple, ...]:
+        """Decoded ``(local, delta_item, dpos, count)`` rows in storage order.
+
+        The returned tuple is immutable — it used to be the cached list
+        object itself, so a caller mutating it corrupted every later
+        cache hit.
+        """
+        return self.subarray_columns(rank).triples
 
     def iter_subarray(self, rank: int) -> Iterator[Triple]:
         """Sideward traversal: ``(local, delta_item, dpos, count)`` per node."""
         return iter(self.decode_subarray(rank))
 
-    def prefix_paths(self, rank: int) -> list[tuple[list[int], int]]:
+    def prefix_paths(self, rank: int) -> list[tuple[tuple[int, ...], int]]:
         """Prefix paths of every node in ``rank``'s subarray, in storage order.
 
         Returns ``(ancestor_ranks_ascending, count)`` per node — the input
-        of conditional-tree construction. The sideward scan is one bulk
-        decode; the backward walks resolve ancestors through per-rank
-        decoded maps that are built at most once per call (and reused
-        across calls via the subarray cache), replacing the per-varint
-        random-access decodes of the former per-node walk. ``count`` is
-        never touched on the backward walk (§3.4's field-order rationale).
+        of conditional-tree construction. Ancestor chains are resolved
+        through a per-array memo of finished paths: a node's path is its
+        parent's path plus one rank, so every node in the array is walked
+        **once** ever, no matter how many subarrays share its ancestors
+        (the old per-call walk re-traversed shared chains node by node,
+        rank after rank). On cache-enabled arrays the memo persists across
+        calls; otherwise it lives for one call. ``count`` is never touched
+        on the backward walk (§3.4's field-order rationale).
         """
-        maps: dict[int, dict[int, tuple[int, int]]] = {}
-        paths: list[tuple[list[int], int]] = []
-        for local, delta_item, dpos, count in self.decode_subarray(rank):
-            path: list[int] = []
-            walk_rank, walk_local = rank, local
-            walk_delta, walk_dpos = delta_item, dpos
-            while True:
-                parent_rank = walk_rank - walk_delta
-                if parent_rank == 0:
-                    break
-                walk_local -= walk_dpos
-                walk_rank = parent_rank
-                path.append(walk_rank)
-                parent_map = maps.get(walk_rank)
-                if parent_map is None:
-                    parent_map = {
-                        node_local: (node_delta, node_dpos)
-                        for node_local, node_delta, node_dpos, __ in
-                        self.decode_subarray(walk_rank)
-                    }
-                    maps[walk_rank] = parent_map
-                try:
-                    walk_delta, walk_dpos = parent_map[walk_local]
-                except KeyError:
-                    raise TreeError(
-                        f"dpos chain from rank {rank} lands at rank "
-                        f"{walk_rank} local {walk_local}, not a node start"
-                    ) from None
-            path.reverse()
-            paths.append((path, count))
+        entry = self.subarray_columns(rank)
+        if self._cache is not None:
+            memo = self._path_memo
+            if memo is None:
+                memo = self._path_memo = {}
+        else:
+            memo = {}
+        lookup = memo.get
+        key_base = rank << _LOCAL_BITS
+        paths: list[tuple[tuple[int, ...], int]] = []
+        append = paths.append
+        for local, delta_item, dpos, count in zip(
+            entry.locals, entry.delta_items, entry.dposes, entry.counts
+        ):
+            path = lookup(key_base | local)
+            if path is None:
+                path = self._resolve_path(rank, local, delta_item, dpos, memo)
+            append((path, count))
         return paths
+
+    def _resolve_path(
+        self,
+        rank: int,
+        local: int,
+        delta_item: int,
+        dpos: int,
+        memo: dict[int, tuple[int, ...]],
+    ) -> tuple[int, ...]:
+        """Resolve one node's ancestor ranks, memoizing the whole chain.
+
+        Walks parent links until a memoized node (or the root) is reached,
+        then unwinds, extending the parent's finished path by one rank per
+        step — shared ancestor suffixes are computed once and reused by
+        every descendant.
+        """
+        origin = rank
+        chain: list[tuple[int, int]] = []
+        lookup = memo.get
+        columns = self.subarray_columns
+        while True:
+            key = (rank << _LOCAL_BITS) | local
+            parent_rank = rank - delta_item
+            if parent_rank == 0:
+                base: tuple[int, ...] = ()
+                memo[key] = base
+                break
+            parent_local = local - dpos
+            cached = lookup((parent_rank << _LOCAL_BITS) | parent_local)
+            if cached is not None:
+                base = cached + (parent_rank,)
+                memo[key] = base
+                break
+            chain.append((key, parent_rank))
+            parent = columns(parent_rank)
+            index = parent.index_of(parent_local)
+            if index is None:
+                raise TreeError(
+                    f"dpos chain from rank {origin} lands at rank "
+                    f"{parent_rank} local {parent_local}, not a node start"
+                )
+            rank, local = parent_rank, parent_local
+            delta_item = parent.delta_items[index]
+            dpos = parent.dposes[index]
+        for key, parent_rank in reversed(chain):
+            base = base + (parent_rank,)
+            memo[key] = base
+        return base
 
     def node_at(self, rank: int, local: int) -> tuple[int, int, int]:
         """Decode the triple at a (rank, local-offset) position."""
@@ -324,14 +467,24 @@ class CfpArray:
         return path
 
     def rank_support(self, rank: int) -> int:
-        """Support of an item: the sum of its subarray's counts."""
-        return sum(count for __, __, __, count in self.decode_subarray(rank))
+        """Support of an item: one C-speed sum over the counts column."""
+        return sum(self.subarray_columns(rank).counts)
 
     def active_ranks_descending(self) -> Iterator[int]:
-        """Ranks with a non-empty subarray, least frequent first."""
-        for rank in range(self.n_ranks, 0, -1):
-            if self.starts[rank + 1] > self.starts[rank]:
-                yield rank
+        """Ranks with a non-empty subarray, least frequent first.
+
+        A builder that already knows the active set (the conditional-array
+        kernel) supplies it up front; a mined conditional touches a
+        handful of ranks, and scanning the full dense index per
+        conditional cost more than its whole mine step.
+        """
+        if self._active_ranks is not None:
+            return iter(self._active_ranks)
+        return (
+            rank
+            for rank in range(self.n_ranks, 0, -1)
+            if self.starts[rank + 1] > self.starts[rank]
+        )
 
     def single_path(self) -> list[tuple[int, int]] | None:
         """The array's single path as ``(rank, count)`` pairs, or None.
@@ -348,13 +501,12 @@ class CfpArray:
         for rank in range(1, self.n_ranks + 1):
             if self.starts[rank + 1] == self.starts[rank]:
                 continue
-            triples = self.decode_subarray(rank)
-            if len(triples) != 1:
+            columns = self.subarray_columns(rank)
+            if len(columns) != 1:
                 return None
-            __, delta_item, dpos, count = triples[0]
-            if rank - delta_item != prev_rank or dpos != 0:
+            if rank - columns.delta_items[0] != prev_rank or columns.dposes[0]:
                 return None
-            path.append((rank, count))
+            path.append((rank, columns.counts[0]))
             prev_rank = rank
         return path
 

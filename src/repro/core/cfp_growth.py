@@ -23,6 +23,7 @@ from typing import Any, Hashable, Protocol
 
 from repro import obs
 from repro.algorithms.base import register
+from repro.core import kernels
 from repro.core.cfp_array import CfpArray
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
@@ -44,6 +45,7 @@ class SupportCollector(Protocol):
 
 def _meter_counts(meter: Any) -> tuple[int, int, int, float]:
     """Snapshot of a meter's cumulative counters, for span deltas."""
+    meter.flush_mine_scans()
     return (
         meter._total_ops,
         sum(p.bytes_touched for p in meter.phases),
@@ -93,6 +95,10 @@ def mine_array(
         return
     for rank in array.active_ranks_descending():
         mine_rank(array, rank, min_support, collector, suffix, meter)
+    if meter is not None and not suffix:
+        # Untraced metered runs never hit a span snapshot; fold the
+        # batched scan accounting in before the caller reads the meter.
+        meter.flush_mine_scans()
 
 
 def _mine_array_traced(
@@ -108,13 +114,22 @@ def _mine_array_traced(
     if meter is None:
         meter = Meter()
     cache_before = array.cache_counts()
+    backend = kernels.backend()  # constant per process, not per span
     for rank in array.active_ranks_descending():
-        with tracer.span(
-            "mine_rank", rank=rank, subarray_bytes=array.subarray_bytes(rank)
-        ) as span:
+        span = tracer.begin_span(
+            "mine_rank",
+            {
+                "rank": rank,
+                "subarray_bytes": array.subarray_bytes(rank),
+                "kernel_backend": backend,
+            },
+        )
+        try:
             before = _meter_counts(meter)
             mine_rank(array, rank, min_support, collector, (), meter)
             _attach_meter_delta(span, meter, before)
+        finally:
+            tracer.end_span(span)
     array.publish_cache_metrics(obs.metrics, baseline=cache_before)
 
 
@@ -137,22 +152,16 @@ def mine_rank(
         return
     itemset = (rank,) + suffix
     collector.emit(itemset, support)
-    conditional = _conditional_tree(array, rank, min_support, meter)
-    if conditional is None:
+    chain, cond_array = _conditional_struct(array, rank, min_support, meter)
+    if chain is not None:
+        # Degenerate (single-path) conditional: the chain already carries
+        # the suffix-summed counts the tree's single_path() would report,
+        # and no per-node structure was ever materialized.
+        collector.emit_path_subsets(chain, itemset)
         return
-    path = conditional.single_path()
-    if path is not None:
-        if path:
-            collector.emit_path_subsets(path, itemset)
-        if meter is not None:
-            meter.on_structure_freed(conditional.memory_bytes)
+    if cond_array is None:
         return
-    cond_array = convert(conditional)
     cond_array.set_cache_budget(array.cache_budget)
-    if meter is not None:
-        meter.on_conversion(conditional, cond_array)
-    # The conditional tree is discarded here; only the array recurses.
-    del conditional
     mine_array(cond_array, min_support, collector, itemset, meter)
     if obs.get_tracer() is not None:
         # Conditional arrays are ephemeral; fold their cache counters into
@@ -163,10 +172,67 @@ def mine_rank(
         meter.on_structure_freed(cond_array.memory_bytes)
 
 
-def _conditional_tree(
+def _conditional_struct(
+    array: CfpArray, rank: int, min_support: int, meter: Any = None
+) -> tuple[list[tuple[int, int]] | None, CfpArray | None]:
+    """Build ``rank``'s conditional structure via the columnar kernels.
+
+    Returns ``(chain, None)`` when the conditional degenerates to a
+    single path — ``chain`` is exactly what the conditional tree's
+    ``single_path()`` would report, but no tree is ever built —
+    ``(None, cond_array)`` with the conditional CFP-array encoded
+    straight from the aggregated paths otherwise, and ``(None, None)``
+    when nothing frequent remains. The mined output is bit-identical to
+    :func:`_conditional_tree_reference` (the per-node implementation this
+    replaced, retained for the identity suites): sorted aggregated paths
+    determine the logical conditional trie, and
+    :func:`repro.core.kernels.build_conditional_array` encodes that trie
+    through the same splice/assemble primitives ``convert`` uses — the
+    intermediate ternary tree never exists.
+    """
+    paths = array.prefix_paths(rank)
+    if not paths:
+        if meter is not None:
+            meter._scan_ops += 1
+            meter._scan_bytes += array.subarray_bytes(rank)
+        return None, None
+    # Prefix paths hold strict ancestors, so every rank on them is < rank:
+    # the counts column only needs to reach rank - 1, not n_ranks.
+    if meter is None:
+        counts = kernels.conditional_counts(paths, rank - 1)
+    else:
+        # on_mine_scan's quantities, batched as plain adds: the method
+        # call per conditional dominated traced-run overhead once the
+        # kernels made the conditionals themselves this cheap. Readers
+        # fold the pending adds in via Meter.flush_mine_scans().
+        counts, items = kernels.conditional_counts_metered(paths, rank - 1)
+        meter._scan_ops += items + 1
+        meter._scan_bytes += array.subarray_bytes(rank) + items * 3
+    aggregated = kernels.filter_aggregate(paths, counts, min_support)
+    if not aggregated:
+        return None, None
+    chain = kernels.single_path_merge(aggregated)
+    if chain is not None:
+        return chain, None
+    cond_array = kernels.build_conditional_array(
+        sorted(aggregated.items()), array.n_ranks
+    )
+    if meter is not None:
+        meter.on_structure_built(cond_array.memory_bytes)
+    return None, cond_array
+
+
+def _conditional_tree_reference(
     array: CfpArray, rank: int, min_support: int, meter: Any = None
 ) -> TernaryCfpTree | None:
-    """Build the conditional CFP-tree for ``rank`` from its prefix paths."""
+    """Per-node reference for :func:`_conditional_struct` (tests only).
+
+    The pre-kernel implementation, kept verbatim so the hypothesis
+    identity suites can hold the columnar path to it: dict-increment
+    counting, per-path filtering, and one root descent per prefix path.
+    The kernels must produce a conditional whose converted array — and
+    single-path verdict — match this tree's exactly.
+    """
     paths = []
     counts: dict[int, int] = defaultdict(int)
     for path, count in array.prefix_paths(rank):

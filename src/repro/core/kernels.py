@@ -1,0 +1,243 @@
+"""Columnar conditional-mining kernels: array-at-once mine phase.
+
+The mine loop used to run pure-Python per-node work three times over for
+every conditional tree: a dict increment per path element to find the
+frequent ranks, a root-to-leaf :meth:`TernaryCfpTree.insert` per prefix
+path, and a full tree build even when the conditional degenerates to a
+single path. These kernels restructure that into whole-batch operations
+over the path columns (DiffNodesets and Grahne & Zhu's array-based
+FP-mining make the same move — contiguous array set-operations instead
+of pointer chasing):
+
+* :func:`conditional_counts` — one flat accumulation pass over every
+  path element into a dense per-rank counts column;
+* :func:`filter_aggregate` — frequent-rank filtering fused with path
+  deduplication, so the tree build sees each distinct filtered path
+  once, with its multiplicity, instead of once per source node;
+* :func:`single_path_merge` — detects the degenerate single-path
+  conditional straight from the aggregated paths (every path a prefix
+  of the longest) and suffix-sums the counts exactly as
+  :meth:`TernaryCfpTree.single_path` would — the tree is never built;
+* :func:`build_conditional_array` — encodes the branching conditionals
+  straight from the sorted aggregated paths into a CFP-array, byte for
+  byte what ``convert(tree)`` would produce, without ever materializing
+  the intermediate ternary tree. The trie the tree would hold is implied
+  by the longest-common-prefix structure of the sorted paths, so one
+  LCP walk emits the exact DFS preorder ``convert`` traverses.
+
+The kernels are backend-neutral: they consume the plain-int path tuples
+the memoized :meth:`CfpArray.prefix_paths` hands out, whether the
+subarrays underneath were decoded by the stdlib ``array('q')`` kernel or
+the optional vectorized numpy one (:mod:`repro.compress.varint`). They
+change how fast the answer is computed, never the answer — the identity
+suites in ``tests/core/test_kernels_identity.py`` hold them to the
+retained reference implementation bit for bit.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate
+from typing import Sequence
+
+from repro.compress import varint
+from repro.core.cfp_array import CfpArray
+from repro.errors import ConversionError
+
+#: Prefix paths as handed out by ``CfpArray.prefix_paths``: ancestor
+#: ranks ascending, with the node's cumulative count.
+PathCounts = Sequence[tuple[Sequence[int], int]]
+
+
+def backend() -> str:
+    """Active decode backend: ``"numpy"`` (vectorized) or ``"python"``.
+
+    Reported in bench machine info and worker spans so a perf report
+    records which kernel produced it; numpy is auto-detected and can be
+    disabled with ``REPRO_NO_NUMPY`` (see docs/performance.md).
+    """
+    return "python" if varint._np is None else "numpy"
+
+
+def conditional_counts(paths: PathCounts, n_ranks: int) -> list[int]:
+    """Accumulate per-rank conditional counts over all path elements.
+
+    Returns a dense column of length ``n_ranks + 1`` (index 0 unused)
+    where entry ``r`` is the summed count of every path containing rank
+    ``r`` — the support each rank would have in the conditional tree.
+    """
+    counts = [0] * (n_ranks + 1)
+    for ranks, count in paths:
+        for rank in ranks:
+            counts[rank] += count
+    return counts
+
+
+def conditional_counts_metered(
+    paths: PathCounts, n_ranks: int
+) -> tuple[list[int], int]:
+    """:func:`conditional_counts` plus the total path-item count, fused.
+
+    Metered (traced) runs need ``sum(len(p) for p, _ in paths)`` for the
+    per-scan operation accounting; computing it as a separate pass cost
+    as much as the counting itself. This variant folds the tally into
+    the accumulation loop — and exists separately so the plain mine path
+    never pays for metering it does not use.
+    """
+    counts = [0] * (n_ranks + 1)
+    items = 0
+    for ranks, count in paths:
+        items += len(ranks)
+        for rank in ranks:
+            counts[rank] += count
+    return counts, items
+
+
+def filter_aggregate(
+    paths: PathCounts, counts: Sequence[int], min_support: int
+) -> dict[tuple[int, ...], int]:
+    """Filter paths to their frequent ranks and merge duplicates.
+
+    ``counts`` is the dense per-rank column from
+    :func:`conditional_counts`; the threshold test is fused into the
+    filtering loop, so only ranks that actually appear on a path are ever
+    tested (a conditional touches a handful of the array's ranks —
+    materializing a dense frequent-flag column first cost more than the
+    filtering itself). Distinct source paths frequently collapse onto the
+    same filtered path; the returned mapping carries each distinct
+    filtered path once with its total count, which is what makes the
+    batch conditional build cheap.
+    """
+    aggregated: dict[tuple[int, ...], int] = {}
+    get = aggregated.get
+    for ranks, count in paths:
+        filtered = tuple([rank for rank in ranks if counts[rank] >= min_support])
+        if filtered:
+            aggregated[filtered] = get(filtered, 0) + count
+    return aggregated
+
+
+def single_path_merge(
+    aggregated: dict[tuple[int, ...], int],
+) -> list[tuple[int, int]] | None:
+    """Single-path check straight from the aggregated filtered paths.
+
+    The conditional tree would be a single path exactly when every
+    aggregated path is a prefix of the longest one. In that case the
+    tree's ``single_path()`` result is reconstructed columnar-ly: the
+    node at depth ``d`` accumulates the counts of every path at least
+    ``d`` long (the suffix-sum the tree computes from pcounts), and no
+    per-node structure is ever materialized. Returns ``None`` when the
+    paths branch.
+    """
+    longest = max(aggregated, key=len)
+    depth = len(longest)
+    if len(aggregated) > depth:
+        return None  # more distinct paths than prefixes of the longest
+    count_by_length = [0] * (depth + 1)
+    for ranks, count in aggregated.items():
+        if ranks != longest[: len(ranks)]:
+            return None
+        count_by_length[len(ranks)] += count
+    running = 0
+    cumulative = [0] * (depth + 1)
+    for length in range(depth, 0, -1):
+        running += count_by_length[length]
+        cumulative[length] = running
+    return [(rank, cumulative[d + 1]) for d, rank in enumerate(longest)]
+
+
+def build_conditional_array(
+    ordered: Sequence[tuple[tuple[int, ...], int]], n_ranks: int
+) -> CfpArray:
+    """Encode sorted aggregated paths directly into a conditional CFP-array.
+
+    ``ordered`` must be the distinct filtered paths in ascending
+    lexicographic order (``sorted(filter_aggregate(...).items())``), each
+    with its total count. Lexicographic order *is* the DFS preorder of
+    the conditional trie with ascending-rank siblings — the exact order
+    :func:`repro.core.conversion.flatten_subtrees` walks the ternary tree
+    — so a longest-common-prefix walk over the sorted paths reproduces
+    the flattened ``(ranks, parents, counts)`` arrays node for node, and
+    the same sizing/placement cursor walk as
+    :func:`~repro.core.conversion.splice_subtree` /
+    :func:`~repro.core.conversion.assemble` then yields a byte stream
+    identical to ``convert(tree)``. A path's count accrues to the
+    cumulative count of every node it passes through, which is the
+    postorder accumulation the tree walk performs (§3.5).
+
+    Subtrees break exactly where the leading rank changes (LCP of zero),
+    matching the level-1 partition ``flatten_subtrees`` yields — and the
+    ascending-leading-rank splice order its byte-identity contract needs.
+
+    The cursor walk here is :func:`~repro.core.conversion.splice_subtree`'s
+    math on sparse per-rank state (dicts instead of dense ``n_ranks``-sized
+    lists): a conditional's paths touch a handful of ranks, and the dense
+    :class:`~repro.core.conversion.Layout` would spend more time allocating
+    and scanning empty ranks than encoding — only the ``starts`` table,
+    which the CFP-array format requires dense, is built full-width (via a
+    C-speed ``accumulate``).
+    """
+    cursors: dict[int, int] = {}
+    sizes_gaps: list[int] = [0] * (n_ranks + 2)  # per-rank sizes, shifted +1
+    triples: dict[int, list[tuple[int, int, int]]] = {}
+    tsize = varint.triple_size
+
+    def _splice(ranks: list[int], parents: list[int], counts: list[int]) -> None:
+        locals_ = [0] * len(ranks)
+        for index in range(len(ranks)):
+            rank = ranks[index]
+            parent = parents[index]
+            local = cursors.get(rank, 0)
+            locals_[index] = local
+            if parent < 0:
+                delta_item = rank
+                dpos = 0
+            else:
+                delta_item = rank - ranks[parent]
+                dpos = local - locals_[parent]
+            size = tsize(delta_item, dpos, counts[index])
+            cursors[rank] = local + size
+            sizes_gaps[rank + 1] += size
+            bucket = triples.get(rank)
+            if bucket is None:
+                bucket = triples[rank] = []
+            bucket.append((delta_item, dpos, counts[index]))
+
+    ranks: list[int] = []
+    parents: list[int] = []
+    counts: list[int] = []
+    stack: list[int] = []  # indices into ``ranks`` along the current path
+    previous: tuple[int, ...] = ()
+    for path, count in ordered:
+        shared = 0
+        limit = min(len(previous), len(path))
+        while shared < limit and previous[shared] == path[shared]:
+            shared += 1
+        if shared == 0 and ranks:
+            _splice(ranks, parents, counts)
+            ranks, parents, counts = [], [], []
+        del stack[shared:]
+        for depth in range(shared, len(path)):
+            parents.append(stack[-1] if stack else -1)
+            stack.append(len(ranks))
+            ranks.append(path[depth])
+            counts.append(0)
+        for index in stack:
+            counts[index] += count
+        previous = path
+    if ranks:
+        _splice(ranks, parents, counts)
+    starts = list(accumulate(sizes_gaps))
+    buffer = bytearray(starts[-1])
+    nodes = 0
+    for rank, bucket in triples.items():
+        nodes += len(bucket)
+        end = varint.encode_triples(buffer, starts[rank], bucket)
+        if end != starts[rank + 1]:
+            raise ConversionError(
+                f"conditional subarray of rank {rank} filled "
+                f"{end - starts[rank]} of {starts[rank + 1] - starts[rank]} bytes"
+            )
+    return CfpArray(
+        n_ranks, buffer, starts, node_count=nodes, active_ranks=list(triples)
+    )

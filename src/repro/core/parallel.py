@@ -49,6 +49,7 @@ from multiprocessing.context import BaseContext
 from typing import Any, Sequence
 
 from repro import faultinject, obs
+from repro.core import kernels
 from repro.core.cfp_array import CfpArray
 from repro.core.cfp_growth import (
     SupportCollector,
@@ -259,7 +260,10 @@ def _mine_rank_task(
     cache_before = array.cache_counts()
     try:
         with tracer.span(
-            "mine_rank", rank=rank, subarray_bytes=array.subarray_bytes(rank)
+            "mine_rank",
+            rank=rank,
+            subarray_bytes=array.subarray_bytes(rank),
+            kernel_backend=kernels.backend(),
         ) as span:
             before = _meter_counts(meter)
             mine_rank(array, rank, min_support, collector, suffix, meter)
@@ -401,7 +405,12 @@ def mine_array_parallel(
     want_trace = parent_tracer is not None
     segment = publish_array(array)
     results: dict[int, _TaskResult] = {}
-    with obs.maybe_span("mine_parallel", jobs=workers, ranks=len(ranks)):
+    with obs.maybe_span(
+        "mine_parallel",
+        jobs=workers,
+        ranks=len(ranks),
+        kernel_backend=kernels.backend(),
+    ):
         parent_span_id = (
             parent_tracer.current_span_id if parent_tracer is not None else None
         )

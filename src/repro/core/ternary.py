@@ -24,7 +24,7 @@ The three structural features can be disabled individually
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core import node_codec as codec
 from repro.core.cfp_tree import CfpNode, CfpTree
@@ -171,8 +171,19 @@ class TernaryCfpTree:
         self.transaction_count += count
         self._insert_from(ranks, count, self._root_slot, 0, 0, None)
 
-    def insert_batch(self, transactions: Iterable[list[int]]) -> int:
+    def insert_batch(
+        self,
+        transactions: Iterable[list[int]],
+        counts: Sequence[int] | None = None,
+    ) -> int:
         """Insert many transactions via the sorted-insert fast path.
+
+        ``counts`` (aligned with ``transactions``) adds each transaction
+        with a multiplicity, exactly as per-transaction
+        :meth:`insert` calls with those counts would — the conditional
+        mine kernels use this to insert each distinct filtered prefix
+        path once. Omitted, every transaction counts once (the build
+        phase).
 
         The batch is sorted lexicographically (a cheap scan skips the sort
         when it arrives already sorted), so consecutive transactions share
@@ -196,19 +207,33 @@ class TernaryCfpTree:
         creation.
         """
         txns = list(transactions)
+        weights: list[int] | None = None
+        if counts is not None:
+            weights = list(counts)
+            if len(weights) != len(txns):
+                raise TreeError(
+                    f"insert_batch counts ({len(weights)}) must align with "
+                    f"transactions ({len(txns)})"
+                )
         if any(txns[k] < txns[k - 1] for k in range(1, len(txns))):
-            txns = sorted(txns)
+            if weights is None:
+                txns = sorted(txns)
+            else:
+                order = sorted(range(len(txns)), key=txns.__getitem__)
+                txns = [txns[k] for k in order]
+                weights = [weights[k] for k in order]
         trail: list[tuple[int, int] | None] = [None]
         prev: list[int] = []
         valid = 0  # trail[:valid] may be resumed
         inserted = 0
         hits_before = self.prefix_skip_hits
-        for ranks in txns:
+        for position, ranks in enumerate(txns):
             if not ranks:
                 continue
             self._validate_ranks(ranks)
             inserted += 1
-            self.transaction_count += 1
+            count = 1 if weights is None else weights[position]
+            self.transaction_count += count
             n = len(ranks)
             limit = min(len(prev), n, valid)
             lcp = 0
@@ -228,7 +253,7 @@ class TernaryCfpTree:
             else:
                 resume = 0
                 slot, base = self._root_slot, 0
-            stop = self._insert_from(ranks, 1, slot, base, resume, trail)
+            stop = self._insert_from(ranks, count, slot, base, resume, trail)
             valid = stop + 1
             prev = ranks
         # Metric publication is gated on an installed tracer, like every

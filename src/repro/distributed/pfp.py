@@ -27,7 +27,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.core.cfp_growth import _conditional_tree, mine_array
+from repro.core.cfp_growth import _conditional_struct, mine_array
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
 from repro.distributed.mapreduce import JobStats, MapReduceJob
@@ -129,15 +129,13 @@ def _mine_shard(
             continue
         itemset = (rank,)
         collector.emit(itemset, support)
-        conditional = _conditional_tree(array, rank, min_support)
-        if conditional is None:
+        chain, cond_array = _conditional_struct(array, rank, min_support)
+        if chain is not None:
+            collector.emit_path_subsets(chain, itemset)
             continue
-        path = conditional.single_path()
-        if path is not None:
-            if path:
-                collector.emit_path_subsets(path, itemset)
+        if cond_array is None:
             continue
-        mine_array(convert(conditional), min_support, collector, itemset)
+        mine_array(cond_array, min_support, collector, itemset)
     return collector.itemsets, tree_nodes, tree_bytes
 
 

@@ -42,6 +42,8 @@ class Meter:
     phases: list[Phase] = field(default_factory=list)
     _integral: float = 0.0  # ∫ live_bytes d(ops), for the time-weighted avg
     _total_ops: int = 0
+    _scan_ops: int = 0  # mine-scan ops batched inline; see flush_mine_scans
+    _scan_bytes: int = 0
 
     # ------------------------------------------------------------------
     # Phase management
@@ -80,7 +82,9 @@ class Meter:
         self.live_bytes += size_bytes
         if self.live_bytes > self.peak_bytes:
             self.peak_bytes = self.live_bytes
-        phase = self._phase
+        # _phase inlined: this runs once per conditional array on the
+        # traced mine path, where the property indirection shows up.
+        phase = self.phases[-1] if self.phases else self.begin_phase("run")
         if self.live_bytes > phase.footprint_bytes:
             phase.footprint_bytes = self.live_bytes
         phase.bytes_touched += size_bytes  # it was written once
@@ -109,6 +113,8 @@ class Meter:
         estimate ``max(self.peak, self.live + other.peak)`` — exact when
         the merged work actually ran on top of this meter's live bytes.
         """
+        self.flush_mine_scans()
+        other.flush_mine_scans()
         for phase in other.phases:
             name = rename_to if rename_to is not None else phase.name
             target = next((p for p in self.phases if p.name == name), None)
@@ -136,6 +142,7 @@ class Meter:
         channel instrumentation travels through; :meth:`from_record`
         rebuilds an equivalent meter on the parent side.
         """
+        self.flush_mine_scans()
         return {
             "live_bytes": self.live_bytes,
             "peak_bytes": self.peak_bytes,
@@ -194,6 +201,25 @@ class Meter:
         """One item's sideward scan plus its backward traversals."""
         self.add_ops(path_items + 1, subarray_bytes + path_items * 3)
 
+    def flush_mine_scans(self) -> None:
+        """Fold inline-batched mine-scan accounting into the current phase.
+
+        The columnar mine loop records each conditional's scan cost as
+        two plain integer adds on ``_scan_ops`` / ``_scan_bytes`` (the
+        :meth:`on_mine_scan` quantities, pre-summed) instead of a method
+        call per conditional — at ~3k conditionals per quick-bench mine
+        the call chain was the single largest traced-run overhead. Every
+        reader of meter state flushes first, so the batching is invisible
+        except that ``_integral`` weights a flush's ops by the live bytes
+        at flush time rather than per scan.
+        """
+        ops = self._scan_ops
+        if ops:
+            self._scan_ops = 0
+            bytes_touched = self._scan_bytes
+            self._scan_bytes = 0
+            self.add_ops(ops, bytes_touched)
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -201,10 +227,12 @@ class Meter:
     @property
     def avg_bytes(self) -> float:
         """Time-weighted (by ops) average of live bytes."""
+        self.flush_mine_scans()
         if self._total_ops == 0:
             return float(self.live_bytes)
         return self._integral / self._total_ops
 
     @property
     def total_ops(self) -> int:
+        self.flush_mine_scans()
         return self._total_ops

@@ -60,7 +60,7 @@ class SpanRecord:
 class Span:
     """Handle for an open span: mutate ``attrs`` while the span runs."""
 
-    __slots__ = ("span_id", "parent_id", "name", "attrs")
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start_s")
 
     def __init__(
         self, span_id: int, parent_id: int | None, name: str, attrs: dict[str, Any]
@@ -69,6 +69,7 @@ class Span:
         self.parent_id = parent_id
         self.name = name
         self.attrs = attrs
+        self.start_s = 0.0
 
     def set(self, key: str, value: Any) -> None:
         self.attrs[key] = value
@@ -123,6 +124,44 @@ class Tracer:
             self.records.append(
                 SpanRecord(span_id, parent_id, name, start, duration, handle.attrs)
             )
+
+    def begin_span(self, name: str, attrs: dict[str, Any]) -> Span:
+        """Open a span without the contextmanager wrapper (hot loops).
+
+        :meth:`span`'s generator suspend/resume and ``**kwargs`` repack
+        cost a few microseconds per use — noise for phase-level spans,
+        but the dominant tracing cost in a loop that opens hundreds of
+        spans around sub-millisecond work (the per-rank mine loop).
+        ``attrs`` is taken by reference, not copied. The caller must
+        close the span with :meth:`end_span`, in a ``finally`` block if
+        the spanned work can raise.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        handle = Span(span_id, parent_id, name, attrs)
+        self._stack.append(handle)
+        handle.start_s = time.perf_counter() - self._origin_perf
+        return handle
+
+    def end_span(self, handle: Span) -> None:
+        """Close a span opened with :meth:`begin_span` and record it.
+
+        Must be called exactly once per handle, in LIFO order — the same
+        discipline the contextmanager version enforces structurally.
+        """
+        duration = time.perf_counter() - self._origin_perf - handle.start_s
+        self._stack.pop()
+        self.records.append(
+            SpanRecord(
+                handle.span_id,
+                handle.parent_id,
+                handle.name,
+                handle.start_s,
+                duration,
+                handle.attrs,
+            )
+        )
 
     @property
     def current_span_id(self) -> int | None:

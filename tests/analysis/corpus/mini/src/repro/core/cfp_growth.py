@@ -1,0 +1,20 @@
+"""Seeded INV008 violations: per-node decode loops in the mine hot path.
+
+The module borrows the real hot-path name (``repro/core/cfp_growth.py``)
+so the ``MINE_HOT_PATH`` patterns match. ``repro/core/`` is also a typed
+package, so every function here is fully annotated — the only seeded
+findings are the two INV008 decode loops.
+"""
+
+from __future__ import annotations
+
+
+def rank_support_slow(array: object, rank: int) -> int:
+    total = 0
+    for __, __, __, count in array.decode_subarray(rank):
+        total += count
+    return total
+
+
+def node_counts_slow(array: object, rank: int) -> list[int]:
+    return [count for *__, count in array.iter_subarray(rank)]

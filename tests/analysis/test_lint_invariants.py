@@ -257,3 +257,67 @@ class TestBulkEncodeRule:
             "    return varint.encode_into(buf, offset, value)\n"
         )
         assert violations_for(lint, "repro/core/cfp_array.py", src) == set()
+
+
+class TestMineHotPathRule:
+    """INV008: no per-node decode loops in the mine hot path."""
+
+    def test_for_loop_over_decode_subarray_flagged(self, lint):
+        src = (
+            "def support(array: object, rank: int) -> int:\n"
+            "    total = 0\n"
+            "    for __, __, __, count in array.decode_subarray(rank):\n"
+            "        total += count\n"
+            "    return total\n"
+        )
+        assert violations_for(lint, "repro/core/cfp_growth.py", src) == {
+            "INV008"
+        }
+
+    def test_comprehension_over_iter_subarray_flagged(self, lint):
+        src = (
+            "def counts(array: object, rank: int) -> list[int]:\n"
+            "    return [c for *__, c in array.iter_subarray(rank)]\n"
+        )
+        assert violations_for(lint, "repro/core/cfp_array.py", src) == {
+            "INV008"
+        }
+
+    def test_decode_triples_loop_flagged(self, lint):
+        src = (
+            "from repro.compress import varint\n"
+            "def walk(buf: bytes, start: int, end: int) -> None:\n"
+            "    for triple in varint.decode_triples(buf, start, end):\n"
+            "        print(triple)\n"
+        )
+        assert violations_for(lint, "repro/core/parallel.py", src) == {
+            "INV008"
+        }
+
+    def test_columnar_kernels_allowed(self, lint):
+        src = (
+            "def support(array: object, rank: int) -> int:\n"
+            "    return sum(array.subarray_columns(rank).counts)\n"
+        )
+        assert violations_for(lint, "repro/core/cfp_growth.py", src) == set()
+
+    def test_loop_over_materialized_rows_allowed(self, lint):
+        src = (
+            "def spans(array: object, rank: int) -> int:\n"
+            "    rows = array.decode_subarray(rank)\n"
+            "    total = 0\n"
+            "    for row in rows:\n"
+            "        total += row[3]\n"
+            "    return total\n"
+        )
+        assert violations_for(lint, "repro/core/cfp_growth.py", src) == set()
+
+    def test_other_modules_exempt(self, lint):
+        src = (
+            "def support(array: object, rank: int) -> int:\n"
+            "    total = 0\n"
+            "    for __, __, __, count in array.decode_subarray(rank):\n"
+            "        total += count\n"
+            "    return total\n"
+        )
+        assert violations_for(lint, "repro/core/validate.py", src) == set()

@@ -83,7 +83,7 @@ class TestCorpus:
     """The seeded mini-repo must trip every pass."""
 
     EXPECTED = {
-        # (path, line, code) for all 19 seeded violations.
+        # (path, line, code) for all 21 seeded violations.
         ("docs/guide.md", 4, "DRIFT001"),
         ("docs/guide.md", 7, "DRIFT002"),
         ("docs/guide.md", 11, "DRIFT003"),
@@ -92,6 +92,8 @@ class TestCorpus:
         ("repro/badcode.py", 16, "INV001"),
         ("repro/badcode.py", 22, "INV004"),
         ("repro/badcode.py", 27, "INV004"),
+        ("repro/core/cfp_growth.py", 14, "INV008"),  # for-loop form
+        ("repro/core/cfp_growth.py", 20, "INV008"),  # comprehension form
         ("repro/faultinject.py", 8, "DRIFT001"),  # dead.site never fired
         ("repro/faultinject.py", 20, "DRIFT001"),  # typo.site x3
         ("repro/metricsmod.py", 22, "DRIFT002"),
@@ -114,6 +116,7 @@ class TestCorpus:
             "INV002",
             "INV003",
             "INV004",
+            "INV008",
             "EFF001",
             "EFF002",
             "EFF003",
@@ -247,7 +250,7 @@ class TestShimParity:
         via_pass = sorted(
             (f.line, f.code, f.message)
             for f in corpus_findings
-            if f.code.startswith("INV")
+            if f.code.startswith("INV") and f.path.endswith("badcode.py")
         )
         via_shim = sorted(
             (f.line, f.code, f.message)
@@ -279,7 +282,7 @@ class TestCli:
         )
         assert result.returncode == EXIT_FINDINGS
         payload = json.loads(result.stdout)
-        assert len(payload) == 19
+        assert len(payload) == 21
         assert all(
             set(entry) == {"path", "line", "code", "message"}
             for entry in payload

@@ -1,0 +1,162 @@
+"""Tests for the columnar varint kernels (`decode_triples_columns`, `count_triples`).
+
+The columnar decode has two backends — the stdlib scalar loop and the
+optional vectorized numpy path gated on availability and on the
+``_NP_MIN_BYTES`` threshold — and both must produce identical columns
+and raise the scalar path's exact errors on corrupt input. The numpy
+legs skip cleanly when numpy is absent (it is never a dependency).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress import varint
+from repro.errors import CorruptBufferError
+
+numpy_only = pytest.mark.skipif(
+    varint._np is None, reason="numpy not importable (optional fast path)"
+)
+
+#: ``(delta_item, dpos, count)`` with the signed ``dpos`` middle field.
+triples_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=-(1 << 20), max_value=1 << 20),
+        st.integers(min_value=0, max_value=1 << 40),
+    ),
+    max_size=40,
+)
+
+
+def encode(triples):
+    buf = bytearray(sum(varint.triple_size(*t) for t in triples))
+    varint.encode_triples(buf, 0, triples)
+    return bytes(buf)
+
+
+def columns_as_rows(columns):
+    return list(zip(*columns))
+
+
+class TestDecodeTriplesColumns:
+    def test_matches_decode_triples(self):
+        triples = [(3, 0, 7), (0, -4, 1), (129, 5, 1 << 21)]
+        buf = encode(triples)
+        rows = varint.decode_triples(buf, 0, len(buf))
+        assert columns_as_rows(varint.decode_triples_columns(buf, 0, len(buf))) == rows
+
+    def test_empty_window(self):
+        columns = varint.decode_triples_columns(b"\x01\x02", 1, 1)
+        assert all(len(column) == 0 for column in columns)
+        assert len(columns) == 4
+
+    def test_bounds_outside_buffer_raise(self):
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples_columns(b"\x00", 0, 2)
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples_columns(b"\x00", -1, 1)
+
+    def test_truncated_varint_raises(self):
+        buf = encode([(1, 2, 3)])[:-1] + b"\x80"  # continuation bit at the end
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples_columns(buf, 0, len(buf))
+
+    def test_non_triple_varint_count_raises(self):
+        buf = varint.encode(1) + varint.encode(2)  # 2 varints, not a triple
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples_columns(buf, 0, len(buf))
+
+    def test_accepts_memoryview_and_bytearray(self):
+        triples = [(5, -1, 9)]
+        buf = encode(triples)
+        want = columns_as_rows(varint.decode_triples_columns(buf, 0, len(buf)))
+        for wrapped in (bytearray(buf), memoryview(buf)):
+            got = columns_as_rows(varint.decode_triples_columns(wrapped, 0, len(buf)))
+            assert got == want
+
+    @given(triples=triples_strategy)
+    def test_property_matches_decode_triples(self, triples):
+        buf = encode(triples)
+        rows = varint.decode_triples(buf, 0, len(buf))
+        assert columns_as_rows(varint.decode_triples_columns(buf, 0, len(buf))) == rows
+
+
+class TestBackendParity:
+    """Scalar and numpy decodes are interchangeable, byte for byte."""
+
+    @numpy_only
+    @given(triples=triples_strategy)
+    def test_numpy_identical_to_scalar(self, triples):
+        buf = encode(triples)
+        view = memoryview(buf)
+        scalar = varint._decode_triples_columns_scalar(view, 0, len(buf))
+        vectorized = varint._decode_triples_columns_np(view, 0, len(buf))
+        if triples:  # the numpy path may decline (None) only on anomalies
+            assert vectorized is not None
+            assert columns_as_rows(vectorized) == columns_as_rows(scalar)
+
+    @numpy_only
+    def test_threshold_gates_numpy(self, monkeypatch):
+        calls = []
+        real = varint._decode_triples_columns_np
+
+        def recording(view, start, end):
+            calls.append(end - start)
+            return real(view, start, end)
+
+        monkeypatch.setattr(varint, "_decode_triples_columns_np", recording)
+        small = encode([(1, 2, 3)])
+        assert len(small) < varint._NP_MIN_BYTES
+        varint.decode_triples_columns(small, 0, len(small))
+        assert calls == []  # tiny subarrays stay on the scalar loop
+        big = encode([(i, -i, i * 7) for i in range(200)])
+        assert len(big) >= varint._NP_MIN_BYTES
+        want = varint.decode_triples(big, 0, len(big))
+        got = columns_as_rows(varint.decode_triples_columns(big, 0, len(big)))
+        assert calls and got == want
+
+    @numpy_only
+    def test_numpy_leg_corruption_matches_scalar_error(self, monkeypatch):
+        # Past the threshold the vectorized path must decline corrupt
+        # buffers and re-raise through the scalar loop.
+        monkeypatch.setattr(varint, "_NP_MIN_BYTES", 0)
+        buf = encode([(i, 0, i) for i in range(120)])[:-1] + b"\x80"
+        with pytest.raises(CorruptBufferError):
+            varint.decode_triples_columns(buf, 0, len(buf))
+
+    def test_scalar_backend_when_numpy_disabled(self, monkeypatch):
+        monkeypatch.setattr(varint, "_np", None)
+        triples = [(i, -i, i) for i in range(150)]
+        buf = encode(triples)
+        rows = varint.decode_triples(buf, 0, len(buf))
+        assert columns_as_rows(varint.decode_triples_columns(buf, 0, len(buf))) == rows
+
+
+class TestCountTriples:
+    def test_counts_without_decoding(self):
+        triples = [(3, 0, 7), (0, -4, 1), (129, 5, 1 << 21)]
+        buf = encode(triples)
+        assert varint.count_triples(buf, 0, len(buf)) == 3
+
+    def test_empty_window_is_zero(self):
+        assert varint.count_triples(b"\x01", 1, 1) == 0
+
+    def test_bounds_outside_buffer_raise(self):
+        with pytest.raises(CorruptBufferError):
+            varint.count_triples(b"\x00", 0, 2)
+
+    def test_truncated_varint_raises(self):
+        buf = encode([(1, 2, 3)])[:-1] + b"\x80"
+        with pytest.raises(CorruptBufferError):
+            varint.count_triples(buf, 0, len(buf))
+
+    def test_non_triple_varint_count_raises(self):
+        buf = varint.encode(1) + varint.encode(2)
+        with pytest.raises(CorruptBufferError):
+            varint.count_triples(buf, 0, len(buf))
+
+    @given(triples=triples_strategy)
+    def test_property_matches_len(self, triples):
+        buf = encode(triples)
+        assert varint.count_triples(buf, 0, len(buf)) == len(triples)

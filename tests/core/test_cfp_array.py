@@ -332,3 +332,71 @@ class TestSinglePath:
         tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
         array = convert(tree)
         assert array.single_path() == tree.single_path()
+
+
+class TestDecodeSubarrayAliasing:
+    """Regression: handing out the cached entry itself let callers poison it."""
+
+    def _cached_array(self, small_db):
+        __, __, __, array = build(small_db, min_support=1)
+        array.set_cache_budget(1 << 16)
+        return array
+
+    def test_rows_are_immutable(self, small_db):
+        array = self._cached_array(small_db)
+        rank = next(iter(array.active_ranks_descending()))
+        rows = array.decode_subarray(rank)
+        assert isinstance(rows, tuple)
+        with pytest.raises(TypeError):
+            rows[0] = (0, 0, 0, 0)  # type: ignore[index]
+
+    def test_mutation_attempt_cannot_corrupt_cache(self, small_db):
+        array = self._cached_array(small_db)
+        pristine = self._cached_array(small_db)
+        for rank in array.active_ranks_descending():
+            rows = array.decode_subarray(rank)
+            try:
+                rows[0] = (99, 99, 99, 99)  # type: ignore[index]
+            except TypeError:
+                pass
+            with pytest.raises((TypeError, AttributeError)):
+                rows.sort()  # type: ignore[attr-defined]
+            # Later hits — including the columnar view underneath — are intact.
+            assert array.decode_subarray(rank) == pristine.decode_subarray(rank)
+            assert array.prefix_paths(rank) == pristine.prefix_paths(rank)
+
+    def test_cached_hits_share_the_decoded_entry(self, small_db):
+        # The fix must not undo the cache: hits still avoid re-decoding.
+        array = self._cached_array(small_db)
+        rank = next(iter(array.active_ranks_descending()))
+        first = array.subarray_columns(rank)
+        assert array.subarray_columns(rank) is first
+        assert array.cache_counts()["hits"] >= 1
+
+
+class TestNodeCountCacheNeutral:
+    """Regression: the lazy node_count fallback must not charge the LRU cache."""
+
+    def _lazy_array(self, small_db, budget=1 << 16):
+        __, __, __, built = build(small_db, min_support=1)
+        lazy = CfpArray(built.n_ranks, built.buffer, built.starts)
+        if budget:
+            lazy.set_cache_budget(budget)
+        return built, lazy
+
+    def test_lazy_count_matches_converter(self, small_db):
+        built, lazy = self._lazy_array(small_db, budget=0)
+        assert lazy.node_count == built.node_count
+
+    def test_lazy_count_leaves_cache_counters_untouched(self, small_db):
+        __, lazy = self._lazy_array(small_db)
+        before = lazy.cache_counts()
+        assert lazy.node_count > 0
+        assert lazy.cache_counts() == before
+
+    def test_lazy_count_does_not_evict_hot_entries(self, small_db):
+        built, lazy = self._lazy_array(small_db)
+        hot = next(iter(lazy.active_ranks_descending()))
+        entry = lazy.subarray_columns(hot)  # warm the working set
+        assert lazy.node_count == built.node_count
+        assert lazy.subarray_columns(hot) is entry  # still cached, not evicted

@@ -31,6 +31,7 @@ from repro.fptree.growth import ListCollector
 from repro.runtime import RetryPolicy
 from repro.util.items import prepare_transactions
 from tests.conftest import random_database
+from tests.core.test_kernels_identity import mine_reference
 
 #: Ample retry budget and no real backoff: chaos schedules inject at most
 #: a handful of failures, and the property is identity, not latency.
@@ -159,4 +160,32 @@ class TestChaosIdentity:
             assert obs.metrics.get("parallel.worker_deaths") > 0
             assert obs.metrics.get("parallel.degraded_serial") == 0
         finally:
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+
+class TestChaosKernelIdentity:
+    """Columnar kernels under fault injection == the per-node reference.
+
+    The existing identity legs pin chaos output to the *columnar* serial
+    miner; this leg pins it to the retained pre-kernel per-node route
+    (``mine_reference``), so a kernel bug cannot hide behind serial and
+    parallel sharing the same kernels.
+    """
+
+    @given(schedule=schedules, seed=st.integers(min_value=10, max_value=12))
+    @settings(max_examples=4, deadline=None)
+    def test_itemsets_identical_to_reference_under_faults(self, schedule, seed):
+        database = random_database(seed, n_transactions=50, n_items=10)
+        __, __, want_array, __ = _serial_reference(database, min_support=3)
+        want_itemsets = mine_reference(want_array, 3).itemsets
+        state_dir = _install(schedule)
+        try:
+            collector = ListCollector()
+            mine_array_parallel(
+                want_array, 3, collector, jobs=2, policy=CHAOS_POLICY
+            )
+            assert collector.itemsets == want_itemsets
+        finally:
+            faultinject.reset()
+            shutdown_pools()
             shutil.rmtree(state_dir, ignore_errors=True)

@@ -174,3 +174,54 @@ class TestTraceOverhead:
         assert set(result) == {"plain_s", "traced_s", "overhead_pct"}
         assert result["plain_s"] > 0
         assert result["traced_s"] > 0
+
+
+class TestMineFloors:
+    def test_parse_specs(self):
+        floors = bench.parse_mine_floors(["quest-T10I4=80000", "a=1,b=2.5"])
+        assert floors == {"quest-T10I4": 80000.0, "a": 1.0, "b": 2.5}
+
+    def test_parse_rejects_malformed(self):
+        import pytest
+
+        for bad in ["quest-T10I4", "=5", "name=fast"]:
+            with pytest.raises(ValueError):
+                bench.parse_mine_floors([bad])
+
+    def test_floor_passes_within_tolerance(self):
+        report = _tiny_run()
+        rate = report["datasets"]["paper"]["mine"]["1"]["nodes_per_s"] or 1
+        # The measured rate itself sits above rate * (1 - tolerance).
+        assert bench.check_mine_floors(report, {"paper": float(rate)}, 0.3) == []
+
+    def test_floor_violation_reported(self):
+        report = _tiny_run()
+        failures = bench.check_mine_floors(report, {"paper": 1e12}, 0.3)
+        assert len(failures) == 1 and "paper/mine@1" in failures[0]
+
+    def test_missing_dataset_fails_the_gate(self):
+        report = _tiny_run()
+        failures = bench.check_mine_floors(report, {"quest-T10I4": 1.0}, 0.3)
+        assert len(failures) == 1 and "no serial mine leg" in failures[0]
+
+    def test_cli_gates_on_floor(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(
+            bench.DATASETS, "paper", lambda quick: (paper_example_database(), 2)
+        )
+        code = bench.main(
+            ["--quick", "--datasets", "paper", "--jobs", "1",
+             "--build-jobs", "1", "--output-dir", str(tmp_path),
+             "--no-compare", "--mine-floor", "paper=1e12"]
+        )
+        assert code == 1
+        assert "floor" in capsys.readouterr().err
+
+    def test_cli_rejects_malformed_floor(self, tmp_path):
+        code = bench.main(
+            ["--mine-floor", "paper", "--output-dir", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_machine_records_kernel_backend(self):
+        report = _tiny_run(jobs=(1,))
+        assert report["machine"]["kernel_backend"] in {"python", "numpy"}

@@ -12,7 +12,7 @@ Prefer the full analyzer for new wiring::
     PYTHONPATH=src python -m repro.analysis.staticcheck [paths...]
 
 which also runs the worker-effect (EFF*) and registry-drift (DRIFT*)
-passes; this shim runs exactly the INV001–INV007 invariant rules over
+passes; this shim runs exactly the INV001–INV008 invariant rules over
 the given paths. See docs/static-analysis.md for every rule id.
 """
 
