@@ -20,10 +20,11 @@ code against docs and tests, flagging drift in **both** directions:
     ``site:action`` spec example in the docs must name a real site.
 ``DRIFT002`` — metric counters
     Every literal ``metrics.add("name")`` / ``registry.add("name")``
-    counter (f-strings contribute their static prefix) must appear in
-    the docs; every doc token that *looks like* a counter (dotted, in a
-    namespace the code publishes) must match a code counter — fault
-    sites and span names are excluded from the dead-doc direction, and
+    counter and ``metrics.observe("name", v)`` histogram (f-strings
+    contribute their static prefix) must appear in the docs; every doc
+    token that *looks like* a counter (dotted, in a namespace the code
+    publishes) must match a code counter — fault sites and span names
+    are excluded from the dead-doc direction, and
     ``tools/check_trace.py`` counts as documentation per the trace
     schema contract.
 ``DRIFT003`` — environment variables
@@ -62,8 +63,20 @@ _SPEC_SITE_RE = re.compile(
 #: ``REPRO_*`` environment-variable token.
 _ENV_RE = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
 
+#: File extensions that end a *filename*, not a registry name: a doc
+#: writing ``serving.md`` or ``store.cfpa`` names a file, and must not
+#: register a dotted token in an otherwise-published metric namespace.
+_FILENAME_EXTENSIONS = frozenset(
+    {"md", "py", "json", "jsonl", "cfpa", "fimi", "bin", "txt", "yml", "yaml"}
+)
+
 #: Receivers whose ``.add("name", ...)`` call publishes a metric counter.
 _METRIC_RECEIVERS = frozenset({"metrics", "registry"})
+
+#: Registry methods that publish a named metric (first argument is the
+#: name). ``Histogram.observe(value)`` is not caught here because its
+#: receiver is never named ``metrics``/``registry``.
+_METRIC_METHODS = frozenset({"add", "observe"})
 
 
 @dataclass(frozen=True)
@@ -115,7 +128,10 @@ class DocCorpus:
             corpus.doc_lines[rel] = lines
             for lineno, line in enumerate(lines, start=1):
                 for match in _DOTTED_RE.finditer(line):
-                    corpus.dotted.setdefault(match.group(0), (rel, lineno))
+                    token = match.group(0)
+                    if token.rsplit(".", 1)[-1] in _FILENAME_EXTENSIONS:
+                        continue
+                    corpus.dotted.setdefault(token, (rel, lineno))
                 for family in _SLASH_FAMILY_RE.finditer(line):
                     namespace = family.group(1)
                     for member in re.split(r"\s*/\s*", family.group(3).strip("/ ")):
@@ -208,14 +224,17 @@ def declared_sites(index: ProgramIndex) -> dict[str, tuple[str, int]] | None:
 
 
 def collect_metric_names(index: ProgramIndex) -> list[_MetricName]:
-    """Every literal counter published through ``metrics``/``registry``."""
+    """Every literal metric published through ``metrics``/``registry``,
+    counters (``.add``) and histograms (``.observe``) alike."""
     names: list[_MetricName] = []
     for info in index.repro_modules():
         for node in ast.walk(info.tree):
             if not isinstance(node, ast.Call) or not node.args:
                 continue
             func = node.func
-            if not (isinstance(func, ast.Attribute) and func.attr == "add"):
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in _METRIC_METHODS
+            ):
                 continue
             receiver = func.value
             terminal = (

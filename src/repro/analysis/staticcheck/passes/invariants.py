@@ -86,6 +86,9 @@ MINE_HOT_PATH = (
     "repro/core/cfp_array.py",
     "repro/core/cfp_growth.py",
     "repro/core/parallel.py",
+    # The serving hot path: support queries answer straight off the array,
+    # so the query module is held to the same columnar-consumption rule.
+    "repro/util/queries.py",
 )
 
 #: Per-node decode calls that must not feed loops in the mine hot path

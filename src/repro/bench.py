@@ -12,7 +12,10 @@ same run's serial wall), and writes a ``BENCH_<timestamp>.json`` report:
 * per worker count: mine wall seconds, nodes/sec (top-level array nodes
   over mine wall), speedup vs the serial mine, itemset count (a built-in
   correctness tripwire: it must not vary with the worker count);
-* per run: peak RSS (self + reaped workers) and platform info.
+* per run: peak RSS (self + reaped workers), platform info, and (unless
+  ``--no-serving``) one query-server load leg — 64 concurrent clients
+  against an in-process :class:`repro.serving.server.ReproServer` plus a
+  columnar-vs-per-node support kernel comparison.
 
 ``compare_reports`` diffs a report against a previous one (the committed
 ``benchmarks/BENCH_baseline.json`` in CI, else the newest ``BENCH_*.json``
@@ -40,14 +43,17 @@ from repro.core.parallel import mine_array_parallel, warm_pool
 from repro.core.ternary import TernaryCfpTree
 from repro.datasets.quest import QuestGenerator
 from repro.datasets.synthetic import make_kosarak, make_retail
+from repro.errors import ReproError
 from repro.fptree.growth import CountCollector
 from repro.util.items import prepare_transactions
 
 #: Report schema version, bumped on incompatible layout changes.
 #: v2 adds the per-jobs ``build`` map (parallel build phase) next to the
 #: serial ``build_s``/``convert_s`` scalars, which remain for comparability
-#: with v1 reports.
-SCHEMA_VERSION = 2
+#: with v1 reports. v3 adds the top-level ``serving`` leg (query-server
+#: load run + columnar-vs-per-node support kernel comparison); reports
+#: without it still compare on everything else.
+SCHEMA_VERSION = 3
 
 #: Regressions smaller than this many seconds are ignored regardless of
 #: ratio — they are timer jitter, not performance.
@@ -233,12 +239,129 @@ def measure_trace_overhead(
     }
 
 
+# ----------------------------------------------------------------------
+# Serving leg: query-server load + support-kernel comparison
+# ----------------------------------------------------------------------
+
+#: Concurrent clients the serving leg drives — the paper-repro target is
+#: "one shared buffer pool serves 64 concurrent clients", so the bench
+#: leg demonstrates exactly that number even in ``--quick`` runs.
+SERVING_CLIENTS = 64
+
+
+def _per_node_support(array, ranks: list[int]) -> int:
+    """Reference per-node support walk (the pre-columnar query shape).
+
+    One ``path_ranks`` decode per node of the least frequent rank's
+    subarray — the loop shape INV008 bans from the mine/query hot path,
+    kept here (bench-only) as the baseline
+    :func:`repro.util.queries.support_in_cfp_array` is measured against.
+    """
+    wanted = sorted(set(ranks))
+    least = wanted[-1]
+    others = set(wanted[:-1])
+    support = 0
+    for local, __, ___, count in array.iter_subarray(least):
+        if others <= set(array.path_ranks(least, local)):
+            support += count
+    return support
+
+
+def _time_queries(run_one, querysets: list[list[int]], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of running every queryset once."""
+    best: float | None = None
+    for __ in range(max(1, repeats)):
+        started = time.perf_counter()
+        for ranks in querysets:
+            run_one(ranks)
+        wall = time.perf_counter() - started
+        best = wall if best is None else min(best, wall)
+    return best or 0.0
+
+
+def _support_kernel_compare(store, n_queries: int = 32, repeats: int = 3) -> dict:
+    """Columnar vs per-node support timing over the store's top itemsets.
+
+    Queries are the store's ``n_queries`` highest-support itemsets of
+    length >= 2 (singletons short-circuit to a column sum and would
+    measure nothing). Both kernels answer every query once per repeat on
+    the same pooled array; a disagreement raises — the comparison doubles
+    as a parity check on the reference walk.
+    """
+    from repro.util.queries import support_in_cfp_array
+
+    table = store.table
+    querysets = [
+        [table.rank_of[item] for item in itemset]
+        for itemset, __ in store.top_k(n_queries, min_length=2)
+    ]
+    array = store.array
+    for ranks in querysets:
+        if support_in_cfp_array(array, ranks) != _per_node_support(array, ranks):
+            raise ReproError(
+                f"columnar and per-node support disagree on ranks {ranks}"
+            )
+    columnar_s = _time_queries(
+        lambda ranks: support_in_cfp_array(array, ranks), querysets, repeats
+    )
+    per_node_s = _time_queries(
+        lambda ranks: _per_node_support(array, ranks), querysets, repeats
+    )
+    return {
+        "support_queries": len(querysets),
+        "support_columnar_s": round(columnar_s, 4),
+        "support_per_node_s": round(per_node_s, 4),
+        "support_speedup": (
+            round(per_node_s / columnar_s, 2) if columnar_s > 0 else None
+        ),
+    }
+
+
+def bench_serving(
+    database: list[list[int]],
+    min_support: int,
+    clients: int = SERVING_CLIENTS,
+    requests_per_client: int = 8,
+    workers: int = 8,
+    seed: int = 17,
+) -> dict:
+    """Serve-path leg: build a store, load-test it, compare support kernels.
+
+    Builds a CFP-array store in a temp directory, drives ``clients``
+    concurrent NDJSON clients through :func:`repro.serving.loadgen.run_load`
+    (every answer parity-checked against direct calls), and appends the
+    columnar-vs-per-node support microbenchmark. The returned dict is the
+    report's top-level ``serving`` entry.
+    """
+    import tempfile
+
+    from repro.serving.loadgen import run_load
+    from repro.serving.store import ServingStore, build_store
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        array_path = f"{tmp}/store.cfpa"
+        build_store(database, min_support, array_path)
+        with ServingStore(array_path) as store:
+            load = run_load(
+                store,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+                workers=workers,
+            )
+            entry = load.to_dict()
+            entry["requests_per_client"] = requests_per_client
+            entry.update(_support_kernel_compare(store))
+    return entry
+
+
 def run_bench(
     dataset_names: Iterable[str] | None = None,
     jobs: Iterable[int] = DEFAULT_JOBS,
     quick: bool = False,
     datasets: dict[str, tuple[list[list[int]], int]] | None = None,
     build_jobs: Iterable[int] = DEFAULT_BUILD_JOBS,
+    serving: bool = False,
 ) -> dict:
     """Run the benchmark suite and return the report dict.
 
@@ -274,6 +397,17 @@ def run_bench(
         report["datasets"][name] = bench_dataset(
             database, min_support, jobs, build_jobs
         )
+    if serving and datasets:
+        # One serving leg per run, over the first dataset: the leg's point
+        # is server-path latency on a shared pool, not dataset coverage.
+        first = next(iter(datasets))
+        database, min_support = datasets[first]
+        report["serving"] = bench_serving(
+            database,
+            min_support,
+            requests_per_client=4 if quick else 16,
+        )
+        report["serving"]["dataset"] = first
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 
@@ -352,6 +486,22 @@ def compare_reports(current: dict, previous: dict, tolerance: float = 0.3) -> li
                 mine.get("wall_s"),
                 before_mine.get("wall_s"),
             )
+    # Serving leg (schema v3): gate tail latency. Milliseconds become
+    # seconds so the shared noise floor applies unchanged — p99 jitter
+    # under 50ms on a loopback load run is noise, not regression. A
+    # report without the leg (older schema, --no-serving) is skipped.
+    now_serving = current.get("serving") or {}
+    before_serving = previous.get("serving") or {}
+
+    def _ms_to_s(value: object) -> float | None:
+        return value / 1000.0 if isinstance(value, (int, float)) else None
+
+    for quantile in ("p50_ms", "p99_ms"):
+        check(
+            f"serving/{quantile[:-3]}",
+            _ms_to_s(now_serving.get(quantile)),
+            _ms_to_s(before_serving.get(quantile)),
+        )
     return regressions
 
 
@@ -439,6 +589,24 @@ def format_summary(report: dict) -> str:
                 f"{'':<14} build@{job_count}: {build['wall_s']:.3f}s "
                 f"{build['speedup']:.2f}x{flag}"
             )
+    serving = report.get("serving")
+    if serving:
+        lines.append(
+            f"serving[{serving.get('dataset', '?')}]: {serving['clients']} "
+            f"clients x {serving.get('requests_per_client', '?')} req -> "
+            f"{serving['rps']:,.0f} req/s  p50 {serving['p50_ms']:.2f}ms  "
+            f"p99 {serving['p99_ms']:.2f}ms  "
+            f"(pool {serving['pool_hits']} hits / {serving['pool_faults']} "
+            f"faults; errors={serving['errors']} "
+            f"mismatches={serving['mismatches']})"
+        )
+        speedup = serving.get("support_speedup")
+        if speedup is not None:
+            lines.append(
+                f"  support kernel: columnar {serving['support_columnar_s']:.4f}s "
+                f"vs per-node {serving['support_per_node_s']:.4f}s over "
+                f"{serving['support_queries']} queries ({speedup:.1f}x)"
+            )
     lines.append(f"peak RSS: {report['peak_rss_kb']:,} KiB")
     return "\n".join(lines)
 
@@ -491,6 +659,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--no-compare", action="store_true", help="measure and write only"
+    )
+    parser.add_argument(
+        "--no-serving",
+        action="store_true",
+        help="skip the query-server load leg (docs/serving.md)",
     )
     parser.add_argument(
         "--mine-floor",
@@ -557,7 +730,13 @@ def main(argv: list[str] | None = None) -> int:
         tracer = Tracer()
         obs.set_tracer(tracer)
     try:
-        report = run_bench(names, jobs, quick=args.quick, build_jobs=build_jobs)
+        report = run_bench(
+            names,
+            jobs,
+            quick=args.quick,
+            build_jobs=build_jobs,
+            serving=not args.no_serving,
+        )
     finally:
         if tracer is not None:
             from repro import obs
@@ -585,6 +764,17 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"error: parallel build produced a different CFP-array than the "
             f"serial build: {', '.join(sorted(mismatches))}",
+            file=sys.stderr,
+        )
+        return 1
+    serving = report.get("serving") or {}
+    if serving.get("errors") or serving.get("mismatches"):
+        # The load run is also a correctness run: every response was
+        # compared against the direct library call.
+        print(
+            f"error: serving leg saw {serving.get('errors', 0)} errors and "
+            f"{serving.get('mismatches', 0)} answers that differ from "
+            f"direct calls",
             file=sys.stderr,
         )
         return 1

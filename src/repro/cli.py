@@ -12,6 +12,7 @@ Usage (after installation)::
     python -m repro check tree.cfpt array.cfpa
     python -m repro experiment table1
     python -m repro bench --quick
+    python -m repro serve data.fimi --min-support 100 --port 7171
 
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
 ``--jobs N`` parallelizes the mine phase for miners that support it
@@ -260,6 +261,67 @@ def _cmd_bench(args) -> int:  # pragma: no cover - dispatched early in main()
     return bench.main([])
 
 
+def _cmd_serve(args) -> int:
+    """Build (if needed) and run the query server (docs/serving.md)."""
+    import asyncio
+
+    from repro.serving.store import ServingStore, build_store, sidecar_path
+
+    if args.file.endswith(".cfpa"):
+        array_path = args.file
+    else:
+        database = _load(args.file)
+        array_path = args.store or args.file + ".cfpa"
+        size = build_store(database, args.min_support, array_path)
+        print(
+            f"# built store: {size:,} bytes -> {array_path} "
+            f"(+ {sidecar_path(array_path)})",
+            file=sys.stderr,
+        )
+        if args.build_only:
+            return 0
+
+    async def _run() -> None:
+        import signal
+
+        from repro.serving.server import ReproServer
+
+        server = ReproServer(
+            store,
+            host=args.host,
+            port=args.port,
+            memory_budget=args.memory_budget or None,
+            workers=args.workers,
+        )
+        await server.start()
+        # Signals set an event instead of raising KeyboardInterrupt, so
+        # the drain (finish in-flight requests, flush responses, publish
+        # pool counters) always runs to completion — a KeyboardInterrupt
+        # would cancel the main task and cut the drain short.
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop_requested.set)
+        print(
+            f"# serving {array_path} on {server.host}:{server.port} "
+            f"(max {server.max_inflight} in-flight; ctrl-c to drain)",
+            file=sys.stderr,
+        )
+        await stop_requested.wait()
+        print("# draining ...", file=sys.stderr)
+        await server.stop()
+        print("# drained, bye", file=sys.stderr)
+
+    with _tracing(args.trace):
+        with ServingStore(
+            array_path,
+            pool_pages=args.pool_pages,
+            cache_budget=args.cache_budget,
+        ) as store:
+            asyncio.run(_run())
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -367,6 +429,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable JSON report on stdout",
     )
     check.set_defaults(func=_cmd_check)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the itemset query server over a built store (docs/serving.md)",
+    )
+    serve.add_argument(
+        "file",
+        help="a built .cfpa store, or a FIMI/.bin dataset to build one from",
+    )
+    serve.add_argument("--min-support", type=int, default=2)
+    serve.add_argument(
+        "--store",
+        default="",
+        metavar="PATH",
+        help="where to write the built .cfpa (default: <dataset>.cfpa)",
+    )
+    serve.add_argument(
+        "--build-only",
+        action="store_true",
+        help="build the store and exit without serving",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7171)
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="serving memory budget; sets the admission limit "
+        "(default: resident bytes + 64 request slots)",
+    )
+    serve.add_argument(
+        "--pool-pages",
+        type=int,
+        default=256,
+        help="buffer-pool capacity in pages (default 256)",
+    )
+    serve.add_argument(
+        "--cache-budget",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="decoded-subarray cache budget (default 1 MiB)",
+    )
+    serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write a JSONL span trace + metrics to FILE on shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)

@@ -29,6 +29,7 @@ delta_item``; ``parent_local = local - dpos``; the parent's global offset is
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, Sequence, Union
 
@@ -112,6 +113,15 @@ class _SubarrayCache:
     most N bytes worth of CFP-array". The decoded triples occupy a constant
     factor more Python memory than their encoding; the budget is a knob, not
     an exact accounting (see docs/performance.md).
+
+    Thread-safe: recency, eviction and the byte/stat accounting mutate
+    under one lock. Batch mining never shares an array across threads
+    (workers are forked processes), but the serving layer runs queries
+    against one long-lived array from a thread executor, where unguarded
+    ``move_to_end`` during an eviction sweep corrupts the OrderedDict and
+    ``used_bytes`` drifts off the sum of resident charges. The lock is
+    per-subarray-access, not per-node, so it is off the columnar kernels'
+    hot loop.
     """
 
     def __init__(self, budget_bytes: int) -> None:
@@ -121,46 +131,50 @@ class _SubarrayCache:
         self.misses = 0
         self.evictions = 0
         self.rejected = 0
+        self._lock = threading.Lock()
         self._entries: OrderedDict[int, tuple[DecodedSubarray, int]] = OrderedDict()
 
     def get(self, rank: int) -> DecodedSubarray | None:
-        entry = self._entries.get(rank)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(rank)
-        self.hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(rank)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(rank)
+            self.hits += 1
+            return entry[0]
 
     def put(self, rank: int, triples: DecodedSubarray, charge: int) -> None:
-        if rank in self._entries:
-            # A re-put is a recency signal: the rank is in active use, so
-            # it must move to the MRU end exactly as a `get` hit would —
-            # silently dropping it used to leave the entry first in line
-            # for eviction despite being hot.
-            self._entries.move_to_end(rank)
-            return
-        if charge > self.budget_bytes:
-            # Larger than the whole budget: never cacheable. Count it so
-            # a mis-sized budget shows up in the metrics instead of
-            # manifesting as a mysterious 0% hit ratio.
-            self.rejected += 1
-            return
-        while self._entries and self.used_bytes + charge > self.budget_bytes:
-            __, (__, evicted_charge) = self._entries.popitem(last=False)
-            self.used_bytes -= evicted_charge
-            self.evictions += 1
-        self._entries[rank] = (triples, charge)
-        self.used_bytes += charge
+        with self._lock:
+            if rank in self._entries:
+                # A re-put is a recency signal: the rank is in active use, so
+                # it must move to the MRU end exactly as a `get` hit would —
+                # silently dropping it used to leave the entry first in line
+                # for eviction despite being hot.
+                self._entries.move_to_end(rank)
+                return
+            if charge > self.budget_bytes:
+                # Larger than the whole budget: never cacheable. Count it so
+                # a mis-sized budget shows up in the metrics instead of
+                # manifesting as a mysterious 0% hit ratio.
+                self.rejected += 1
+                return
+            while self._entries and self.used_bytes + charge > self.budget_bytes:
+                __, (__, evicted_charge) = self._entries.popitem(last=False)
+                self.used_bytes -= evicted_charge
+                self.evictions += 1
+            self._entries[rank] = (triples, charge)
+            self.used_bytes += charge
 
     def counts(self) -> dict[str, int]:
         """Current counter values, for delta-based publication."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "rejected": self.rejected,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+            }
 
 
 class CfpArray:
@@ -366,6 +380,11 @@ class CfpArray:
         """
         entry = self.subarray_columns(rank)
         if self._cache is not None:
+            # The memo itself needs no lock: every write is idempotent (a
+            # node's path is a pure function of the buffer) and dict
+            # get/set are atomic under the GIL. Two threads racing the
+            # lazy init at worst memoize into a dict that loses the
+            # assignment race — wasted work, never a wrong path.
             memo = self._path_memo
             if memo is None:
                 memo = self._path_memo = {}

@@ -14,6 +14,6 @@ library ships:
 
 from repro.mining.closed import closed_itemsets
 from repro.mining.maximal import maximal_itemsets
-from repro.mining.topk import top_k_itemsets
+from repro.mining.topk import mine_top_k, top_k_itemsets
 
-__all__ = ["closed_itemsets", "maximal_itemsets", "top_k_itemsets"]
+__all__ = ["closed_itemsets", "maximal_itemsets", "mine_top_k", "top_k_itemsets"]

@@ -16,20 +16,62 @@ import heapq
 from collections import defaultdict
 from typing import Hashable
 
+from repro.core.cfp_array import CfpArray
+from repro.core.cfp_growth import _conditional_struct
 from repro.errors import ExperimentError
 from repro.fptree.tree import FPTree
 from repro.util.items import TransactionDatabase, prepare_transactions
 
 
+class _RevRanks:
+    """Rank tuple with reversed comparison, for heap-boundary ordering.
+
+    The min-heap's root must be the *canonically worst* resident itemset:
+    lowest support, and among support ties the lexicographically
+    **largest** rank tuple (so the smallest-ranked itemset survives a tie,
+    matching the ``(-support, ranks)`` order :meth:`_TopKCollector.results`
+    reports). ``heapq`` only needs ``__lt__``; negating tuple elements
+    does not work for prefix ties (``(1,) < (1, 2)`` must flip), hence a
+    wrapper instead of arithmetic.
+    """
+
+    __slots__ = ("ranks",)
+
+    def __init__(self, ranks: tuple[int, ...]) -> None:
+        self.ranks = ranks
+
+    def __lt__(self, other: "_RevRanks") -> bool:
+        return self.ranks > other.ranks
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RevRanks) and self.ranks == other.ranks
+
+
 class _TopKCollector:
-    """Size-k min-heap with a rising threshold."""
+    """Size-k min-heap with a rising threshold.
+
+    Satisfies the :class:`repro.core.cfp_growth.SupportCollector`
+    protocol. Two properties the serving layer leans on:
+
+    * **dedup** — an itemset reachable through several prefix paths may be
+      emitted more than once by an enumerator; a membership set keeps one
+      heap entry per itemset, so duplicates can never crowd distinct
+      itemsets out of the top k;
+    * **order-independence** — the boundary comparison is the total order
+      ``(support desc, ranks asc)``, support ties included, so the final
+      k-set (and :meth:`results`) is a pure function of the emitted
+      (itemset, support) pairs, whatever order a miner discovers them in.
+      The old ``support > heap[0]`` comparison kept whichever tie arrived
+      first — tree- and array-order enumerations of the same database
+      could report different k-sets.
+    """
 
     def __init__(self, k: int, min_length: int, floor: int):
         self.k = k
         self.min_length = min_length
         self.floor = floor
-        self._heap: list[tuple[int, tuple[int, ...]]] = []
-        self._sequence = 0
+        self._heap: list[tuple[int, _RevRanks]] = []
+        self._members: set[tuple[int, ...]] = set()
 
     @property
     def threshold(self) -> int:
@@ -40,11 +82,23 @@ class _TopKCollector:
     def emit(self, ranks: tuple[int, ...], support: int) -> None:
         if len(ranks) < self.min_length or support < self.threshold:
             return
-        entry = (support, tuple(sorted(ranks)))
+        key = tuple(sorted(ranks))
+        if key in self._members:
+            # Same itemset via another prefix path: its support is a
+            # function of the itemset, so the resident entry already
+            # carries it — a second entry would double-fill the heap.
+            return
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, entry)
-        elif support > self._heap[0][0]:
-            heapq.heapreplace(self._heap, entry)
+            heapq.heappush(self._heap, (support, _RevRanks(key)))
+            self._members.add(key)
+            return
+        worst_support, worst = self._heap[0]
+        if support > worst_support or (
+            support == worst_support and key < worst.ranks
+        ):
+            heapq.heapreplace(self._heap, (support, _RevRanks(key)))
+            self._members.discard(worst.ranks)
+            self._members.add(key)
 
     def emit_path_subsets(self, path, suffix) -> None:
         # Enumerate subsets whose deepest element sets the support, but
@@ -59,8 +113,8 @@ class _TopKCollector:
                 subsets.append(subset + (rank,))
 
     def results(self) -> list[tuple[tuple[int, ...], int]]:
-        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
-        return [(ranks, support) for support, ranks in ordered]
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1].ranks))
+        return [(entry.ranks, support) for support, entry in ordered]
 
 
 def top_k_itemsets(
@@ -99,6 +153,56 @@ def _mine(tree: FPTree, collector: _TopKCollector, suffix: tuple[int, ...]) -> N
         conditional = _conditional(tree, rank, collector.threshold)
         if conditional is not None:
             _mine(conditional, collector, itemset)
+
+
+def mine_top_k(
+    array: CfpArray,
+    k: int,
+    min_length: int = 1,
+    min_support_floor: int = 1,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Top-k over a built CFP-array, in rank vocabulary.
+
+    The serving-layer entry point: the array is long-lived (loaded once,
+    queried many times), so unlike :func:`top_k_itemsets` no tree is ever
+    built — conditionals come from the columnar kernels
+    (:func:`repro.core.cfp_growth._conditional_struct`), exactly as the
+    batch mine phase builds them. Because the collector's k-set is
+    order-independent, the result is identical to running
+    :func:`top_k_itemsets` on the database the array was built from
+    (modulo rank translation) — the property the serving parity suite
+    holds it to.
+    """
+    if k < 1:
+        raise ExperimentError(f"k must be >= 1, got {k}")
+    if min_length < 1:
+        raise ExperimentError(f"min_length must be >= 1, got {min_length}")
+    collector = _TopKCollector(k, min_length, max(1, min_support_floor))
+    path = array.single_path()
+    if path is not None:
+        if path:
+            collector.emit_path_subsets(path, ())
+        return collector.results()
+    _mine_array(array, collector, ())
+    return collector.results()
+
+
+def _mine_array(
+    array: CfpArray, collector: _TopKCollector, suffix: tuple[int, ...]
+) -> None:
+    """The §2.1 mine loop against arrays, pruned by the rising threshold."""
+    for rank in array.active_ranks_descending():
+        support = array.rank_support(rank)
+        if support < collector.threshold:
+            continue
+        itemset = (rank,) + suffix
+        collector.emit(itemset, support)
+        chain, cond_array = _conditional_struct(array, rank, collector.threshold)
+        if chain is not None:
+            collector.emit_path_subsets(chain, itemset)
+        elif cond_array is not None:
+            cond_array.set_cache_budget(array.cache_budget)
+            _mine_array(cond_array, collector, itemset)
 
 
 def _conditional(tree: FPTree, rank: int, threshold: int) -> FPTree | None:

@@ -21,7 +21,7 @@ behaviour; this package is the one place every layer reports into:
 See docs/observability.md for the span model and the trace file format.
 """
 
-from repro.obs.registry import MetricsRegistry, metrics
+from repro.obs.registry import Histogram, MetricsRegistry, metrics
 from repro.obs.tracer import (
     NULL_SPAN,
     Span,
@@ -34,6 +34,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Histogram",
     "MetricsRegistry",
     "metrics",
     "Tracer",

@@ -1,4 +1,5 @@
-"""Process-wide counter/gauge registry — the numeric half of ``repro.obs``.
+"""Process-wide counter/gauge/histogram registry — the numeric half of
+``repro.obs``.
 
 Components keep their hot-path counters as plain attributes (``hits += 1``
 on a cache object costs nothing extra) and *publish* them here in bulk at
@@ -6,19 +7,105 @@ phase boundaries: end of a mine, close of a disk array, merge of a worker.
 The registry is therefore an aggregation point, not a hot path — reading
 it mid-run gives whatever has been published so far.
 
+Histograms are the exception to the phase-boundary rule: the query server
+observes one latency sample per finished request (:meth:`observe`), which
+is orders of magnitude rarer than the mine loop's per-node work — and a
+latency distribution cannot be reconstructed from a phase-boundary sum.
+Buckets are powers of two, so a histogram is a few dozen ints regardless
+of traffic; percentiles interpolate within the winning bucket.
+
 One module-level instance, :data:`metrics`, is the process-wide registry
 the instrumented call sites use; tests may construct private registries.
 """
 
 from __future__ import annotations
 
+import threading
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative samples.
+
+    Bucket ``i`` holds samples in ``[2**(i-1), 2**i)`` (bucket 0 holds
+    ``[0, 1)``), which bounds any percentile's relative error by the
+    bucket width; :meth:`percentile` interpolates linearly inside the
+    winning bucket. Observation is thread-safe — the server's executor
+    completions funnel through one event loop today, but a histogram that
+    silently lost samples under a second loop would be the same bug class
+    the buffer pool just fixed.
+    """
+
+    _MAX_BUCKET = 64
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._buckets = [0] * (self._MAX_BUCKET + 1)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample (negatives clamp to 0)."""
+        value = max(0.0, float(value))
+        bucket = 0
+        edge = 1.0
+        while value >= edge and bucket < self._MAX_BUCKET:
+            bucket += 1
+            edge *= 2.0
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._buckets[bucket] += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``q`` in [0, 1]); 0.0 when empty."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            target = q * self.count
+            seen = 0.0
+            for bucket, weight in enumerate(self._buckets):
+                if not weight:
+                    continue
+                if seen + weight >= target:
+                    low = 0.0 if bucket == 0 else float(2 ** (bucket - 1))
+                    high = float(2**bucket)
+                    fraction = (target - seen) / weight
+                    value = low + (high - low) * fraction
+                    # The true extremes are tracked exactly; never report
+                    # an interpolated value outside the observed range.
+                    return min(max(value, self.min), self.max)
+                seen += weight
+            return self.max
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary statistics as one JSON-able mapping."""
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+            summary = {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+            }
+        for name, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            summary[name] = self.percentile(q)
+        return summary
+
 
 class MetricsRegistry:
-    """Named monotonic counters plus last-write-wins gauges."""
+    """Named monotonic counters, last-write-wins gauges, and histograms."""
 
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- counters -------------------------------------------------------
 
@@ -47,16 +134,46 @@ class MetricsRegistry:
         """All gauges (a copy)."""
         return dict(self._gauges)
 
+    # -- histograms -----------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name`` (creating it empty)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms.setdefault(name, Histogram())
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The named histogram, or ``None`` if nothing was observed."""
+        return self._histograms.get(name)
+
+    def percentile(self, name: str, q: float) -> float:
+        """``q``-quantile of histogram ``name`` (0.0 if never observed)."""
+        histogram = self._histograms.get(name)
+        return histogram.percentile(q) if histogram is not None else 0.0
+
+    def histograms(self) -> dict[str, dict[str, float]]:
+        """Summary snapshot of every histogram."""
+        return {
+            name: histogram.snapshot()
+            for name, histogram in self._histograms.items()
+        }
+
     # -- lifecycle ------------------------------------------------------
 
-    def snapshot(self) -> dict[str, dict[str, float]]:
-        """Counters and gauges as one JSON-able mapping."""
-        return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
+    def snapshot(self) -> dict[str, dict[str, float] | dict[str, dict[str, float]]]:
+        """Counters, gauges and histograms as one JSON-able mapping."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": self.histograms(),
+        }
 
     def reset(self) -> None:
-        """Drop every counter and gauge (tests and fresh CLI runs)."""
+        """Drop every counter, gauge and histogram (tests, fresh CLI runs)."""
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
 
     def ratio(self, numerator: str, *parts: str) -> float:
         """``numerator / sum(parts)`` over counters; 0.0 on an empty sum."""

@@ -31,6 +31,7 @@ class Trace:
     spans: list[dict[str, Any]] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 def is_trace_file(path: str | os.PathLike[str]) -> bool:
@@ -55,6 +56,7 @@ def read_trace(path: str | os.PathLike[str]) -> Trace:
     spans: list[dict[str, Any]] = []
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
     with open(path, "r", encoding="ascii", errors="replace") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -74,6 +76,8 @@ def read_trace(path: str | os.PathLike[str]) -> Trace:
             elif kind == "metric":
                 if record.get("kind") == "gauge":
                     gauges[record["name"]] = float(record["value"])
+                elif record.get("kind") == "histogram":
+                    histograms[record["name"]] = dict(record["value"])
                 else:
                     counters[record["name"]] = int(record["value"])
             else:
@@ -82,7 +86,13 @@ def read_trace(path: str | os.PathLike[str]) -> Trace:
                 )
     if meta is None:
         raise TraceError(f"{path}: no meta line; not a trace file")
-    return Trace(meta=meta, spans=spans, counters=counters, gauges=gauges)
+    return Trace(
+        meta=meta,
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+    )
 
 
 def meter_from_trace(spans: list[dict[str, Any]]) -> Meter:
@@ -210,4 +220,11 @@ def format_trace_summary(trace: Trace) -> str:
         lines.append(f"{name}: {trace.counters[name]}")
     for name, value in sorted(trace.gauges.items()):
         lines.append(f"{name}: {value:g}")
+    for name, summary in sorted(trace.histograms.items()):
+        lines.append(
+            f"{name}: n={summary.get('count', 0):g} "
+            f"p50={summary.get('p50', 0.0):.3g} "
+            f"p99={summary.get('p99', 0.0):.3g} "
+            f"max={summary.get('max', 0.0):.3g}"
+        )
     return "\n".join(lines)

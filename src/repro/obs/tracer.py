@@ -168,6 +168,29 @@ class Tracer:
         """Id of the innermost open span (None outside any span)."""
         return self._stack[-1].span_id if self._stack else None
 
+    def complete_span(
+        self, name: str, started_perf: float, attrs: dict[str, Any] | None = None
+    ) -> SpanRecord:
+        """Record an already-finished span from its raw start time.
+
+        ``started_perf`` is a ``time.perf_counter()`` reading taken when
+        the work began. The span is recorded as a *root* (no parent) and
+        never touches the LIFO stack, so overlapping callers — the query
+        server's interleaved request handlers — cannot misnest the spans
+        of whatever phase-level work is running around them. Must be
+        called from the thread that owns the tracer (the server calls it
+        from its event loop, never from executor threads).
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        start_s = started_perf - self._origin_perf
+        duration = time.perf_counter() - started_perf
+        record = SpanRecord(
+            span_id, None, name, start_s, duration, dict(attrs or {})
+        )
+        self.records.append(record)
+        return record
+
     # ------------------------------------------------------------------
     # Cross-process merge
     # ------------------------------------------------------------------
@@ -245,6 +268,17 @@ class Tracer:
                 lines.append(
                     json.dumps(
                         {"type": "metric", "kind": "gauge", "name": name, "value": gauge}
+                    )
+                )
+            for name, summary in sorted(snapshot.get("histograms", {}).items()):
+                lines.append(
+                    json.dumps(
+                        {
+                            "type": "metric",
+                            "kind": "histogram",
+                            "name": name,
+                            "value": summary,
+                        }
                     )
                 )
         with open(path, "w", encoding="ascii") as handle:

@@ -90,6 +90,40 @@ def generate_rules(
     return rules
 
 
+def also_bought(
+    rules: Iterable[Rule],
+    basket: Iterable[Hashable],
+    limit: int = 10,
+) -> list[Rule]:
+    """The "customers who bought this also bought ..." query.
+
+    Filters a rule set down to the rules a basket *triggers*: the whole
+    antecedent is in the basket and the consequent recommends only items
+    not already in it. Output order is deterministic — strongest rules
+    first (confidence, then support, then the antecedent/consequent reprs
+    as the final tie-break), truncated to ``limit`` — because the serving
+    layer promises byte-identical answers to direct library calls.
+    """
+    if limit < 1:
+        raise ExperimentError(f"limit must be >= 1, got {limit}")
+    basket_set = set(basket)
+    triggered = [
+        rule
+        for rule in rules
+        if set(rule.antecedent) <= basket_set
+        and not basket_set & set(rule.consequent)
+    ]
+    triggered.sort(
+        key=lambda r: (
+            -r.confidence,
+            -r.support,
+            repr(r.antecedent),
+            repr(r.consequent),
+        )
+    )
+    return triggered[:limit]
+
+
 def mine_rules(
     database: TransactionDatabase,
     min_support: int,

@@ -1,0 +1,41 @@
+"""Mining-as-a-service: query serving over shared CFP-arrays.
+
+The paper builds compressed structures so mining fits in memory; this
+package is the payoff view of the same structures — once built, a
+CFP-array is a read-only index that can answer itemset-support, top-k,
+and "also bought" rule queries for many concurrent clients out of one
+shared buffer pool (docs/serving.md):
+
+* :mod:`repro.serving.store` — persistence (array + item-vocabulary
+  sidecar) and :class:`ServingStore`, the thread-safe query facade;
+* :mod:`repro.serving.server` — :class:`ReproServer`, the asyncio
+  NDJSON protocol server with budget-derived admission control,
+  per-request latency histograms, and graceful drain;
+* :mod:`repro.serving.loadgen` — the load harness that measures
+  p50/p99/throughput under N concurrent clients while verifying every
+  response against the direct library calls.
+
+Start one from the command line with ``repro serve``.
+"""
+
+from repro.serving.server import ReproServer
+from repro.serving.store import ServingStore, StoreError, build_store
+
+__all__ = [
+    "LoadReport",
+    "ReproServer",
+    "ServingStore",
+    "StoreError",
+    "build_store",
+    "run_load",
+]
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.serving.loadgen` does not import the
+    # module twice (once as a package attribute, once as __main__).
+    if name in ("LoadReport", "run_load"):
+        from repro.serving import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,228 @@
+"""The serving store: one CFP-array on disk plus its item vocabulary.
+
+A mining run ends with structures in *rank* vocabulary; a query server
+must answer in the caller's item vocabulary. :func:`build_store`
+persists both halves next to each other — the ``.cfpa`` array file via
+:func:`repro.storage.save_cfp_array` and a small JSON sidecar carrying
+the item table (items with supports, in rank order), the build's
+``min_support``, and the transaction count (needed for rule lift).
+:class:`ServingStore` opens the pair read-only behind one shared
+:class:`repro.storage.BufferPool` (a :class:`repro.storage.PooledCfpArray`)
+and exposes the three query families the server serves: itemset support,
+top-k, and "also bought" rule recommendations.
+
+The sidecar stores the table's :meth:`repro.util.items.ItemTable.fingerprint`
+and the load path re-verifies it, so an item vocabulary that did not
+survive the JSON round trip (mixed item types whose rank sort changed)
+fails loudly instead of silently answering for the wrong items.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Hashable, Iterable
+
+from repro.core.cfp_growth import DEFAULT_CACHE_BUDGET, mine_array
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.errors import ReproError
+from repro.fptree.growth import ListCollector
+from repro.mining.topk import mine_top_k
+from repro.rules import Rule, also_bought, generate_rules
+from repro.storage import PooledCfpArray, save_cfp_array
+from repro.util.items import ItemTable, TransactionDatabase, prepare_transactions
+from repro.util.queries import itemset_support
+
+#: The item-vocabulary sidecar lives next to the array file.
+SIDECAR_SUFFIX = ".items.json"
+
+#: Default pool size for a serving store: generous relative to the mining
+#: default because a server's working set is the whole array, not one
+#: conditional chain.
+DEFAULT_POOL_PAGES = 256
+
+
+class StoreError(ReproError):
+    """A serving store is missing, malformed, or inconsistent."""
+
+
+def sidecar_path(array_path: str | os.PathLike[str]) -> str:
+    """Path of the item-vocabulary sidecar for ``array_path``."""
+    return os.fspath(array_path) + SIDECAR_SUFFIX
+
+
+def build_store(
+    database: TransactionDatabase,
+    min_support: int,
+    array_path: str | os.PathLike[str],
+) -> int:
+    """Build and persist a serving store; returns the array file size.
+
+    Runs the standard build pipeline (prepare -> CFP-tree -> convert),
+    saves the array, and writes the sidecar. The sidecar is written
+    *after* the array so a crash mid-build leaves no openable store.
+    """
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+    array = convert(tree)
+    del tree
+    size = save_cfp_array(array, array_path)
+    sidecar = {
+        "min_support": table.min_support,
+        "n_transactions": len(database),
+        "fingerprint": table.fingerprint(),
+        "items": [
+            [table.item_of[rank], table.rank_supports[rank]]
+            for rank in range(1, len(table) + 1)
+        ],
+    }
+    with open(sidecar_path(array_path), "w", encoding="utf-8") as handle:
+        json.dump(sidecar, handle)
+        handle.write("\n")
+    return size
+
+
+class ServingStore:
+    """Read-only query facade over one persisted CFP-array.
+
+    All query methods are thread-safe — the underlying pool and decoded-
+    subarray cache carry their own locks — so the server may call them
+    from executor threads concurrently. Rule generation is lazy: the
+    first rules query mines the full itemset collection once (under a
+    lock, so concurrent first queries do not mine twice) and caches the
+    derived rule list per confidence threshold.
+    """
+
+    def __init__(
+        self,
+        array_path: str | os.PathLike[str],
+        *,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        cache_budget: int = DEFAULT_CACHE_BUDGET,
+        verify: bool = True,
+    ) -> None:
+        self.path = os.fspath(array_path)
+        meta = self._read_sidecar(sidecar_path(array_path))
+        try:
+            supports = {item: support for item, support in meta["items"]}
+        except TypeError:
+            raise StoreError(
+                f"{sidecar_path(array_path)}: sidecar items are not hashable"
+            ) from None
+        self.table = ItemTable(meta["min_support"], supports)
+        if self.table.fingerprint() != meta["fingerprint"]:
+            raise StoreError(
+                f"{sidecar_path(array_path)}: item table does not round-trip "
+                "(fingerprint mismatch); the store must be rebuilt"
+            )
+        self.n_transactions = meta["n_transactions"]
+        self.array = PooledCfpArray(
+            array_path, pool_pages, cache_budget, verify=verify
+        )
+        self._rules_lock = threading.Lock()
+        self._rules_cache: dict[tuple[float, int | None], list[Rule]] = {}
+
+    @staticmethod
+    def _read_sidecar(path: str) -> dict:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            raise StoreError(
+                f"{path}: item sidecar not found (not a serving store; "
+                "build one with `repro serve --build` or build_store())"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{path}: sidecar is not valid JSON: {exc}") from None
+        for key in ("min_support", "n_transactions", "fingerprint", "items"):
+            if key not in meta:
+                raise StoreError(f"{path}: sidecar is missing {key!r}")
+        items = meta["items"]
+        if not isinstance(items, list) or not all(
+            isinstance(pair, list) and len(pair) == 2 for pair in items
+        ):
+            raise StoreError(f"{path}: sidecar items must be [item, support] pairs")
+        return meta
+
+    # -- queries --------------------------------------------------------
+
+    def support(self, items: Iterable[Hashable]) -> int:
+        """Absolute support of an itemset (0 for unknown items)."""
+        return itemset_support(self.array, self.table, items)
+
+    def top_k(
+        self, k: int, min_length: int = 1
+    ) -> list[tuple[tuple[Hashable, ...], int]]:
+        """The k best itemsets, translated to item vocabulary."""
+        return [
+            (self.table.ranks_to_items(ranks), support)
+            for ranks, support in mine_top_k(self.array, k, min_length=min_length)
+        ]
+
+    def rules(
+        self,
+        min_confidence: float = 0.5,
+        max_consequent_size: int | None = None,
+    ) -> list[Rule]:
+        """The full rule set at a confidence threshold (mined lazily)."""
+        key = (float(min_confidence), max_consequent_size)
+        with self._rules_lock:
+            cached = self._rules_cache.get(key)
+            if cached is None:
+                collector = ListCollector()
+                mine_array(self.array, self.table.min_support, collector)
+                itemsets = [
+                    (self.table.ranks_to_items(ranks), support)
+                    for ranks, support in collector.itemsets
+                ]
+                cached = generate_rules(
+                    itemsets,
+                    self.n_transactions,
+                    min_confidence,
+                    max_consequent_size,
+                )
+                self._rules_cache[key] = cached
+        return cached
+
+    def also_bought(
+        self,
+        basket: Iterable[Hashable],
+        limit: int = 10,
+        min_confidence: float = 0.5,
+    ) -> list[Rule]:
+        """Rules a basket triggers, strongest first (see repro.rules)."""
+        return also_bought(self.rules(min_confidence), basket, limit)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        """Long-lived memory the store holds (admission-control input)."""
+        return self.array.memory_bytes
+
+    def close(self) -> None:
+        self.array.close()
+
+    def __enter__(self) -> "ServingStore":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingStore({self.path!r}, items={len(self.table)}, "
+            f"n_transactions={self.n_transactions})"
+        )
+
+
+__all__ = [
+    "DEFAULT_POOL_PAGES",
+    "SIDECAR_SUFFIX",
+    "ServingStore",
+    "StoreError",
+    "build_store",
+    "sidecar_path",
+]

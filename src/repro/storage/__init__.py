@@ -12,7 +12,9 @@ real disk path instead of a cost model:
   (and checkpointing for the CFP-tree arena), plus
   :class:`repro.storage.DiskCfpArray`, a drop-in CFP-array reader that
   fetches bytes through the buffer pool — so the full CFP-growth mine
-  phase runs out-of-core and every page fault is observable.
+  phase runs out-of-core and every page fault is observable — and
+  :class:`repro.storage.PooledCfpArray`, the serving-layer reader that
+  keeps the columnar query path over the same pool (docs/serving.md).
 
 The buffer-pool statistics reproduce the paper's access-pattern story
 measurably: writing subarrays during conversion faults once per page
@@ -23,6 +25,7 @@ the pool is small (random).
 from repro.storage.bufferpool import BufferPool, BufferPoolStats
 from repro.storage.cfp_store import (
     DiskCfpArray,
+    PooledCfpArray,
     load_cfp_array,
     load_cfp_tree,
     load_cfp_tree_checkpoint,
@@ -39,6 +42,7 @@ __all__ = [
     "save_cfp_array",
     "load_cfp_array",
     "DiskCfpArray",
+    "PooledCfpArray",
     "save_cfp_tree",
     "load_cfp_tree",
     "load_cfp_tree_checkpoint",

@@ -21,6 +21,7 @@ every retry is counted in ``stats.read_retries`` and published as
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -89,7 +90,18 @@ class BufferPoolStats:
 
 
 class BufferPool:
-    """Fixed-capacity LRU cache of pages with pin counts."""
+    """Fixed-capacity LRU cache of pages with pin counts.
+
+    Thread-safe: one lock guards the frame table, LRU recency, pins and
+    stats. The pool was born for fork-based workers (each fork got its own
+    pool, so unsynchronized mutation was safe); the serving layer shares
+    **one** pool across a thread executor, where an unguarded
+    ``move_to_end`` racing an eviction corrupts the OrderedDict and
+    ``stats.hits += 1`` loses updates. The lock is held across the disk
+    read of a fault — serializing duplicate reads of the same page is the
+    point, not a bug — and across a transient-retry backoff sleep, which
+    stalls other readers exactly as long as the disk itself is stalling.
+    """
 
     def __init__(self, pagefile: PageFile, capacity_pages: int) -> None:
         if capacity_pages < 1:
@@ -98,6 +110,7 @@ class BufferPool:
         self.capacity_pages = capacity_pages
         self._frames: OrderedDict[int, bytes] = OrderedDict()
         self._pins: dict[int, int] = {}
+        self._lock = threading.Lock()
         self.stats = BufferPoolStats()
 
     @property
@@ -133,6 +146,10 @@ class BufferPool:
 
     def get_page(self, page_no: int) -> bytes:
         """Fetch a page, through the cache."""
+        with self._lock:
+            return self._get_page_locked(page_no)
+
+    def _get_page_locked(self, page_no: int) -> bytes:
         frame = self._frames.get(page_no)
         if frame is not None:
             self._frames.move_to_end(page_no)
@@ -163,38 +180,46 @@ class BufferPool:
         parts = []
         remaining = size
         position = offset
-        while remaining > 0:
-            page_no, in_page = divmod(position, PAGE_SIZE)
-            take = min(remaining, PAGE_SIZE - in_page)
-            parts.append(self.get_page(page_no)[in_page : in_page + take])
-            position += take
-            remaining -= take
+        with self._lock:
+            while remaining > 0:
+                page_no, in_page = divmod(position, PAGE_SIZE)
+                take = min(remaining, PAGE_SIZE - in_page)
+                parts.append(
+                    self._get_page_locked(page_no)[in_page : in_page + take]
+                )
+                position += take
+                remaining -= take
         return b"".join(parts)
 
     def pin(self, page_no: int) -> None:
         """Protect a page from eviction (e.g. an index page)."""
-        self.get_page(page_no)
-        self._pins[page_no] = self._pins.get(page_no, 0) + 1
+        with self._lock:
+            self._get_page_locked(page_no)
+            self._pins[page_no] = self._pins.get(page_no, 0) + 1
 
     def unpin(self, page_no: int) -> None:
-        count = self._pins.get(page_no, 0)
-        if count <= 0:
-            raise BufferPoolError(f"page {page_no} is not pinned")
-        if count == 1:
-            del self._pins[page_no]
-        else:
-            self._pins[page_no] = count - 1
+        with self._lock:
+            count = self._pins.get(page_no, 0)
+            if count <= 0:
+                raise BufferPoolError(f"page {page_no} is not pinned")
+            if count == 1:
+                del self._pins[page_no]
+            else:
+                self._pins[page_no] = count - 1
 
     def resident_pages(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     def resident_page_numbers(self) -> list[int]:
         """Cached page numbers in LRU order (least recently used first)."""
-        return list(self._frames)
+        with self._lock:
+            return list(self._frames)
 
     def pinned_pages(self) -> dict[int, int]:
         """Pin count per pinned page (a copy)."""
-        return dict(self._pins)
+        with self._lock:
+            return dict(self._pins)
 
     def publish_metrics(self, registry: "MetricsRegistry | None" = None) -> None:
         """Add the pool's counters (and page-file I/O) to a registry.

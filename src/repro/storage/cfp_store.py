@@ -32,9 +32,9 @@ from typing import Any, BinaryIO, Iterator, NamedTuple
 
 from repro import faultinject
 from repro.compress import varint
-from repro.core.cfp_array import CfpArray
+from repro.core.cfp_array import CfpArray, DecodedSubarray, _SubarrayCache
 from repro.core.ternary import TernaryCfpTree
-from repro.errors import ReproError
+from repro.errors import ReproError, TreeError
 from repro.memman.arena import Arena
 from repro.obs import maybe_span
 from repro.storage.bufferpool import BufferPool
@@ -323,6 +323,154 @@ class DiskCfpArray:
         return self.pool.capacity_bytes + (self.n_ranks + 1) * 5
 
 
+class PooledCfpArray(CfpArray):
+    """A read-only CFP-array served columnar-ly through a buffer pool.
+
+    The serving-layer counterpart of :class:`DiskCfpArray`: the same
+    ``CFPA`` file behind the same :class:`BufferPool`, but a subarray is
+    fetched as **one** pool read and bulk-decoded into columns (LRU-cached
+    under the usual byte budget), so the memoized ``prefix_paths`` resolve,
+    the columnar kernels, and every other :class:`CfpArray` traversal run
+    unchanged — in-memory asymptotics with pool-bounded residency.
+    ``DiskCfpArray`` keeps its deliberate per-node walks because they *are*
+    the out-of-core access pattern §4.3 measures; a query server wants the
+    opposite trade.
+
+    Only the item index and the decoded-subarray cache live in memory; the
+    varint buffer itself is never materialized (``self.buffer`` stays
+    empty, and every buffer-touching method is overridden to read through
+    the pool).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        pool_pages: int = 64,
+        cache_budget: int = 0,
+        *,
+        verify: bool = False,
+    ) -> None:
+        self._pagefile = PageFile.open_readonly(path)
+        try:
+            header = read_array_header(self._pagefile)
+            if verify:
+                _verify_content(self._pagefile, header.content_pages, header.version)
+        except Exception:  # lint: ignore[INV004] - close-and-reraise: no pagefile may leak whatever the header read throws
+            self._pagefile.close()
+            raise
+        # Deliberately no super().__init__: it demands the materialized
+        # buffer this class exists to avoid. Every CfpArray field is set
+        # here instead.
+        self.n_ranks = header.n_ranks
+        self.buffer = b""
+        self.starts = header.starts
+        self._node_count = None
+        self._cache = _SubarrayCache(cache_budget) if cache_budget > 0 else None
+        self._path_memo = None
+        self._active_ranks = None
+        self._buffer_len = header.buffer_len
+        self._data_offset = header.data_page * PAGE_SIZE
+        self.pool = BufferPool(self._pagefile, pool_pages)
+
+    def close(self) -> None:
+        self.pool.publish_metrics()
+        self._pagefile.close()
+
+    def __enter__(self) -> "PooledCfpArray":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def _read_at(self, offset: int, size: int) -> bytes:
+        size = min(size, self._buffer_len - offset)
+        return self.pool.read(self._data_offset + offset, size)
+
+    def subarray_columns(self, rank: int) -> DecodedSubarray:
+        cache = self._cache
+        if cache is not None:
+            cached = cache.get(rank)
+            if cached is not None:
+                return cached
+        self._check_rank(rank)
+        start = self.starts[rank]
+        length = self.starts[rank + 1] - start
+        chunk = self._read_at(start, length)
+        entry = DecodedSubarray(*varint.decode_triples_columns(chunk, 0, length))
+        if cache is not None:
+            cache.put(rank, entry, length)
+        return entry
+
+    @property
+    def node_count(self) -> int:
+        """Lazy count via per-subarray terminator scans through the pool."""
+        if self._node_count is None:
+            total = 0
+            for rank in range(1, self.n_ranks + 1):
+                start = self.starts[rank]
+                length = self.starts[rank + 1] - start
+                if length:
+                    chunk = self._read_at(start, length)
+                    total += varint.count_triples(chunk, 0, length)
+            self._node_count = total
+        return self._node_count
+
+    def node_at(self, rank: int, local: int) -> tuple[int, int, int]:
+        self._check_rank(rank)
+        offset = self.starts[rank] + local
+        if not self.starts[rank] <= offset < self.starts[rank + 1]:
+            raise TreeError(
+                f"local offset {local} outside subarray of rank {rank}"
+            )
+        chunk = self._read_at(offset, DiskCfpArray._MAX_TRIPLE)
+        delta_item, pos = varint.decode_from(chunk, 0)
+        dpos_raw, pos = varint.decode_from(chunk, pos)
+        count, __ = varint.decode_from(chunk, pos)
+        return delta_item, varint.unzigzag(dpos_raw), count
+
+    def path_ranks(self, rank: int, local: int) -> list[int]:
+        path = []
+        while True:
+            delta_item, dpos, __ = self.node_at(rank, local)
+            parent_rank = rank - delta_item
+            if parent_rank == 0:
+                break
+            local = local - dpos
+            rank = parent_rank
+            path.append(rank)
+        path.reverse()
+        return path
+
+    def item_of_position(self, offset: int) -> int:
+        if not 0 <= offset < self._buffer_len:
+            raise TreeError(f"offset {offset} outside the CFP-array buffer")
+        low, high = 1, self.n_ranks
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self.starts[mid] <= offset:
+                low = mid
+            else:
+                high = mid - 1
+        while self.starts[low + 1] == self.starts[low]:
+            low -= 1
+        return low
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident bytes: pool frames, item index, and the cache budget."""
+        return (
+            self.pool.capacity_bytes
+            + (self.n_ranks + 1) * 5
+            + self.cache_budget
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PooledCfpArray(n_ranks={self.n_ranks}, "
+            f"pool_pages={self.pool.capacity_pages})"
+        )
+
+
 # ----------------------------------------------------------------------
 # CFP-tree checkpointing
 # ----------------------------------------------------------------------
@@ -475,6 +623,7 @@ __all__ = [
     "read_tree_header",
     "restore_tree",
     "DiskCfpArray",
+    "PooledCfpArray",
     "save_cfp_tree",
     "load_cfp_tree",
     "load_cfp_tree_checkpoint",

@@ -34,10 +34,16 @@ def support_in_fp_tree(tree: FPTree, ranks: Iterable[int]) -> int:
 
 
 def support_in_cfp_array(array: CfpArray, ranks: Iterable[int]) -> int:
-    """Support of a rank itemset via the item index and backward walks.
+    """Support of a rank itemset via the item index and prefix paths.
 
-    The nodelink-free equivalent: scan the least frequent rank's subarray
-    (its item-index slice) and backward-traverse each node.
+    The nodelink-free equivalent of the FP-tree query: resolve the prefix
+    path of every node in the least frequent rank's subarray and sum the
+    counts of the paths containing the rest of the itemset. Paths come
+    from :meth:`CfpArray.prefix_paths` — one columnar bulk decode per
+    subarray plus the memoized ancestor walk — instead of the per-node
+    ``path_ranks`` decode loop this used to run, which is the exact
+    hot-loop shape INV008 forbids and was quadratic in shared-ancestor
+    chains once this became the serving hot path.
     """
     wanted = sorted(set(ranks))
     if not wanted:
@@ -46,11 +52,12 @@ def support_in_cfp_array(array: CfpArray, ranks: Iterable[int]) -> int:
         return 0
     least = wanted[-1]
     others = set(wanted[:-1])
+    if not others:
+        # Singleton: one C-speed sum over the counts column, no walks.
+        return array.rank_support(least)
     support = 0
-    for local, __, __, count in array.iter_subarray(least):
-        if not others:
-            support += count
-        elif others <= set(array.path_ranks(least, local)):
+    for path, count in array.prefix_paths(least):
+        if others <= set(path):
             support += count
     return support
 

@@ -64,6 +64,24 @@ class TestSpans:
         assert [r.name for r in tracer.records] == ["doomed"]
         assert tracer.current_span_id is None
 
+    def test_complete_span_records_root_without_stack(self):
+        import time
+
+        tracer = Tracer()
+        started = time.perf_counter()
+        with tracer.span("open"):
+            record = tracer.complete_span("late", started, {"op": "x"})
+            # The retroactive span must not become the current parent.
+            with tracer.span("child"):
+                pass
+        assert record.parent_id is None
+        assert record.attrs == {"op": "x"}
+        assert record.duration_s >= 0
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["child"].parent_id == by_name["open"].span_id
+        ids = [r.span_id for r in tracer.records]
+        assert len(set(ids)) == len(ids)
+
     def test_durations_non_negative_and_ids_unique(self):
         tracer = Tracer()
         for __ in range(5):
@@ -161,9 +179,44 @@ class TestRegistry:
         assert registry.get("missing") == 0
         assert registry.get_gauge("g") == 2.5
         snapshot = registry.snapshot()
-        assert snapshot == {"counters": {"c": 5}, "gauges": {"g": 2.5}}
+        assert snapshot == {
+            "counters": {"c": 5},
+            "gauges": {"g": 2.5},
+            "histograms": {},
+        }
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "gauges": {}}
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_histograms(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 100.0):
+            registry.observe("latency", value)
+        histogram = registry.histogram("latency")
+        assert histogram is not None
+        assert histogram.count == 4
+        assert histogram.min == 1.0
+        assert histogram.max == 100.0
+        # Percentiles are bucket-approximate but bounded by the extremes.
+        assert 1.0 <= registry.percentile("latency", 0.5) <= 4.0
+        assert registry.percentile("latency", 1.0) == 100.0
+        assert registry.percentile("missing", 0.5) == 0.0
+        summary = registry.histograms()["latency"]
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(106.0)
+        assert summary["min"] == 1.0 and summary["max"] == 100.0
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] <= 100.0
+        registry.reset()
+        assert registry.histogram("latency") is None
+
+    def test_histogram_empty_and_negative(self):
+        registry = MetricsRegistry()
+        registry.observe("h", -5.0)  # clamps to 0
+        assert registry.histogram("h").snapshot()["max"] == 0.0
+        assert registry.percentile("h", 0.99) == 0.0
 
     def test_ratio(self):
         registry = MetricsRegistry()

@@ -1,0 +1,170 @@
+"""ServingStore: persistence round trip and direct-call equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conversion import convert
+from repro.core.ternary import TernaryCfpTree
+from repro.mining.topk import mine_top_k
+from repro.rules import mine_rules
+from repro.serving.store import (
+    ServingStore,
+    StoreError,
+    build_store,
+    sidecar_path,
+)
+from repro.util.items import prepare_transactions
+from repro.util.queries import itemset_support
+from tests.conftest import db_strategy, paper_example_database, random_database
+
+MIN_SUPPORT = 2
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "paper.cfpa"
+    build_store(paper_example_database(), MIN_SUPPORT, path)
+    return path
+
+
+class TestBuildAndOpen:
+    def test_round_trip_table(self, store_path):
+        table, _ = prepare_transactions(paper_example_database(), MIN_SUPPORT)
+        with ServingStore(store_path) as store:
+            assert store.table.fingerprint() == table.fingerprint()
+            assert store.n_transactions == len(paper_example_database())
+            assert store.table.min_support == MIN_SUPPORT
+
+    def test_missing_sidecar(self, store_path, tmp_path):
+        import os
+
+        os.unlink(sidecar_path(store_path))
+        with pytest.raises(StoreError, match="sidecar not found"):
+            ServingStore(store_path)
+
+    def test_corrupt_sidecar(self, store_path):
+        with open(sidecar_path(store_path), "w", encoding="utf-8") as handle:
+            handle.write("{nope")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            ServingStore(store_path)
+
+    def test_fingerprint_mismatch(self, store_path):
+        side = sidecar_path(store_path)
+        with open(side, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["items"][0][1] += 1  # tamper with one support
+        with open(side, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(StoreError, match="fingerprint"):
+            ServingStore(store_path)
+
+    def test_missing_key(self, store_path):
+        side = sidecar_path(store_path)
+        with open(side, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        del meta["n_transactions"]
+        with open(side, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(StoreError, match="n_transactions"):
+            ServingStore(store_path)
+
+
+class TestQueryParity:
+    """Store answers == the answers of direct calls on in-memory structures."""
+
+    def _direct(self, database, min_support):
+        table, transactions = prepare_transactions(database, min_support)
+        tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        return table, convert(tree)
+
+    def test_support_matches_direct(self, store_path):
+        database = paper_example_database()
+        table, array = self._direct(database, MIN_SUPPORT)
+        with ServingStore(store_path) as store:
+            for items in ([1], [3, 4], [1, 2, 3], [2, 9], [7], [1, 2, 3, 4]):
+                assert store.support(items) == itemset_support(
+                    array, table, items
+                ), items
+
+    def test_top_k_matches_direct(self, store_path):
+        database = paper_example_database()
+        table, array = self._direct(database, MIN_SUPPORT)
+        with ServingStore(store_path) as store:
+            for k in (1, 3, 10, 50):
+                expected = [
+                    (table.ranks_to_items(ranks), support)
+                    for ranks, support in mine_top_k(array, k)
+                ]
+                assert store.top_k(k) == expected, k
+
+    def test_rules_match_mine_rules(self, store_path):
+        database = paper_example_database()
+        expected = mine_rules(database, MIN_SUPPORT, min_confidence=0.6)
+        with ServingStore(store_path) as store:
+            assert store.rules(min_confidence=0.6) == expected
+            # The cache serves the identical object on a repeat query.
+            assert store.rules(min_confidence=0.6) is store.rules(
+                min_confidence=0.6
+            )
+
+    def test_also_bought_subsets_rules(self, store_path):
+        with ServingStore(store_path) as store:
+            recommended = store.also_bought([1], limit=3, min_confidence=0.5)
+            assert len(recommended) <= 3
+            for rule in recommended:
+                assert set(rule.antecedent) <= {1}
+                assert 1 not in rule.consequent
+
+    @settings(max_examples=20, deadline=None)
+    @given(database=db_strategy, seed=st.integers(0, 5))
+    def test_support_property(self, database, seed, tmp_path_factory):
+        import random as random_module
+
+        path = tmp_path_factory.mktemp("stores") / "db.cfpa"
+        try:
+            build_store(database, 2, path)
+        except Exception:
+            # Databases with no frequent items cannot be built into a
+            # store; that is the build pipeline's concern, not serving's.
+            return
+        table, array = self._direct(database, 2)
+        rng = random_module.Random(seed)
+        universe = list(range(0, 10))
+        with ServingStore(path) as store:
+            for _ in range(8):
+                items = rng.sample(universe, rng.randint(1, 3))
+                assert store.support(items) == itemset_support(
+                    array, table, items
+                )
+
+
+class TestConcurrentStoreAccess:
+    def test_threaded_queries_agree(self, tmp_path):
+        import threading
+
+        database = random_database(seed=3, n_transactions=80)
+        path = tmp_path / "rand.cfpa"
+        build_store(database, 3, path)
+        with ServingStore(path, pool_pages=2, cache_budget=1 << 12) as store:
+            queries = [[1], [2, 3], [0, 1, 2], [5], [1, 4]]
+            expected = [store.support(items) for items in queries]
+            failures: list[str] = []
+
+            def worker() -> None:
+                for _ in range(20):
+                    for items, want in zip(queries, expected):
+                        got = store.support(items)
+                        if got != want:  # pragma: no cover - failure path
+                            failures.append(f"{items}: {got} != {want}")
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures

@@ -107,13 +107,30 @@ class TestCompareReports:
         current, __ = self._reports(before_s=1.0, after_s=9.0)
         assert bench.compare_reports(current, {"datasets": {}}, 0.3) == []
 
+    def test_serving_p99_regression_flagged(self):
+        current = {"datasets": {}, "serving": {"p50_ms": 1.0, "p99_ms": 900.0}}
+        previous = {"datasets": {}, "serving": {"p50_ms": 1.0, "p99_ms": 100.0}}
+        regressions = bench.compare_reports(current, previous, tolerance=0.3)
+        assert len(regressions) == 1 and "serving/p99" in regressions[0]
+
+    def test_serving_leg_skipped_when_absent(self):
+        # A v2 baseline has no serving entry; the gate must not trip.
+        current = {"datasets": {}, "serving": {"p50_ms": 1.0, "p99_ms": 900.0}}
+        assert bench.compare_reports(current, {"datasets": {}}, 0.3) == []
+
+    def test_serving_jitter_under_noise_floor_ignored(self):
+        # +300% but only 30ms of absolute p99 movement: loopback noise.
+        current = {"datasets": {}, "serving": {"p99_ms": 40.0}}
+        previous = {"datasets": {}, "serving": {"p99_ms": 10.0}}
+        assert bench.compare_reports(current, previous, 0.3) == []
+
 
 class TestMain:
     def test_quick_run_writes_report_and_passes(self, tmp_path, capsys):
         # A real (tiny, via --datasets) end-to-end run through the CLI glue.
         code = bench.main(
             ["--quick", "--datasets", "retail", "--jobs", "1,2",
-             "--output-dir", str(tmp_path), "--no-compare"]
+             "--output-dir", str(tmp_path), "--no-compare", "--no-serving"]
         )
         assert code == 0
         assert list(tmp_path.glob("BENCH_*.json"))
@@ -136,7 +153,7 @@ class TestMain:
         baseline_path.write_text(json.dumps(baseline))
         code = bench.main(
             ["--quick", "--datasets", "kosarak",
-             "--jobs", "1", "--output-dir", str(tmp_path),
+             "--jobs", "1", "--output-dir", str(tmp_path), "--no-serving",
              "--baseline", str(baseline_path), "--tolerance", "0.0"]
         )
         assert code == 1
@@ -162,6 +179,75 @@ class TestMain:
         summary = bench.format_summary(report)
         assert "paper" in summary and "random" in summary
         assert "peak RSS" in summary
+
+
+class TestServingLeg:
+    def test_report_entry_shape_and_parity(self):
+        report = bench.run_bench(
+            jobs=(1,),
+            build_jobs=(1,),
+            datasets={"random": (random_database(5, n_transactions=80), 3)},
+            serving=True,
+        )
+        serving = report["serving"]
+        assert serving["dataset"] == "random"
+        assert serving["clients"] == bench.SERVING_CLIENTS
+        assert serving["requests"] == serving["clients"] * 16
+        # The load run doubles as a correctness run.
+        assert serving["errors"] == 0
+        assert serving["mismatches"] == 0
+        assert serving["p50_ms"] <= serving["p99_ms"] <= serving["max_ms"]
+        assert serving["support_queries"] > 0
+        assert serving["support_columnar_s"] >= 0
+        assert serving["support_per_node_s"] >= 0
+
+    def test_cli_runs_serving_leg_by_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(
+            bench.DATASETS, "paper", lambda quick: (paper_example_database(), 2)
+        )
+        code = bench.main(
+            ["--quick", "--datasets", "paper", "--jobs", "1",
+             "--build-jobs", "1", "--output-dir", str(tmp_path), "--no-compare"]
+        )
+        assert code == 0
+        assert "serving[paper]" in capsys.readouterr().out
+        report = json.loads(next(tmp_path.glob("BENCH_*.json")).read_text())
+        assert report["serving"]["errors"] == 0
+
+    def test_serving_off_by_default(self):
+        report = bench.run_bench(
+            jobs=(1,),
+            build_jobs=(1,),
+            datasets={"paper": (paper_example_database(), 2)},
+        )
+        assert "serving" not in report
+
+    def test_summary_renders_serving_line(self):
+        report = {
+            "created_utc": "now",
+            "machine": {"platform": "p", "cpus": 1},
+            "datasets": {},
+            "peak_rss_kb": 1,
+            "serving": {
+                "dataset": "random",
+                "clients": 64,
+                "requests_per_client": 4,
+                "rps": 1000.0,
+                "p50_ms": 1.0,
+                "p99_ms": 2.0,
+                "pool_hits": 10,
+                "pool_faults": 1,
+                "errors": 0,
+                "mismatches": 0,
+                "support_queries": 32,
+                "support_columnar_s": 0.01,
+                "support_per_node_s": 0.1,
+                "support_speedup": 10.0,
+            },
+        }
+        summary = bench.format_summary(report)
+        assert "serving[random]" in summary
+        assert "support kernel" in summary and "10.0x" in summary
 
 
 class TestTraceOverhead:
@@ -210,7 +296,7 @@ class TestMineFloors:
         )
         code = bench.main(
             ["--quick", "--datasets", "paper", "--jobs", "1",
-             "--build-jobs", "1", "--output-dir", str(tmp_path),
+             "--build-jobs", "1", "--output-dir", str(tmp_path), "--no-serving",
              "--no-compare", "--mine-floor", "paper=1e12"]
         )
         assert code == 1

@@ -59,6 +59,28 @@ class TestPaperExample:
             support_in_cfp_array(array, [])
 
 
+def support_per_node_reference(array, ranks):
+    """The pre-columnar implementation of ``support_in_cfp_array``.
+
+    Per-node sideward scan plus one ``path_ranks`` backward walk per node —
+    kept verbatim as the parity reference for the columnar port (the real
+    implementation now goes through ``prefix_paths``, and INV008 forbids
+    this shape in ``repro.util.queries``).
+    """
+    wanted = sorted(set(ranks))
+    if wanted[0] < 1 or wanted[-1] > array.n_ranks:
+        return 0
+    least = wanted[-1]
+    others = set(wanted[:-1])
+    support = 0
+    for local, __, __, count in array.iter_subarray(least):
+        if not others:
+            support += count
+        elif others <= set(array.path_ranks(least, local)):
+            support += count
+    return support
+
+
 class TestProperties:
     @settings(max_examples=30, deadline=None)
     @given(
@@ -70,3 +92,34 @@ class TestProperties:
         expected = sum(1 for t in database if items <= set(t))
         assert itemset_support(fp, table, items) == expected
         assert itemset_support(array, table, items) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        db_strategy,
+        st.sets(st.integers(min_value=-2, max_value=12), min_size=1, max_size=5),
+    )
+    def test_columnar_port_matches_per_node_walk(self, database, ranks):
+        """The columnar query is count-identical to the old per-node walk."""
+        table, __, array = build(database)
+        if not table:
+            return
+        # Exercise out-of-range ranks too: both paths must agree on 0.
+        assert support_in_cfp_array(array, ranks) == support_per_node_reference(
+            array, ranks
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        db_strategy,
+        st.sets(st.integers(min_value=1, max_value=8), min_size=2, max_size=4),
+    )
+    def test_columnar_port_matches_with_cache_enabled(self, database, ranks):
+        """Memoized resolve (cache on) changes nothing about the counts."""
+        table, __, array = build(database)
+        if not table:
+            return
+        array.set_cache_budget(1 << 16)
+        first = support_in_cfp_array(array, ranks)
+        # Repeat: served from the memo/cache, must still agree.
+        assert support_in_cfp_array(array, ranks) == first
+        assert first == support_per_node_reference(array, ranks)

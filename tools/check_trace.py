@@ -9,8 +9,9 @@ Checks, per file:
   ``id``, a ``parent`` that is ``null`` or another span's id, and
   non-negative ``t0``/``dur`` (children close before their parents, so a
   span's parent may legitimately appear *later* in the file);
-* metric lines name a ``counter`` or ``gauge`` with a numeric value and
-  appear only after all span lines;
+* metric lines name a ``counter`` or ``gauge`` with a numeric value — or
+  a ``histogram`` whose value is a summary object of numeric fields
+  including a ``count`` — and appear only after all span lines;
 * no unknown record types.
 
 Usage::
@@ -39,7 +40,7 @@ _SPAN_KEYS = {
     "attrs": dict,
 }
 
-_METRIC_KINDS = ("counter", "gauge")
+_METRIC_KINDS = ("counter", "gauge", "histogram")
 
 
 def _check_span(line_no: int, record: dict, problems: list[str]) -> int | None:
@@ -113,14 +114,28 @@ def validate_trace(path: str | Path) -> list[str]:
                 spans[span_id] = record.get("parent")
         elif kind == "metric":
             seen_metric = True
-            if record.get("kind") not in _METRIC_KINDS:
+            metric_kind = record.get("kind")
+            if metric_kind not in _METRIC_KINDS:
                 problems.append(
                     f"line {line_no}: metric kind must be one of {_METRIC_KINDS}"
                 )
             if not isinstance(record.get("name"), str):
                 problems.append(f"line {line_no}: metric name must be a string")
             value = record.get("value")
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
+            if metric_kind == "histogram":
+                if (
+                    not isinstance(value, dict)
+                    or not isinstance(value.get("count"), int)
+                    or not all(
+                        isinstance(v, (int, float)) and not isinstance(v, bool)
+                        for v in value.values()
+                    )
+                ):
+                    problems.append(
+                        f"line {line_no}: histogram value must be a summary "
+                        "object of numeric fields with an int 'count'"
+                    )
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
                 problems.append(f"line {line_no}: metric value must be numeric")
         else:
             problems.append(f"line {line_no}: unknown record type {kind!r}")
