@@ -11,6 +11,10 @@ level of the on-disk format without trusting the loaders' happy path:
   sane (``STO004``/``STO012``/``STO013``),
 * page checksums: every content page's CRC32 matches the version-2
   trailer (``STO010``),
+* partitioned (v3) arrays: the partition manifest is consistent —
+  contiguous rank coverage, byte extents matching the item index,
+  non-overlapping page extents (``STO006``) — and every partition's
+  manifest CRC32 matches its payload (``STO011``),
 * deep structure (``deep=True``): the payload is handed to the format
   checkers — :mod:`repro.analysis.arraycheck` for CFP-arrays (``ARR0xx``
   codes), arena restore plus :func:`repro.core.validate.validate_tree`
@@ -42,12 +46,16 @@ from repro.storage.bufferpool import BufferPool
 from repro.storage.cfp_store import (
     _ARRAY_MAGIC,
     _TREE_MAGIC,
+    PARTITIONED_FORMAT_VERSION,
     SUPPORTED_VERSIONS,
+    PartitionInfo,
     StorageFormatError,
     TreeHeader,
     _header_pages,
+    _parse_partition_manifest,
     iter_checksum_mismatches,
     pages_needed,
+    read_partition_bytes,
     restore_tree,
     trailer_pages,
 )
@@ -168,29 +176,62 @@ def _check_array_file(
         report.add("STO003", f"unsupported CFP-array version {version}")
         return
     report.checksummed = version >= 2
+    n_partitions = 0
+    if version >= PARTITIONED_FORMAT_VERSION:
+        n_partitions = struct.unpack_from("<I", first, 8)[0]
     n_ranks, buffer_len = struct.unpack_from("<QQ", first, 12)
-    header_pages = _header_pages(n_ranks)
+    header_pages = _header_pages(n_ranks, n_partitions)
     if header_pages > pagefile.page_count:
         report.add(
             "STO004",
-            f"header ({header_pages} pages for {n_ranks} ranks) exceeds "
-            f"the file ({pagefile.page_count} pages)",
+            f"header ({header_pages} pages for {n_ranks} ranks, "
+            f"{n_partitions} partitions) exceeds the file "
+            f"({pagefile.page_count} pages)",
         )
         return
     header = _read_pages(pagefile, 0, header_pages)
     starts = list(struct.unpack_from(f"<{n_ranks + 2}Q", header, 28))
-    content_pages = header_pages + pages_needed(buffer_len)
+    partitions: tuple[PartitionInfo, ...] = ()
+    if version >= PARTITIONED_FORMAT_VERSION:
+        try:
+            partitions = _parse_partition_manifest(
+                header, n_ranks, n_partitions, starts, header_pages
+            )
+        except StorageFormatError as exc:
+            report.add("STO006", str(exc))
+            return
+        content_pages = header_pages + sum(part.pages for part in partitions)
+    else:
+        content_pages = header_pages + pages_needed(buffer_len)
     payload_readable = _check_geometry(pagefile, report, content_pages)
     if not deep or not payload_readable:
         return
-    payload = _read_pages(pagefile, header_pages, content_pages)
-    if buffer_len > len(payload):
-        report.add(
-            "STO005",
-            f"declared buffer length {buffer_len} exceeds the "
-            f"{len(payload)} payload bytes on disk",
-        )
-        return
+    if version >= PARTITIONED_FORMAT_VERSION:
+        # Reassemble the buffer in rank order, verifying each partition's
+        # manifest CRC on top of the page-checksum trailer above.
+        assembled = bytearray(buffer_len)
+        corrupt = False
+        for part in partitions:
+            try:
+                data = read_partition_bytes(pagefile, part)
+            except StorageFormatError as exc:
+                report.add("STO011", str(exc))
+                corrupt = True
+                continue
+            lo = starts[part.first_rank]
+            assembled[lo : lo + part.byte_len] = data
+        if corrupt:
+            return
+        payload = bytes(assembled)
+    else:
+        payload = _read_pages(pagefile, header_pages, content_pages)
+        if buffer_len > len(payload):
+            report.add(
+                "STO005",
+                f"declared buffer length {buffer_len} exceeds the "
+                f"{len(payload)} payload bytes on disk",
+            )
+            return
     array_report = check_array_parts(n_ranks, payload[:buffer_len], starts)
     report.array_report = array_report
     report.diagnostics.extend(array_report.diagnostics)
@@ -302,11 +343,12 @@ def check_bufferpool(pool: BufferPool) -> DiagnosticSink:
         if page_no not in resident_set:
             sink.add("BUF002", f"page {page_no} is pinned but not resident")
     stats = pool.stats
-    if stats.faults - stats.evictions != len(resident):
+    if stats.faults + stats.prefetched - stats.evictions != len(resident):
         sink.add(
             "BUF003",
-            f"faults {stats.faults} minus evictions {stats.evictions} "
-            f"does not equal the {len(resident)} resident pages",
+            f"faults {stats.faults} plus prefetched {stats.prefetched} "
+            f"minus evictions {stats.evictions} does not equal the "
+            f"{len(resident)} resident pages",
         )
     page_count = pool.pagefile.page_count
     for page_no in resident:

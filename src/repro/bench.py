@@ -51,9 +51,11 @@ from repro.util.items import prepare_transactions
 #: v2 adds the per-jobs ``build`` map (parallel build phase) next to the
 #: serial ``build_s``/``convert_s`` scalars, which remain for comparability
 #: with v1 reports. v3 adds the top-level ``serving`` leg (query-server
-#: load run + columnar-vs-per-node support kernel comparison); reports
-#: without it still compare on everything else.
-SCHEMA_VERSION = 3
+#: load run + columnar-vs-per-node support kernel comparison); v4 adds the
+#: top-level ``outofcore`` leg (partitioned mine at a >=10x memory ratio,
+#: gated on wall time *and* bytes read). Reports without a leg still
+#: compare on everything else.
+SCHEMA_VERSION = 4
 
 #: Regressions smaller than this many seconds are ignored regardless of
 #: ratio — they are timer jitter, not performance.
@@ -240,6 +242,118 @@ def measure_trace_overhead(
 
 
 # ----------------------------------------------------------------------
+# Out-of-core leg: partitioned mine at a >=10x memory ratio
+# ----------------------------------------------------------------------
+
+#: The out-of-core leg mines with at most ``array_bytes / OUTOFCORE_RATIO``
+#: bytes of budget — the headline configuration the tiered store exists for.
+OUTOFCORE_RATIO = 10
+
+
+def _quest_ooc(quick: bool) -> tuple[list[list[int]], int]:
+    """Dedicated out-of-core dataset: wide vocabulary, low sharing.
+
+    Larger than the regular bench datasets on purpose — the leg needs the
+    CFP-array to dwarf a multiple-page budget even in ``--quick`` runs
+    (~130 KiB quick, ~700 KiB full), or the 10x ratio would shrink the
+    pool below the two-page minimum.
+    """
+    scale = 4_000 if quick else 20_000
+    generator = QuestGenerator(
+        n_transactions=scale,
+        avg_transaction_length=12.0,
+        avg_pattern_length=4.0,
+        n_items=900 if quick else 2_000,
+        n_patterns=250 if quick else 500,
+        seed=202,
+    )
+    return generator.generate(), max(2, scale // 400)
+
+
+def bench_outofcore(database: list[list[int]], min_support: int) -> dict:
+    """Mine one dataset in-core and partitioned-out-of-core; compare.
+
+    The budget is ``array_bytes / OUTOFCORE_RATIO`` (floored at three
+    pages) and splits the way :func:`repro.budget.mine_with_budget` does:
+    a quarter pins the hot set, the rest backs the pool, partitions sized
+    to half the pool. The leg is a correctness gate as much as a perf
+    probe: the partitioned itemsets must be identical to the in-core
+    mine's, and the prefetcher must actually hit (``prefetch_hits > 0``)
+    or the read-ahead machinery has silently stopped earning its thread.
+    """
+    import tempfile
+
+    from repro.fptree.growth import ListCollector
+    from repro.storage import (
+        PAGE_SIZE,
+        PartitionedCfpArray,
+        save_cfp_array_partitioned,
+    )
+    from repro.core.cfp_growth import mine_array_partitioned
+
+    table, transactions = prepare_transactions(database, min_support)
+    tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
+    array = convert(tree)
+    del tree
+    array_bytes = array.memory_bytes
+    nodes = array.node_count
+    array.set_cache_budget(DEFAULT_CACHE_BUDGET)
+
+    reference = ListCollector()
+    started = time.perf_counter()
+    mine_array(array, min_support, reference)
+    incore_wall = time.perf_counter() - started
+
+    budget = max(3 * PAGE_SIZE, array_bytes // OUTOFCORE_RATIO)
+    hot_bytes = budget // 4
+    pool_budget = budget - hot_bytes
+    pool_pages = max(2, pool_budget // PAGE_SIZE)
+    partition_bytes = max(PAGE_SIZE, pool_budget // 2)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ooc-") as tmp:
+        path = f"{tmp}/ooc.cfpa"
+        save_cfp_array_partitioned(array, path, partition_bytes=partition_bytes)
+        with PartitionedCfpArray(
+            path, pool_pages=pool_pages, hot_bytes=hot_bytes
+        ) as disk:
+            got = ListCollector()
+            started = time.perf_counter()
+            mine_array_partitioned(disk, min_support, got)
+            wall = time.perf_counter() - started
+            disk.prefetch_drain()
+            stats = disk.pool.stats
+            entry = {
+                "transactions": len(database),
+                "min_support": min_support,
+                "nodes": nodes,
+                "array_bytes": array_bytes,
+                "budget_bytes": budget,
+                "ratio": round(array_bytes / budget, 2),
+                "hot_bytes": disk.hot_bytes,
+                "pool_pages": pool_pages,
+                "partitions": len(disk.partitions),
+                "incore_wall_s": round(incore_wall, 4),
+                "wall_s": round(wall, 4),
+                "nodes_per_s": round(nodes / wall) if wall > 0 else None,
+                "slowdown": (
+                    round(wall / incore_wall, 2) if incore_wall > 0 else None
+                ),
+                "faults": stats.faults,
+                "bytes_read": stats.bytes_read,
+                "prefetched": stats.prefetched,
+                "prefetch_hits": stats.prefetch_hits,
+                "prefetch_hit_rate": (
+                    round(stats.prefetch_hits / stats.prefetched, 3)
+                    if stats.prefetched
+                    else 0.0
+                ),
+                "identical": got.itemsets == reference.itemsets,
+                "itemsets": len(got.itemsets),
+            }
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Serving leg: query-server load + support-kernel comparison
 # ----------------------------------------------------------------------
 
@@ -362,6 +476,7 @@ def run_bench(
     datasets: dict[str, tuple[list[list[int]], int]] | None = None,
     build_jobs: Iterable[int] = DEFAULT_BUILD_JOBS,
     serving: bool = False,
+    outofcore: bool = False,
 ) -> dict:
     """Run the benchmark suite and return the report dict.
 
@@ -408,6 +523,12 @@ def run_bench(
             requests_per_client=4 if quick else 16,
         )
         report["serving"]["dataset"] = first
+    if outofcore:
+        # Dedicated dataset: the leg needs an array that dwarfs the
+        # budget, which the regular bench datasets do not in --quick.
+        database, min_support = _quest_ooc(quick)
+        report["outofcore"] = bench_outofcore(database, min_support)
+        report["outofcore"]["dataset"] = "quest-ooc"
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 
@@ -501,6 +622,26 @@ def compare_reports(current: dict, previous: dict, tolerance: float = 0.3) -> li
             f"serving/{quantile[:-3]}",
             _ms_to_s(now_serving.get(quantile)),
             _ms_to_s(before_serving.get(quantile)),
+        )
+    # Out-of-core leg (schema v4): gate the partitioned mine wall and the
+    # bytes pulled off disk. bytes_read is the access-pattern regression
+    # detector the wall clock cannot see on a fast SSD — a prefetch or
+    # partition-planning bug that re-reads partitions shows up here first.
+    now_ooc = current.get("outofcore") or {}
+    before_ooc = previous.get("outofcore") or {}
+    check("outofcore/mine", now_ooc.get("wall_s"), before_ooc.get("wall_s"))
+    now_bytes = now_ooc.get("bytes_read")
+    before_bytes = before_ooc.get("bytes_read")
+    if (
+        isinstance(now_bytes, (int, float))
+        and isinstance(before_bytes, (int, float))
+        and before_bytes > 0
+        and now_bytes > before_bytes * (1.0 + tolerance)
+    ):
+        regressions.append(
+            f"outofcore/bytes_read: {now_bytes:,.0f} vs {before_bytes:,.0f} "
+            f"(+{(now_bytes / before_bytes - 1.0) * 100.0:.0f}%, "
+            f"tolerance {tolerance:.0%})"
         )
     return regressions
 
@@ -607,6 +748,20 @@ def format_summary(report: dict) -> str:
                 f"vs per-node {serving['support_per_node_s']:.4f}s over "
                 f"{serving['support_queries']} queries ({speedup:.1f}x)"
             )
+    outofcore = report.get("outofcore")
+    if outofcore:
+        lines.append(
+            f"outofcore[{outofcore.get('dataset', '?')}]: "
+            f"{outofcore['array_bytes']:,}B array / "
+            f"{outofcore['budget_bytes']:,}B budget "
+            f"({outofcore['ratio']:.1f}x) -> mine {outofcore['wall_s']:.3f}s "
+            f"({outofcore['slowdown'] or 0:.1f}x in-core, "
+            f"{outofcore['nodes_per_s'] or 0:,} nodes/s)  "
+            f"read {outofcore['bytes_read']:,}B in {outofcore['faults']} "
+            f"faults + {outofcore['prefetched']} prefetched "
+            f"(hit-rate {outofcore['prefetch_hit_rate']:.0%}); "
+            f"identical={outofcore['identical']}"
+        )
     lines.append(f"peak RSS: {report['peak_rss_kb']:,} KiB")
     return "\n".join(lines)
 
@@ -664,6 +819,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-serving",
         action="store_true",
         help="skip the query-server load leg (docs/serving.md)",
+    )
+    parser.add_argument(
+        "--no-outofcore",
+        action="store_true",
+        help="skip the partitioned out-of-core mine leg (docs/performance.md)",
     )
     parser.add_argument(
         "--mine-floor",
@@ -736,6 +896,7 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             build_jobs=build_jobs,
             serving=not args.no_serving,
+            outofcore=not args.no_outofcore,
         )
     finally:
         if tracer is not None:
@@ -767,6 +928,25 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    outofcore = report.get("outofcore") or {}
+    if outofcore:
+        if not outofcore.get("identical", False):
+            print(
+                "error: out-of-core leg mined different itemsets than the "
+                "in-core reference",
+                file=sys.stderr,
+            )
+            return 1
+        if not outofcore.get("prefetch_hits"):
+            # The leg must demonstrate read-ahead actually working, not
+            # just surviving: zero hits means the prefetcher died or the
+            # partition schedule stopped feeding it.
+            print(
+                "error: out-of-core leg recorded no prefetch hits "
+                "(read-ahead is not reaching the pool before demand does)",
+                file=sys.stderr,
+            )
+            return 1
     serving = report.get("serving") or {}
     if serving.get("errors") or serving.get("mismatches"):
         # The load run is also a correctness run: every response was

@@ -15,13 +15,15 @@ import tempfile
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.core.cfp_growth import mine_array
+from repro.core.cfp_growth import mine_array, mine_array_partitioned
 from repro.core.conversion import convert
 from repro.core.ternary import TernaryCfpTree
 from repro.errors import ExperimentError
 from repro.fptree.growth import ListCollector
 from repro.storage import DiskCfpArray, save_cfp_array
+from repro.storage.cfp_store import save_cfp_array_partitioned
 from repro.storage.pagefile import PAGE_SIZE
+from repro.storage.partitioned import PartitionedCfpArray
 from repro.util.items import TransactionDatabase, prepare_transactions
 
 #: Below this many pool pages out-of-core mining cannot make progress
@@ -77,6 +79,10 @@ class BudgetReport:
     went_out_of_core: bool
     pool_pages: int = 0
     page_faults: int = 0
+    partitions: int = 0
+    hot_bytes: int = 0
+    prefetch_hits: int = 0
+    bytes_read: int = 0
 
 
 def mine_with_budget(
@@ -84,12 +90,23 @@ def mine_with_budget(
     min_support: int,
     memory_budget: int,
     spill_dir: str | os.PathLike | None = None,
+    *,
+    partitioned: bool = True,
 ) -> tuple[list[tuple[tuple[Hashable, ...], int]], BudgetReport]:
     """Mine within ``memory_budget`` bytes for the *initial* structures.
 
     Conditional structures during mining are not charged against the
     budget (they are transient and small relative to the initial array;
     §3.5). Returns the itemsets and a report of the decision.
+
+    Out-of-core spills default to the partitioned tiered store (format
+    v3): the budget splits into a pinned hot set of the most frequent
+    ranks (a quarter), with the rest backing the buffer pool; partitions
+    are sized to half the pool so the active partition and its read-ahead
+    co-reside, and the mine proceeds partition-at-a-time with background
+    sequential prefetch. ``partitioned=False`` keeps the legacy
+    monolithic spill (:class:`DiskCfpArray`, random pool reads) — the
+    §4.3 access-pattern baseline the experiments still measure.
     """
     if memory_budget < MIN_POOL_PAGES * PAGE_SIZE:
         raise ExperimentError(
@@ -111,6 +128,43 @@ def mine_with_budget(
             array_bytes=array_bytes,
             went_out_of_core=False,
         )
+    elif partitioned:
+        # Tiered split: a quarter of the budget pins the hot set (the
+        # most frequent ranks, which every ancestor walk lands in), the
+        # rest backs the buffer pool. Partitions at half the pool let the
+        # active partition and its read-ahead co-reside.
+        hot_bytes = memory_budget // 4
+        pool_budget = memory_budget - hot_bytes
+        pool_pages = max(MIN_POOL_PAGES, pool_budget // PAGE_SIZE)
+        partition_bytes = max(PAGE_SIZE, pool_budget // 2)
+        handle, path = tempfile.mkstemp(
+            suffix=".cfpa", dir=os.fspath(spill_dir) if spill_dir else None
+        )
+        os.close(handle)
+        try:
+            save_cfp_array_partitioned(
+                array, path, partition_bytes=partition_bytes
+            )
+            del array
+            with PartitionedCfpArray(
+                path, pool_pages=pool_pages, hot_bytes=hot_bytes
+            ) as disk:
+                mine_array_partitioned(disk, min_support, collector)
+                stats = disk.pool.stats
+                report = BudgetReport(
+                    budget_bytes=memory_budget,
+                    tree_bytes=tree_bytes,
+                    array_bytes=array_bytes,
+                    went_out_of_core=True,
+                    pool_pages=pool_pages,
+                    page_faults=stats.faults,
+                    partitions=len(disk.partitions),
+                    hot_bytes=disk.hot_bytes,
+                    prefetch_hits=stats.prefetch_hits,
+                    bytes_read=stats.bytes_read,
+                )
+        finally:
+            os.unlink(path)
     else:
         pool_pages = max(MIN_POOL_PAGES, memory_budget // PAGE_SIZE)
         handle, path = tempfile.mkstemp(

@@ -10,6 +10,7 @@ Usage (after installation)::
     python -m repro stats out.jsonl          # per-phase trace summary
     python -m repro convert data.fimi data.bin
     python -m repro check tree.cfpt array.cfpa
+    python -m repro compact array.cfpa --threshold 0.25
     python -m repro experiment table1
     python -m repro bench --quick
     python -m repro serve data.fimi --min-support 100 --port 7171
@@ -255,6 +256,47 @@ def _cmd_check_static(args) -> int:
     return staticcheck.EXIT_FINDINGS if findings else staticcheck.EXIT_CLEAN
 
 
+def _cmd_compact(args) -> int:
+    """Repack fragmented partitioned stores (``repro compact``)."""
+    from repro.storage.cfp_store import DEFAULT_PARTITION_BYTES
+    from repro.storage.compaction import compact_store, store_fragmentation
+    from repro.storage.placement import get_placement
+
+    placement = get_placement(args.placement, args.generation)
+    partition_bytes = args.partition_bytes or DEFAULT_PARTITION_BYTES
+    exit_code = 0
+    for path in args.paths:
+        if args.dry_run:
+            fragmentation, n_parts = store_fragmentation(path)
+            action = (
+                "would compact" if fragmentation > args.threshold else "ok"
+            )
+            print(
+                f"{path}: {fragmentation:.1%} slack, {n_parts} partitions "
+                f"({action})"
+            )
+            continue
+        report = compact_store(
+            path,
+            partition_bytes=partition_bytes,
+            placement=placement,
+            threshold=args.threshold,
+        )
+        if report.ran:
+            print(
+                f"{path}: compacted {report.partitions_before} -> "
+                f"{report.partitions_after} partitions "
+                f"({report.fragmentation:.1%} slack, "
+                f"{report.bytes_written:,} bytes written)"
+            )
+        else:
+            print(
+                f"{path}: left alone ({report.fragmentation:.1%} slack, "
+                f"{report.partitions_before} partitions)"
+            )
+    return exit_code
+
+
 def _cmd_bench(args) -> int:  # pragma: no cover - dispatched early in main()
     from repro import bench
 
@@ -272,7 +314,12 @@ def _cmd_serve(args) -> int:
     else:
         database = _load(args.file)
         array_path = args.store or args.file + ".cfpa"
-        size = build_store(database, args.min_support, array_path)
+        size = build_store(
+            database,
+            args.min_support,
+            array_path,
+            partition_bytes=args.partition_bytes or None,
+        )
         print(
             f"# built store: {size:,} bytes -> {array_path} "
             f"(+ {sidecar_path(array_path)})",
@@ -317,6 +364,7 @@ def _cmd_serve(args) -> int:
             array_path,
             pool_pages=args.pool_pages,
             cache_budget=args.cache_budget,
+            hot_bytes=args.hot_bytes,
         ) as store:
             asyncio.run(_run())
     return 0
@@ -430,6 +478,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.set_defaults(func=_cmd_check)
 
+    compact = sub.add_parser(
+        "compact",
+        help="repack fragmented partitioned (v3) CFP-array stores",
+    )
+    compact.add_argument("paths", nargs="+", help="partitioned .cfpa stores")
+    compact.add_argument(
+        "--partition-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="target partition payload size (default 64 pages)",
+    )
+    compact.add_argument(
+        "--placement",
+        choices=("append", "round-robin"),
+        default="append",
+        help="write-placement policy for the rewritten payloads",
+    )
+    compact.add_argument(
+        "--generation",
+        type=int,
+        default=0,
+        help="placement generation (rotates round-robin start; default 0)",
+    )
+    compact.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="only rewrite above this slack fraction (default 0 = always)",
+    )
+    compact.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report fragmentation without rewriting",
+    )
+    compact.set_defaults(func=_cmd_compact)
+
     serve = sub.add_parser(
         "serve",
         help="run the itemset query server over a built store (docs/serving.md)",
@@ -449,6 +535,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--build-only",
         action="store_true",
         help="build the store and exit without serving",
+    )
+    serve.add_argument(
+        "--partition-bytes",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="build the store in the partitioned (v3) format with this "
+        "target partition payload size (default: monolithic v2)",
+    )
+    serve.add_argument(
+        "--hot-bytes",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="pin the most frequent ranks' subarrays in memory "
+        "(partitioned stores only; default 0)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7171)

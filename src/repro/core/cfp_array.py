@@ -104,15 +104,34 @@ class DecodedSubarray:
             }
         return by_local.get(local)
 
+    @property
+    def decoded_bytes(self) -> int:
+        """Resident size of the four decoded columns, for cache accounting.
+
+        ``nbytes`` for numpy-backed columns, ``len * itemsize`` for
+        ``array('q')`` columns (both 8 bytes per element) — what the entry
+        actually holds in memory, which is a constant factor larger than
+        the varint encoding it was decoded from.
+        """
+        total = 0
+        for column in (self.locals, self.delta_items, self.dposes, self.counts):
+            nbytes = getattr(column, "nbytes", None)
+            if nbytes is None:
+                nbytes = len(column) * getattr(column, "itemsize", 8)
+            total += int(nbytes)
+        return total
+
 
 class _SubarrayCache:
     """Byte-budgeted LRU cache of bulk-decoded subarrays, keyed by rank.
 
-    The *charge* of an entry is the subarray's **encoded** byte length — the
-    quantity the item index already knows — so the budget reads as "cache at
-    most N bytes worth of CFP-array". The decoded triples occupy a constant
-    factor more Python memory than their encoding; the budget is a knob, not
-    an exact accounting (see docs/performance.md).
+    The *charge* of an entry is the subarray's **decoded** column size
+    (:attr:`DecodedSubarray.decoded_bytes`) — what the entry actually
+    keeps resident — so the budget bounds real cache memory. It used to
+    be the encoded varint length, which undercounted residency by the
+    decode expansion factor (~6-8×) and let the cache blow through its
+    budget under columnar reads; budgets were rebased when the accounting
+    was fixed (see docs/performance.md).
 
     Thread-safe: recency, eviction and the byte/stat accounting mutate
     under one lock. Batch mining never shares an array across threads
@@ -349,7 +368,7 @@ class CfpArray:
             )
         )
         if cache is not None:
-            cache.put(rank, entry, self.starts[rank + 1] - self.starts[rank])
+            cache.put(rank, entry, entry.decoded_bytes)
         return entry
 
     def decode_subarray(self, rank: int) -> tuple[Triple, ...]:

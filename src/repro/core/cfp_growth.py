@@ -101,6 +101,35 @@ def mine_array(
         meter.flush_mine_scans()
 
 
+def mine_array_partitioned(
+    array: Any,
+    min_support: int,
+    collector: SupportCollector,
+    meter: Any = None,
+) -> None:
+    """Partition-at-a-time mine loop over a partitioned (v3) CFP-array.
+
+    ``array`` is a :class:`repro.storage.partitioned.PartitionedCfpArray`
+    (typed structurally — core must not import storage): it adds
+    ``partitions_descending`` / ``begin_partition`` /
+    ``active_ranks_in_partition`` on top of the :class:`CfpArray`
+    traversal interface. Partitions are visited in descending rank order
+    and ranks descending within each, which concatenates to exactly
+    :func:`mine_array`'s global least-frequent-first order — the output
+    is byte-identical to the monolithic mine. ``begin_partition`` hands
+    the scheduler's next-partition hint to the array's background
+    prefetcher before the active partition is scanned, so sequential
+    read-ahead overlaps the columnar mine work: only the active
+    partition, the read-ahead, and the pinned hot set need be resident.
+    """
+    for part in array.partitions_descending():
+        array.begin_partition(part.index)
+        for rank in array.active_ranks_in_partition(part):
+            mine_rank(array, rank, min_support, collector, (), meter)
+    if meter is not None:
+        meter.flush_mine_scans()
+
+
 def _mine_array_traced(
     array: CfpArray,
     min_support: int,
@@ -261,7 +290,11 @@ def _conditional_tree_reference(
 
 #: Default byte budget of the decoded-subarray LRU cache the mine phase
 #: enables on every CFP-array it creates (see docs/performance.md).
-DEFAULT_CACHE_BUDGET = 1 << 20
+#: Rebased from 1 MiB when the cache switched to charging *decoded*
+#: column bytes (the honest residency, ~6-8× the encoded length): 8 MiB
+#: decoded keeps at least the working set the old encoded-byte budget
+#: effectively cached.
+DEFAULT_CACHE_BUDGET = 8 << 20
 
 
 def mine_rank_transactions(

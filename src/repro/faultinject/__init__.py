@@ -73,6 +73,7 @@ SITES = frozenset(
         "build.worker",
         "checkpoint.write",
         "mine.worker",
+        "pagefile.prefetch",
         "pagefile.read",
         "parallel.attach",
     }

@@ -7,7 +7,9 @@ persists both halves next to each other — the ``.cfpa`` array file via
 the item table (items with supports, in rank order), the build's
 ``min_support``, and the transaction count (needed for rule lift).
 :class:`ServingStore` opens the pair read-only behind one shared
-:class:`repro.storage.BufferPool` (a :class:`repro.storage.PooledCfpArray`)
+:class:`repro.storage.BufferPool` — a
+:class:`repro.storage.PooledCfpArray` for monolithic (v2) stores, a
+:class:`repro.storage.PartitionedCfpArray` for partitioned (v3) ones —
 and exposes the three query families the server serves: itemset support,
 top-k, and "also bought" rule recommendations.
 
@@ -31,7 +33,14 @@ from repro.errors import ReproError
 from repro.fptree.growth import ListCollector
 from repro.mining.topk import mine_top_k
 from repro.rules import Rule, also_bought, generate_rules
-from repro.storage import PooledCfpArray, save_cfp_array
+from repro.storage import (
+    PartitionedCfpArray,
+    PooledCfpArray,
+    save_cfp_array,
+    save_cfp_array_partitioned,
+)
+from repro.storage.cfp_store import PARTITIONED_FORMAT_VERSION, read_array_header
+from repro.storage.pagefile import PageFile
 from repro.util.items import ItemTable, TransactionDatabase, prepare_transactions
 from repro.util.queries import itemset_support
 
@@ -57,18 +66,27 @@ def build_store(
     database: TransactionDatabase,
     min_support: int,
     array_path: str | os.PathLike[str],
+    *,
+    partition_bytes: int | None = None,
 ) -> int:
     """Build and persist a serving store; returns the array file size.
 
     Runs the standard build pipeline (prepare -> CFP-tree -> convert),
     saves the array, and writes the sidecar. The sidecar is written
     *after* the array so a crash mid-build leaves no openable store.
+    ``partition_bytes`` writes the partitioned (v3) format instead of the
+    monolithic v2 file; :class:`ServingStore` opens either.
     """
     table, transactions = prepare_transactions(database, min_support)
     tree = TernaryCfpTree.from_rank_transactions(transactions, len(table))
     array = convert(tree)
     del tree
-    size = save_cfp_array(array, array_path)
+    if partition_bytes is not None:
+        size = save_cfp_array_partitioned(
+            array, array_path, partition_bytes=partition_bytes
+        )
+    else:
+        size = save_cfp_array(array, array_path)
     sidecar = {
         "min_support": table.min_support,
         "n_transactions": len(database),
@@ -101,26 +119,45 @@ class ServingStore:
         *,
         pool_pages: int = DEFAULT_POOL_PAGES,
         cache_budget: int = DEFAULT_CACHE_BUDGET,
+        hot_bytes: int = 0,
         verify: bool = True,
     ) -> None:
         self.path = os.fspath(array_path)
-        meta = self._read_sidecar(sidecar_path(array_path))
+        sidecar = sidecar_path(array_path)
+        meta = self._read_sidecar(sidecar)
+        # The sidecar is parsed into the resident ItemTable, so its size
+        # is long-lived memory the admission controller must see — a store
+        # with a huge vocabulary is not "free" just because the array
+        # pages through the pool.
+        self._sidecar_bytes = os.path.getsize(sidecar)
         try:
             supports = {item: support for item, support in meta["items"]}
         except TypeError:
             raise StoreError(
-                f"{sidecar_path(array_path)}: sidecar items are not hashable"
+                f"{sidecar}: sidecar items are not hashable"
             ) from None
         self.table = ItemTable(meta["min_support"], supports)
         if self.table.fingerprint() != meta["fingerprint"]:
             raise StoreError(
-                f"{sidecar_path(array_path)}: item table does not round-trip "
+                f"{sidecar}: item table does not round-trip "
                 "(fingerprint mismatch); the store must be rebuilt"
             )
         self.n_transactions = meta["n_transactions"]
-        self.array = PooledCfpArray(
-            array_path, pool_pages, cache_budget, verify=verify
-        )
+        with PageFile.open_readonly(array_path) as peek:
+            version = read_array_header(peek).version
+        self.array: PooledCfpArray | PartitionedCfpArray
+        if version >= PARTITIONED_FORMAT_VERSION:
+            self.array = PartitionedCfpArray(
+                array_path,
+                pool_pages,
+                cache_budget,
+                hot_bytes=hot_bytes,
+                verify=verify,
+            )
+        else:
+            self.array = PooledCfpArray(
+                array_path, pool_pages, cache_budget, verify=verify
+            )
         self._rules_lock = threading.Lock()
         self._rules_cache: dict[tuple[float, int | None], list[Rule]] = {}
 
@@ -199,8 +236,13 @@ class ServingStore:
 
     @property
     def resident_bytes(self) -> int:
-        """Long-lived memory the store holds (admission-control input)."""
-        return self.array.memory_bytes
+        """Long-lived memory the store holds (admission-control input).
+
+        Covers the array reader (pool + item index + cache budget + any
+        pinned hot set) *and* the item-table sidecar, whose parsed
+        vocabulary stays resident for the life of the store.
+        """
+        return self.array.memory_bytes + self._sidecar_bytes
 
     def close(self) -> None:
         self.array.close()

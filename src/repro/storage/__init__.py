@@ -6,43 +6,76 @@ accesses are largely sequential. This package makes that concrete with a
 real disk path instead of a cost model:
 
 * :class:`repro.storage.PageFile` — fixed-size pages in a single file,
-* :class:`repro.storage.BufferPool` — an LRU page cache with pin counts
-  and hit/miss/eviction statistics,
-* :mod:`repro.storage.cfp_store` — an on-disk format for the CFP-array
-  (and checkpointing for the CFP-tree arena), plus
+* :class:`repro.storage.BufferPool` — an LRU page cache with pin counts,
+  hit/miss/eviction statistics, and batch sequential read-ahead
+  (:class:`repro.storage.Prefetcher` runs it on a background thread),
+* :mod:`repro.storage.cfp_store` — on-disk formats for the CFP-array
+  (monolithic v2 and partitioned v3 with a rank-range manifest) and
+  checkpointing for the CFP-tree arena, plus
   :class:`repro.storage.DiskCfpArray`, a drop-in CFP-array reader that
   fetches bytes through the buffer pool — so the full CFP-growth mine
   phase runs out-of-core and every page fault is observable — and
   :class:`repro.storage.PooledCfpArray`, the serving-layer reader that
-  keeps the columnar query path over the same pool (docs/serving.md).
+  keeps the columnar query path over the same pool (docs/serving.md),
+* :class:`repro.storage.PartitionedCfpArray` — the v3 reader that mines
+  partition-at-a-time with a pinned hot set and sequential prefetch
+  (docs/performance.md §partitioned),
+* :mod:`repro.storage.placement` — pluggable write-placement policies
+  for partition payloads (append; wear-aware round-robin),
+* :mod:`repro.storage.compaction` — background repacking of fragmented
+  partitioned stores through a placement policy.
 
 The buffer-pool statistics reproduce the paper's access-pattern story
 measurably: writing subarrays during conversion faults once per page
 (sequential), while backward traversals during mining fault per hop when
-the pool is small (random).
+the pool is small (random) — unless the partitioned reader's read-ahead
+turns the partition scan back into sequential I/O.
 """
 
-from repro.storage.bufferpool import BufferPool, BufferPoolStats
+from repro.storage.bufferpool import BufferPool, BufferPoolStats, Prefetcher
 from repro.storage.cfp_store import (
     DiskCfpArray,
+    PartitionInfo,
     PooledCfpArray,
     load_cfp_array,
     load_cfp_tree,
     load_cfp_tree_checkpoint,
+    plan_partitions,
     save_cfp_array,
+    save_cfp_array_partitioned,
     save_cfp_tree,
 )
+from repro.storage.compaction import BackgroundCompactor, CompactionReport, compact_store
 from repro.storage.pagefile import PAGE_SIZE, PageFile
+from repro.storage.partitioned import PartitionedCfpArray
+from repro.storage.placement import (
+    AppendPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    get_placement,
+)
 
 __all__ = [
     "PageFile",
     "PAGE_SIZE",
     "BufferPool",
     "BufferPoolStats",
+    "Prefetcher",
     "save_cfp_array",
+    "save_cfp_array_partitioned",
     "load_cfp_array",
+    "plan_partitions",
+    "PartitionInfo",
     "DiskCfpArray",
     "PooledCfpArray",
+    "PartitionedCfpArray",
+    "PlacementPolicy",
+    "AppendPlacement",
+    "RoundRobinPlacement",
+    "get_placement",
+    "compact_store",
+    "CompactionReport",
+    "BackgroundCompactor",
     "save_cfp_tree",
     "load_cfp_tree",
     "load_cfp_tree_checkpoint",

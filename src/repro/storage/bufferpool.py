@@ -16,17 +16,32 @@ comes from ``REPRO_IO_RETRIES`` (default 3) and the first delay from
 ``REPRO_IO_BACKOFF`` (seconds, default 0.01, doubling per attempt);
 every retry is counted in ``stats.read_retries`` and published as
 ``bufferpool.read_retries``. See docs/robustness.md.
+
+**Read-ahead:** :meth:`BufferPool.prefetch_pages` pulls a consecutive page
+run into the pool with one batch read (:meth:`PageFile.read_pages`),
+capped at half the capacity so read-ahead can never evict the demand
+working set. Prefetched pages are counted in ``stats.prefetched`` — *not*
+as faults — and tracked until first use: a demand access of one is a
+``prefetch_hit``, eviction before any use is ``prefetch_wasted``.
+:class:`Prefetcher` runs those calls on a background thread; it is pure
+opportunism — if the thread has died (an injected ``pagefile.prefetch``
+fault, say) requests are dropped and demand reads proceed synchronously,
+identical answers, just slower. ``REPRO_PREFETCH=0`` disables read-ahead
+globally; ``REPRO_PREFETCH_DEPTH`` sets how many partitions ahead the
+partition-at-a-time mine scheduler asks for (default 1).
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import faultinject
 from repro.errors import ReproError, TransientIOError
 from repro.storage.pagefile import PAGE_SIZE, PageFile
 
@@ -69,6 +84,30 @@ def _io_backoff() -> float:
         return DEFAULT_IO_BACKOFF
 
 
+#: Partitions of read-ahead the partition scheduler requests by default
+#: (env override ``REPRO_PREFETCH_DEPTH``).
+DEFAULT_PREFETCH_DEPTH = 1
+
+
+def prefetch_enabled() -> bool:
+    """Whether background read-ahead is enabled (``REPRO_PREFETCH``)."""
+    raw = os.environ.get("REPRO_PREFETCH")
+    if raw is None:
+        return True
+    return raw.strip().lower() not in {"0", "off", "false", "no"}
+
+
+def prefetch_depth() -> int:
+    """Partitions of read-ahead to request (``REPRO_PREFETCH_DEPTH``)."""
+    raw = os.environ.get("REPRO_PREFETCH_DEPTH")
+    if raw is None:
+        return DEFAULT_PREFETCH_DEPTH
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_PREFETCH_DEPTH
+
+
 @dataclass
 class BufferPoolStats:
     """Cumulative access statistics."""
@@ -77,6 +116,12 @@ class BufferPoolStats:
     faults: int = 0
     evictions: int = 0
     read_retries: int = 0
+    prefetch_requests: int = 0
+    prefetched: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
+    prefetch_errors: int = 0
+    bytes_read: int = 0
 
     @property
     def accesses(self) -> int:
@@ -110,6 +155,7 @@ class BufferPool:
         self.capacity_pages = capacity_pages
         self._frames: OrderedDict[int, bytes] = OrderedDict()
         self._pins: dict[int, int] = {}
+        self._prefetched: set[int] = set()
         self._lock = threading.Lock()
         self.stats = BufferPoolStats()
 
@@ -154,9 +200,13 @@ class BufferPool:
         if frame is not None:
             self._frames.move_to_end(page_no)
             self.stats.hits += 1
+            if page_no in self._prefetched:
+                self._prefetched.discard(page_no)
+                self.stats.prefetch_hits += 1
             return frame
         self.stats.faults += 1
         data = self._read_page_resilient(page_no)
+        self.stats.bytes_read += PAGE_SIZE
         self._make_room()
         self._frames[page_no] = data
         return data
@@ -190,6 +240,68 @@ class BufferPool:
                 position += take
                 remaining -= take
         return b"".join(parts)
+
+    def prefetch_pages(self, first_page: int, n_pages: int) -> int:
+        """Pull a consecutive page run into the pool ahead of demand.
+
+        Pages already resident are skipped; the rest are read in
+        contiguous batch runs (one seek each) and inserted as
+        most-recently-used, counted in ``stats.prefetched`` and
+        ``stats.bytes_read`` but **not** as faults. The request is capped
+        at half the pool capacity so read-ahead can never flush the
+        demand working set. Returns the number of pages actually loaded.
+
+        The ``pagefile.prefetch`` fault site fires first: its ``flake``
+        action aborts just this request with :class:`TransientIOError`
+        (best-effort read-ahead does not retry — the demand path will),
+        and harsher actions kill the calling :class:`Prefetcher` thread.
+        """
+        faultinject.fire("pagefile.prefetch", page=first_page, pages=n_pages)
+        limit = max(1, self.capacity_pages // 2)
+        n_pages = min(n_pages, limit)
+        last = min(first_page + n_pages, self._file.page_count)
+        if first_page < 0 or first_page >= last:
+            return 0
+        loaded = 0
+        with self._lock:
+            wanted = [
+                page_no
+                for page_no in range(first_page, last)
+                if page_no not in self._frames
+            ]
+            run_start = 0
+            while run_start < len(wanted):
+                run_end = run_start + 1
+                while (
+                    run_end < len(wanted)
+                    and wanted[run_end] == wanted[run_end - 1] + 1
+                ):
+                    run_end += 1
+                first = wanted[run_start]
+                count = run_end - run_start
+                blob = self._file.read_pages(first, count)
+                for index in range(count):
+                    page_no = first + index
+                    self._make_room()
+                    self._frames[page_no] = blob[
+                        index * PAGE_SIZE : (index + 1) * PAGE_SIZE
+                    ]
+                    self._prefetched.add(page_no)
+                self.stats.prefetched += count
+                self.stats.bytes_read += count * PAGE_SIZE
+                loaded += count
+                run_start = run_end
+        return loaded
+
+    def note_prefetch_request(self) -> None:
+        """Count one read-ahead request issued to a :class:`Prefetcher`."""
+        with self._lock:
+            self.stats.prefetch_requests += 1
+
+    def note_prefetch_error(self) -> None:
+        """Count one failed background read-ahead (the mine continues)."""
+        with self._lock:
+            self.stats.prefetch_errors += 1
 
     def pin(self, page_no: int) -> None:
         """Protect a page from eviction (e.g. an index page)."""
@@ -235,6 +347,12 @@ class BufferPool:
         registry.add("bufferpool.faults", self.stats.faults)
         registry.add("bufferpool.evictions", self.stats.evictions)
         registry.add("bufferpool.read_retries", self.stats.read_retries)
+        registry.add("bufferpool.bytes_read", self.stats.bytes_read)
+        registry.add("prefetch.issued", self.stats.prefetch_requests)
+        registry.add("prefetch.pages", self.stats.prefetched)
+        registry.add("prefetch.hits", self.stats.prefetch_hits)
+        registry.add("prefetch.wasted", self.stats.prefetch_wasted)
+        registry.add("prefetch.errors", self.stats.prefetch_errors)
         registry.add("pagefile.reads", self._file.reads)
         registry.add("pagefile.writes", self._file.writes)
 
@@ -249,3 +367,72 @@ class BufferPool:
                 raise BufferPoolError("all pages pinned; cannot evict")
             del self._frames[victim]
             self.stats.evictions += 1
+            if victim in self._prefetched:
+                self._prefetched.discard(victim)
+                self.stats.prefetch_wasted += 1
+
+
+class Prefetcher:
+    """Background thread issuing :meth:`BufferPool.prefetch_pages` calls.
+
+    Strictly best-effort: :meth:`request` enqueues and returns
+    immediately, and if the worker thread has died — an injected
+    ``pagefile.prefetch`` fault, or any hard error — later requests are
+    silently dropped, so the caller degrades to synchronous demand reads
+    with identical answers. A :class:`TransientIOError` (including the
+    site's ``flake`` action) only costs that one request; harder
+    :class:`ReproError` failures terminate the thread, which is the
+    in-process analog of killing it. Both paths are counted in
+    ``stats.prefetch_errors``.
+    """
+
+    def __init__(self, pool: BufferPool, name: str = "repro-prefetch") -> None:
+        self._pool = pool
+        self._queue: "queue.Queue[tuple[int, int] | None]" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker thread is still serving requests."""
+        return self._thread.is_alive()
+
+    def request(self, first_page: int, n_pages: int) -> bool:
+        """Enqueue a read-ahead; returns False if dropped (thread dead)."""
+        if n_pages < 1 or not self._thread.is_alive():
+            return False
+        self._pool.note_prefetch_request()
+        self._queue.put((first_page, n_pages))
+        return True
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Best-effort wait for queued requests to finish (tests/bench)."""
+        deadline = time.monotonic() + timeout
+        while (
+            not self._queue.empty()
+            and self._thread.is_alive()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.001)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker and wait for it (idempotent)."""
+        self._queue.put(None)
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            try:
+                self._pool.prefetch_pages(*item)
+            except TransientIOError:
+                # One flaky batch read: drop it, keep serving. The demand
+                # path re-reads the pages with its own retry budget.
+                self._pool.note_prefetch_error()
+            except ReproError:
+                # A hard failure (injected or real): record it and die.
+                # Demand reads keep the mine correct without read-ahead.
+                self._pool.note_prefetch_error()
+                return

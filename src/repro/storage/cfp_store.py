@@ -20,6 +20,17 @@ loaders verify every content page's checksum and raise
 :class:`StorageFormatError` on the first mismatch; version-1 files (no
 trailer) are still read. ``repro check`` / :mod:`repro.analysis.storecheck`
 run the same verification offline and report every corrupt page.
+
+**Partitioned CFP-array (format version 3):** the buffer is split by
+leading-rank group into independently loadable, page-aligned partitions
+described by a manifest (per-partition rank range, byte extent, first
+data page, CRC32 of the raw bytes) appended to the header after the item
+index. Header offsets are identical to v2 — the formerly reserved u32 at
+offset 8 carries the partition count — so every v2 reader field parses
+unchanged, and v1/v2 files still load. Partition payloads may be placed
+in any file order (see :mod:`repro.storage.placement`); the manifest is
+always in rank order. :class:`repro.storage.partitioned.PartitionedCfpArray`
+mines these stores partition-at-a-time; see docs/formats.md §4.5.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ import json
 import os
 import struct
 import zlib
-from typing import Any, BinaryIO, Iterator, NamedTuple
+from typing import TYPE_CHECKING, Any, BinaryIO, Iterator, NamedTuple
 
 from repro import faultinject
 from repro.compress import varint
@@ -40,17 +51,29 @@ from repro.obs import maybe_span
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pagefile import PAGE_SIZE, PageFile
 
+if TYPE_CHECKING:
+    from repro.storage.placement import PlacementPolicy
+
 _ARRAY_MAGIC = b"CFPA"
 _TREE_MAGIC = b"CFPT"
 
-#: Current on-disk format version (2 = CRC32 checksum trailer).
+#: Current monolithic on-disk format version (2 = CRC32 checksum trailer).
 FORMAT_VERSION = 2
 
+#: Partitioned CFP-array format version (3 = partition manifest + CRCs).
+PARTITIONED_FORMAT_VERSION = 3
+
 #: Versions the loaders accept.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Bytes per page checksum in the trailer (CRC32, ``<I``).
 CHECKSUM_SIZE = 4
+
+#: Default target payload bytes per partition when saving format v3.
+DEFAULT_PARTITION_BYTES = 64 * PAGE_SIZE
+
+#: One manifest record: first_rank, last_rank, byte_len, data_page, crc.
+_PARTITION_RECORD = struct.Struct("<IIQQI")
 
 
 class StorageFormatError(ReproError):
@@ -136,6 +159,27 @@ def _write_store(path: str | os.PathLike[str], header: bytes, payload: bytes) ->
 # CFP-array persistence
 # ----------------------------------------------------------------------
 
+class PartitionInfo(NamedTuple):
+    """One manifest record of a partitioned (v3) CFP-array file.
+
+    ``index`` is the rank-order position in the manifest; ``data_page``
+    is the partition's first payload page in the *file*, which placement
+    policies may order differently.
+    """
+
+    index: int
+    first_rank: int
+    last_rank: int
+    byte_len: int
+    data_page: int
+    crc: int
+
+    @property
+    def pages(self) -> int:
+        """File pages the partition payload occupies (page-padded, min 1)."""
+        return pages_needed(self.byte_len)
+
+
 class ArrayHeader(NamedTuple):
     """Parsed CFP-array file header."""
 
@@ -146,13 +190,47 @@ class ArrayHeader(NamedTuple):
     data_page: int
     """First payload page (== number of header pages)."""
 
+    partitions: tuple[PartitionInfo, ...] = ()
+    """Partition manifest in rank order (empty for v1/v2 files)."""
+
     @property
     def payload_pages(self) -> int:
+        if self.partitions:
+            return sum(part.pages for part in self.partitions)
+        if self.version >= PARTITIONED_FORMAT_VERSION:
+            return 0
         return pages_needed(self.buffer_len)
 
     @property
     def content_pages(self) -> int:
         return self.data_page + self.payload_pages
+
+
+def plan_partitions(
+    starts: list[int], n_ranks: int, target_bytes: int
+) -> list[tuple[int, int]]:
+    """Greedily group contiguous leading ranks into partition rank ranges.
+
+    Each range ``(first_rank, last_rank)`` accumulates subarrays until
+    adding the next rank would exceed ``target_bytes`` (a single oversized
+    rank still gets its own partition — ranges never split a subarray).
+    Every rank ``1..n_ranks`` is covered exactly once, in order; empty
+    trailing ranks ride along with the preceding group.
+    """
+    target = max(1, target_bytes)
+    ranges: list[tuple[int, int]] = []
+    first = 1
+    acc = 0
+    for rank in range(1, n_ranks + 1):
+        size = starts[rank + 1] - starts[rank]
+        if acc > 0 and acc + size > target:
+            ranges.append((first, rank - 1))
+            first = rank
+            acc = 0
+        acc += size
+    if n_ranks >= 1:
+        ranges.append((first, n_ranks))
+    return ranges
 
 
 def save_cfp_array(array: CfpArray, path: str | os.PathLike[str]) -> int:
@@ -169,9 +247,132 @@ def save_cfp_array(array: CfpArray, path: str | os.PathLike[str]) -> int:
     return size
 
 
-def _header_pages(n_ranks: int) -> int:
+def _header_pages(n_ranks: int, n_partitions: int = 0) -> int:
     header_size = 4 + 8 + 16 + 8 * (n_ranks + 2)
+    header_size += n_partitions * _PARTITION_RECORD.size
     return pages_needed(header_size)
+
+
+def save_cfp_array_partitioned(
+    array: CfpArray,
+    path: str | os.PathLike[str],
+    *,
+    partition_bytes: int = DEFAULT_PARTITION_BYTES,
+    placement: "PlacementPolicy | None" = None,
+) -> int:
+    """Write a CFP-array as a partitioned (v3) store; returns the file size.
+
+    The buffer is split by :func:`plan_partitions` into leading-rank
+    groups, each written page-aligned so it can be loaded (and prefetched)
+    independently. ``placement`` decides the *file order* of the partition
+    payloads (default: manifest order, i.e. append); the manifest records
+    each partition's actual first page, so readers never care.
+    """
+    ranges = plan_partitions(array.starts, array.n_ranks, partition_bytes)
+    n_partitions = len(ranges)
+    header_pages = _header_pages(array.n_ranks, n_partitions)
+    file_order = (
+        placement.order(n_partitions)
+        if placement is not None
+        else list(range(n_partitions))
+    )
+    if sorted(file_order) != list(range(n_partitions)):
+        raise StorageFormatError(
+            f"placement order {file_order!r} is not a permutation of "
+            f"{n_partitions} partitions"
+        )
+    buffer = bytes(array.buffer)
+    records: list[PartitionInfo | None] = [None] * n_partitions
+    payload = bytearray()
+    next_page = header_pages
+    for part_index in file_order:
+        first_rank, last_rank = ranges[part_index]
+        raw = buffer[array.starts[first_rank] : array.starts[last_rank + 1]]
+        records[part_index] = PartitionInfo(
+            part_index,
+            first_rank,
+            last_rank,
+            len(raw),
+            next_page,
+            zlib.crc32(raw) & 0xFFFFFFFF,
+        )
+        padded = _page_padded(raw)
+        payload += padded
+        next_page += len(padded) // PAGE_SIZE
+    header = bytearray()
+    header += _ARRAY_MAGIC
+    header += struct.pack("<II", PARTITIONED_FORMAT_VERSION, n_partitions)
+    header += struct.pack("<QQ", array.n_ranks, len(buffer))
+    for start in array.starts:
+        header += struct.pack("<Q", start)
+    for record in records:
+        assert record is not None
+        header += _PARTITION_RECORD.pack(
+            record.first_rank,
+            record.last_rank,
+            record.byte_len,
+            record.data_page,
+            record.crc,
+        )
+    with maybe_span("store_save_array", path=str(path)) as span:
+        content = _page_padded(bytes(header))
+        if payload:
+            content += bytes(payload)
+        with PageFile.create(path) as pagefile:
+            pagefile.append_blob(content)
+            pagefile.append_blob(checksum_trailer(content))
+            size = pagefile.page_count * PAGE_SIZE
+        span.set("bytes", size)
+        span.set("partitions", n_partitions)
+    return size
+
+
+def _parse_partition_manifest(
+    header: bytes, n_ranks: int, n_partitions: int, starts: list[int], data_page: int
+) -> tuple[PartitionInfo, ...]:
+    """Unpack and validate the v3 manifest records in rank order."""
+    manifest_offset = 28 + 8 * (n_ranks + 2)
+    partitions: list[PartitionInfo] = []
+    expected_first = 1
+    for index in range(n_partitions):
+        first_rank, last_rank, byte_len, part_page, crc = _PARTITION_RECORD.unpack_from(
+            header, manifest_offset + index * _PARTITION_RECORD.size
+        )
+        if first_rank != expected_first or last_rank < first_rank or last_rank > n_ranks:
+            raise StorageFormatError(
+                f"inconsistent partition manifest: partition {index} covers "
+                f"ranks {first_rank}..{last_rank}, expected to start at "
+                f"{expected_first} within 1..{n_ranks}"
+            )
+        if byte_len != starts[last_rank + 1] - starts[first_rank]:
+            raise StorageFormatError(
+                f"inconsistent partition manifest: partition {index} claims "
+                f"{byte_len} bytes but the item index spans "
+                f"{starts[last_rank + 1] - starts[first_rank]}"
+            )
+        if part_page < data_page:
+            raise StorageFormatError(
+                f"inconsistent partition manifest: partition {index} data page "
+                f"{part_page} overlaps the header ({data_page} header pages)"
+            )
+        partitions.append(
+            PartitionInfo(index, first_rank, last_rank, byte_len, part_page, crc)
+        )
+        expected_first = last_rank + 1
+    if n_partitions and expected_first != n_ranks + 1:
+        raise StorageFormatError(
+            f"inconsistent partition manifest: ranks {expected_first}..{n_ranks} "
+            f"are covered by no partition"
+        )
+    claimed = sorted((p.data_page, p.pages) for p in partitions)
+    next_free = data_page
+    for page, pages in claimed:
+        if page < next_free:
+            raise StorageFormatError(
+                f"inconsistent partition manifest: payload page {page} claimed twice"
+            )
+        next_free = page + pages
+    return tuple(partitions)
 
 
 def read_array_header(pagefile: PageFile) -> ArrayHeader:
@@ -182,8 +383,11 @@ def read_array_header(pagefile: PageFile) -> ArrayHeader:
     version = struct.unpack_from("<I", first, 4)[0]
     if version not in SUPPORTED_VERSIONS:
         raise StorageFormatError(f"unsupported CFP-array version {version}")
+    n_partitions = 0
+    if version >= PARTITIONED_FORMAT_VERSION:
+        n_partitions = struct.unpack_from("<I", first, 8)[0]
     n_ranks, buffer_len = struct.unpack_from("<QQ", first, 12)
-    header_pages = _header_pages(n_ranks)
+    header_pages = _header_pages(n_ranks, n_partitions)
     if header_pages > pagefile.page_count:
         raise StorageFormatError(
             f"header needs {header_pages} pages but the file has "
@@ -193,17 +397,48 @@ def read_array_header(pagefile: PageFile) -> ArrayHeader:
     for page_no in range(1, header_pages):
         header += pagefile.read_page(page_no)
     starts = list(struct.unpack_from(f"<{n_ranks + 2}Q", header, 28))
-    return ArrayHeader(version, n_ranks, buffer_len, starts, header_pages)
+    partitions: tuple[PartitionInfo, ...] = ()
+    if version >= PARTITIONED_FORMAT_VERSION:
+        partitions = _parse_partition_manifest(
+            bytes(header), n_ranks, n_partitions, starts, header_pages
+        )
+    return ArrayHeader(version, n_ranks, buffer_len, starts, header_pages, partitions)
+
+
+def read_partition_bytes(pagefile: PageFile, part: PartitionInfo) -> bytes:
+    """Read one partition's raw buffer bytes, verifying its manifest CRC."""
+    raw = bytearray()
+    for page_no in range(part.data_page, part.data_page + part.pages):
+        raw += pagefile.read_page(page_no)
+    data = bytes(raw[: part.byte_len])
+    actual = zlib.crc32(data) & 0xFFFFFFFF
+    if actual != part.crc:
+        raise StorageFormatError(
+            f"partition {part.index} (ranks {part.first_rank}..{part.last_rank}) "
+            f"CRC mismatch: stored {part.crc:#010x}, computed {actual:#010x}"
+        )
+    return data
 
 
 def load_cfp_array(path: str | os.PathLike[str]) -> CfpArray:
-    """Load a CFP-array fully into memory, verifying page checksums."""
+    """Load a CFP-array fully into memory, verifying page checksums.
+
+    Reads monolithic (v1/v2) and partitioned (v3) files alike; v3
+    partitions are reassembled into rank order and their manifest CRCs
+    verified on top of the page-checksum trailer.
+    """
     with PageFile.open_readonly(path) as pagefile:
         header = read_array_header(pagefile)
         _verify_content(pagefile, header.content_pages, header.version)
-        blob = bytearray()
-        for page_no in range(header.data_page, header.content_pages):
-            blob += pagefile.read_page(page_no)
+        if header.partitions:
+            blob = bytearray(header.buffer_len)
+            for part in header.partitions:
+                lo = header.starts[part.first_rank]
+                blob[lo : lo + part.byte_len] = read_partition_bytes(pagefile, part)
+        else:
+            blob = bytearray()
+            for page_no in range(header.data_page, header.content_pages):
+                blob += pagefile.read_page(page_no)
     return CfpArray(header.n_ranks, bytearray(blob[: header.buffer_len]), header.starts)
 
 
@@ -398,7 +633,7 @@ class PooledCfpArray(CfpArray):
         chunk = self._read_at(start, length)
         entry = DecodedSubarray(*varint.decode_triples_columns(chunk, 0, length))
         if cache is not None:
-            cache.put(rank, entry, length)
+            cache.put(rank, entry, entry.decoded_bytes)
         return entry
 
     @property
@@ -613,13 +848,19 @@ def load_cfp_tree(path: str | os.PathLike[str]) -> TernaryCfpTree:
 
 __all__ = [
     "FORMAT_VERSION",
+    "PARTITIONED_FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
     "CHECKSUM_SIZE",
+    "DEFAULT_PARTITION_BYTES",
     "ArrayHeader",
+    "PartitionInfo",
     "TreeHeader",
+    "plan_partitions",
     "save_cfp_array",
+    "save_cfp_array_partitioned",
     "load_cfp_array",
     "read_array_header",
+    "read_partition_bytes",
     "read_tree_header",
     "restore_tree",
     "DiskCfpArray",

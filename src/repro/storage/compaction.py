@@ -1,0 +1,240 @@
+"""Background compaction of partitioned (v3) CFP-array stores.
+
+Partition payloads are page-padded, so a store accumulates *slack* —
+pages kept on disk that hold no buffer bytes. Slack grows when partitions
+are small (many one-page tails) or when a store written for one partition
+size is re-sized for another. :func:`compact_store` measures that
+fragmentation and, above a threshold, rewrites the whole store: the array
+is loaded (every partition CRC verified), partitions are re-planned at
+the target size, and the new file is written through a pluggable
+:class:`~repro.storage.placement.PlacementPolicy` before atomically
+replacing the old one (``os.replace``). Readers holding the old file
+keep a consistent generation via their open handle; new opens see the
+compacted store.
+
+:class:`BackgroundCompactor` runs that check on a timer thread — the
+serving-layer shape: queries keep hitting the hot store while cold,
+fragmented generations are repacked behind it. Each run bumps the
+placement generation, so the round-robin policy actually rotates
+partition payloads across the file over successive rewrites (the
+wear-leveling motivation; see docs/performance.md).
+
+Counters (published per :func:`compact_store` call):
+``compaction.runs``, ``compaction.partitions_rewritten``,
+``compaction.bytes_written``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.storage.cfp_store import (
+    DEFAULT_PARTITION_BYTES,
+    load_cfp_array,
+    pages_needed,
+    plan_partitions,
+    read_array_header,
+    save_cfp_array_partitioned,
+)
+from repro.storage.pagefile import PAGE_SIZE, PageFile
+from repro.storage.placement import PlacementPolicy, get_placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
+#: Slack fraction above which :class:`BackgroundCompactor` rewrites.
+DEFAULT_FRAGMENTATION_THRESHOLD = 0.25
+
+
+class CompactionError(ReproError):
+    """The target file is not a compactable partitioned store."""
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass found and did."""
+
+    path: str
+    ran: bool
+    fragmentation: float
+    partitions_before: int
+    partitions_after: int = 0
+    bytes_written: int = 0
+
+
+def store_fragmentation(path: str | os.PathLike[str]) -> tuple[float, int]:
+    """Slack fraction and partition count of a partitioned store.
+
+    Fragmentation is the share of payload pages holding padding instead
+    of buffer bytes: ``1 - buffer_len / (payload_pages * PAGE_SIZE)``.
+    """
+    with PageFile.open_readonly(path) as pagefile:
+        header = read_array_header(pagefile)
+    if not header.partitions:
+        raise CompactionError(
+            f"{os.fspath(path)} is not a partitioned (v3) CFP-array store"
+        )
+    payload_bytes = sum(part.pages for part in header.partitions) * PAGE_SIZE
+    if payload_bytes == 0:
+        return 0.0, len(header.partitions)
+    return 1.0 - header.buffer_len / payload_bytes, len(header.partitions)
+
+
+def compact_store(
+    path: str | os.PathLike[str],
+    *,
+    partition_bytes: int = DEFAULT_PARTITION_BYTES,
+    placement: PlacementPolicy | None = None,
+    threshold: float = 0.0,
+    registry: "MetricsRegistry | None" = None,
+) -> CompactionReport:
+    """Repack one partitioned store; no-op below ``threshold`` slack.
+
+    The rewrite goes to a sibling temp file and lands with ``os.replace``,
+    so a crash mid-compaction leaves the original store untouched. Loading
+    the array verifies every page checksum and partition CRC first — a
+    corrupt store raises instead of being "compacted" into a clean-looking
+    one.
+    """
+    with PageFile.open_readonly(path) as pagefile:
+        header = read_array_header(pagefile)
+    if not header.partitions:
+        raise CompactionError(
+            f"{os.fspath(path)} is not a partitioned (v3) CFP-array store"
+        )
+    payload_pages = sum(part.pages for part in header.partitions)
+    payload_bytes = payload_pages * PAGE_SIZE
+    fragmentation = (
+        1.0 - header.buffer_len / payload_bytes if payload_bytes else 0.0
+    )
+    report = CompactionReport(
+        path=os.fspath(path),
+        ran=False,
+        fragmentation=fragmentation,
+        partitions_before=len(header.partitions),
+    )
+    if fragmentation <= threshold:
+        return report
+    # Convergence guard: part of the slack is intrinsic (each partition's
+    # final page is padded). If re-planning at the target size cannot
+    # shrink the payload, a rewrite would change nothing — and a timer
+    # compactor whose threshold sits below the intrinsic slack would
+    # otherwise rewrite the same bytes every interval.
+    planned = plan_partitions(header.starts, header.n_ranks, partition_bytes)
+    planned_pages = sum(
+        pages_needed(header.starts[last + 1] - header.starts[first])
+        for first, last in planned
+    )
+    if planned_pages >= payload_pages:
+        return report
+    array = load_cfp_array(path)
+    tmp_path = os.fspath(path) + ".compact.tmp"
+    try:
+        report.bytes_written = save_cfp_array_partitioned(
+            array, tmp_path, partition_bytes=partition_bytes, placement=placement
+        )
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+    with PageFile.open_readonly(path) as pagefile:
+        report.partitions_after = len(read_array_header(pagefile).partitions)
+    report.ran = True
+    if registry is None:
+        from repro.obs import metrics as registry  # type: ignore[no-redef]
+    assert registry is not None
+    registry.add("compaction.runs", 1)
+    registry.add("compaction.partitions_rewritten", report.partitions_after)
+    registry.add("compaction.bytes_written", report.bytes_written)
+    return report
+
+
+class BackgroundCompactor:
+    """Timer thread repacking a store whenever it fragments past a threshold.
+
+    Each run resolves the placement policy fresh with the run index as
+    its generation, so ``round-robin`` placement actually rotates payload
+    order across rewrites. Failures of one run (transient I/O, a reader
+    racing the replace on exotic filesystems) are recorded on the report
+    list and do not stop the thread.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        interval_s: float = 60.0,
+        partition_bytes: int = DEFAULT_PARTITION_BYTES,
+        placement_name: str = "append",
+        threshold: float = DEFAULT_FRAGMENTATION_THRESHOLD,
+    ) -> None:
+        self._path = os.fspath(path)
+        self._interval_s = interval_s
+        self._partition_bytes = partition_bytes
+        self._placement_name = placement_name
+        self._threshold = threshold
+        self._generation = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.reports: list[CompactionReport] = []
+        self.errors: list[str] = []
+
+    def run_once(self) -> CompactionReport:
+        """One synchronous compaction check (also used by the thread)."""
+        placement = get_placement(self._placement_name, self._generation)
+        report = compact_store(
+            self._path,
+            partition_bytes=self._partition_bytes,
+            placement=placement,
+            threshold=self._threshold,
+        )
+        if report.ran:
+            self._generation += 1
+        self.reports.append(report)
+        return report
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundCompactor":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self.run_once()
+            except ReproError as exc:
+                # One bad pass (corrupt store mid-write elsewhere, I/O
+                # hiccup) must not kill the maintenance thread.
+                self.errors.append(str(exc))
+            except OSError as exc:
+                self.errors.append(str(exc))
+
+
+__all__ = [
+    "CompactionError",
+    "CompactionReport",
+    "DEFAULT_FRAGMENTATION_THRESHOLD",
+    "BackgroundCompactor",
+    "compact_store",
+    "store_fragmentation",
+]

@@ -116,6 +116,43 @@ class PageFile:
         self.reads += 1
         return data
 
+    def read_pages(self, first_page: int, count: int) -> bytes:
+        """Read ``count`` consecutive pages with one seek.
+
+        The batch primitive under the buffer pool's sequential prefetch:
+        one syscall-sized sequential read instead of ``count`` seeks.
+        Counts ``count`` page reads; transient OS errors map to
+        :class:`TransientIOError` exactly as :meth:`read_page` does. The
+        ``pagefile.read`` site does *not* fire here — read-ahead has its
+        own ``pagefile.prefetch`` site at the pool layer, so chaos specs
+        target demand and prefetch I/O independently.
+        """
+        self._check_open()
+        if count < 1:
+            raise PageFileError(f"page count must be >= 1, got {count}")
+        if not 0 <= first_page <= self._page_count - count:
+            raise PageFileError(
+                f"pages [{first_page}, {first_page + count}) out of range "
+                f"[0, {self._page_count})"
+            )
+        assert self._handle is not None  # _check_open guarantees it
+        try:
+            self._handle.seek(first_page * PAGE_SIZE)
+            data = self._handle.read(count * PAGE_SIZE)
+        except OSError as exc:
+            if exc.errno in _TRANSIENT_ERRNOS:
+                raise TransientIOError(
+                    f"transient error reading pages "
+                    f"[{first_page}, {first_page + count}): {exc}"
+                ) from exc
+            raise
+        if len(data) != count * PAGE_SIZE:
+            raise PageFileError(
+                f"short read on pages [{first_page}, {first_page + count})"
+            )
+        self.reads += count
+        return data
+
     def write_page(self, page_no: int, data: bytes) -> None:
         """Overwrite one page (padded with zeros if short)."""
         self._check_open()

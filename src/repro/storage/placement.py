@@ -1,0 +1,93 @@
+"""Write-placement policies for partitioned (v3) CFP-array stores.
+
+A partitioned store's manifest records each partition's first data page
+explicitly, so the *file order* of partition payloads is a free variable.
+These policies decide it. The default appends partitions in rank order —
+the sequential layout the mine-order prefetcher wants. The round-robin
+alternate rotates the starting partition per rewrite generation so
+repeated compaction spreads writes across the file instead of re-burning
+the same leading pages — the wear-leveling concern the NVM literature
+raises (see PAPERS.md) made pluggable at the placement layer.
+
+Policies are pure: ``order(n)`` returns a permutation of ``range(n)``
+naming which partition's payload is written next. The saver
+(:func:`repro.storage.cfp_store.save_cfp_array_partitioned`) validates
+the permutation and records the resulting page extents in the manifest,
+so readers never consult the policy.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import ReproError
+
+
+class PlacementError(ReproError):
+    """A placement policy name or parameter is invalid."""
+
+
+class PlacementPolicy(Protocol):
+    """Decides the file order of partition payloads in a v3 store."""
+
+    def order(self, n_partitions: int) -> list[int]:
+        """Return a permutation of ``range(n_partitions)`` — file order."""
+        ...
+
+
+class AppendPlacement:
+    """Default policy: payloads in rank order (sequential-scan friendly)."""
+
+    def order(self, n_partitions: int) -> list[int]:
+        return list(range(n_partitions))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AppendPlacement()"
+
+
+class RoundRobinPlacement:
+    """Wear-aware policy: rotate the starting partition per generation.
+
+    Generation ``g`` writes partitions ``g % n, g % n + 1, ..`` (mod
+    ``n``), so successive compaction rewrites land each partition on a
+    different region of the file instead of always re-burning the front.
+    """
+
+    def __init__(self, generation: int = 0) -> None:
+        if generation < 0:
+            raise PlacementError(f"generation must be >= 0, got {generation}")
+        self.generation = generation
+
+    def order(self, n_partitions: int) -> list[int]:
+        if n_partitions <= 0:
+            return []
+        shift = self.generation % n_partitions
+        return [(shift + i) % n_partitions for i in range(n_partitions)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoundRobinPlacement(generation={self.generation})"
+
+
+#: Policy names accepted by the CLI and compaction config.
+PLACEMENTS = ("append", "round-robin")
+
+
+def get_placement(name: str, generation: int = 0) -> PlacementPolicy:
+    """Resolve a policy by CLI name (``append`` or ``round-robin``)."""
+    if name == "append":
+        return AppendPlacement()
+    if name == "round-robin":
+        return RoundRobinPlacement(generation)
+    raise PlacementError(
+        f"unknown placement policy {name!r} (expected one of {', '.join(PLACEMENTS)})"
+    )
+
+
+__all__ = [
+    "PlacementPolicy",
+    "AppendPlacement",
+    "RoundRobinPlacement",
+    "PlacementError",
+    "PLACEMENTS",
+    "get_placement",
+]

@@ -288,6 +288,68 @@ class TestSubarrayCache:
         assert registry.get("subarray_cache.hits") == hits
 
 
+class TestDecodedByteCharging:
+    """The cache must charge decoded column bytes, not encoded varint bytes.
+
+    Regression: entries used to be charged at the size of their encoded
+    subarray chunk. Decoding expands varint triples into four fixed-width
+    columns (~6-8x), so a "1 MiB" cache really held several MiB of
+    decoded columns — precisely the memory the budget was meant to bound.
+    """
+
+    def _array(self, small_db):
+        __, __, __, array = build(small_db, min_support=1)
+        return array
+
+    def test_decoded_bytes_exceed_encoded(self, small_db):
+        array = self._array(small_db)
+        for rank in array.active_ranks_descending():
+            encoded = array.starts[rank + 1] - array.starts[rank]
+            entry = array.subarray_columns(rank)
+            assert entry.decoded_bytes > encoded
+
+    def test_cache_charges_decoded_bytes(self, small_db):
+        array = self._array(small_db)
+        array.set_cache_budget(1 << 20)
+        decoded_total = 0
+        for rank in array.active_ranks_descending():
+            decoded_total += array.subarray_columns(rank).decoded_bytes
+        assert array._cache.used_bytes == decoded_total
+
+    def test_eviction_pressure_under_decoded_budget(self, small_db):
+        array = self._array(small_db)
+        ranks = list(array.active_ranks_descending())
+        encoded_total = sum(
+            array.starts[rank + 1] - array.starts[rank] for rank in ranks
+        )
+        decoded_total = sum(
+            array.subarray_columns(rank).decoded_bytes for rank in ranks
+        )
+        assert decoded_total > encoded_total
+        # A budget that would hold every *encoded* chunk but not every
+        # *decoded* one: under the old accounting this cache never
+        # evicted; under decoded accounting it must feel pressure.
+        budget = (encoded_total + decoded_total) // 2
+        array.set_cache_budget(budget)
+        for rank in ranks:
+            array.subarray_columns(rank)
+        cache = array._cache
+        counts = array.cache_counts()
+        assert counts["evictions"] + counts["rejected"] > 0
+        assert cache.used_bytes <= budget
+
+    def test_results_unchanged_under_pressure(self, small_db):
+        reference = self._array(small_db)
+        squeezed = self._array(small_db)
+        ranks = list(reference.active_ranks_descending())
+        decoded_max = max(
+            reference.subarray_columns(rank).decoded_bytes for rank in ranks
+        )
+        squeezed.set_cache_budget(decoded_max)  # one entry at a time
+        for rank in ranks:
+            assert squeezed.prefix_paths(rank) == reference.prefix_paths(rank)
+
+
 class TestSinglePath:
     """Array-level single-path detection mirrors the tree's (§3.4)."""
 

@@ -71,6 +71,7 @@ class TestSiteRegistry:
                 "build.worker",
                 "checkpoint.write",
                 "mine.worker",
+                "pagefile.prefetch",
                 "pagefile.read",
                 "parallel.attach",
             }

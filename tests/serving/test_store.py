@@ -74,6 +74,81 @@ class TestBuildAndOpen:
             ServingStore(store_path)
 
 
+class TestResidentBytes:
+    """resident_bytes must cover everything long-lived, sidecar included."""
+
+    def test_includes_sidecar_bytes(self, store_path):
+        import os
+
+        sidecar_bytes = os.path.getsize(sidecar_path(store_path))
+        assert sidecar_bytes > 0
+        with ServingStore(store_path) as store:
+            # Regression: resident_bytes used to report only the array
+            # reader, undercounting the admission-control input by the
+            # whole parsed vocabulary.
+            assert (
+                store.resident_bytes
+                == store.array.memory_bytes + sidecar_bytes
+            )
+            assert store.resident_bytes > store.array.memory_bytes
+
+    def test_tracks_vocabulary_size(self, tmp_path):
+        small = tmp_path / "small.cfpa"
+        large = tmp_path / "large.cfpa"
+        build_store(random_database(seed=1, n_transactions=40), 2, small)
+        build_store(
+            [[f"item-{i}", f"item-{i + 1}"] for i in range(200)] * 2,
+            2,
+            large,
+        )
+        import os
+
+        with ServingStore(small) as a, ServingStore(large) as b:
+            delta = b.resident_bytes - a.resident_bytes
+            sidecar_delta = os.path.getsize(sidecar_path(large)) - os.path.getsize(
+                sidecar_path(small)
+            )
+            array_delta = b.array.memory_bytes - a.array.memory_bytes
+            assert delta == array_delta + sidecar_delta
+            assert sidecar_delta > 0
+
+
+class TestPartitionedStore:
+    """ServingStore opens partitioned (v3) stores transparently."""
+
+    def test_opens_v3_and_answers_match_v2(self, tmp_path):
+        from repro.storage import PartitionedCfpArray
+
+        database = random_database(seed=5, n_transactions=120)
+        v2 = tmp_path / "mono.cfpa"
+        v3 = tmp_path / "part.cfpa"
+        build_store(database, 2, v2)
+        build_store(database, 2, v3, partition_bytes=4096)
+        queries = ([1], [2, 3], [0, 1, 2], [5], [1, 4])
+        with ServingStore(v2) as mono, ServingStore(v3, hot_bytes=2048) as part:
+            assert isinstance(part.array, PartitionedCfpArray)
+            assert len(part.array.partitions) >= 1
+            for items in queries:
+                assert part.support(items) == mono.support(items), items
+            assert part.top_k(10) == mono.top_k(10)
+            assert part.rules(min_confidence=0.6) == mono.rules(
+                min_confidence=0.6
+            )
+
+    def test_hot_set_counts_as_resident(self, tmp_path):
+        database = random_database(seed=5, n_transactions=120)
+        path = tmp_path / "part.cfpa"
+        build_store(database, 2, path, partition_bytes=4096)
+        with ServingStore(path, hot_bytes=0) as cold, ServingStore(
+            path, hot_bytes=1 << 16
+        ) as hot:
+            assert hot.array.hot_bytes > 0
+            assert (
+                hot.resident_bytes - cold.resident_bytes
+                == hot.array.hot_bytes
+            )
+
+
 class TestQueryParity:
     """Store answers == the answers of direct calls on in-memory structures."""
 

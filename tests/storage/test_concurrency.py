@@ -202,3 +202,117 @@ class TestSubarrayCacheConcurrency:
                 assert support_in_cfp_array(array, query) == expected[query]
 
         run_threads(worker)
+
+
+class TestSpilledArrayConcurrency:
+    """Hammer a *spilled* array: pool faults and cache evictions mid-read.
+
+    The earlier classes drive the pool and the decoded cache separately;
+    here both layers churn at once over a real on-disk array. The pool is
+    sized far below the file and the decoded cache far below the decoded
+    working set, so a thread's backward traversal routinely loses its
+    pages *and* its decoded entry to other threads between two hops —
+    every answer must still match the in-memory reference.
+    """
+
+    @pytest.fixture
+    def spilled(self, tmp_path):
+        # Random transactions (fixed seed) so paths do not collapse into a
+        # handful of shared prefixes: the array must span several pages
+        # for a 2-page pool to actually thrash.
+        rng = random.Random(42)
+        database = [
+            rng.sample(range(1, 40), rng.randint(4, 12)) for _ in range(600)
+        ]
+        table, transactions = prepare_transactions(database, 2)
+        reference = convert(
+            TernaryCfpTree.from_rank_transactions(transactions, len(table))
+        )
+        path = tmp_path / "spilled.cfpa"
+        from repro.storage import save_cfp_array
+
+        save_cfp_array(reference, path)
+        return reference, path
+
+    def test_pooled_reads_with_eviction_mid_read(self, spilled, fast_preemption):
+        from repro.storage import PooledCfpArray
+
+        reference, path = spilled
+        expected = [None] + [
+            reference.subarray_columns(rank).triples
+            for rank in range(1, reference.n_ranks + 1)
+        ]
+        queries = [(rank, rank + 1) for rank in range(1, reference.n_ranks)]
+        supports = {q: support_in_cfp_array(reference, q) for q in queries}
+        decoded_budget = max(
+            64,
+            sum(
+                reference.subarray_columns(rank).decoded_bytes
+                for rank in range(1, reference.n_ranks + 1)
+            )
+            // 4,
+        )
+        with PooledCfpArray(
+            path, pool_pages=2, cache_budget=decoded_budget
+        ) as array:
+
+            def worker(seed):
+                rng = random.Random(seed)
+                for __ in range(ITERATIONS // 4):
+                    rank = rng.randrange(1, array.n_ranks + 1)
+                    assert array.subarray_columns(rank).triples == expected[rank]
+                    query = queries[rng.randrange(len(queries))]
+                    assert support_in_cfp_array(array, query) == supports[query]
+
+            run_threads(worker)
+
+            stats = array.pool.stats
+            assert stats.hits + stats.faults == stats.accesses
+            assert array.pool.resident_pages() <= array.pool.capacity_pages
+            cache = array._cache
+            assert cache.used_bytes == sum(
+                charge for __, charge in cache._entries.values()
+            )
+            assert cache.used_bytes <= cache.budget_bytes
+            # The budgets really were under pressure, or this test
+            # degenerates into the all-resident case.
+            assert stats.evictions > 0
+            assert cache.counts()["evictions"] > 0
+
+    def test_partitioned_reads_with_prefetch_churn(self, spilled, fast_preemption):
+        from repro.storage import PartitionedCfpArray, save_cfp_array_partitioned
+
+        reference, path = spilled
+        part_path = str(path) + ".v3"
+        save_cfp_array_partitioned(reference, part_path, partition_bytes=PAGE_SIZE)
+        expected = [None] + [
+            reference.subarray_columns(rank).triples
+            for rank in range(1, reference.n_ranks + 1)
+        ]
+        with PartitionedCfpArray(
+            part_path, pool_pages=2, cache_budget=1 << 12, hot_bytes=256
+        ) as array:
+            n_parts = len(array.partitions)
+
+            def worker(seed):
+                rng = random.Random(seed)
+                for step in range(ITERATIONS // 4):
+                    # Interleave demand reads with prefetch requests for
+                    # random partitions: read-ahead inserts race demand
+                    # faults and evictions for the same few frames.
+                    if step % 7 == 0:
+                        array.begin_partition(rng.randrange(n_parts))
+                    rank = rng.randrange(1, array.n_ranks + 1)
+                    assert array.subarray_columns(rank).triples == expected[rank]
+
+            run_threads(worker)
+            array.prefetch_drain()
+
+            stats = array.pool.stats
+            assert stats.hits + stats.faults == stats.accesses
+            assert array.pool.resident_pages() <= array.pool.capacity_pages
+            # BUF003 conservation with prefetch in the mix.
+            assert (
+                stats.faults + stats.prefetched - stats.evictions
+                == array.pool.resident_pages()
+            )

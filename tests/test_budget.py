@@ -55,6 +55,42 @@ class TestOutOfCore:
             assert normalize(itemsets) == expected, budget
 
 
+class TestPartitionedSpill:
+    """The default out-of-core path is the tiered partitioned store."""
+
+    def test_report_carries_tier_fields(self, workload, tmp_path):
+        db, expected = workload
+        itemsets, report = mine_with_budget(
+            db, 5, memory_budget=2 * PAGE_SIZE, spill_dir=tmp_path
+        )
+        assert report.went_out_of_core
+        assert report.partitions >= 1
+        assert report.hot_bytes >= 0
+        assert report.bytes_read > 0
+        assert normalize(itemsets) == expected
+
+    def test_legacy_path_still_available(self, workload, tmp_path):
+        db, expected = workload
+        itemsets, report = mine_with_budget(
+            db, 5, memory_budget=2 * PAGE_SIZE, spill_dir=tmp_path,
+            partitioned=False,
+        )
+        assert report.went_out_of_core
+        assert report.partitions == 0  # monolithic spill has no manifest
+        assert normalize(itemsets) == expected
+
+    def test_partitioned_and_legacy_agree(self, workload, tmp_path):
+        db, __ = workload
+        tiered, __ = mine_with_budget(
+            db, 5, memory_budget=2 * PAGE_SIZE, spill_dir=tmp_path
+        )
+        legacy, __ = mine_with_budget(
+            db, 5, memory_budget=2 * PAGE_SIZE, spill_dir=tmp_path,
+            partitioned=False,
+        )
+        assert normalize(tiered) == normalize(legacy)
+
+
 class TestValidation:
     def test_budget_floor(self):
         with pytest.raises(ExperimentError):
