@@ -53,9 +53,11 @@ from repro.util.items import prepare_transactions
 #: with v1 reports. v3 adds the top-level ``serving`` leg (query-server
 #: load run + columnar-vs-per-node support kernel comparison); v4 adds the
 #: top-level ``outofcore`` leg (partitioned mine at a >=10x memory ratio,
-#: gated on wall time *and* bytes read). Reports without a leg still
-#: compare on everything else.
-SCHEMA_VERSION = 4
+#: gated on wall time *and* bytes read); v5 adds the top-level
+#: ``incremental`` leg (per-batch delta merges vs from-scratch rebuilds,
+#: gated on byte identity and the merge/rebuild wall ratio). Reports
+#: without a leg still compare on everything else.
+SCHEMA_VERSION = 5
 
 #: Regressions smaller than this many seconds are ignored regardless of
 #: ratio — they are timer jitter, not performance.
@@ -354,6 +356,88 @@ def bench_outofcore(database: list[list[int]], min_support: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Incremental leg: delta merges vs from-scratch rebuilds
+# ----------------------------------------------------------------------
+
+#: Batches the incremental leg streams — the configuration the ISSUE's
+#: acceptance gate names (delta-merge wall < 0.5x rebuild wall at 8).
+INCREMENTAL_BATCHES = 8
+
+#: Hard gate on ``incremental_wall_s / rebuild_wall_s``: above this the
+#: incremental path has stopped paying for its complexity.
+INCREMENTAL_MAX_RATIO = 0.5
+
+
+def bench_incremental(
+    database: list[list[int]],
+    min_support: int,
+    batches: int = INCREMENTAL_BATCHES,
+) -> dict:
+    """Stream one dataset in batches; compare against per-batch rebuilds.
+
+    The incremental arm maintains the window forest across ``batches``
+    appends (delta tree build + flatten + merge each) and converts once
+    at the end — the `repro stream` maintenance shape. The baseline arm
+    rebuilds the CFP-tree from scratch over each growing prefix and
+    converts it every batch — what a non-incremental pipeline would do
+    to keep a snapshot fresh. Both use the same frozen item table, so
+    the final arrays must be **byte-identical** (the tripwire `repro
+    bench` hard-gates) and the wall ratio must stay under
+    :data:`INCREMENTAL_MAX_RATIO`.
+    """
+    from repro.streaming import CountingPhase, IncrementalMiner
+
+    counting = CountingPhase()
+    counting.add_batch(database)
+    table = counting.finish(min_support)
+    rank_of = table.rank_of
+    size = max(1, (len(database) + batches - 1) // batches)
+    chunks = [database[start : start + size] for start in range(0, len(database), size)]
+
+    miner = IncrementalMiner(table)
+    incremental_wall = 0.0
+    for chunk in chunks:
+        started = time.perf_counter()
+        miner.append_batch(chunk)
+        incremental_wall += time.perf_counter() - started
+    started = time.perf_counter()
+    incremental_array = miner.to_array()
+    incremental_wall += time.perf_counter() - started
+
+    rebuild_wall = 0.0
+    rebuilt = None
+    prefix: list[list[int]] = []
+    for chunk in chunks:
+        prefix.extend(chunk)
+        started = time.perf_counter()
+        ranked = [
+            sorted({rank_of[item] for item in transaction if item in rank_of})
+            for transaction in prefix
+        ]
+        tree = TernaryCfpTree.from_rank_transactions(ranked, len(table))
+        rebuilt = convert(tree)
+        rebuild_wall += time.perf_counter() - started
+        del tree
+    assert rebuilt is not None
+    return {
+        "batches": len(chunks),
+        "transactions": len(database),
+        "min_support": min_support,
+        "nodes": incremental_array.node_count,
+        "array_bytes": incremental_array.memory_bytes,
+        "incremental_wall_s": round(incremental_wall, 4),
+        "rebuild_wall_s": round(rebuild_wall, 4),
+        "ratio": (
+            round(incremental_wall / rebuild_wall, 3) if rebuild_wall > 0 else None
+        ),
+        "identical": (
+            bytes(incremental_array.buffer) == bytes(rebuilt.buffer)
+            and incremental_array.starts == rebuilt.starts
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # Serving leg: query-server load + support-kernel comparison
 # ----------------------------------------------------------------------
 
@@ -477,6 +561,7 @@ def run_bench(
     build_jobs: Iterable[int] = DEFAULT_BUILD_JOBS,
     serving: bool = False,
     outofcore: bool = False,
+    incremental: bool = False,
 ) -> dict:
     """Run the benchmark suite and return the report dict.
 
@@ -529,6 +614,13 @@ def run_bench(
         database, min_support = _quest_ooc(quick)
         report["outofcore"] = bench_outofcore(database, min_support)
         report["outofcore"]["dataset"] = "quest-ooc"
+    if incremental and datasets:
+        # Same first-dataset policy as the serving leg: the incremental
+        # leg measures the merge machinery, not dataset coverage.
+        first = next(iter(datasets))
+        database, min_support = datasets[first]
+        report["incremental"] = bench_incremental(database, min_support)
+        report["incremental"]["dataset"] = first
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 
@@ -630,6 +722,16 @@ def compare_reports(current: dict, previous: dict, tolerance: float = 0.3) -> li
     now_ooc = current.get("outofcore") or {}
     before_ooc = previous.get("outofcore") or {}
     check("outofcore/mine", now_ooc.get("wall_s"), before_ooc.get("wall_s"))
+    # Incremental leg (schema v5): gate the delta-merge maintenance wall.
+    # The rebuild arm is the baseline being beaten, not a product path,
+    # so only the incremental wall is regression-gated.
+    now_incremental = current.get("incremental") or {}
+    before_incremental = previous.get("incremental") or {}
+    check(
+        "incremental/merge",
+        now_incremental.get("incremental_wall_s"),
+        before_incremental.get("incremental_wall_s"),
+    )
     now_bytes = now_ooc.get("bytes_read")
     before_bytes = before_ooc.get("bytes_read")
     if (
@@ -762,6 +864,19 @@ def format_summary(report: dict) -> str:
             f"(hit-rate {outofcore['prefetch_hit_rate']:.0%}); "
             f"identical={outofcore['identical']}"
         )
+    incremental = report.get("incremental")
+    if incremental:
+        ratio = incremental.get("ratio")
+        lines.append(
+            f"incremental[{incremental.get('dataset', '?')}]: "
+            f"{incremental['batches']} batches x "
+            f"~{incremental['transactions'] // max(1, incremental['batches']):,} tx "
+            f"-> merge {incremental['incremental_wall_s']:.3f}s vs rebuild "
+            f"{incremental['rebuild_wall_s']:.3f}s "
+            f"(ratio {ratio if ratio is not None else float('nan'):.2f}, "
+            f"max {INCREMENTAL_MAX_RATIO:.2f}); "
+            f"identical={incremental['identical']}"
+        )
     lines.append(f"peak RSS: {report['peak_rss_kb']:,} KiB")
     return "\n".join(lines)
 
@@ -824,6 +939,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-outofcore",
         action="store_true",
         help="skip the partitioned out-of-core mine leg (docs/performance.md)",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="skip the delta-merge vs rebuild leg (docs/streaming.md)",
     )
     parser.add_argument(
         "--mine-floor",
@@ -897,6 +1017,7 @@ def main(argv: list[str] | None = None) -> int:
             build_jobs=build_jobs,
             serving=not args.no_serving,
             outofcore=not args.no_outofcore,
+            incremental=not args.no_incremental,
         )
     finally:
         if tracer is not None:
@@ -944,6 +1065,31 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "error: out-of-core leg recorded no prefetch hits "
                 "(read-ahead is not reaching the pool before demand does)",
+                file=sys.stderr,
+            )
+            return 1
+    incremental = report.get("incremental") or {}
+    if incremental:
+        if not incremental.get("identical", False):
+            # The identity tripwire: the merged forest must encode to the
+            # same bytes as a from-scratch rebuild, always.
+            print(
+                "error: incremental leg's merged CFP-array differs from the "
+                "from-scratch rebuild (byte-identity tripwire)",
+                file=sys.stderr,
+            )
+            return 1
+        ratio = incremental.get("ratio")
+        # The ratio gate is defined at the full INCREMENTAL_BATCHES
+        # configuration; a dataset too small to fill it (toy datasets in
+        # tests) cannot amortize per-merge overhead, so only the
+        # byte-identity tripwire applies there.
+        full_leg = incremental.get("batches") == INCREMENTAL_BATCHES
+        if full_leg and ratio is not None and ratio >= INCREMENTAL_MAX_RATIO:
+            print(
+                f"error: incremental merge wall is {ratio:.2f}x the rebuild "
+                f"wall (must stay under {INCREMENTAL_MAX_RATIO:.2f}x at "
+                f"{incremental.get('batches', '?')} batches)",
                 file=sys.stderr,
             )
             return 1

@@ -69,6 +69,32 @@ def admission_limit(
     return headroom // per_request_bytes
 
 
+def snapshot_plan(
+    memory_budget: int | None, array_bytes: int
+) -> tuple[int | None, int]:
+    """Partitioning for a published snapshot under a serving budget.
+
+    Returns ``(partition_bytes, hot_bytes)`` for
+    :meth:`repro.streaming.snapshots.SnapshotManager.publish` and the
+    store that will open the result. ``memory_budget=None`` (or a budget
+    the whole array fits in) keeps the monolithic v2 format —
+    ``(None, 0)``; otherwise the same quarter-hot/rest-pool split as
+    :func:`mine_with_budget` applies, with partitions sized to half the
+    pool so the active partition and its read-ahead co-reside.
+    """
+    if memory_budget is None or array_bytes <= memory_budget:
+        return None, 0
+    if memory_budget < MIN_POOL_PAGES * PAGE_SIZE:
+        raise ExperimentError(
+            f"budget {memory_budget} below the minimum of "
+            f"{MIN_POOL_PAGES * PAGE_SIZE} bytes"
+        )
+    hot_bytes = memory_budget // 4
+    pool_budget = memory_budget - hot_bytes
+    partition_bytes = max(PAGE_SIZE, pool_budget // 2)
+    return partition_bytes, hot_bytes
+
+
 @dataclass
 class BudgetReport:
     """How the budget decision played out."""

@@ -14,6 +14,8 @@ Usage (after installation)::
     python -m repro experiment table1
     python -m repro bench --quick
     python -m repro serve data.fimi --min-support 100 --port 7171
+    python -m repro stream data.fimi --window 8 --snapshot-dir snaps/
+    python -m repro serve snaps/ --follow --port 7171
 
 ``mine`` accepts FIMI text (default) or the binary format (``.bin``).
 ``--jobs N`` parallelizes the mine phase for miners that support it
@@ -303,13 +305,79 @@ def _cmd_bench(args) -> int:  # pragma: no cover - dispatched early in main()
     return bench.main([])
 
 
+def _cmd_stream(args) -> int:
+    """Incrementally mine a batch stream, publishing snapshots
+    (docs/streaming.md)."""
+    from repro.budget import snapshot_plan
+    from repro.streaming import CountingPhase, IncrementalMiner, SnapshotManager
+
+    if args.batch_size < 1:
+        print(f"error: --batch-size must be >= 1, got {args.batch_size}",
+              file=sys.stderr)
+        return 2
+    database = _load(args.file)
+    batches = [
+        database[start : start + args.batch_size]
+        for start in range(0, len(database), args.batch_size)
+    ]
+    # The item table is frozen over the whole stream before any batch is
+    # merged — ranks must mean the same item in every delta, and the
+    # byte-identity contract is against a same-table rebuild.
+    counting = CountingPhase()
+    counting.add_batch(database)
+    table = counting.finish(args.min_support)
+    manager = SnapshotManager(args.snapshot_dir) if args.snapshot_dir else None
+    publish_every = max(1, args.publish_every)
+    started = time.perf_counter()
+    with _tracing(args.trace):
+        miner = IncrementalMiner(table, window=args.window or None)
+        for index, batch in enumerate(batches):
+            inserted = miner.append_batch(batch)
+            last = index + 1 == len(batches)
+            if manager is None or not (last or (index + 1) % publish_every == 0):
+                continue
+            array = miner.to_array()
+            partition_bytes, __ = snapshot_plan(
+                args.memory_budget or None, array.memory_bytes
+            )
+            if args.partition_bytes:
+                partition_bytes = args.partition_bytes
+            generation = manager.publish(
+                array,
+                table,
+                miner.window_transactions,
+                partition_bytes=partition_bytes,
+            )
+            print(
+                f"# batch {index + 1}/{len(batches)}: +{inserted} "
+                f"transactions, window {miner.window_batches} batches "
+                f"-> generation {generation}",
+                file=sys.stderr,
+            )
+        if manager is None:
+            results = sorted(miner.mine(), key=lambda r: (-r[1], len(r[0])))
+            limit = args.limit if args.limit else len(results)
+            for itemset, support in results[:limit]:
+                items = " ".join(str(i) for i in sorted(itemset, key=repr))
+                print(f"{support}\t{items}")
+            elapsed = time.perf_counter() - started
+            print(
+                f"# {len(results)} frequent itemsets over the final "
+                f"{miner.window_batches}-batch window in {elapsed:.2f}s",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Build (if needed) and run the query server (docs/serving.md)."""
     import asyncio
 
     from repro.serving.store import ServingStore, build_store, sidecar_path
 
-    if args.file.endswith(".cfpa"):
+    if args.follow:
+        array_path = args.file  # a snapshot directory, not an array
+    elif args.file.endswith(".cfpa"):
         array_path = args.file
     else:
         database = _load(args.file)
@@ -360,13 +428,25 @@ def _cmd_serve(args) -> int:
         print("# drained, bye", file=sys.stderr)
 
     with _tracing(args.trace):
-        with ServingStore(
-            array_path,
-            pool_pages=args.pool_pages,
-            cache_budget=args.cache_budget,
-            hot_bytes=args.hot_bytes,
-        ) as store:
-            asyncio.run(_run())
+        if args.follow:
+            from repro.serving.follow import FollowingStore
+
+            with FollowingStore(
+                array_path,
+                pool_pages=args.pool_pages,
+                cache_budget=args.cache_budget,
+                hot_bytes=args.hot_bytes,
+            ) as store:
+                store.start_following(args.poll_interval)
+                asyncio.run(_run())
+        else:
+            with ServingStore(
+                array_path,
+                pool_pages=args.pool_pages,
+                cache_budget=args.cache_budget,
+                hot_bytes=args.hot_bytes,
+            ) as store:
+                asyncio.run(_run())
     return 0
 
 
@@ -516,13 +596,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compact.set_defaults(func=_cmd_compact)
 
+    stream = sub.add_parser(
+        "stream",
+        help="incrementally mine a dataset as a batch stream "
+        "(docs/streaming.md)",
+    )
+    stream.add_argument("file", help="FIMI text file (or .bin binary)")
+    stream.add_argument("--min-support", type=int, default=2)
+    stream.add_argument(
+        "--batch-size",
+        type=int,
+        default=1000,
+        help="transactions per batch (default 1000)",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sliding window in batches; 0 keeps every batch (default)",
+    )
+    stream.add_argument(
+        "--snapshot-dir",
+        default="",
+        metavar="DIR",
+        help="publish serving snapshots to DIR (serve them with "
+        "`repro serve DIR --follow`); default: mine the final window "
+        "and print itemsets",
+    )
+    stream.add_argument(
+        "--publish-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="publish a snapshot every K batches (default 1; the final "
+        "batch always publishes)",
+    )
+    stream.add_argument(
+        "--partition-bytes",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="force the partitioned (v3) snapshot format with this "
+        "partition payload size (default: chosen from --memory-budget)",
+    )
+    stream.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="serving budget snapshots are partitioned for "
+        "(default: monolithic v2 snapshots)",
+    )
+    stream.add_argument("--limit", type=int, default=0, help="print at most N rows")
+    stream.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write a JSONL span trace + metrics to FILE",
+    )
+    stream.set_defaults(func=_cmd_stream)
+
     serve = sub.add_parser(
         "serve",
         help="run the itemset query server over a built store (docs/serving.md)",
     )
     serve.add_argument(
         "file",
-        help="a built .cfpa store, or a FIMI/.bin dataset to build one from",
+        help="a built .cfpa store, a FIMI/.bin dataset to build one from, "
+        "or (with --follow) a snapshot directory",
+    )
+    serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="treat FILE as a `repro stream` snapshot directory and "
+        "hot-swap to each new generation (docs/streaming.md)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="manifest poll cadence with --follow (default 1.0)",
     )
     serve.add_argument("--min-support", type=int, default=2)
     serve.add_argument(

@@ -123,3 +123,7 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured inconsistently or produced invalid output."""
+
+
+class StreamingError(ReproError):
+    """An incremental merge, eviction, or snapshot flip was invalid."""

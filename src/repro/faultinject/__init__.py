@@ -72,10 +72,12 @@ SITES = frozenset(
     {
         "build.worker",
         "checkpoint.write",
+        "delta.merge",
         "mine.worker",
         "pagefile.prefetch",
         "pagefile.read",
         "parallel.attach",
+        "snapshot.flip",
     }
 )
 

@@ -8,6 +8,10 @@ shared buffer pool (docs/serving.md):
 
 * :mod:`repro.serving.store` — persistence (array + item-vocabulary
   sidecar) and :class:`ServingStore`, the thread-safe query facade;
+* :mod:`repro.serving.follow` — :class:`FollowingStore`, the same query
+  facade following a streaming snapshot manifest
+  (:class:`repro.streaming.snapshots.SnapshotManager`), hot-swapping
+  generations under live queries with zero drops (docs/streaming.md);
 * :mod:`repro.serving.server` — :class:`ReproServer`, the asyncio
   NDJSON protocol server with budget-derived admission control,
   per-request latency histograms, and graceful drain;
@@ -19,23 +23,33 @@ Start one from the command line with ``repro serve``.
 """
 
 from repro.serving.server import ReproServer
-from repro.serving.store import ServingStore, StoreError, build_store
+from repro.serving.store import ServingStore, StoreError, build_store, write_sidecar
 
 __all__ = [
+    "FollowingStore",
     "LoadReport",
     "ReproServer",
     "ServingStore",
     "StoreError",
     "build_store",
     "run_load",
+    "write_sidecar",
 ]
 
 
 def __getattr__(name: str):
     # Lazy so `python -m repro.serving.loadgen` does not import the
     # module twice (once as a package attribute, once as __main__).
+    # FollowingStore is lazy for a different reason: it pulls in
+    # repro.streaming.snapshots, which imports this package's store
+    # module — eager import here would re-enter a half-initialized
+    # package and fail.
     if name in ("LoadReport", "run_load"):
         from repro.serving import loadgen
 
         return getattr(loadgen, name)
+    if name == "FollowingStore":
+        from repro.serving.follow import FollowingStore
+
+        return FollowingStore
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -315,9 +315,14 @@ class ReproServer:
             registry.observe(f"serving.latency_ms.{op}", elapsed_ms)
         tracer = get_tracer()
         if tracer is not None:
-            tracer.complete_span(
-                "serve_request", started, {"op": op, "ok": bool(response["ok"])}
-            )
+            attrs = {"op": op, "ok": bool(response["ok"])}
+            # A following store flips between snapshot generations under
+            # live traffic; stamping the generation on every request span
+            # makes a flip visible as a step in the trace.
+            generation = getattr(self.store, "generation", None)
+            if generation is not None:
+                attrs["generation"] = generation
+            tracer.complete_span("serve_request", started, attrs)
         return response
 
     async def _dispatch(
@@ -386,7 +391,11 @@ class ReproServer:
         """Cheap introspection op, answered inline on the event loop."""
         pool_stats = self.store.array.pool.stats
         registry = self._registry
-        return {
+        generation = getattr(self.store, "generation", None)
+        stats: dict[str, Any] = {} if generation is None else {
+            "generation": generation
+        }
+        return stats | {
             "inflight": self._inflight,
             "max_inflight": self.max_inflight,
             "draining": self._draining,

@@ -62,6 +62,34 @@ def sidecar_path(array_path: str | os.PathLike[str]) -> str:
     return os.fspath(array_path) + SIDECAR_SUFFIX
 
 
+def write_sidecar(
+    array_path: str | os.PathLike[str],
+    table: ItemTable,
+    n_transactions: int,
+) -> str:
+    """Write the item-vocabulary sidecar next to an array file.
+
+    Shared by :func:`build_store` and the streaming snapshot publisher
+    (:class:`repro.streaming.snapshots.SnapshotManager`) so every store
+    a :class:`ServingStore` opens carries the same metadata shape.
+    Returns the sidecar path.
+    """
+    sidecar = {
+        "min_support": table.min_support,
+        "n_transactions": n_transactions,
+        "fingerprint": table.fingerprint(),
+        "items": [
+            [table.item_of[rank], table.rank_supports[rank]]
+            for rank in range(1, len(table) + 1)
+        ],
+    }
+    path = sidecar_path(array_path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sidecar, handle)
+        handle.write("\n")
+    return path
+
+
 def build_store(
     database: TransactionDatabase,
     min_support: int,
@@ -87,18 +115,7 @@ def build_store(
         )
     else:
         size = save_cfp_array(array, array_path)
-    sidecar = {
-        "min_support": table.min_support,
-        "n_transactions": len(database),
-        "fingerprint": table.fingerprint(),
-        "items": [
-            [table.item_of[rank], table.rank_supports[rank]]
-            for rank in range(1, len(table) + 1)
-        ],
-    }
-    with open(sidecar_path(array_path), "w", encoding="utf-8") as handle:
-        json.dump(sidecar, handle)
-        handle.write("\n")
+    write_sidecar(array_path, table, len(database))
     return size
 
 
@@ -267,4 +284,5 @@ __all__ = [
     "StoreError",
     "build_store",
     "sidecar_path",
+    "write_sidecar",
 ]

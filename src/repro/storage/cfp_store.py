@@ -49,7 +49,7 @@ from repro.errors import ReproError, TreeError
 from repro.memman.arena import Arena
 from repro.obs import maybe_span
 from repro.storage.bufferpool import BufferPool
-from repro.storage.pagefile import PAGE_SIZE, PageFile
+from repro.storage.pagefile import PAGE_SIZE, PageFile, fsync_dir
 
 if TYPE_CHECKING:
     from repro.storage.placement import PlacementPolicy
@@ -146,13 +146,34 @@ def _verify_content(pagefile: PageFile, content_pages: int, version: int) -> Non
         )
 
 
+def _write_pages(path: str | os.PathLike[str], content: bytes) -> int:
+    """Atomically persist page content plus its checksum trailer.
+
+    Writes go to a private (mode 0600) sibling temp file, fsynced before
+    an ``os.replace`` onto ``path`` and followed by a directory fsync —
+    so a crash at any point leaves either the old file or the complete
+    new one, never a torn store, and a checkpoint carrying user data is
+    never world-readable (not even transiently).
+    """
+    final = os.fspath(path)
+    tmp = f"{final}.tmp.{os.getpid()}"
+    try:
+        with PageFile.create_private(tmp) as pagefile:
+            pagefile.append_blob(content)
+            pagefile.append_blob(checksum_trailer(content))
+            size = pagefile.page_count * PAGE_SIZE
+            pagefile.sync()
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    fsync_dir(os.path.dirname(final))
+    return size
+
+
 def _write_store(path: str | os.PathLike[str], header: bytes, payload: bytes) -> int:
     """Write header + payload page-aligned, then the checksum trailer."""
-    content = _page_padded(header) + _page_padded(payload)
-    with PageFile.create(path) as pagefile:
-        pagefile.append_blob(content)
-        pagefile.append_blob(checksum_trailer(content))
-        return pagefile.page_count * PAGE_SIZE
+    return _write_pages(path, _page_padded(header) + _page_padded(payload))
 
 
 # ----------------------------------------------------------------------
@@ -318,10 +339,7 @@ def save_cfp_array_partitioned(
         content = _page_padded(bytes(header))
         if payload:
             content += bytes(payload)
-        with PageFile.create(path) as pagefile:
-            pagefile.append_blob(content)
-            pagefile.append_blob(checksum_trailer(content))
-            size = pagefile.page_count * PAGE_SIZE
+        size = _write_pages(path, content)
         span.set("bytes", size)
         span.set("partitions", n_partitions)
     return size

@@ -40,7 +40,7 @@ from repro.storage.cfp_store import (
     read_array_header,
     save_cfp_array_partitioned,
 )
-from repro.storage.pagefile import PAGE_SIZE, PageFile
+from repro.storage.pagefile import PAGE_SIZE, PageFile, fsync_dir
 from repro.storage.placement import PlacementPolicy, get_placement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -138,6 +138,7 @@ def compact_store(
             array, tmp_path, partition_bytes=partition_bytes, placement=placement
         )
         os.replace(tmp_path, path)
+        fsync_dir(os.path.dirname(os.fspath(path)))
     finally:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)

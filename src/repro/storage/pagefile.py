@@ -29,6 +29,26 @@ class PageFileError(ReproError):
     """Invalid page access or a closed file."""
 
 
+def fsync_dir(directory: str | os.PathLike) -> None:
+    """fsync a directory entry so a just-renamed file survives a crash.
+
+    ``os.replace`` makes a rename atomic but not durable — the new
+    directory entry may still live only in the page cache. Platforms
+    whose directories cannot be opened for fsync (or filesystems that
+    refuse it) are skipped silently; durability there is best-effort.
+    """
+    try:
+        fd = os.open(os.fspath(directory) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class PageFile:
     """Page-granular random access over one file.
 
@@ -63,9 +83,29 @@ class PageFile:
         return cls(open(path, "w+b"), writable=True)
 
     @classmethod
+    def create_private(cls, path: str | os.PathLike) -> "PageFile":
+        """Create (truncate) a page file readable only by the owner.
+
+        ``create`` inherits the process umask (typically 0644 — world-
+        readable); store files that may carry user data, like streaming
+        checkpoints, are created at mode 0600 instead.
+        """
+        fd = os.open(
+            os.fspath(path), os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o600
+        )
+        return cls(os.fdopen(fd, "w+b"), writable=True)
+
+    @classmethod
     def open_readonly(cls, path: str | os.PathLike) -> "PageFile":
         """Open an existing page file for reading."""
         return cls(open(path, "rb"), writable=False)
+
+    def sync(self) -> None:
+        """Flush buffered writes and fsync the file to stable storage."""
+        self._check_open()
+        assert self._handle is not None  # _check_open guarantees it
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,44 @@
+"""Streaming builds: batch pipelines, incremental merges, snapshots.
+
+The package splits into three layers (docs/streaming.md):
+
+* :mod:`repro.streaming.builder` — the original two-phase batch build
+  (count, then insert) with crash-recoverable checkpoints;
+* :mod:`repro.streaming.incremental` — per-batch delta CFP-trees merged
+  into a persistent flat forest with sliding-window eviction, rebuilt
+  into a CFP-array byte-identical to a from-scratch build;
+* :mod:`repro.streaming.snapshots` — generation-numbered on-disk
+  snapshots with an atomic manifest flip, feeding the serving layer's
+  hot store swap (:class:`repro.serving.follow.FollowingStore`).
+
+The original ``repro.streaming`` module API is re-exported unchanged.
+"""
+
+from repro.streaming.builder import (
+    CountingPhase,
+    StreamingBuilder,
+    mine_in_batches,
+    mine_in_batches_resilient,
+)
+from repro.streaming.incremental import (
+    DeltaForest,
+    IncrementalMiner,
+    compact_forest,
+    forest_to_array,
+    merge_forest,
+)
+from repro.streaming.snapshots import SnapshotError, SnapshotManager
+
+__all__ = [
+    "CountingPhase",
+    "DeltaForest",
+    "IncrementalMiner",
+    "SnapshotError",
+    "SnapshotManager",
+    "StreamingBuilder",
+    "compact_forest",
+    "forest_to_array",
+    "merge_forest",
+    "mine_in_batches",
+    "mine_in_batches_resilient",
+]

@@ -1,0 +1,242 @@
+"""Generation-numbered serving snapshots with an atomic manifest flip.
+
+The incremental miner produces a new CFP-array per window advance; the
+serving layer must pick each one up **without dropping a query**. The
+protocol (docs/streaming.md) is the classic immutable-generations one:
+
+* every published window becomes a fresh, never-rewritten pair
+  ``gen-NNNNNN.cfpa`` + ``gen-NNNNNN.cfpa.items.json`` in the snapshot
+  directory;
+* a single ``MANIFEST.json`` names the current generation, and is
+  replaced atomically (private tmp file, fsync, ``os.replace``,
+  directory fsync) — a reader sees the old manifest or the new one,
+  never a torn one;
+* superseded generations are retired (unlinked) only once no in-process
+  reader holds a reference. Cross-process readers are safe regardless:
+  they hold an open file handle, and POSIX keeps the data alive until
+  the last handle closes — the unlink only removes the name.
+
+The ``snapshot.flip`` fault-injection site fires between writing the
+manifest tmp file and the ``os.replace`` that installs it: ``kill``
+models a crash mid-flip (the old manifest must survive intact), and
+``truncate`` tears the *incoming* manifest, which followers must reject
+and ride out on their current generation
+(:meth:`repro.serving.follow.FollowingStore.refresh`).
+
+Counters: ``snapshot.published``, ``snapshot.retired``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import TYPE_CHECKING
+
+from repro import faultinject, obs
+from repro.errors import StreamingError
+from repro.storage import save_cfp_array, save_cfp_array_partitioned
+from repro.storage.pagefile import fsync_dir
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cfp_array import CfpArray
+    from repro.storage.placement import PlacementPolicy
+    from repro.util.items import ItemTable
+
+#: The manifest naming the current generation, atomically replaced.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Array file name per generation (sidecar hangs off it as usual).
+_GEN_TEMPLATE = "gen-{:06d}.cfpa"
+
+
+class SnapshotError(StreamingError):
+    """A snapshot directory or manifest is missing or malformed."""
+
+
+class SnapshotManager:
+    """Publish and track CFP-array generations in one directory.
+
+    One manager owns the *writer* side (``publish``); any number of
+    readers — in this process via :meth:`acquire`/:meth:`release`, or in
+    other processes via :meth:`current` and open file handles — follow
+    the manifest. In-process references pin a generation against
+    retirement; the writer only ever unlinks generations older than the
+    current one with a zero reference count.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._refs: dict[int, int] = {}
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def array_path(self, generation: int) -> str:
+        """Array file path of ``generation`` (existing or to-be-written)."""
+        return os.path.join(self.directory, _GEN_TEMPLATE.format(generation))
+
+    # -- reader side ----------------------------------------------------
+
+    def current(self) -> tuple[int, str] | None:
+        """The manifest's ``(generation, array_path)``; None before any flip.
+
+        A manifest that exists but cannot be parsed (torn by an injected
+        ``snapshot.flip`` truncation, or by a non-atomic writer) raises
+        :class:`SnapshotError` — followers catch it and keep serving
+        their pinned generation.
+        """
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"{self.manifest_path}: manifest is not valid JSON ({exc}); "
+                "torn flip?"
+            ) from None
+        generation = manifest.get("generation")
+        array = manifest.get("array")
+        if not isinstance(generation, int) or not isinstance(array, str):
+            raise SnapshotError(
+                f"{self.manifest_path}: manifest must carry an integer "
+                "'generation' and an 'array' file name"
+            )
+        return generation, os.path.join(self.directory, array)
+
+    def acquire(self) -> tuple[int, str]:
+        """Pin the current generation; returns ``(generation, array_path)``.
+
+        Must be paired with :meth:`release` — a pinned generation is
+        never retired, which is what lets a reader open the array and
+        sidecar without racing the writer's cleanup.
+        """
+        state = self.current()
+        if state is None:
+            raise SnapshotError(
+                f"{self.directory}: no snapshot published yet (no manifest)"
+            )
+        generation, path = state
+        with self._lock:
+            self._refs[generation] = self._refs.get(generation, 0) + 1
+        return generation, path
+
+    def release(self, generation: int) -> None:
+        """Unpin ``generation``; retires it if superseded and unreferenced."""
+        with self._lock:
+            count = self._refs.get(generation, 0) - 1
+            if count <= 0:
+                self._refs.pop(generation, None)
+            else:
+                self._refs[generation] = count
+        self._retire_stale()
+
+    # -- writer side ----------------------------------------------------
+
+    def publish(
+        self,
+        array: "CfpArray",
+        table: "ItemTable",
+        n_transactions: int,
+        *,
+        partition_bytes: int | None = None,
+        placement: "PlacementPolicy | None" = None,
+    ) -> int:
+        """Write one generation and flip the manifest to it atomically.
+
+        The array (partitioned v3 when ``partition_bytes`` is given, else
+        monolithic v2) and its item sidecar land fully — on freshly
+        numbered, never-reused names — before the manifest mentions them,
+        so a crash at any point leaves the previous generation intact and
+        openable. Returns the new generation number.
+        """
+        from repro.serving.store import write_sidecar
+
+        state = self.current()
+        generation = (state[0] if state is not None else 0) + 1
+        path = self.array_path(generation)
+        with obs.maybe_span("snapshot_publish", generation=generation) as span:
+            if partition_bytes is not None:
+                size = save_cfp_array_partitioned(
+                    array, path, partition_bytes=partition_bytes, placement=placement
+                )
+            else:
+                size = save_cfp_array(array, path)
+            write_sidecar(path, table, n_transactions)
+            self._flip(generation, os.path.basename(path))
+            span.set("bytes", size)
+        obs.metrics.add("snapshot.published")
+        self._retire_stale()
+        return generation
+
+    def _flip(self, generation: int, array_name: str) -> None:
+        """Install the manifest for ``generation`` via tmp + ``os.replace``."""
+        final = self.manifest_path
+        tmp = f"{final}.tmp.{os.getpid()}"
+        payload = json.dumps({"generation": generation, "array": array_name})
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        try:
+            try:
+                os.write(fd, payload.encode("utf-8") + b"\n")
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            faultinject.fire("snapshot.flip", path=tmp, generation=generation)
+            os.replace(tmp, final)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        fsync_dir(self.directory)
+
+    def _retire_stale(self) -> None:
+        """Unlink superseded, unreferenced generations (best-effort).
+
+        Best-effort includes the manifest itself: a torn manifest means
+        we cannot know the current generation, so retire nothing —
+        readers riding out the tear must keep their files.
+        """
+        try:
+            state = self.current()
+        except SnapshotError:
+            return
+        if state is None:
+            return
+        current_generation = state[0]
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        retired = 0
+        with self._lock:
+            pinned = set(self._refs)
+        for name in names:
+            if not (name.startswith("gen-") and name.endswith(".cfpa")):
+                continue
+            try:
+                generation = int(name[len("gen-") : -len(".cfpa")])
+            except ValueError:
+                continue
+            if generation >= current_generation or generation in pinned:
+                continue
+            for victim in (
+                os.path.join(self.directory, name),
+                os.path.join(self.directory, name) + ".items.json",
+            ):
+                try:
+                    os.unlink(victim)
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    continue
+            retired += 1
+        if retired:
+            obs.metrics.add("snapshot.retired", retired)
+
+
+__all__ = ["MANIFEST_NAME", "SnapshotError", "SnapshotManager"]

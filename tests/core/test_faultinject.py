@@ -70,10 +70,12 @@ class TestSiteRegistry:
             {
                 "build.worker",
                 "checkpoint.write",
+                "delta.merge",
                 "mine.worker",
                 "pagefile.prefetch",
                 "pagefile.read",
                 "parallel.attach",
+                "snapshot.flip",
             }
         )
 

@@ -26,6 +26,7 @@ See docs/robustness.md.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import subprocess
@@ -94,7 +95,20 @@ def _expect(counters: dict[str, int], name: str, leg: str) -> None:
 
 
 def main() -> int:
-    workdir = tempfile.mkdtemp(prefix="repro-chaos-check-")
+    parser = argparse.ArgumentParser(description="chaos-engineering smoke check")
+    parser.add_argument(
+        "--artifacts-dir",
+        default="",
+        metavar="DIR",
+        help="keep work files (trace JSONL, datasets) under DIR so CI can "
+        "upload them, instead of a throwaway temp dir",
+    )
+    args = parser.parse_args()
+    if args.artifacts_dir:
+        workdir = os.path.abspath(args.artifacts_dir)
+        os.makedirs(workdir, exist_ok=True)
+    else:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-check-")
     dataset = os.path.join(workdir, "chaos.fimi")
     _make_dataset(dataset)
     parallel = ["--jobs", "2", "--build-jobs", "2"]
